@@ -1,0 +1,51 @@
+"""Benchmark E10 — baseline (data) RPQ evaluation and the REE engine ablation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagraph import generators
+from repro.experiments import e10_query_eval
+from repro.query import equality_rpq, evaluate_data_rpq, evaluate_rpq, memory_rpq, rpq
+
+
+def bench_e10_scaling_experiment(run_once):
+    result = run_once(e10_query_eval.run, sizes=(20, 50, 100))
+    assert all(row["engines_agree"] for row in result.rows)
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return generators.random_graph(150, 300, labels=("a", "b"), rng=29, domain_size=20)
+
+
+def bench_e10_rpq_evaluation(benchmark, medium_graph):
+    query = rpq("(a|b)*.a.(a|b)*")
+    answers = benchmark(evaluate_rpq, medium_graph, query)
+    assert answers
+
+
+def bench_e10_ree_algebraic_engine(benchmark, medium_graph):
+    query = equality_rpq("(a|b)* . ((a|b)+)= . (a|b)*")
+    answers = benchmark.pedantic(
+        evaluate_data_rpq, args=(medium_graph, query), kwargs={"engine": "algebraic"},
+        rounds=1, iterations=1,
+    )
+    assert answers
+
+
+def bench_e10_ree_automaton_engine(benchmark, medium_graph):
+    query = equality_rpq("(a.b)=")
+    answers = benchmark.pedantic(
+        evaluate_data_rpq, args=(medium_graph, query), kwargs={"engine": "automaton"},
+        rounds=1, iterations=1,
+    )
+    assert answers is not None
+
+
+def bench_e10_memory_rpq_evaluation(benchmark, medium_graph):
+    query = memory_rpq("!x.((a|b)[x!=])+")
+    answers = benchmark.pedantic(
+        evaluate_data_rpq, args=(medium_graph, query), rounds=1, iterations=1
+    )
+    assert answers is not None

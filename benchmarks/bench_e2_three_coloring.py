@@ -1,0 +1,31 @@
+"""Benchmark E2 — Proposition 3: coNP-hardness workload (3-colourability gadget)."""
+
+from __future__ import annotations
+
+from repro.experiments import e2_three_coloring
+from repro.reductions.three_coloring import (
+    complete_graph_k4,
+    gadget_certain_by_coloring_adversary,
+    odd_cycle,
+    petersen_fragment,
+    triangle,
+)
+
+
+def bench_e2_full_experiment(run_once):
+    result = run_once(e2_three_coloring.run)
+    assert all(row["matches_claim"] for row in result.rows)
+
+
+def bench_e2_certainty_on_colorable_input(benchmark):
+    certain = benchmark.pedantic(
+        gadget_certain_by_coloring_adversary, args=(odd_cycle(5),), rounds=1, iterations=1
+    )
+    assert certain is False  # C5 is 3-colourable, so (start, finish) is not certain
+
+
+def bench_e2_certainty_on_uncolorable_input(benchmark):
+    certain = benchmark.pedantic(
+        gadget_certain_by_coloring_adversary, args=(complete_graph_k4(),), rounds=1, iterations=1
+    )
+    assert certain is True

@@ -1,0 +1,26 @@
+"""Benchmark E3 — Proposition 4: single-inequality data path queries are tractable."""
+
+from __future__ import annotations
+
+from repro.experiments import e3_single_inequality
+
+
+def bench_e3_agreement_and_scaling(run_once):
+    result = run_once(e3_single_inequality.run, small_sizes=(2, 4, 6), large_sizes=(50, 200))
+    agreement = [row for row in result.rows if row["phase"] == "agreement"]
+    assert agreement and all(row["agree"] for row in agreement)
+
+
+def bench_e3_tractable_algorithm_large_chain(benchmark):
+    from repro.core.certain_answers import certain_answers_with_nulls
+    from repro.core.gsm import GraphSchemaMapping
+    from repro.datagraph import generators
+    from repro.query import data_path_query
+
+    mapping = GraphSchemaMapping([("r", "t"), ("s", "t.t")])
+    source = generators.chain(500, labels=("r", "s"), rng=11, domain_size=25)
+    query = data_path_query("(t.t)!=")
+    answers = benchmark.pedantic(
+        certain_answers_with_nulls, args=(mapping, source, query), rounds=1, iterations=1
+    )
+    assert answers

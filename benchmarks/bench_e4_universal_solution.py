@@ -1,0 +1,37 @@
+"""Benchmark E4 — Theorems 3 & 4: the SQL-null universal-solution pipeline."""
+
+from __future__ import annotations
+
+from repro.experiments import e4_universal_solution
+
+
+def bench_e4_soundness_and_scaling(run_once):
+    result = run_once(e4_universal_solution.run, chain_lengths=(5, 10, 20), agreement_chain_length=3)
+    soundness = [row for row in result.rows if row["phase"] == "soundness"]
+    assert soundness and all(row["sound"] for row in soundness)
+
+
+def bench_e4_universal_solution_construction(benchmark):
+    from repro.core.universal import universal_solution
+    from repro.workloads import provenance_scenario
+
+    scenario = provenance_scenario(chain_length=100, num_chains=3, rng=3)
+    target = benchmark.pedantic(
+        universal_solution, args=(scenario.mapping, scenario.source), rounds=1, iterations=1
+    )
+    assert target.num_edges > 0
+
+
+def bench_e4_certain_answers_with_nulls(benchmark):
+    from repro.core.certain_answers import certain_answers_with_nulls
+    from repro.workloads import provenance_scenario
+
+    scenario = provenance_scenario(chain_length=40, num_chains=2, rng=3)
+    query = scenario.data_queries["checksum-collision"]
+    answers = benchmark.pedantic(
+        certain_answers_with_nulls,
+        args=(scenario.mapping, scenario.source, query),
+        rounds=1,
+        iterations=1,
+    )
+    assert answers is not None

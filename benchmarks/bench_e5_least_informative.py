@@ -1,0 +1,27 @@
+"""Benchmark E5 — Theorem 5 / Corollary 1: least informative solutions for REE=/REM=."""
+
+from __future__ import annotations
+
+from repro.experiments import e5_least_informative
+
+
+def bench_e5_agreement_and_scaling(run_once):
+    result = run_once(e5_least_informative.run, small_people=4, scaling_people=(20, 50))
+    agreement = [row for row in result.rows if row["phase"] == "agreement"]
+    assert agreement and all(row["agree"] for row in agreement)
+
+
+def bench_e5_equality_only_pipeline(benchmark):
+    from repro.core.certain_answers import certain_answers_equality_only
+    from repro.query import equality_rpq
+    from repro.workloads import social_network_scenario
+
+    scenario = social_network_scenario(num_people=80, rng=17)
+    query = equality_rpq("(knows.knows)=")
+    answers = benchmark.pedantic(
+        certain_answers_equality_only,
+        args=(scenario.mapping, scenario.source, query),
+        rounds=1,
+        iterations=1,
+    )
+    assert answers is not None

@@ -1,0 +1,20 @@
+"""Benchmark E6 — Remark 1: quality of the SQL-null under-approximation."""
+
+from __future__ import annotations
+
+from repro.experiments import e6_null_approximation
+
+
+def bench_e6_recall_study(run_once):
+    result = run_once(
+        e6_null_approximation.run, sizes=(3, 4), query_tests=("equal", "unequal", "repeat"),
+        instances_per_setting=2,
+    )
+    assert result.rows
+    for row in result.rows:
+        assert 0.0 <= row["answer_recall"] <= 1.0
+        assert 0.0 <= row["exact_match_rate"] <= 1.0
+    # equality-only queries lose nothing (Theorem 5); inequality queries may.
+    by_shape = {row["query_shape"]: row for row in result.rows}
+    assert by_shape["equal"]["answer_recall"] == 1.0
+    assert by_shape["repeat"]["answer_recall"] == 1.0

@@ -1,0 +1,34 @@
+"""Benchmark E7 — Theorem 1 gadget: PCP encoding, witnesses and error queries."""
+
+from __future__ import annotations
+
+from repro.experiments import e7_pcp_gadget
+
+
+def bench_e7_gadget_validation(run_once):
+    result = run_once(e7_pcp_gadget.run, max_solution_length=6)
+    solvable = [row for row in result.rows if row["solvable_within_bound"]]
+    unsolvable = [row for row in result.rows if not row["solvable_within_bound"]]
+    assert solvable and unsolvable
+    assert all(row["witness_is_solution"] and row["decodes_back"] and row["error_free"] for row in solvable)
+
+
+def bench_e7_witness_construction(benchmark):
+    from repro.reductions import SOLVABLE_EXAMPLES, solution_witness_graph, solve_pcp_bounded
+
+    instance = SOLVABLE_EXAMPLES["classic"]
+    solution = solve_pcp_bounded(instance, max_length=6)
+    witness = benchmark.pedantic(
+        solution_witness_graph, args=(instance, solution), rounds=1, iterations=1
+    )
+    assert witness.num_nodes > 0
+
+
+def bench_e7_bounded_pcp_search(benchmark):
+    from repro.reductions import SOLVABLE_EXAMPLES, solve_pcp_bounded, verify_pcp_solution
+
+    instance = SOLVABLE_EXAMPLES["sipser-like"]
+    solution = benchmark.pedantic(
+        solve_pcp_bounded, args=(instance,), kwargs={"max_length": 8}, rounds=1, iterations=1
+    )
+    assert solution is not None and verify_pcp_solution(instance, solution)

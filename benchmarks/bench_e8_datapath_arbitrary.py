@@ -1,0 +1,25 @@
+"""Benchmark E8 — Proposition 5: data path queries under arbitrary mappings."""
+
+from __future__ import annotations
+
+from repro.experiments import e8_datapath_arbitrary
+
+
+def bench_e8_simplification_agreement(run_once):
+    result = run_once(e8_datapath_arbitrary.run, sizes=(3, 5, 7))
+    assert all(row["agree"] for row in result.rows)
+    assert all(row["rules_dropped"] == 2 for row in result.rows)
+
+
+def bench_e8_simplification_only(benchmark):
+    from repro.core.certain_answers import simplify_mapping_for_data_path_query
+    from repro.core.gsm import GraphSchemaMapping
+
+    mapping = GraphSchemaMapping(
+        [("r", "t"), ("r", "(t|u)*"), ("s", "u.u.u.u"), ("s", "u"), ("p", "t.u"), ("q", "(u)*")],
+        target_alphabet={"t", "u"},
+    )
+    simplified = benchmark.pedantic(
+        simplify_mapping_for_data_path_query, args=(mapping, 2), rounds=1, iterations=1
+    )
+    assert simplified is not None and len(simplified) == 3

@@ -1,0 +1,39 @@
+"""Benchmark E9 — Theorem 6 / Lemma 2 and Theorem 7: the GXPath constructions."""
+
+from __future__ import annotations
+
+from repro.experiments import e9_gxpath_gadget
+
+
+def bench_e9_gadget_validation(run_once):
+    result = run_once(e9_gxpath_gadget.run, max_solution_length=6)
+    gadget_rows = [row for row in result.rows if row["instance"] != "theorem7-check"]
+    assert all(row["preconditions_hold"] for row in gadget_rows)
+    assert all(row["bare_tree_flagged"] for row in gadget_rows)
+
+
+def bench_e9_theorem7_formula_construction(benchmark):
+    from repro.gxpath import node_holds, satisfiability_reduction_formula, tree_root
+    from repro.gxpath.parser import parse_gxpath_node
+    from repro.reductions import SOLVABLE_EXAMPLES, pcp_tree_encoding
+
+    tree = pcp_tree_encoding(SOLVABLE_EXAMPLES["classic"])
+    phi = parse_gxpath_node("<unused-label>")
+
+    def build_and_check():
+        formula = satisfiability_reduction_formula(tree, phi)
+        return node_holds(tree, formula, tree_root(tree))
+
+    holds = benchmark.pedantic(build_and_check, rounds=1, iterations=1)
+    assert holds  # φ fails at the root, so φ' = φ_G ∧ φ_δ ∧ ¬φ holds there
+
+
+def bench_e9_bounded_gxpath_satisfiability(benchmark):
+    from repro.gxpath import bounded_satisfiability
+    from repro.gxpath.parser import parse_gxpath_node
+
+    phi = parse_gxpath_node("<(a.b)=> & ~<(a)=>")
+    satisfiable = benchmark.pedantic(
+        bounded_satisfiability, args=(phi, ["a", "b"], 3, 2), rounds=1, iterations=1
+    )
+    assert satisfiable

@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+The project metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` with older setuptools/pip tool-chains (and offline
+machines lacking the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,130 @@
+"""repro — Schema mappings, data exchange and integration for data graphs.
+
+A faithful, executable reproduction of *Schema Mappings for Data Graphs*
+(Nadime Francis and Leonid Libkin, PODS 2017).  See README.md for a tour
+and DESIGN.md for the module inventory.
+
+The top-level package re-exports the main user-facing API:
+
+* the data model (:class:`DataGraph`, :class:`Node`, :class:`DataPath`,
+  :class:`PropertyGraph`, :class:`GraphBuilder`);
+* query languages (RPQs via :func:`rpq`, data RPQs via
+  :func:`equality_rpq` / :func:`memory_rpq` / :func:`data_path_query`,
+  GXPath via :func:`parse_gxpath_node` / :func:`parse_gxpath_path`);
+* schema mappings and certain answers (:class:`GraphSchemaMapping`,
+  :func:`certain_answers`, :func:`universal_solution`,
+  :func:`least_informative_solution`);
+* the end-to-end façades (:class:`DataExchangeEngine`,
+  :class:`VirtualIntegrationSystem`).
+
+Heavier sub-systems (reductions, workloads, experiments) are imported via
+their sub-packages, e.g. ``from repro.reductions import pcp``.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from .core import (
+    DataExchangeEngine,
+    GraphSchemaMapping,
+    MappingRule,
+    VirtualIntegrationSystem,
+    certain_answers,
+    certain_answers_data_path,
+    certain_answers_equality_only,
+    certain_answers_naive,
+    certain_answers_with_nulls,
+    copy_mapping,
+    is_certain_answer,
+    is_solution,
+    lav_mapping,
+    least_informative_solution,
+    mapping_domain,
+    universal_solution,
+)
+from .datagraph import (
+    NULL,
+    DataGraph,
+    DataPath,
+    GraphBuilder,
+    Node,
+    Path,
+    PropertyGraph,
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+)
+from .gxpath import evaluate_node as evaluate_gxpath_node
+from .gxpath import evaluate_path as evaluate_gxpath_path
+from .gxpath import parse_gxpath_node, parse_gxpath_path
+from .query import (
+    RPQ,
+    ConjunctiveRPQ,
+    DataRPQ,
+    atomic_rpq,
+    data_path_query,
+    equality_rpq,
+    evaluate_crpq,
+    evaluate_data_rpq,
+    evaluate_rpq,
+    memory_rpq,
+    reachability_rpq,
+    rpq,
+    word_rpq,
+)
+from .regular import parse_regex
+
+__all__ = [
+    "__version__",
+    # data model
+    "DataGraph",
+    "Node",
+    "Path",
+    "DataPath",
+    "GraphBuilder",
+    "PropertyGraph",
+    "NULL",
+    "graph_to_dict",
+    "graph_from_dict",
+    "graph_to_json",
+    "graph_from_json",
+    # queries
+    "RPQ",
+    "DataRPQ",
+    "ConjunctiveRPQ",
+    "rpq",
+    "atomic_rpq",
+    "word_rpq",
+    "reachability_rpq",
+    "equality_rpq",
+    "memory_rpq",
+    "data_path_query",
+    "parse_regex",
+    "evaluate_rpq",
+    "evaluate_data_rpq",
+    "evaluate_crpq",
+    "parse_gxpath_node",
+    "parse_gxpath_path",
+    "evaluate_gxpath_node",
+    "evaluate_gxpath_path",
+    # mappings and certain answers
+    "GraphSchemaMapping",
+    "MappingRule",
+    "lav_mapping",
+    "copy_mapping",
+    "is_solution",
+    "mapping_domain",
+    "universal_solution",
+    "least_informative_solution",
+    "certain_answers",
+    "certain_answers_naive",
+    "certain_answers_with_nulls",
+    "certain_answers_equality_only",
+    "certain_answers_data_path",
+    "is_certain_answer",
+    # façades
+    "DataExchangeEngine",
+    "VirtualIntegrationSystem",
+]

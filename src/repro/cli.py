@@ -1,0 +1,182 @@
+"""Command-line interface: inspect graphs, answer queries, run experiments.
+
+The CLI works on the JSON graph format of
+:mod:`repro.datagraph.serialization` and on mappings given as JSON lists
+of ``[source, target]`` regular-expression pairs.  It is intentionally
+thin — every sub-command is a few lines over the library API — but it
+makes the common reproduction tasks scriptable without writing Python:
+
+.. code-block:: bash
+
+    python -m repro info graph.json
+    python -m repro evaluate graph.json --rpq "knows.knows"
+    python -m repro certain graph.json mapping.json --ree "(knows)=" --method auto
+    python -m repro exchange graph.json mapping.json --policy nulls -o target.json
+    python -m repro experiment E5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .core.certain_answers import certain_answers
+from .core.exchange import DataExchangeEngine
+from .core.gsm import GraphSchemaMapping
+from .datagraph.serialization import graph_from_json, graph_to_json
+from .exceptions import ReproError
+from .query.data_rpq import equality_rpq, memory_rpq
+from .query.data_rpq_eval import evaluate_data_rpq
+from .query.rpq import rpq
+from .query.rpq_eval import evaluate_rpq
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(path: str):
+    return graph_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def _load_mapping(path: str) -> GraphSchemaMapping:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(payload, dict):
+        rules = payload.get("rules", [])
+        name = payload.get("name", "")
+    else:
+        rules, name = payload, ""
+    if not isinstance(rules, list):
+        raise ReproError("mapping JSON must be a list of [source, target] pairs or {'rules': [...]}")
+    return GraphSchemaMapping([(str(source), str(target)) for source, target in rules], name=name)
+
+
+def _parse_query(arguments: argparse.Namespace):
+    if getattr(arguments, "rpq", None):
+        return rpq(arguments.rpq)
+    if getattr(arguments, "ree", None):
+        return equality_rpq(arguments.ree)
+    if getattr(arguments, "rem", None):
+        return memory_rpq(arguments.rem)
+    raise ReproError("provide a query with --rpq, --ree or --rem")
+
+
+def _print_answers(answers) -> None:
+    rows = sorted(answers, key=lambda answer: tuple(str(node.id) for node in answer))
+    for answer in rows:
+        print("  " + "  ->  ".join(f"{node.id} ({node.value})" for node in answer))
+    print(f"{len(rows)} answer(s)")
+
+
+def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--rpq", help="a plain regular path query, e.g. 'knows.knows'")
+    group.add_argument("--ree", help="an equality RPQ, e.g. '(knows)='")
+    group.add_argument("--rem", help="a memory RPQ, e.g. '!x.(knows[x!=])+'")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Schema mappings for data graphs — command-line tools"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="summarise a data graph JSON file")
+    info.add_argument("graph", help="path to a graph JSON file")
+
+    evaluate = commands.add_parser("evaluate", help="evaluate a query on a data graph")
+    evaluate.add_argument("graph", help="path to a graph JSON file")
+    _add_query_arguments(evaluate)
+
+    certain = commands.add_parser("certain", help="certain answers of a target query under a mapping")
+    certain.add_argument("graph", help="path to the source graph JSON file")
+    certain.add_argument("mapping", help="path to the mapping JSON file ([[source, target], ...])")
+    certain.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "naive", "nulls", "equality", "data-path"],
+        help="certain-answer algorithm (default: auto)",
+    )
+    _add_query_arguments(certain)
+
+    exchange = commands.add_parser("exchange", help="materialise a canonical target instance")
+    exchange.add_argument("graph", help="path to the source graph JSON file")
+    exchange.add_argument("mapping", help="path to the mapping JSON file")
+    exchange.add_argument("--policy", default="nulls", choices=["nulls", "fresh"])
+    exchange.add_argument("-o", "--output", help="write the target graph JSON here (default: stdout)")
+
+    experiment = commands.add_parser("experiment", help="run one of the reproduction experiments")
+    experiment.add_argument("name", help="experiment name, e.g. E5 (see DESIGN.md)")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return _dispatch(arguments)
+    except (ReproError, FileNotFoundError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(arguments: argparse.Namespace) -> int:
+    if arguments.command == "info":
+        graph = _load_graph(arguments.graph)
+        print(graph.pretty())
+        print(f"alphabet: {sorted(graph.alphabet)}")
+        print(f"null nodes: {len(graph.null_nodes())}")
+        return 0
+
+    if arguments.command == "evaluate":
+        graph = _load_graph(arguments.graph)
+        query = _parse_query(arguments)
+        if isinstance(query, type(rpq("a"))):
+            answers = evaluate_rpq(graph, query)
+        else:
+            answers = evaluate_data_rpq(graph, query)
+        _print_answers(answers)
+        return 0
+
+    if arguments.command == "certain":
+        source = _load_graph(arguments.graph)
+        mapping = _load_mapping(arguments.mapping)
+        query = _parse_query(arguments)
+        answers = certain_answers(mapping, source, query, method=arguments.method)
+        _print_answers(answers)
+        return 0
+
+    if arguments.command == "exchange":
+        source = _load_graph(arguments.graph)
+        mapping = _load_mapping(arguments.mapping)
+        engine = DataExchangeEngine(mapping)
+        result = engine.materialise(source, policy=arguments.policy)
+        payload = graph_to_json(result.target, strict=False)
+        if arguments.output:
+            Path(arguments.output).write_text(payload, encoding="utf-8")
+            print(f"wrote {result.target.num_nodes} nodes / {result.target.num_edges} edges "
+                  f"({result.null_node_count} nulls) to {arguments.output}")
+        else:
+            print(payload)
+        return 0
+
+    if arguments.command == "experiment":
+        from .experiments import EXPERIMENTS
+
+        name = arguments.name.upper()
+        if name not in EXPERIMENTS:
+            print(f"error: unknown experiment {name}; available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+            return 1
+        result = EXPERIMENTS[name]()
+        print(result.to_table())
+        return 0
+
+    raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Core of the paper: graph schema mappings, solutions and certain answers.
+
+This sub-package implements Definition 1 (graph schema mappings and their
+LAV / GAV / relational / reachability sub-classes), Definition 2 (certain
+answers), the universal solutions with SQL nulls of Section 7, the least
+informative solutions of Section 8, the Proposition 1 relational
+encoding, the Proposition 5 mapping simplification, and end-to-end data
+exchange / virtual integration façades.
+"""
+
+from .canonical import Requirement, Skeleton, build_skeleton, materialise
+from .certain_answers import (
+    DEFAULT_NAIVE_BUDGET,
+    certain_answers,
+    certain_answers_data_path,
+    certain_answers_equality_only,
+    certain_answers_naive,
+    certain_answers_with_nulls,
+    is_certain_answer,
+    simplify_mapping_for_data_path_query,
+)
+from .exchange import DataExchangeEngine, ExchangeResult
+from .gsm import GraphSchemaMapping, MappingRule, copy_mapping, gav_mapping, lav_mapping
+from .integration import SourceRelation, VirtualIntegrationSystem
+from .least_informative import least_informative_solution, least_informative_solution_from_skeleton
+from .solutions import RuleViolation, is_solution, mapping_domain, source_requirements, violations
+from .universal import homomorphism_to_solution, universal_solution, universal_solution_from_skeleton
+
+__all__ = [
+    "GraphSchemaMapping",
+    "MappingRule",
+    "lav_mapping",
+    "gav_mapping",
+    "copy_mapping",
+    "is_solution",
+    "violations",
+    "RuleViolation",
+    "mapping_domain",
+    "source_requirements",
+    "Skeleton",
+    "Requirement",
+    "build_skeleton",
+    "materialise",
+    "universal_solution",
+    "universal_solution_from_skeleton",
+    "homomorphism_to_solution",
+    "least_informative_solution",
+    "least_informative_solution_from_skeleton",
+    "certain_answers",
+    "certain_answers_naive",
+    "certain_answers_with_nulls",
+    "certain_answers_equality_only",
+    "certain_answers_data_path",
+    "simplify_mapping_for_data_path_query",
+    "is_certain_answer",
+    "DEFAULT_NAIVE_BUDGET",
+    "DataExchangeEngine",
+    "ExchangeResult",
+    "VirtualIntegrationSystem",
+    "SourceRelation",
+]

@@ -1,0 +1,356 @@
+"""Certain answers under graph schema mappings (Definition 2) and the paper's algorithms.
+
+The central computational problem of the paper is::
+
+    QueryAnswering_GSM(M, Q):  given G_s and a tuple v̄ of its nodes,
+    is v̄ ∈ 2_M(Q, G_s) = ⋂ { Q(G_t) : (G_s, G_t) ⊨ M } ?
+
+Four algorithms are implemented, matching the paper's results:
+
+* :func:`certain_answers_naive` — the exact intersection for *relational*
+  mappings, computed by enumerating the adversary's canonical
+  counter-solutions (which word of each finite-union rule to use, and
+  which data values — from the active domain or fresh — to give the
+  invented nodes).  This mirrors the coNP upper bound of Theorem 2 /
+  Proposition 2 and is exponential; it is the ground truth the tractable
+  algorithms are validated against on small inputs.
+
+* :func:`certain_answers_with_nulls` — the Theorem 3/4 algorithm for
+  ``2ⁿ_M``: build the universal solution over ``D ∪ {null}``, evaluate
+  the query under SQL-null semantics, and keep the tuples without null
+  nodes.  Polynomial; a sound under-approximation of ``2_M``.
+
+* :func:`certain_answers_equality_only` — the Theorem 5 / Corollary 1
+  algorithm for ``REM=`` / ``REE=`` queries: build the least informative
+  solution, evaluate the query normally, and keep tuples over
+  ``dom(M, G_s)``.  Polynomial and *exact* for the equality-only
+  fragments.
+
+* :func:`certain_answers_data_path` — the Proposition 5 route for data
+  path queries under *arbitrary* GSMs: rules able to produce a path
+  longer than the query are useless to the certain-answer test and are
+  dropped, after which the mapping is relational and the exact
+  intersection applies.
+
+:func:`certain_answers` dispatches between them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.node import Node
+from ..exceptions import CertainAnswerError, SolutionError, UnsupportedQueryError
+from ..query.crpq import ConjunctiveRPQ, evaluate_crpq
+from ..query.data_rpq import DataRPQ
+from ..query.data_rpq_eval import evaluate_data_rpq
+from ..query.rpq import RPQ
+from ..query.rpq_eval import evaluate_rpq
+from .canonical import Skeleton, build_skeleton, materialise
+from .gsm import GraphSchemaMapping, MappingRule
+from .least_informative import least_informative_solution_from_skeleton
+from .solutions import mapping_domain
+from .universal import universal_solution_from_skeleton
+
+__all__ = [
+    "certain_answers",
+    "certain_answers_naive",
+    "certain_answers_with_nulls",
+    "certain_answers_equality_only",
+    "certain_answers_data_path",
+    "is_certain_answer",
+]
+
+Query = Union[RPQ, DataRPQ, ConjunctiveRPQ]
+NodePair = Tuple[Node, Node]
+#: Answers are tuples of nodes; binary queries (RPQs, data RPQs) yield pairs,
+#: conjunctive (data) RPQs yield tuples of their head arity.
+NodeTuple = Tuple[Node, ...]
+
+#: Default budget on the number of adversarial counter-solutions the naive
+#: algorithm may enumerate before giving up.
+DEFAULT_NAIVE_BUDGET = 250_000
+
+
+def _evaluate(graph: DataGraph, query: Query, null_semantics: bool = False) -> FrozenSet[NodeTuple]:
+    """Evaluate an RPQ, data RPQ or conjunctive (data) RPQ on a graph."""
+    if isinstance(query, DataRPQ):
+        return evaluate_data_rpq(graph, query, null_semantics=null_semantics)
+    if isinstance(query, RPQ):
+        return evaluate_rpq(graph, query)
+    if isinstance(query, ConjunctiveRPQ):
+        return evaluate_crpq(graph, query, null_semantics=null_semantics)
+    raise UnsupportedQueryError(f"unsupported query object {query!r}")
+
+
+def _query_arity(query: Query) -> int:
+    return query.arity
+
+
+def _query_uses_inequality(query: Query) -> bool:
+    """Whether any data comparison of the query is an inequality."""
+    if isinstance(query, DataRPQ):
+        return query.uses_inequality()
+    if isinstance(query, ConjunctiveRPQ):
+        return any(
+            isinstance(atom.query, DataRPQ) and atom.query.uses_inequality() for atom in query.atoms
+        )
+    return False
+
+
+def _all_source_pairs(source: DataGraph, arity: int = 2) -> FrozenSet[NodeTuple]:
+    nodes = source.nodes
+    if arity == 0:
+        return frozenset({()})
+    result: FrozenSet[NodeTuple] = frozenset((node,) for node in nodes)
+    for _ in range(arity - 1):
+        result = frozenset(existing + (node,) for existing in result for node in nodes)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Exact intersection for relational mappings (Theorem 2 route)
+# ----------------------------------------------------------------------
+def certain_answers_naive(
+    mapping: GraphSchemaMapping,
+    source: DataGraph,
+    query: Query,
+    budget: int = DEFAULT_NAIVE_BUDGET,
+) -> FrozenSet[NodePair]:
+    """Exact certain answers for a relational GSM by adversarial enumeration.
+
+    The adversary's canonical counter-solutions consist of the skeleton of
+    canonical solutions with (a) a choice of word for every finite-union
+    rule obligation and (b) a choice of data value for every invented
+    node, drawn from the values of ``dom(M, G_s)`` plus enough fresh
+    values to realise every equality pattern.  Queries closed under
+    homomorphisms cannot distinguish richer solutions from these, so
+    intersecting over them yields exactly ``2_M(Q, G_s)``.
+
+    Raises
+    ------
+    UnsupportedQueryError
+        If the mapping is not relational.
+    CertainAnswerError
+        If the enumeration would exceed *budget* counter-solutions.
+    """
+    try:
+        skeleton = build_skeleton(mapping, source)
+    except SolutionError:
+        # No solution exists at all: every tuple is (vacuously) certain.
+        return _all_source_pairs(source, _query_arity(query))
+
+    word_option_counts = [len(requirement.words) for requirement in skeleton.requirements]
+    if any(count == 0 for count in word_option_counts):
+        return _all_source_pairs(source, _query_arity(query))
+
+    domain_nodes = sorted(skeleton.domain, key=lambda node: node.sort_key())
+    base_values = sorted({node.value for node in domain_nodes}, key=repr)
+
+    # Estimate the enumeration size before doing any work.
+    total = 0
+    for word_choice in itertools.product(*[range(count) for count in word_option_counts]):
+        invented = skeleton.invented_node_count(word_choice)
+        value_count = len(base_values) + invented
+        total += max(value_count, 1) ** invented
+        if total > budget:
+            raise CertainAnswerError(
+                f"naive certain-answer enumeration needs more than {budget} counter-solutions; "
+                "use certain_answers_with_nulls / certain_answers_equality_only or raise the budget"
+            )
+
+    intersection: Optional[Set[NodePair]] = None
+    for word_choice in itertools.product(*[range(count) for count in word_option_counts]):
+        invented = skeleton.invented_node_count(word_choice)
+        fresh_values = [f"_adv:{index}" for index in range(invented)]
+        value_domain = base_values + fresh_values
+        if invented == 0:
+            assignments: Iterable[Tuple] = [()]
+        else:
+            assignments = itertools.product(value_domain, repeat=invented)
+        for assignment in assignments:
+            target = materialise(
+                skeleton,
+                value_for=lambda index: assignment[index],
+                word_choice=word_choice,
+                name="adversarial-solution",
+            )
+            answers = {
+                answer
+                for answer in _evaluate(target, query)
+                if all(source.get_node(node.id) == node for node in answer)
+            }
+            if intersection is None:
+                intersection = answers
+            else:
+                intersection &= answers
+            if not intersection:
+                return frozenset()
+    return frozenset(intersection or set())
+
+
+# ----------------------------------------------------------------------
+# Theorem 3 / 4: universal solutions over SQL nulls
+# ----------------------------------------------------------------------
+def certain_answers_with_nulls(
+    mapping: GraphSchemaMapping, source: DataGraph, query: Query
+) -> FrozenSet[NodePair]:
+    """The tractable under-approximation ``2ⁿ_M(Q, G_s)`` of Section 7.
+
+    Builds the universal solution (null nodes for invented positions),
+    evaluates the query under SQL-null semantics and keeps the answer
+    tuples that contain no null node.
+    """
+    try:
+        skeleton = build_skeleton(mapping, source)
+    except SolutionError:
+        return _all_source_pairs(source, _query_arity(query))
+    universal = universal_solution_from_skeleton(skeleton)
+    answers = _evaluate(universal, query, null_semantics=True)
+    return frozenset(
+        answer for answer in answers if not any(node.is_null for node in answer)
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 5 / Corollary 1: least informative solutions for REM= / REE=
+# ----------------------------------------------------------------------
+def certain_answers_equality_only(
+    mapping: GraphSchemaMapping, source: DataGraph, query: Query
+) -> FrozenSet[NodePair]:
+    """Exact certain answers for equality-only queries (``REM=`` / ``REE=``).
+
+    Raises
+    ------
+    UnsupportedQueryError
+        If the query uses inequality comparisons (outside REM= / REE=).
+    """
+    if _query_uses_inequality(query):
+        raise UnsupportedQueryError(
+            "certain_answers_equality_only only applies to REM= / REE= queries "
+            "(no inequality comparisons)"
+        )
+    try:
+        skeleton = build_skeleton(mapping, source)
+    except SolutionError:
+        return _all_source_pairs(source, _query_arity(query))
+    least = least_informative_solution_from_skeleton(skeleton)
+    domain = skeleton.domain
+    answers = _evaluate(least, query, null_semantics=False)
+    return frozenset(answer for answer in answers if all(node in domain for node in answer))
+
+
+# ----------------------------------------------------------------------
+# Proposition 5: data path queries under arbitrary mappings
+# ----------------------------------------------------------------------
+def simplify_mapping_for_data_path_query(
+    mapping: GraphSchemaMapping, query_length: int
+) -> Optional[GraphSchemaMapping]:
+    """Drop rules that cannot influence a data path query of the given length.
+
+    A rule whose target language contains a word strictly longer than the
+    query can always be satisfied by the adversary with a long path of
+    fresh nodes, which contributes no query answer over source nodes, so
+    the rule is useless for the certain-answer test.  Returns ``None``
+    when no rule survives (in which case the certain answers are empty).
+    """
+    kept: List[MappingRule] = []
+    for rule in mapping.rules:
+        language = rule.target.finite_language()
+        if language is None:
+            continue  # infinite language: contains arbitrarily long words
+        if any(len(word) > query_length for word in language):
+            continue
+        kept.append(rule)
+    if not kept:
+        return None
+    return GraphSchemaMapping(
+        kept,
+        source_alphabet=mapping.source_alphabet,
+        target_alphabet=mapping.target_alphabet,
+        name=f"{mapping.name}|≤{query_length}" if mapping.name else "",
+    )
+
+
+def certain_answers_data_path(
+    mapping: GraphSchemaMapping,
+    source: DataGraph,
+    query: DataRPQ,
+    budget: int = DEFAULT_NAIVE_BUDGET,
+) -> FrozenSet[NodePair]:
+    """Certain answers of a data path query under an arbitrary GSM (Proposition 5)."""
+    if not isinstance(query, DataRPQ) or not query.is_data_path_query():
+        raise UnsupportedQueryError(
+            "certain_answers_data_path requires a data path query (path with tests)"
+        )
+    length = query.fixed_length()
+    assert length is not None  # guaranteed by is_data_path_query
+    simplified = simplify_mapping_for_data_path_query(mapping, length)
+    if simplified is None:
+        return frozenset()
+    return certain_answers_naive(simplified, source, query, budget=budget)
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+def certain_answers(
+    mapping: GraphSchemaMapping,
+    source: DataGraph,
+    query: Query,
+    method: str = "auto",
+    budget: int = DEFAULT_NAIVE_BUDGET,
+) -> FrozenSet[NodePair]:
+    """Compute certain answers with the requested algorithm.
+
+    ``method`` is one of:
+
+    * ``"auto"`` — equality-only queries use the least-informative-solution
+      algorithm (exact, polynomial); data path queries under non-relational
+      mappings use the Proposition 5 route; anything else uses the exact
+      naive intersection for relational mappings;
+    * ``"naive"`` — force the exact adversarial enumeration;
+    * ``"nulls"`` — the SQL-null under-approximation ``2ⁿ_M``;
+    * ``"equality"`` — the least informative solution algorithm;
+    * ``"data-path"`` — the Proposition 5 simplification.
+    """
+    if method == "naive":
+        return certain_answers_naive(mapping, source, query, budget=budget)
+    if method == "nulls":
+        return certain_answers_with_nulls(mapping, source, query)
+    if method == "equality":
+        return certain_answers_equality_only(mapping, source, query)
+    if method == "data-path":
+        if not isinstance(query, DataRPQ):
+            raise UnsupportedQueryError("the data-path method needs a data path query")
+        return certain_answers_data_path(mapping, source, query, budget=budget)
+    if method != "auto":
+        raise CertainAnswerError(f"unknown certain-answer method {method!r}")
+
+    equality_only = not _query_uses_inequality(query)
+    if mapping.is_relational():
+        if equality_only:
+            return certain_answers_equality_only(mapping, source, query)
+        return certain_answers_naive(mapping, source, query, budget=budget)
+    if isinstance(query, DataRPQ) and query.is_data_path_query():
+        return certain_answers_data_path(mapping, source, query, budget=budget)
+    raise UnsupportedQueryError(
+        "certain answers for non-relational mappings are only supported for data path "
+        "queries (Proposition 5); Theorem 1 shows the general problem is undecidable"
+    )
+
+
+def is_certain_answer(
+    mapping: GraphSchemaMapping,
+    source: DataGraph,
+    query: Query,
+    pair: Tuple[object, object],
+    method: str = "auto",
+    budget: int = DEFAULT_NAIVE_BUDGET,
+) -> bool:
+    """Decide ``QueryAnswering_GSM``: is the given pair of source node ids certain?"""
+    left = source.node(pair[0])
+    right = source.node(pair[1])
+    return (left, right) in certain_answers(mapping, source, query, method=method, budget=budget)

@@ -1,0 +1,280 @@
+"""Graph schema mappings (Definition 1) and their sub-classes.
+
+A *graph schema mapping* (GSM) is a set of pairs of RPQs ``(q, q')``
+where ``q`` is over the source alphabet Σ_s and ``q'`` over the target
+alphabet Σ_t.  A target graph ``G_t`` is a *solution* for a source graph
+``G_s`` when ``q(G_s) ⊆ q'(G_t)`` for every pair — note that since nodes
+are (id, data value) pairs, both the ids and the data values of the
+source answers must appear in the target.
+
+The paper studies several syntactic sub-classes:
+
+* **LAV** — every source query is atomic (a single letter);
+* **GAV** — every target query is atomic;
+* **relational** (Definition 3) — every target query is a word RPQ (and,
+  per the remark after Proposition 2, finite unions ``w1 + ... + wm`` are
+  equally harmless);
+* **relational/reachability** — target queries are words or the
+  unconstrained reachability query ``Σ_t*``;
+* **LAV/GAV relational/reachability** — the minimal class for which
+  Theorem 1 already proves undecidability: rules are ``(a, b)`` or
+  ``(a, Σ_t*)``.
+
+This module provides the rule and mapping classes, classification
+predicates and convenience constructors (copy mappings, LAV mappings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import InvalidMappingError
+from ..query.rpq import RPQ, atomic_rpq, reachability_rpq, rpq, word_rpq
+from ..regular import Regex
+
+__all__ = ["MappingRule", "GraphSchemaMapping", "lav_mapping", "copy_mapping", "gav_mapping"]
+
+QueryLike = "RPQ | Regex | str"
+
+
+def _coerce_rpq(query: RPQ | Regex | str) -> RPQ:
+    if isinstance(query, RPQ):
+        return query
+    return rpq(query)
+
+
+@dataclass(frozen=True)
+class MappingRule:
+    """One pair ``(q, q')`` of a graph schema mapping.
+
+    Attributes
+    ----------
+    source:
+        The RPQ over the source alphabet.
+    target:
+        The RPQ over the target alphabet.
+    name:
+        Optional label used in explanations and error messages.
+    """
+
+    source: RPQ
+    target: RPQ
+    name: str = ""
+
+    def is_lav(self) -> bool:
+        """Whether the source query is atomic (a single letter)."""
+        return self.source.is_atomic()
+
+    def is_gav(self) -> bool:
+        """Whether the target query is atomic."""
+        return self.target.is_atomic()
+
+    def is_relational(self) -> bool:
+        """Whether the target query is a word RPQ or a finite union of words."""
+        return self.target.is_finite()
+
+    def is_reachability_rule(self, target_alphabet: Optional[Sequence[str]] = None) -> bool:
+        """Whether the target query is the unconstrained reachability query ``Σ_t*``."""
+        return self.target.is_reachability(target_alphabet)
+
+    def max_target_word_length(self) -> Optional[int]:
+        """Length of the longest word the target query can produce (``None`` if unbounded)."""
+        language = self.target.finite_language()
+        if language is None:
+            return None
+        if not language:
+            return 0
+        return max(len(word) for word in language)
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{self.source} ⟶ {self.target}"
+
+
+class GraphSchemaMapping:
+    """A graph schema mapping: a finite set of :class:`MappingRule` pairs.
+
+    Parameters
+    ----------
+    rules:
+        The mapping rules, given as :class:`MappingRule` objects or as
+        ``(source, target)`` pairs of RPQ-like values (RPQ objects, regex
+        ASTs or textual regular expressions).
+    source_alphabet, target_alphabet:
+        Optional explicit alphabets; otherwise inferred from the rules.
+    name:
+        Optional mapping name for display purposes.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[MappingRule | Tuple[object, object]],
+        source_alphabet: Iterable[str] = (),
+        target_alphabet: Iterable[str] = (),
+        name: str = "",
+    ):
+        normalised = []
+        for index, rule in enumerate(rules):
+            if isinstance(rule, MappingRule):
+                normalised.append(rule)
+            else:
+                try:
+                    source, target = rule
+                except (TypeError, ValueError):
+                    raise InvalidMappingError(
+                        f"rule #{index} must be a MappingRule or a (source, target) pair, got {rule!r}"
+                    ) from None
+                normalised.append(MappingRule(_coerce_rpq(source), _coerce_rpq(target)))
+        if not normalised:
+            raise InvalidMappingError("a graph schema mapping needs at least one rule")
+        self._rules: Tuple[MappingRule, ...] = tuple(normalised)
+        self._source_alphabet = frozenset(source_alphabet) | frozenset(
+            letter for rule in self._rules for letter in rule.source.letters()
+        )
+        self._target_alphabet = frozenset(target_alphabet) | frozenset(
+            letter for rule in self._rules for letter in rule.target.letters()
+        )
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def rules(self) -> Tuple[MappingRule, ...]:
+        """The mapping rules."""
+        return self._rules
+
+    @property
+    def source_alphabet(self) -> FrozenSet[str]:
+        """Σ_s: the source edge alphabet."""
+        return self._source_alphabet
+
+    @property
+    def target_alphabet(self) -> FrozenSet[str]:
+        """Σ_t: the target edge alphabet."""
+        return self._target_alphabet
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    def size(self) -> int:
+        """``|M|``: the number of rules (used by the Proposition 2 bound)."""
+        return len(self._rules)
+
+    # ------------------------------------------------------------------
+    # Classification (Definition 3 and Section 5)
+    # ------------------------------------------------------------------
+    def is_lav(self) -> bool:
+        """Whether every source query is atomic."""
+        return all(rule.is_lav() for rule in self._rules)
+
+    def is_gav(self) -> bool:
+        """Whether every target query is atomic."""
+        return all(rule.is_gav() for rule in self._rules)
+
+    def is_relational(self) -> bool:
+        """Whether every target query is a word RPQ (or finite union of words)."""
+        return all(rule.is_relational() for rule in self._rules)
+
+    def is_relational_reachability(self) -> bool:
+        """Whether every target query is a word RPQ or the reachability query ``Σ_t*``."""
+        return all(
+            rule.is_relational() or rule.is_reachability_rule(sorted(self._target_alphabet))
+            for rule in self._rules
+        )
+
+    def is_lav_gav_relational_reachability(self) -> bool:
+        """The Theorem 1 class: every rule is ``(a, b)`` or ``(a, Σ_t*)``."""
+        if not self.is_lav():
+            return False
+        return all(
+            rule.is_gav() or rule.is_reachability_rule(sorted(self._target_alphabet))
+            for rule in self._rules
+        )
+
+    def max_rule_word_length(self) -> Optional[int]:
+        """The bound ``k`` with ``L(q') ⊆ Σ_t^{≤k}`` for all rules, or ``None``.
+
+        This is the quantity used by the bounded-solution argument of
+        Proposition 2; it is defined only for relational mappings.
+        """
+        lengths = []
+        for rule in self._rules:
+            length = rule.max_target_word_length()
+            if length is None:
+                return None
+            lengths.append(length)
+        return max(lengths) if lengths else 0
+
+    def relational_rules(self) -> Tuple[MappingRule, ...]:
+        """The subset of rules whose target query is relational."""
+        return tuple(rule for rule in self._rules if rule.is_relational())
+
+    def restrict_to_relational(self) -> "GraphSchemaMapping":
+        """The sub-mapping consisting of the relational rules only."""
+        relational = self.relational_rules()
+        if not relational:
+            raise InvalidMappingError("the mapping has no relational rules")
+        return GraphSchemaMapping(
+            relational,
+            source_alphabet=self._source_alphabet,
+            target_alphabet=self._target_alphabet,
+            name=f"{self.name}|relational" if self.name else "",
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<GraphSchemaMapping{label}: {len(self._rules)} rules>"
+
+    def pretty(self) -> str:
+        """A multi-line rendering of the mapping rules."""
+        lines = [repr(self)]
+        lines.extend(f"  {rule}" for rule in self._rules)
+        return "\n".join(lines)
+
+
+def lav_mapping(
+    rules: Mapping[str, object] | Iterable[Tuple[str, object]],
+    target_alphabet: Iterable[str] = (),
+    name: str = "",
+) -> GraphSchemaMapping:
+    """Build a LAV mapping from ``{source letter: target query}`` bindings.
+
+    The same source letter may be mapped by several rules by passing an
+    iterable of pairs instead of a dict.
+    """
+    pairs = rules.items() if isinstance(rules, Mapping) else rules
+    mapping_rules = [
+        MappingRule(atomic_rpq(letter), _coerce_rpq(target)) for letter, target in pairs
+    ]
+    mapping = GraphSchemaMapping(mapping_rules, target_alphabet=target_alphabet, name=name)
+    if not mapping.is_lav():
+        raise InvalidMappingError("lav_mapping produced a non-LAV mapping (internal error)")
+    return mapping
+
+
+def gav_mapping(
+    rules: Iterable[Tuple[object, str]],
+    source_alphabet: Iterable[str] = (),
+    name: str = "",
+) -> GraphSchemaMapping:
+    """Build a GAV mapping from ``(source query, target letter)`` pairs."""
+    mapping_rules = [
+        MappingRule(_coerce_rpq(source), atomic_rpq(letter)) for source, letter in rules
+    ]
+    mapping = GraphSchemaMapping(mapping_rules, source_alphabet=source_alphabet, name=name)
+    if not mapping.is_gav():
+        raise InvalidMappingError("gav_mapping produced a non-GAV mapping (internal error)")
+    return mapping
+
+
+def copy_mapping(alphabet: Iterable[str], name: str = "copy") -> GraphSchemaMapping:
+    """The identity mapping ``{(a, a) | a ∈ Σ}`` used by Theorem 6 (both LAV and GAV)."""
+    letters = sorted(set(alphabet))
+    if not letters:
+        raise InvalidMappingError("copy_mapping needs a non-empty alphabet")
+    return GraphSchemaMapping(
+        [MappingRule(atomic_rpq(letter), atomic_rpq(letter)) for letter in letters], name=name
+    )

@@ -1,0 +1,37 @@
+"""Least informative solutions (Section 8).
+
+The least informative solution of a relational GSM on a source graph has
+the same shape as the universal solution of Section 7, but the invented
+nodes are populated with *fresh, pairwise distinct data values* instead of
+nulls.  Theorem 5 shows that for queries in the equality-only fragments
+``REM=`` / ``REE=``, evaluating the query over the least informative
+solution and keeping the tuples over ``dom(M, G_s)`` yields exactly the
+certain answers ``2_M(Q, G_s)`` — intuitively, fresh distinct values can
+never *satisfy* an equality test spuriously, and without inequality tests
+they can never be *required* to be distinct either.
+"""
+
+from __future__ import annotations
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.values import FreshValueFactory
+from .canonical import Skeleton, build_skeleton, materialise
+from .gsm import GraphSchemaMapping
+
+__all__ = ["least_informative_solution", "least_informative_solution_from_skeleton"]
+
+
+def least_informative_solution(
+    mapping: GraphSchemaMapping, source: DataGraph, name: str = "least-informative-solution"
+) -> DataGraph:
+    """Construct the least informative solution of Section 8 (fresh-value policy)."""
+    return least_informative_solution_from_skeleton(build_skeleton(mapping, source), name)
+
+
+def least_informative_solution_from_skeleton(
+    skeleton: Skeleton, name: str = "least-informative-solution"
+) -> DataGraph:
+    """Materialise a least informative solution from an already-built skeleton."""
+    used_values = {node.value for node in skeleton.domain}
+    factory = FreshValueFactory(used_values)
+    return materialise(skeleton, value_for=lambda _: factory(), name=name)

@@ -1,0 +1,274 @@
+"""Proposition 1: relational GSMs as classical relational schema mappings.
+
+Section 6 of the paper encodes a relational graph schema mapping ``M``
+between Σ_s and Σ_t data graphs as a relational mapping ``M_rel`` over
+the ``D_G`` representation of graphs:
+
+* for each pair ``(q, w) ∈ M`` with ``w = a1...an``, an st-tgd
+  ``∀x,y q(x,y) → ∃x1..x(n-1) E^t_{a1}(x,x1) ∧ ... ∧ E^t_{an}(x(n-1),y)``;
+* for each pair, st-tgds moving every node mentioned by a source query
+  answer into the target node relation ``N^t`` (with its data value);
+* a key constraint (egd) making the node relation functional, and target
+  tgds requiring every node used by a target edge to appear in ``N^t``.
+
+Because the source query ``q`` of a rule need not be conjunctive, the
+first family of dependencies is only expressible as st-tgds when ``q`` is
+itself a word RPQ; for general relational GSMs this module offers
+:func:`chase_universal_instance`, which evaluates each ``q`` on the given
+source graph (queries on the source side are always evaluable) and chases
+only the target-side dependencies — the construction Proposition 1 uses
+to relate solutions of ``M`` and of ``M_rel``.
+
+The resulting chased instance is the classical marked-null canonical
+universal solution; :func:`chased_instance_to_graph` converts it back to
+a data graph with null nodes so it can be compared (Proposition 1 /
+tests) with the Section 7 universal solution built directly on graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.relational_view import (
+    DATA_PREDICATE,
+    NODE_ID_PREDICATE,
+    NODE_RELATION,
+    edge_relation_name,
+    encode_graph,
+    graph_schema,
+)
+from ..datagraph.values import NULL
+from ..exceptions import UnsupportedQueryError
+from ..relational.chase import chase
+from ..relational.conjunctive import AtomPattern, Variable
+from ..relational.schema import Instance, MarkedNull, RelationSchema, Schema
+from ..relational.tgds import EGD, TGD
+from ..query.rpq_eval import evaluate_rpq
+from .gsm import GraphSchemaMapping
+
+__all__ = [
+    "SOURCE_PREFIX",
+    "TARGET_PREFIX",
+    "relational_mapping_schema",
+    "word_rule_tgds",
+    "node_transfer_tgds",
+    "target_constraints",
+    "encode_source_graph",
+    "chase_universal_instance",
+    "chased_instance_to_graph",
+]
+
+#: Prefix of source-side edge relations (``Es_a``).
+SOURCE_PREFIX = "Es"
+#: Prefix of target-side edge relations (``Et_a``).
+TARGET_PREFIX = "Et"
+#: Name of the target node relation ``N^t``.
+TARGET_NODE_RELATION = "Nt"
+#: Name of the source node relation ``N^s``.
+SOURCE_NODE_RELATION = "Ns"
+
+
+def relational_mapping_schema(mapping: GraphSchemaMapping) -> Schema:
+    """The combined source/target relational schema of ``M_rel``."""
+    relations = [
+        RelationSchema(SOURCE_NODE_RELATION, 2),
+        RelationSchema(TARGET_NODE_RELATION, 2),
+        RelationSchema(NODE_ID_PREDICATE, 1),
+        RelationSchema(DATA_PREDICATE, 1),
+    ]
+    for label in sorted(mapping.source_alphabet):
+        relations.append(RelationSchema(edge_relation_name(label, SOURCE_PREFIX), 2))
+    for label in sorted(mapping.target_alphabet):
+        relations.append(RelationSchema(edge_relation_name(label, TARGET_PREFIX), 2))
+    return Schema(relations)
+
+
+def encode_source_graph(mapping: GraphSchemaMapping, source: DataGraph) -> Instance:
+    """Encode a source data graph over the combined ``M_rel`` schema.
+
+    Labels used by the source graph but not mentioned by any mapping rule
+    are added to the schema too, so arbitrary source graphs over a larger
+    alphabet can be encoded (their extra edges simply trigger no rule).
+    """
+    schema = relational_mapping_schema(mapping)
+    for label in sorted(source.alphabet - mapping.source_alphabet):
+        schema.add(RelationSchema(edge_relation_name(label, SOURCE_PREFIX), 2))
+    instance = Instance(schema)
+    for node in source.nodes:
+        value = None if node.is_null else node.value
+        instance.add_fact(SOURCE_NODE_RELATION, (node.id, value))
+        instance.add_fact(NODE_ID_PREDICATE, (node.id,))
+        instance.add_fact(DATA_PREDICATE, (value,))
+    for edge_source, label, edge_target in source.edges:
+        instance.add_fact(edge_relation_name(label, SOURCE_PREFIX), (edge_source.id, edge_target.id))
+    return instance
+
+
+def word_rule_tgds(mapping: GraphSchemaMapping) -> List[TGD]:
+    """The st-tgds ``q(x,y) → q_w(x,y)`` for rules whose *source* query is a word RPQ.
+
+    Rules whose source query is not a word cannot be written as st-tgds
+    over ``D_G`` (their left-hand side is not conjunctive); Proposition 1
+    still applies to them semantically, but the executable dependency is
+    produced per-source-graph by :func:`chase_universal_instance`.
+
+    Raises
+    ------
+    UnsupportedQueryError
+        If some rule's target query is not a single word.
+    """
+    x, y = Variable("x"), Variable("y")
+    tgds: List[TGD] = []
+    for index, rule in enumerate(mapping.rules):
+        source_word = rule.source.as_word()
+        target_word = rule.target.as_word()
+        if target_word is None:
+            raise UnsupportedQueryError(
+                f"rule [{rule}] is not a word-RPQ rule; Proposition 1 st-tgds need word targets"
+            )
+        if source_word is None:
+            continue
+        body = _word_atoms(source_word, SOURCE_PREFIX, x, y, f"s{index}")
+        head = _word_atoms(target_word, TARGET_PREFIX, x, y, f"t{index}")
+        head += (
+            AtomPattern(TARGET_NODE_RELATION, (x, Variable(f"vx{index}"))),
+            AtomPattern(TARGET_NODE_RELATION, (y, Variable(f"vy{index}"))),
+        )
+        # The data values of x and y are carried over from the source node relation.
+        body += (
+            AtomPattern(SOURCE_NODE_RELATION, (x, Variable(f"vx{index}"))),
+            AtomPattern(SOURCE_NODE_RELATION, (y, Variable(f"vy{index}"))),
+        )
+        tgds.append(TGD(body=body, head=head, name=f"rule{index}"))
+    return tgds
+
+
+def _word_atoms(
+    word: Tuple[str, ...], prefix: str, x: Variable, y: Variable, tag: str
+) -> Tuple[AtomPattern, ...]:
+    if not word:
+        return ()
+    if len(word) == 1:
+        return (AtomPattern(edge_relation_name(word[0], prefix), (x, y)),)
+    atoms = []
+    previous = x
+    for position, label in enumerate(word):
+        nxt = y if position == len(word) - 1 else Variable(f"{tag}_z{position}")
+        atoms.append(AtomPattern(edge_relation_name(label, prefix), (previous, nxt)))
+        previous = nxt
+    return tuple(atoms)
+
+
+def node_transfer_tgds(mapping: GraphSchemaMapping) -> List[TGD]:
+    """st-tgds moving nodes used by word-RPQ source queries into ``N^t``."""
+    x, y, v = Variable("x"), Variable("y"), Variable("v")
+    tgds: List[TGD] = []
+    for index, rule in enumerate(mapping.rules):
+        source_word = rule.source.as_word()
+        if source_word is None or not source_word:
+            continue
+        body = _word_atoms(source_word, SOURCE_PREFIX, x, y, f"n{index}")
+        tgds.append(
+            TGD(
+                body=body + (AtomPattern(SOURCE_NODE_RELATION, (x, v)),),
+                head=(AtomPattern(TARGET_NODE_RELATION, (x, v)),),
+                name=f"move-src{index}",
+            )
+        )
+        tgds.append(
+            TGD(
+                body=body + (AtomPattern(SOURCE_NODE_RELATION, (y, v)),),
+                head=(AtomPattern(TARGET_NODE_RELATION, (y, v)),),
+                name=f"move-dst{index}",
+            )
+        )
+    return tgds
+
+
+def target_constraints(mapping: GraphSchemaMapping) -> Tuple[List[TGD], List[EGD]]:
+    """Target dependencies of ``M_rel``: node-coverage tgds and the key egd."""
+    x, y, v, w = Variable("x"), Variable("y"), Variable("v"), Variable("w")
+    tgds: List[TGD] = []
+    for label in sorted(mapping.target_alphabet):
+        tgds.append(
+            TGD(
+                body=(AtomPattern(edge_relation_name(label, TARGET_PREFIX), (x, y)),),
+                head=(
+                    AtomPattern(TARGET_NODE_RELATION, (x, Variable(f"zx_{label}"))),
+                    AtomPattern(TARGET_NODE_RELATION, (y, Variable(f"zy_{label}"))),
+                ),
+                name=f"cover-{label}",
+            )
+        )
+    key = EGD(
+        body=(
+            AtomPattern(TARGET_NODE_RELATION, (x, v)),
+            AtomPattern(TARGET_NODE_RELATION, (x, w)),
+        ),
+        left=v,
+        right=w,
+        name="node-key",
+    )
+    return tgds, [key]
+
+
+def chase_universal_instance(mapping: GraphSchemaMapping, source: DataGraph) -> Instance:
+    """The chased (marked-null) canonical universal instance of ``M_rel`` on ``D_{G_s}``.
+
+    The source queries of ``M`` are evaluated directly on the source graph
+    (this is always possible — they range over the given graph, not over
+    an unknown instance), producing ground st-tgd firings; the target
+    constraints are then chased to completion.
+    """
+    instance = encode_source_graph(mapping, source)
+    # Fire the per-rule obligations as ground facts with marked nulls.
+    null_counter = [0]
+
+    def fresh_null() -> MarkedNull:
+        null = MarkedNull(null_counter[0])
+        null_counter[0] += 1
+        return null
+
+    for rule in mapping.rules:
+        target_language = rule.target.finite_language()
+        if target_language is None:
+            raise UnsupportedQueryError(
+                f"rule [{rule}] is not relational; Proposition 1 applies to relational GSMs"
+            )
+        word = min(target_language, key=lambda item: (len(item), item))
+        for left, right in evaluate_rpq(source, rule.source):
+            left_value = None if left.is_null else left.value
+            right_value = None if right.is_null else right.value
+            instance.add_fact(TARGET_NODE_RELATION, (left.id, left_value))
+            instance.add_fact(TARGET_NODE_RELATION, (right.id, right_value))
+            previous = left.id
+            for position, label in enumerate(word):
+                nxt = right.id if position == len(word) - 1 else fresh_null()
+                instance.add_fact(edge_relation_name(label, TARGET_PREFIX), (previous, nxt))
+                previous = nxt
+    target_tgds, egds = target_constraints(mapping)
+    return chase(instance, tgds=target_tgds, egds=egds)
+
+
+def chased_instance_to_graph(instance: Instance, name: str = "chased-solution") -> DataGraph:
+    """Decode the target part of a chased ``M_rel`` instance into a data graph.
+
+    Marked nulls in the data-value position become SQL null nodes, so the
+    result is directly comparable (up to node renaming) with the Section 7
+    universal solution.
+    """
+    graph = DataGraph(name=name)
+    for node_id, value in instance.facts(TARGET_NODE_RELATION):
+        decoded = NULL if value is None or isinstance(value, MarkedNull) else value
+        graph.add_node(node_id, decoded)
+    for relation in instance.schema.relation_names():
+        if not relation.startswith(f"{TARGET_PREFIX}_"):
+            continue
+        label = relation[len(TARGET_PREFIX) + 1 :]
+        for source_id, target_id in instance.facts(relation):
+            for endpoint in (source_id, target_id):
+                if not graph.has_node(endpoint):
+                    graph.add_node(endpoint, NULL)
+            graph.add_edge(source_id, label, target_id)
+    return graph

@@ -1,0 +1,89 @@
+"""Solutions of graph schema mappings.
+
+``(G_s, G_t) ⊨ M`` holds when ``q(G_s) ⊆ q'(G_t)`` for every rule
+``(q, q') ∈ M`` (Definition 1).  Because nodes are (id, data value)
+pairs, a source answer ``((n, d), (n', d'))`` is only satisfied by a
+target graph containing nodes with exactly those ids *and* data values,
+related by the target query.
+
+This module provides the satisfaction check, rule-level diagnostics
+(which pairs of which rules are violated — useful in examples and error
+messages), and ``dom(M, G_s)`` — the set of nodes that every solution
+must contain (Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.node import Node
+from ..query.rpq_eval import evaluate_rpq
+from .gsm import GraphSchemaMapping, MappingRule
+
+__all__ = ["RuleViolation", "is_solution", "violations", "mapping_domain", "source_requirements"]
+
+
+@dataclass(frozen=True)
+class RuleViolation:
+    """A witness that a rule is violated: a source pair missing from the target."""
+
+    rule: MappingRule
+    source_pair: Tuple[Node, Node]
+
+    def __str__(self) -> str:
+        left, right = self.source_pair
+        return f"rule [{self.rule}] requires ({left}, {right}) in the target, but it is missing"
+
+
+def source_requirements(
+    mapping: GraphSchemaMapping, source: DataGraph
+) -> Dict[MappingRule, FrozenSet[Tuple[Node, Node]]]:
+    """For each rule ``(q, q')``, the pairs ``q(G_s)`` the target must provide."""
+    return {rule: evaluate_rpq(source, rule.source) for rule in mapping.rules}
+
+
+def violations(
+    mapping: GraphSchemaMapping, source: DataGraph, target: DataGraph
+) -> List[RuleViolation]:
+    """All rule violations of the pair ``(source, target)``.
+
+    An empty list means ``(source, target) ⊨ M``.
+    """
+    found: List[RuleViolation] = []
+    requirements = source_requirements(mapping, source)
+    for rule, pairs in requirements.items():
+        if not pairs:
+            continue
+        target_answers = evaluate_rpq(target, rule.target)
+        for left, right in pairs:
+            if (left, right) not in target_answers:
+                found.append(RuleViolation(rule, (left, right)))
+    return found
+
+
+def is_solution(mapping: GraphSchemaMapping, source: DataGraph, target: DataGraph) -> bool:
+    """Whether ``(source, target) ⊨ M``."""
+    requirements = source_requirements(mapping, source)
+    for rule, pairs in requirements.items():
+        if not pairs:
+            continue
+        target_answers = evaluate_rpq(target, rule.target)
+        if not pairs <= target_answers:
+            return False
+    return True
+
+
+def mapping_domain(mapping: GraphSchemaMapping, source: DataGraph) -> FrozenSet[Node]:
+    """``dom(M, G_s)``: all nodes appearing in some source query answer (Section 7).
+
+    These are exactly the source nodes that every solution must contain
+    (with their data values).
+    """
+    nodes = set()
+    for pairs in source_requirements(mapping, source).values():
+        for left, right in pairs:
+            nodes.add(left)
+            nodes.add(right)
+    return frozenset(nodes)

@@ -1,0 +1,61 @@
+"""Universal solutions with SQL nulls (Section 7).
+
+Given a relational GSM ``M`` and a source graph ``G_s``, a *universal
+solution* is built by
+
+1. adding every node of ``dom(M, G_s)`` to the target, and
+2. for each rule ``(q, a1...ak)`` and each pair ``(v, v') ∈ q(G_s)``,
+   creating fresh *null nodes* (nodes whose data value is the single SQL
+   null) and adding the path ``v a1 v1 a2 ... v(k-1) ak v'``.
+
+Universal solutions are unique up to renaming of the invented node ids
+and admit a (null-aware) homomorphism into every solution over ``D ∪
+{null}`` that is the identity on ``dom(M, G_s)`` (Lemma 1); this is what
+makes the Theorem 4 certain-answer algorithm work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.morphisms import find_homomorphism
+from ..datagraph.node import NodeId
+from ..datagraph.values import NULL
+from .canonical import Skeleton, build_skeleton, materialise
+from .gsm import GraphSchemaMapping
+
+__all__ = ["universal_solution", "universal_solution_from_skeleton", "homomorphism_to_solution"]
+
+
+def universal_solution(
+    mapping: GraphSchemaMapping, source: DataGraph, name: str = "universal-solution"
+) -> DataGraph:
+    """Construct the universal solution of Section 7 (null-node policy)."""
+    return universal_solution_from_skeleton(build_skeleton(mapping, source), name)
+
+
+def universal_solution_from_skeleton(
+    skeleton: Skeleton, name: str = "universal-solution"
+) -> DataGraph:
+    """Materialise a universal solution from an already-built skeleton."""
+    return materialise(skeleton, value_for=lambda _: NULL, name=name)
+
+
+def homomorphism_to_solution(
+    universal: DataGraph, solution: DataGraph
+) -> Optional[Dict[NodeId, NodeId]]:
+    """A homomorphism from a universal solution into another solution (Lemma 1).
+
+    The homomorphism is required to be the identity on the nodes the two
+    graphs share (the ``dom(M, G_s)`` part); null nodes may map onto any
+    node.  Returns ``None`` if no such homomorphism exists, which for a
+    genuine universal solution and a genuine solution of the same mapping
+    cannot happen — tests rely on this to validate Lemma 1.
+    """
+    fixed = {
+        node.id: node.id
+        for node in universal.nodes
+        if not node.is_null and solution.has_node(node.id)
+    }
+    return find_homomorphism(universal, solution, fixed=fixed, allow_null_relaxation=True)

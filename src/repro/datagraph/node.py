@@ -1,0 +1,80 @@
+"""Nodes of data graphs.
+
+Following Section 2 of the paper, a node is a pair ``(n, d)`` where
+``n`` is a node id drawn from a countably infinite set ``N`` and ``d``
+is a data value from ``D`` (or the null value of ``D_n``, Section 7).
+No two nodes of the same graph may share a node id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from .values import NULL, DataValue, is_null
+
+__all__ = ["NodeId", "Node", "make_node", "null_node"]
+
+#: Type alias for node identifiers: any hashable object.
+NodeId = Hashable
+
+
+@dataclass(frozen=True, order=False)
+class Node:
+    """A data graph node: a node id together with a data value.
+
+    The pair is immutable and hashable so nodes can be used as dictionary
+    keys and set members, and so query answers (sets of node tuples) can
+    be represented as ordinary Python sets.
+
+    Attributes
+    ----------
+    id:
+        The node identifier (unique within a graph).
+    value:
+        The data value carried by the node; may be :data:`~repro.datagraph.values.NULL`.
+    """
+
+    id: NodeId
+    value: DataValue = NULL
+
+    @property
+    def data(self) -> DataValue:
+        """The data value ``delta(v)`` of the node (alias of :attr:`value`)."""
+        return self.value
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this is a *null node*, i.e. its data value is the SQL null."""
+        return is_null(self.value)
+
+    def with_value(self, value: DataValue) -> "Node":
+        """Return a copy of this node carrying *value* instead."""
+        return Node(self.id, value)
+
+    def with_id(self, node_id: NodeId) -> "Node":
+        """Return a copy of this node with a different id but the same value."""
+        return Node(node_id, self.value)
+
+    def __repr__(self) -> str:
+        return f"Node({self.id!r}, {self.value!r})"
+
+    def __str__(self) -> str:
+        return f"({self.id}:{self.value})"
+
+    # Explicit ordering helper so sorted() works on mixed id types used in
+    # tests and deterministic output, without making Node totally ordered
+    # in a way that would silently compare values of incompatible types.
+    def sort_key(self) -> tuple[str, str]:
+        """A deterministic sort key based on the repr of id and value."""
+        return (repr(self.id), repr(self.value))
+
+
+def make_node(node_id: NodeId, value: DataValue = NULL) -> Node:
+    """Create a :class:`Node`; convenience wrapper used by builders."""
+    return Node(node_id, value)
+
+
+def null_node(node_id: NodeId) -> Node:
+    """Create a *null node* (a node whose data value is the SQL null)."""
+    return Node(node_id, NULL)

@@ -1,0 +1,123 @@
+"""Relational encoding ``D_G`` of data graphs.
+
+Section 6 of the paper encodes a data graph ``G`` over alphabet Σ as a
+relational database ``D_G`` with
+
+* a binary relation ``N`` containing a tuple ``(n, d)`` for every node
+  ``(n, d)`` of ``G``;
+* a binary relation ``E_a`` for each label ``a`` containing ``(n, n')``
+  for every ``a``-labelled edge between nodes with ids ``n`` and ``n'``;
+* unary predicates ``NodeId`` and ``Data`` distinguishing the two
+  disjoint domains of node ids and data values.
+
+This module provides the encoding and decoding between
+:class:`~repro.datagraph.graph.DataGraph` and the relational instances of
+:mod:`repro.relational.schema`, which the relational-mapping machinery of
+Proposition 1 builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..exceptions import SerializationError
+from ..relational.schema import Instance, RelationSchema, Schema
+from .graph import DataGraph
+from .values import NULL
+
+__all__ = [
+    "NODE_RELATION",
+    "NODE_ID_PREDICATE",
+    "DATA_PREDICATE",
+    "edge_relation_name",
+    "graph_schema",
+    "encode_graph",
+    "decode_graph",
+]
+
+#: Name of the binary node relation ``N(node_id, data_value)``.
+NODE_RELATION = "N"
+#: Name of the unary predicate marking node ids.
+NODE_ID_PREDICATE = "NodeId"
+#: Name of the unary predicate marking data values.
+DATA_PREDICATE = "Data"
+#: Marker stored in relational tuples for the SQL null data value.
+_NULL_TOKEN = "__repro_null__"
+
+
+def edge_relation_name(label: str, prefix: str = "E") -> str:
+    """The relation name used for edges with the given label (``E_a``)."""
+    return f"{prefix}_{label}"
+
+
+def graph_schema(alphabet: Iterable[str], prefix: str = "E") -> Schema:
+    """The relational schema of ``D_G`` for a graph over *alphabet*."""
+    relations = [
+        RelationSchema(NODE_RELATION, 2),
+        RelationSchema(NODE_ID_PREDICATE, 1),
+        RelationSchema(DATA_PREDICATE, 1),
+    ]
+    for label in sorted(set(alphabet)):
+        relations.append(RelationSchema(edge_relation_name(label, prefix), 2))
+    return Schema(relations)
+
+
+def _encode_value(value) -> object:
+    return _NULL_TOKEN if value is NULL or value == NULL else value
+
+
+def _decode_value(value) -> object:
+    return NULL if value == _NULL_TOKEN else value
+
+
+def encode_graph(graph: DataGraph, prefix: str = "E") -> Instance:
+    """Encode *graph* as the relational instance ``D_G``."""
+    schema = graph_schema(graph.alphabet, prefix)
+    instance = Instance(schema)
+    for node in graph.nodes:
+        instance.add_fact(NODE_RELATION, (node.id, _encode_value(node.value)))
+        instance.add_fact(NODE_ID_PREDICATE, (node.id,))
+        instance.add_fact(DATA_PREDICATE, (_encode_value(node.value),))
+    for source, label, target in graph.edges:
+        instance.add_fact(edge_relation_name(label, prefix), (source.id, target.id))
+    return instance
+
+
+def decode_graph(instance: Instance, prefix: str = "E", name: str = "") -> DataGraph:
+    """Decode a relational instance shaped like ``D_G`` back into a data graph.
+
+    Raises
+    ------
+    SerializationError
+        If the instance violates the key constraint of ``N`` (two values
+        for one node id) or an edge refers to an id absent from ``N``.
+    """
+    graph = DataGraph(name=name)
+    seen: dict = {}
+    for node_id, raw_value in instance.facts(NODE_RELATION):
+        value = _decode_value(raw_value)
+        if node_id in seen and seen[node_id] != value:
+            raise SerializationError(
+                f"relational instance assigns two data values to node id {node_id!r}: "
+                f"{seen[node_id]!r} and {value!r}"
+            )
+        seen[node_id] = value
+        graph.add_node(node_id, value)
+    for relation in instance.schema.relation_names():
+        if not relation.startswith(f"{prefix}_"):
+            continue
+        label = relation[len(prefix) + 1 :]
+        for source, target in instance.facts(relation):
+            if not graph.has_node(source) or not graph.has_node(target):
+                raise SerializationError(
+                    f"edge relation {relation} refers to node ids {source!r}, {target!r} "
+                    "that are not declared in N"
+                )
+            graph.add_edge(source, label, target)
+    return graph
+
+
+def round_trip(graph: DataGraph) -> Tuple[Instance, DataGraph]:
+    """Encode then decode a graph; useful for property-based testing."""
+    instance = encode_graph(graph)
+    return instance, decode_graph(instance, name=graph.name)

@@ -1,0 +1,123 @@
+"""Classification of data RPQ expressions into the paper's fragments.
+
+The paper works with a hierarchy of languages on data paths:
+
+* **REM** — regular expressions with memory (full register-automaton power);
+* **REE** — regular expressions with equality (weaker, PTIME problems);
+* **REM=** / **REE=** — the equality-only fragments of Section 8
+  (no ``x≠`` conditions / no ``e≠`` subscripts);
+* **paths with tests** (a.k.a. *data path queries*) — the word-shaped
+  fragment of REE used in Propositions 3–5.
+
+The helpers here classify an expression object into these fragments and
+translate REE expressions into REM expressions (every equality RPQ is a
+memory RPQ — the converse fails).  The translation threads one fresh
+register per subscripted sub-expression.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Union
+
+from .conditions import Equal, NotEqual
+from .path_tests import is_path_with_tests
+from .rem import (
+    RegexWithMemory,
+    RemBind,
+    RemConcat,
+    RemEpsilon,
+    RemLetter,
+    RemPlus,
+    RemTest,
+    RemUnion,
+)
+from .ree import (
+    RegexWithEquality,
+    ReeConcat,
+    ReeEpsilon,
+    ReeEqualTest,
+    ReeLetter,
+    ReeNotEqualTest,
+    ReePlus,
+    ReeUnion,
+)
+
+__all__ = ["Fragment", "classify", "is_equality_only", "ree_to_rem", "DataPathExpression"]
+
+#: Either kind of data-path expression.
+DataPathExpression = Union[RegexWithMemory, RegexWithEquality]
+
+
+class Fragment(Enum):
+    """Named fragments of data RPQ expression languages."""
+
+    REM = "REM"
+    REM_EQUALITY_ONLY = "REM="
+    REE = "REE"
+    REE_EQUALITY_ONLY = "REE="
+    PATH_WITH_TESTS = "path-with-tests"
+
+
+def classify(expression: DataPathExpression) -> Fragment:
+    """The most specific fragment the expression belongs to.
+
+    Paths with tests are reported as such (they are also REE expressions);
+    REE expressions are reported as ``REE=`` when they avoid ``e≠``;
+    REM expressions are reported as ``REM=`` when they avoid ``x≠``.
+    """
+    if isinstance(expression, RegexWithEquality):
+        if is_path_with_tests(expression):
+            return Fragment.PATH_WITH_TESTS
+        if expression.uses_inequality():
+            return Fragment.REE
+        return Fragment.REE_EQUALITY_ONLY
+    if isinstance(expression, RegexWithMemory):
+        if expression.uses_inequality():
+            return Fragment.REM
+        return Fragment.REM_EQUALITY_ONLY
+    raise TypeError(f"not a data RPQ expression: {expression!r}")
+
+
+def is_equality_only(expression: DataPathExpression) -> bool:
+    """Whether the expression avoids all inequality comparisons (Section 8)."""
+    if isinstance(expression, (RegexWithEquality, RegexWithMemory)):
+        return not expression.uses_inequality()
+    raise TypeError(f"not a data RPQ expression: {expression!r}")
+
+
+def ree_to_rem(expression: RegexWithEquality) -> RegexWithMemory:
+    """Translate an REE expression into an equivalent REM expression.
+
+    Each subscripted sub-expression ``e=`` / ``e≠`` becomes
+    ``↓x.(translate(e)[x=])`` / ``↓x.(translate(e)[x≠])`` with a fresh
+    register ``x``: the register captures the first data value of the
+    sub-path and the test compares it with the last one, which is exactly
+    the REE semantics.
+    """
+    counter = [0]
+
+    def fresh_register() -> str:
+        counter[0] += 1
+        return f"_r{counter[0]}"
+
+    def translate(node: RegexWithEquality) -> RegexWithMemory:
+        if isinstance(node, ReeEpsilon):
+            return RemEpsilon()
+        if isinstance(node, ReeLetter):
+            return RemLetter(node.symbol)
+        if isinstance(node, ReeConcat):
+            return RemConcat(translate(node.left), translate(node.right))
+        if isinstance(node, ReeUnion):
+            return RemUnion(translate(node.left), translate(node.right))
+        if isinstance(node, ReePlus):
+            return RemPlus(translate(node.inner))
+        if isinstance(node, ReeEqualTest):
+            register = fresh_register()
+            return RemBind((register,), RemTest(translate(node.inner), Equal(register)))
+        if isinstance(node, ReeNotEqualTest):
+            register = fresh_register()
+            return RemBind((register,), RemTest(translate(node.inner), NotEqual(register)))
+        raise TypeError(f"unknown REE node {node!r}")  # pragma: no cover - defensive
+
+    return translate(expression)

@@ -1,0 +1,167 @@
+"""Parser for regular expressions with equality.
+
+Textual syntax::
+
+    expr    := term ('|' term)*                union
+    term    := factor (('.')? factor)*         concatenation
+    factor  := base postfix*
+    postfix := '*' | '+' | '=' | '!=' | '≠'    star / plus / equality / inequality subscripts
+    base    := LABEL | '(' expr ')' | 'eps' | 'ε' | '_'
+
+The ``=`` and ``!=`` postfixes correspond to the paper's ``e=`` and
+``e≠`` subscripts.  Examples::
+
+    parse_ree("(a.b)=")          # d a d' b d  with first = last value
+    parse_ree("(a|b)* . ((a|b)+)= . (a|b)*")   # some data value repeats
+    parse_ree("(a (b c)=)!=")    # the paper's path-with-tests example
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..exceptions import ParseError
+from .ree import (
+    RegexWithEquality,
+    ReeEpsilon,
+    ree_concat,
+    ree_equal,
+    ree_letter,
+    ree_not_equal,
+    ree_plus,
+    ree_star,
+    ree_union,
+)
+
+__all__ = ["parse_ree"]
+
+_RESERVED = set("()|.*+=!≠")
+_EPSILON_TOKENS = {"eps", "ε", "_"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "!" and index + 1 < len(text) and text[index + 1] == "=":
+            tokens.append(("!=", "!=", index))
+            index += 2
+            continue
+        if char == "≠":
+            tokens.append(("!=", "≠", index))
+            index += 1
+            continue
+        if char in "()|.*+=":
+            tokens.append((char, char, index))
+            index += 1
+            continue
+        if char == "!":
+            raise ParseError("'!' must be followed by '=' in REE expressions", text, index)
+        start = index
+        while index < len(text) and not text[index].isspace() and text[index] not in _RESERVED:
+            index += 1
+        tokens.append(("label", text[start:index], start))
+    return tokens
+
+
+class _ReeParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.position = 0
+
+    def peek(self) -> Optional[Tuple[str, str, int]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of REE expression", self.text, len(self.text))
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None or token[0] != kind:
+            where = token[2] if token else len(self.text)
+            raise ParseError(f"expected {kind!r}", self.text, where)
+        return self.advance()
+
+    def parse(self) -> RegexWithEquality:
+        expression = self.parse_union()
+        token = self.peek()
+        if token is not None:
+            raise ParseError(f"unexpected token {token[1]!r}", self.text, token[2])
+        return expression
+
+    def parse_union(self) -> RegexWithEquality:
+        parts = [self.parse_concat()]
+        while True:
+            token = self.peek()
+            if token is not None and token[0] == "|":
+                self.advance()
+                parts.append(self.parse_concat())
+            else:
+                break
+        return ree_union(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_concat(self) -> RegexWithEquality:
+        parts = [self.parse_postfix()]
+        while True:
+            token = self.peek()
+            if token is None:
+                break
+            if token[0] == ".":
+                self.advance()
+                parts.append(self.parse_postfix())
+            elif token[0] in {"label", "("}:
+                parts.append(self.parse_postfix())
+            else:
+                break
+        return ree_concat(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_postfix(self) -> RegexWithEquality:
+        expression = self.parse_base()
+        while True:
+            token = self.peek()
+            if token is None:
+                return expression
+            if token[0] == "*":
+                self.advance()
+                expression = ree_star(expression)
+            elif token[0] == "+":
+                self.advance()
+                expression = ree_plus(expression)
+            elif token[0] == "=":
+                self.advance()
+                expression = ree_equal(expression)
+            elif token[0] == "!=":
+                self.advance()
+                expression = ree_not_equal(expression)
+            else:
+                return expression
+
+    def parse_base(self) -> RegexWithEquality:
+        kind, value, position = self.advance()
+        if kind == "(":
+            inner = self.parse_union()
+            self.expect(")")
+            return inner
+        if kind == "label":
+            if value in _EPSILON_TOKENS:
+                return ReeEpsilon()
+            return ree_letter(value)
+        raise ParseError(f"unexpected token {value!r}", self.text, position)
+
+
+def parse_ree(text: str) -> RegexWithEquality:
+    """Parse a textual REE expression into its AST."""
+    if not text or not text.strip():
+        raise ParseError("empty REE expression", text, 0)
+    return _ReeParser(text).parse()

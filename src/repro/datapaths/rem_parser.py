@@ -1,0 +1,279 @@
+"""Parser for regular expressions with memory.
+
+Textual syntax (ASCII-friendly variants of the paper's notation)::
+
+    expr     := seq ('|' seq)*                      union
+    seq      := bind | item (('.')? item)*          concatenation
+    bind     := ('!' | '↓') var (',' var)* '.' seq  variable binding ↓x̄.e
+    item     := base postfix*
+    postfix  := '*' | '+' | '[' condition ']'
+    base     := LABEL | '(' expr ')' | 'eps' | 'ε' | '_'
+
+    condition := conj ('||' conj)*                  disjunction
+    conj      := atom ('&&'|'&' atom)*              conjunction
+    atom      := var '=' | var '!=' | var '≠' | '(' condition ')'
+
+The binding operator scopes over the rest of the current concatenation,
+matching the paper's usage ``↓x.(a[x≠])+`` where the binding applies to
+everything that follows it up to the enclosing parenthesis or union.
+
+Examples::
+
+    parse_rem("!x.(a[x!=])+")          # all values after the first differ from it
+    parse_rem("(a|b)* . !x. (a|b)+ [x=] . (a|b)*")   # some value repeats
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..exceptions import ParseError
+from .conditions import Condition, Equal, NotEqual, conj, disj
+from .rem import (
+    RegexWithMemory,
+    RemEpsilon,
+    rem_bind,
+    rem_concat,
+    rem_letter,
+    rem_plus,
+    rem_star,
+    rem_test,
+    rem_union,
+)
+
+__all__ = ["parse_rem", "parse_condition"]
+
+_RESERVED = set("()[]|.*+!↓,&")
+_EPSILON_TOKENS = {"eps", "ε", "_"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in "()[]|.*+,↓":
+            # '||' and '&&' are meaningful only inside conditions and are
+            # tokenised there; at this level '|' is union.
+            tokens.append((char, char, index))
+            index += 1
+            continue
+        if char == "!":
+            tokens.append(("!", "!", index))
+            index += 1
+            continue
+        if char == "&":
+            tokens.append(("&", "&", index))
+            index += 1
+            continue
+        start = index
+        while index < len(text) and not text[index].isspace() and text[index] not in _RESERVED:
+            index += 1
+        tokens.append(("label", text[start:index], start))
+    return tokens
+
+
+class _RemParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Optional[Tuple[str, str, int]]:
+        index = self.position + offset
+        if index < len(self.tokens):
+            return self.tokens[index]
+        return None
+
+    def advance(self) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of REM expression", self.text, len(self.text))
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None or token[0] != kind:
+            where = token[2] if token else len(self.text)
+            raise ParseError(f"expected {kind!r}", self.text, where)
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    def parse(self) -> RegexWithMemory:
+        expression = self.parse_union()
+        token = self.peek()
+        if token is not None:
+            raise ParseError(f"unexpected token {token[1]!r}", self.text, token[2])
+        return expression
+
+    def parse_union(self) -> RegexWithMemory:
+        parts = [self.parse_sequence()]
+        while True:
+            token = self.peek()
+            if token is not None and token[0] == "|":
+                self.advance()
+                parts.append(self.parse_sequence())
+            else:
+                break
+        return rem_union(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_sequence(self) -> RegexWithMemory:
+        token = self.peek()
+        if token is not None and token[0] in {"!", "↓"}:
+            return self.parse_bind()
+        parts = [self.parse_item()]
+        while True:
+            token = self.peek()
+            if token is None:
+                break
+            if token[0] == ".":
+                self.advance()
+                nxt = self.peek()
+                if nxt is not None and nxt[0] in {"!", "↓"}:
+                    parts.append(self.parse_bind())
+                    break
+                parts.append(self.parse_item())
+            elif token[0] in {"!", "↓"}:
+                parts.append(self.parse_bind())
+                break
+            elif token[0] in {"label", "("}:
+                parts.append(self.parse_item())
+            else:
+                break
+        return rem_concat(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_bind(self) -> RegexWithMemory:
+        self.advance()  # the '!' or '↓' marker
+        variables = [self._parse_variable_name()]
+        while True:
+            token = self.peek()
+            if token is not None and token[0] == ",":
+                self.advance()
+                variables.append(self._parse_variable_name())
+            else:
+                break
+        self.expect(".")
+        body = self.parse_sequence()
+        return rem_bind(variables, body)
+
+    def _parse_variable_name(self) -> str:
+        kind, value, position = self.advance()
+        if kind != "label":
+            raise ParseError(f"expected a variable name, got {value!r}", self.text, position)
+        return value
+
+    def parse_item(self) -> RegexWithMemory:
+        expression = self.parse_base()
+        while True:
+            token = self.peek()
+            if token is None:
+                return expression
+            if token[0] == "*":
+                self.advance()
+                expression = rem_star(expression)
+            elif token[0] == "+":
+                self.advance()
+                expression = rem_plus(expression)
+            elif token[0] == "[":
+                self.advance()
+                condition = self._parse_condition_until_bracket()
+                expression = rem_test(expression, condition)
+            else:
+                return expression
+
+    def parse_base(self) -> RegexWithMemory:
+        kind, value, position = self.advance()
+        if kind == "(":
+            inner = self.parse_union()
+            self.expect(")")
+            return inner
+        if kind == "label":
+            if value in _EPSILON_TOKENS:
+                return RemEpsilon()
+            return rem_letter(value)
+        raise ParseError(f"unexpected token {value!r}", self.text, position)
+
+    # ------------------------------------------------------------------
+    # Conditions inside [ ... ]
+    # ------------------------------------------------------------------
+    def _parse_condition_until_bracket(self) -> Condition:
+        condition = self._parse_condition_disjunction()
+        self.expect("]")
+        return condition
+
+    def _parse_condition_disjunction(self) -> Condition:
+        parts = [self._parse_condition_conjunction()]
+        while True:
+            token = self.peek()
+            if token is not None and token[0] == "|":
+                self.advance()
+                # accept both '|' and '||'
+                if self.peek() is not None and self.peek()[0] == "|":
+                    self.advance()
+                parts.append(self._parse_condition_conjunction())
+            else:
+                break
+        return disj(*parts) if len(parts) > 1 else parts[0]
+
+    def _parse_condition_conjunction(self) -> Condition:
+        parts = [self._parse_condition_atom()]
+        while True:
+            token = self.peek()
+            if token is not None and token[0] == "&":
+                self.advance()
+                if self.peek() is not None and self.peek()[0] == "&":
+                    self.advance()
+                parts.append(self._parse_condition_atom())
+            else:
+                break
+        return conj(*parts) if len(parts) > 1 else parts[0]
+
+    def _parse_condition_atom(self) -> Condition:
+        kind, value, position = self.advance()
+        if kind == "(":
+            inner = self._parse_condition_disjunction()
+            self.expect(")")
+            return inner
+        if kind != "label":
+            raise ParseError(f"expected a condition, got {value!r}", self.text, position)
+        # The tokenizer keeps '=' '!=' '≠' attached to the variable name
+        # since '=' and '≠' are not reserved characters.
+        if value.endswith("!="):
+            return NotEqual(value[:-2])
+        if value.endswith("≠"):
+            return NotEqual(value[:-1])
+        if value.endswith("="):
+            return Equal(value[:-1])
+        # Form 'x' '!' '=' split across tokens (e.g. "x !=")
+        nxt = self.peek()
+        if nxt is not None and nxt[0] == "!":
+            self.advance()
+            eq = self.advance()
+            if eq[0] == "label" and eq[1] == "=":
+                return NotEqual(value)
+            raise ParseError("expected '=' after '!' in condition", self.text, eq[2])
+        raise ParseError(
+            f"conditions must be of the form x= or x!=, got {value!r}", self.text, position
+        )
+
+
+def parse_rem(text: str) -> RegexWithMemory:
+    """Parse a textual REM expression into its AST."""
+    if not text or not text.strip():
+        raise ParseError("empty REM expression", text, 0)
+    return _RemParser(text).parse()
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a bare condition (the part that goes inside ``[...]``)."""
+    parser = _RemParser(text + "]")
+    condition = parser._parse_condition_until_bracket()
+    if parser.peek() is not None:
+        token = parser.peek()
+        raise ParseError(f"unexpected token {token[1]!r}", text, token[2])
+    return condition

@@ -1,0 +1,121 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+that callers can catch library-specific failures with a single ``except``
+clause while letting programming errors (``TypeError`` and friends raised
+by misuse of the Python API itself) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "DuplicateNodeError",
+    "UnknownNodeError",
+    "InvalidEdgeError",
+    "PathError",
+    "ParseError",
+    "EvaluationError",
+    "UnboundVariableError",
+    "MappingError",
+    "InvalidMappingError",
+    "SolutionError",
+    "CertainAnswerError",
+    "UnsupportedQueryError",
+    "ChaseFailure",
+    "ReductionError",
+    "WorkloadError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to data graphs."""
+
+
+class DuplicateNodeError(GraphError):
+    """Raised when adding a node whose id is already present in the graph."""
+
+
+class UnknownNodeError(GraphError):
+    """Raised when an operation refers to a node id absent from the graph."""
+
+
+class InvalidEdgeError(GraphError):
+    """Raised when an edge refers to unknown endpoints or an invalid label."""
+
+
+class PathError(GraphError):
+    """Raised when a sequence of nodes and labels does not form a valid path."""
+
+
+class ParseError(ReproError):
+    """Raised when a query expression cannot be parsed.
+
+    Attributes
+    ----------
+    text:
+        The full text being parsed.
+    position:
+        Character offset at which the error was detected, or ``None``.
+    """
+
+    def __init__(self, message: str, text: str | None = None, position: int | None = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.text is not None and self.position is not None:
+            return f"{base} (at position {self.position} in {self.text!r})"
+        return base
+
+
+class EvaluationError(ReproError):
+    """Raised when a query cannot be evaluated on a given input."""
+
+
+class UnboundVariableError(EvaluationError):
+    """Raised when a REM condition refers to a register that was never bound."""
+
+
+class MappingError(ReproError):
+    """Base class for errors related to graph schema mappings."""
+
+
+class InvalidMappingError(MappingError):
+    """Raised when a mapping violates a structural requirement (e.g. not LAV)."""
+
+
+class SolutionError(MappingError):
+    """Raised when a solution cannot be constructed or validated."""
+
+
+class CertainAnswerError(MappingError):
+    """Raised when certain answers cannot be computed for the given inputs."""
+
+
+class UnsupportedQueryError(CertainAnswerError):
+    """Raised when an algorithm receives a query outside its supported class."""
+
+
+class ChaseFailure(ReproError):
+    """Raised when the relational chase fails (an egd equates distinct constants)."""
+
+
+class ReductionError(ReproError):
+    """Raised when a reduction gadget receives an invalid instance."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator receives inconsistent parameters."""
+
+
+class SerializationError(ReproError):
+    """Raised when (de)serialisation of library objects fails."""

@@ -1,0 +1,65 @@
+"""E10 — baseline query-evaluation complexity and the REE engine ablation.
+
+The tractability results of Sections 7–8 stand on the fact that (data)
+RPQ evaluation itself has polynomial data complexity.  This experiment
+measures evaluation times of representative RPQ, REE and REM queries over
+random data graphs of growing size, and doubles as the ablation called
+out in DESIGN.md: the bottom-up algebraic REE engine versus the
+register-automaton product engine on identical inputs (both must return
+identical answers; their constants differ).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datagraph import generators
+from ..query.data_rpq import equality_rpq, memory_rpq
+from ..query.data_rpq_eval import evaluate_data_rpq
+from ..query.rpq import rpq
+from ..query.rpq_eval import evaluate_rpq
+from .harness import ExperimentResult, geometric_slowdown, timed
+
+__all__ = ["run"]
+
+
+def run(sizes: Sequence[int] = (20, 50, 100, 200), seed: int = 29) -> ExperimentResult:
+    """Run E10 over random graphs with the given node counts."""
+    result = ExperimentResult(
+        experiment="E10",
+        claim="(data) RPQ evaluation scales polynomially; the two REE engines agree",
+    )
+    rpq_query = rpq("(a|b)*.a.(a|b)*")
+    ree_query = equality_rpq("(a|b)* . ((a|b)+)= . (a|b)*")
+    rem_query = memory_rpq("!x.((a|b)[x!=])+")
+    rpq_times, ree_times, rem_times = [], [], []
+    for size in sizes:
+        graph = generators.random_graph(
+            size, int(size * 2), labels=("a", "b"), rng=seed, domain_size=max(2, size // 5)
+        )
+        _, rpq_time = timed(lambda: evaluate_rpq(graph, rpq_query))
+        algebraic, algebraic_time = timed(
+            lambda: evaluate_data_rpq(graph, ree_query, engine="algebraic")
+        )
+        automaton, automaton_time = timed(
+            lambda: evaluate_data_rpq(graph, ree_query, engine="automaton")
+        )
+        _, rem_time = timed(lambda: evaluate_data_rpq(graph, rem_query))
+        rpq_times.append(rpq_time)
+        ree_times.append(algebraic_time)
+        rem_times.append(rem_time)
+        result.add_row(
+            nodes=size,
+            edges=graph.num_edges,
+            rpq_seconds=rpq_time,
+            ree_algebraic_seconds=algebraic_time,
+            ree_automaton_seconds=automaton_time,
+            engines_agree=(algebraic == automaton),
+            rem_seconds=rem_time,
+        )
+    for label, times in (("rpq", rpq_times), ("ree", ree_times), ("rem", rem_times)):
+        growth = geometric_slowdown(times)
+        if growth is not None:
+            result.add_note(f"{label} average consecutive slowdown: {growth:.2f}x per size step")
+    result.add_note("engines_agree must be yes on every row (REE engine ablation)")
+    return result

@@ -1,0 +1,61 @@
+"""E1 — Theorem 2 / Proposition 2: decidability for relational mappings.
+
+Claim validated: for relational GSMs, certain answers of data RPQs are
+computable (coNP in general), and on equality-only queries the exact
+adversarial enumeration agrees with the tractable least-informative and
+SQL-null algorithms.  The experiment runs all three algorithms on random
+relational LAV workloads over chain and cycle sources and records both
+the agreement and the (vastly different) running times.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.certain_answers import (
+    certain_answers_equality_only,
+    certain_answers_naive,
+    certain_answers_with_nulls,
+)
+from ..core.gsm import GraphSchemaMapping
+from ..datagraph import generators
+from ..query.data_rpq import equality_rpq
+from .harness import ExperimentResult, timed
+
+__all__ = ["run"]
+
+
+def run(sizes: Sequence[int] = (2, 4, 6, 8), seed: int = 7) -> ExperimentResult:
+    """Run E1 for chain sources with the given numbers of edges."""
+    result = ExperimentResult(
+        experiment="E1",
+        claim="relational mappings: exact enumeration agrees with the tractable algorithms "
+        "on equality-only data RPQs",
+    )
+    mapping = GraphSchemaMapping([("r", "t.t"), ("s", "u")], name="e1-mapping")
+    query = equality_rpq("(t.t)=")
+    repeat_query = equality_rpq("t* . (t+)= . t*")
+    for size in sizes:
+        source = generators.chain(size, labels=("r", "s"), rng=seed, domain_size=max(2, size // 2))
+        naive_answers, naive_time = timed(lambda: certain_answers_naive(mapping, source, query))
+        fast_answers, fast_time = timed(
+            lambda: certain_answers_equality_only(mapping, source, query)
+        )
+        null_answers, null_time = timed(lambda: certain_answers_with_nulls(mapping, source, query))
+        repeat_exact = certain_answers_naive(mapping, source, repeat_query)
+        repeat_fast = certain_answers_equality_only(mapping, source, repeat_query)
+        result.add_row(
+            source_edges=size,
+            answers=len(naive_answers),
+            naive_seconds=naive_time,
+            least_informative_seconds=fast_time,
+            nulls_seconds=null_time,
+            exact_equals_least_informative=(naive_answers == fast_answers),
+            nulls_subset_of_exact=(null_answers <= naive_answers),
+            repeat_query_agrees=(repeat_exact == repeat_fast),
+        )
+    result.add_note(
+        "Theorem 5 predicts exact_equals_least_informative = yes on every row; "
+        "Theorem 3 predicts nulls_subset_of_exact = yes on every row."
+    )
+    return result

@@ -1,0 +1,60 @@
+"""E2 — Proposition 3: coNP-hardness via 3-colourability.
+
+Claim validated: under the LAV relational gadget mapping, the designated
+pair ``(start, finish)`` is a certain answer of the three-inequality
+error query exactly when the input graph is *not* 3-colourable, and the
+cost of deciding it grows with the colouring search space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from ..reductions.three_coloring import (
+    UndirectedGraph,
+    complete_graph_k4,
+    gadget_certain_by_coloring_adversary,
+    is_three_colorable,
+    odd_cycle,
+    petersen_fragment,
+    three_coloring_gadget,
+    triangle,
+)
+from .harness import ExperimentResult, timed
+
+__all__ = ["run", "DEFAULT_INPUTS"]
+
+DEFAULT_INPUTS: Tuple[Callable[[], UndirectedGraph], ...] = (
+    triangle,
+    lambda: odd_cycle(5),
+    complete_graph_k4,
+    petersen_fragment,
+)
+
+
+def run(inputs: Sequence[Callable[[], UndirectedGraph]] = DEFAULT_INPUTS) -> ExperimentResult:
+    """Run E2 on the given 3-colourability inputs."""
+    result = ExperimentResult(
+        experiment="E2",
+        claim="(start, finish) is certain iff the input graph is not 3-colourable",
+    )
+    for builder in inputs:
+        graph = builder()
+        colorable, color_time = timed(lambda: is_three_colorable(graph))
+        source, mapping, query, _ = three_coloring_gadget(graph)
+        certain, certain_time = timed(lambda: gadget_certain_by_coloring_adversary(graph))
+        result.add_row(
+            input=graph.name,
+            vertices=len(graph.vertices),
+            edges=len(graph.edges),
+            three_colorable=colorable,
+            certain_answer=certain,
+            matches_claim=(certain is (not colorable)),
+            gadget_nodes=source.num_nodes,
+            mapping_rules=len(mapping),
+            inequality_tests=3,
+            coloring_seconds=color_time,
+            certainty_seconds=certain_time,
+        )
+    result.add_note("matches_claim must be yes on every row (Proposition 3).")
+    return result

@@ -1,0 +1,66 @@
+"""E3 — Proposition 4: data path queries with at most one inequality are easy.
+
+Claim validated: for relational GSMs and data path queries with a single
+``≠`` test, the polynomial SQL-null algorithm computes the same answers
+as the exact adversarial enumeration (on sizes where the latter is
+feasible), and its running time scales polynomially to sizes far beyond
+the exact algorithm's reach.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.certain_answers import certain_answers_naive, certain_answers_with_nulls
+from ..core.gsm import GraphSchemaMapping
+from ..datagraph import generators
+from ..query.data_rpq import data_path_query
+from .harness import ExperimentResult, timed
+
+__all__ = ["run"]
+
+
+def run(
+    small_sizes: Sequence[int] = (2, 4, 6),
+    large_sizes: Sequence[int] = (50, 200, 500),
+    seed: int = 11,
+) -> ExperimentResult:
+    """Run E3: agreement on small chains, scaling on large ones."""
+    result = ExperimentResult(
+        experiment="E3",
+        claim="single-inequality data path queries: tractable algorithm agrees with the exact one "
+        "and scales to large sources",
+    )
+    mapping = GraphSchemaMapping([("r", "t"), ("s", "t.t")], name="e3-mapping")
+    query = data_path_query("(t.t)!=")
+
+    for size in small_sizes:
+        source = generators.chain(size, labels=("r", "s"), rng=seed, domain_size=2)
+        exact, exact_time = timed(lambda: certain_answers_naive(mapping, source, query))
+        approx, approx_time = timed(lambda: certain_answers_with_nulls(mapping, source, query))
+        result.add_row(
+            source_edges=size,
+            phase="agreement",
+            exact_answers=len(exact),
+            approx_answers=len(approx),
+            agree=(exact == approx),
+            exact_seconds=exact_time,
+            approx_seconds=approx_time,
+        )
+    for size in large_sizes:
+        source = generators.chain(size, labels=("r", "s"), rng=seed, domain_size=max(2, size // 10))
+        approx, approx_time = timed(lambda: certain_answers_with_nulls(mapping, source, query))
+        result.add_row(
+            source_edges=size,
+            phase="scaling",
+            exact_answers=None,
+            approx_answers=len(approx),
+            agree=None,
+            exact_seconds=None,
+            approx_seconds=approx_time,
+        )
+    result.add_note(
+        "Proposition 4 predicts agree = yes on every agreement row; the scaling rows show the "
+        "polynomial growth of the tractable algorithm."
+    )
+    return result

@@ -1,0 +1,335 @@
+"""Abstract syntax of GXPath-core with data comparisons (Section 9).
+
+The paper works with the fragment ``GXPath_core~`` given by the mutually
+recursive grammars::
+
+    path expressions   α, β := ε | a | a⁻ | a* | α·β | α ∪ β | α= | α≠ | [φ]
+    node expressions   φ, ψ := ¬φ | φ ∧ ψ | φ ∨ ψ | ⟨α⟩
+
+where ``a`` ranges over edge labels and ``a⁻`` denotes the inverse edge.
+(The paper assumes every inverse label ``a⁻`` is part of the alphabet;
+here inverses are a modality on the letter.)  Transitive closure ``a*``
+applies to letters (and their inverses) only — this is what makes the
+fragment "core" as opposed to regular GXPath.
+
+Semantics (Figure 1) is implemented in :mod:`repro.gxpath.evaluation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+__all__ = [
+    "PathExpression",
+    "NodeExpression",
+    "PathEpsilon",
+    "Axis",
+    "AxisStar",
+    "PathConcat",
+    "PathUnion",
+    "PathEqual",
+    "PathNotEqual",
+    "NodeTest",
+    "NodeNot",
+    "NodeAnd",
+    "NodeOr",
+    "NodeExists",
+    "epsilon",
+    "axis",
+    "inverse_axis",
+    "axis_star",
+    "path_concat",
+    "path_union",
+    "path_equal",
+    "path_not_equal",
+    "node_test",
+    "node_not",
+    "node_and",
+    "node_or",
+    "exists",
+]
+
+
+class PathExpression:
+    """Base class of GXPath path expressions (binary semantics)."""
+
+    def labels(self) -> FrozenSet[str]:
+        """Edge labels mentioned (ignoring inversion)."""
+        raise NotImplementedError
+
+
+class NodeExpression:
+    """Base class of GXPath node expressions (unary semantics)."""
+
+    def labels(self) -> FrozenSet[str]:
+        """Edge labels mentioned (ignoring inversion)."""
+        raise NotImplementedError
+
+    def __and__(self, other: "NodeExpression") -> "NodeExpression":
+        return NodeAnd(self, other)
+
+    def __or__(self, other: "NodeExpression") -> "NodeExpression":
+        return NodeOr(self, other)
+
+    def __invert__(self) -> "NodeExpression":
+        return NodeNot(self)
+
+
+@dataclass(frozen=True)
+class PathEpsilon(PathExpression):
+    """ε: the identity relation on nodes."""
+
+    def labels(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Axis(PathExpression):
+    """A single edge step ``a`` or its inverse ``a⁻``."""
+
+    label: str
+    inverse: bool = False
+
+    def labels(self) -> FrozenSet[str]:
+        return frozenset({self.label})
+
+    def __str__(self) -> str:
+        return f"{self.label}⁻" if self.inverse else self.label
+
+
+@dataclass(frozen=True)
+class AxisStar(PathExpression):
+    """Reflexive-transitive closure ``a*`` (or ``(a⁻)*``) of a single axis."""
+
+    label: str
+    inverse: bool = False
+
+    def labels(self) -> FrozenSet[str]:
+        return frozenset({self.label})
+
+    def __str__(self) -> str:
+        base = f"{self.label}⁻" if self.inverse else self.label
+        return f"{base}*"
+
+
+@dataclass(frozen=True)
+class PathConcat(PathExpression):
+    """Composition ``α·β``."""
+
+    left: PathExpression
+    right: PathExpression
+
+    def labels(self) -> FrozenSet[str]:
+        return self.left.labels() | self.right.labels()
+
+    def __str__(self) -> str:
+        return f"({self.left}·{self.right})"
+
+
+@dataclass(frozen=True)
+class PathUnion(PathExpression):
+    """Union ``α ∪ β``."""
+
+    left: PathExpression
+    right: PathExpression
+
+    def labels(self) -> FrozenSet[str]:
+        return self.left.labels() | self.right.labels()
+
+    def __str__(self) -> str:
+        return f"({self.left} ∪ {self.right})"
+
+
+@dataclass(frozen=True)
+class PathEqual(PathExpression):
+    """Data comparison ``α=``: pairs selected by α carrying the same data value."""
+
+    inner: PathExpression
+
+    def labels(self) -> FrozenSet[str]:
+        return self.inner.labels()
+
+    def __str__(self) -> str:
+        return f"({self.inner})="
+
+
+@dataclass(frozen=True)
+class PathNotEqual(PathExpression):
+    """Data comparison ``α≠``: pairs selected by α carrying different data values."""
+
+    inner: PathExpression
+
+    def labels(self) -> FrozenSet[str]:
+        return self.inner.labels()
+
+    def __str__(self) -> str:
+        return f"({self.inner})≠"
+
+
+@dataclass(frozen=True)
+class NodeTest(PathExpression):
+    """Node-expression filter ``[φ]``: pairs ``(v, v)`` with ``v ⊨ φ``."""
+
+    condition: "NodeExpression"
+
+    def labels(self) -> FrozenSet[str]:
+        return self.condition.labels()
+
+    def __str__(self) -> str:
+        return f"[{self.condition}]"
+
+
+@dataclass(frozen=True)
+class NodeNot(NodeExpression):
+    """Negation ``¬φ``."""
+
+    inner: NodeExpression
+
+    def labels(self) -> FrozenSet[str]:
+        return self.inner.labels()
+
+    def __str__(self) -> str:
+        return f"¬{self.inner}"
+
+
+@dataclass(frozen=True)
+class NodeAnd(NodeExpression):
+    """Conjunction ``φ ∧ ψ``."""
+
+    left: NodeExpression
+    right: NodeExpression
+
+    def labels(self) -> FrozenSet[str]:
+        return self.left.labels() | self.right.labels()
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class NodeOr(NodeExpression):
+    """Disjunction ``φ ∨ ψ``."""
+
+    left: NodeExpression
+    right: NodeExpression
+
+    def labels(self) -> FrozenSet[str]:
+        return self.left.labels() | self.right.labels()
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class NodeExists(NodeExpression):
+    """Existential projection ``⟨α⟩``: nodes from which a path satisfying α starts."""
+
+    path: PathExpression
+
+    def labels(self) -> FrozenSet[str]:
+        return self.path.labels()
+
+    def __str__(self) -> str:
+        return f"⟨{self.path}⟩"
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+def epsilon() -> PathEpsilon:
+    """The ε path expression."""
+    return PathEpsilon()
+
+
+def axis(label: str) -> Axis:
+    """A forward edge step."""
+    if not isinstance(label, str) or not label:
+        raise ValueError(f"axis labels must be non-empty strings, got {label!r}")
+    return Axis(label, inverse=False)
+
+
+def inverse_axis(label: str) -> Axis:
+    """A backward edge step ``a⁻``."""
+    if not isinstance(label, str) or not label:
+        raise ValueError(f"axis labels must be non-empty strings, got {label!r}")
+    return Axis(label, inverse=True)
+
+
+def axis_star(label: str, inverse: bool = False) -> AxisStar:
+    """The transitive closure of a single (possibly inverted) axis."""
+    if not isinstance(label, str) or not label:
+        raise ValueError(f"axis labels must be non-empty strings, got {label!r}")
+    return AxisStar(label, inverse)
+
+
+def _balanced(parts, combine):
+    """Combine a list of expressions into a balanced binary tree.
+
+    Balancing keeps the AST depth logarithmic in the number of operands,
+    which matters for the Theorem 7 formulas (φ_δ has one conjunct per
+    ordered pair of tree nodes) evaluated by the recursive interpreter.
+    """
+    if len(parts) == 1:
+        return parts[0]
+    middle = len(parts) // 2
+    return combine(_balanced(parts[:middle], combine), _balanced(parts[middle:], combine))
+
+
+def path_concat(*parts: PathExpression) -> PathExpression:
+    """Composition of several path expressions."""
+    if not parts:
+        return PathEpsilon()
+    result = parts[0]
+    for part in parts[1:]:
+        result = PathConcat(result, part)
+    return result
+
+
+def path_union(*parts: PathExpression) -> PathExpression:
+    """Union of several path expressions (balanced)."""
+    if not parts:
+        raise ValueError("union of zero path expressions is undefined")
+    return _balanced(list(parts), PathUnion)
+
+
+def path_equal(inner: PathExpression) -> PathEqual:
+    """The data test ``α=``."""
+    return PathEqual(inner)
+
+
+def path_not_equal(inner: PathExpression) -> PathNotEqual:
+    """The data test ``α≠``."""
+    return PathNotEqual(inner)
+
+
+def node_test(condition: NodeExpression) -> NodeTest:
+    """The filter ``[φ]``."""
+    return NodeTest(condition)
+
+
+def node_not(inner: NodeExpression) -> NodeNot:
+    """Negation of a node expression."""
+    return NodeNot(inner)
+
+
+def node_and(*parts: NodeExpression) -> NodeExpression:
+    """Conjunction of several node expressions (balanced)."""
+    if not parts:
+        raise ValueError("conjunction of zero node expressions is undefined")
+    return _balanced(list(parts), NodeAnd)
+
+
+def node_or(*parts: NodeExpression) -> NodeExpression:
+    """Disjunction of several node expressions (balanced)."""
+    if not parts:
+        raise ValueError("disjunction of zero node expressions is undefined")
+    return _balanced(list(parts), NodeOr)
+
+
+def exists(path: PathExpression) -> NodeExists:
+    """The node expression ``⟨α⟩``."""
+    return NodeExists(path)

@@ -1,0 +1,185 @@
+"""Semantics of GXPath-core with data comparisons (Figure 1 of the paper).
+
+Given a data graph ``G = <V, E>``:
+
+* the semantics of a path expression α is a binary relation
+  ``[[α]]_G ⊆ V × V``;
+* the semantics of a node expression φ is a set ``[[φ]]_G ⊆ V``.
+
+All cases of Figure 1 are implemented directly by set computations; the
+transitive closure ``a*`` is a per-label reachability.  The SQL-null mode
+(used when GXPath queries are posed over exchanged graphs with null
+nodes) makes the ``α=`` / ``α≠`` comparisons false when either endpoint
+carries the null value.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Set, Tuple
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.node import Node, NodeId
+from ..datagraph.values import values_differ, values_equal
+from ..exceptions import EvaluationError
+from .ast import (
+    Axis,
+    AxisStar,
+    NodeAnd,
+    NodeExists,
+    NodeExpression,
+    NodeNot,
+    NodeOr,
+    NodeTest,
+    PathConcat,
+    PathEpsilon,
+    PathEqual,
+    PathExpression,
+    PathNotEqual,
+    PathUnion,
+)
+
+__all__ = ["evaluate_path", "evaluate_node", "node_holds", "path_holds"]
+
+IdPair = Tuple[NodeId, NodeId]
+
+
+class _Evaluator:
+    """One evaluation pass over a fixed graph, with memoisation per sub-expression."""
+
+    def __init__(self, graph: DataGraph, null_semantics: bool):
+        self.graph = graph
+        self.null_semantics = null_semantics
+        self._path_cache: Dict[int, FrozenSet[IdPair]] = {}
+        self._node_cache: Dict[int, FrozenSet[NodeId]] = {}
+
+    # ------------------------------------------------------------------
+    def path(self, expression: PathExpression) -> FrozenSet[IdPair]:
+        key = id(expression)
+        if key in self._path_cache:
+            return self._path_cache[key]
+        result = self._path(expression)
+        self._path_cache[key] = result
+        return result
+
+    def _path(self, expression: PathExpression) -> FrozenSet[IdPair]:
+        graph = self.graph
+        if isinstance(expression, PathEpsilon):
+            return frozenset((node_id, node_id) for node_id in graph.node_ids)
+        if isinstance(expression, Axis):
+            pairs = graph.edge_relation(expression.label)
+            if expression.inverse:
+                return frozenset((target.id, source.id) for source, target in pairs)
+            return frozenset((source.id, target.id) for source, target in pairs)
+        if isinstance(expression, AxisStar):
+            return self._axis_star(expression.label, expression.inverse)
+        if isinstance(expression, PathConcat):
+            return self._compose(self.path(expression.left), self.path(expression.right))
+        if isinstance(expression, PathUnion):
+            return self.path(expression.left) | self.path(expression.right)
+        if isinstance(expression, (PathEqual, PathNotEqual)):
+            inner = self.path(expression.inner)
+            want_equal = isinstance(expression, PathEqual)
+            kept = set()
+            for source, target in inner:
+                first = graph.value_of(source)
+                last = graph.value_of(target)
+                if self.null_semantics:
+                    ok = values_equal(first, last) if want_equal else values_differ(first, last)
+                else:
+                    ok = (first == last) if want_equal else (first != last)
+                if ok:
+                    kept.add((source, target))
+            return frozenset(kept)
+        if isinstance(expression, NodeTest):
+            selected = self.node(expression.condition)
+            return frozenset((node_id, node_id) for node_id in selected)
+        raise EvaluationError(f"unknown GXPath path expression {expression!r}")  # pragma: no cover
+
+    def _axis_star(self, label: str, inverse: bool) -> FrozenSet[IdPair]:
+        graph = self.graph
+        pairs: Set[IdPair] = set()
+        for start in graph.node_ids:
+            seen = {start}
+            queue = deque([start])
+            while queue:
+                current = queue.popleft()
+                pairs.add((start, current))
+                neighbours = (
+                    graph.predecessors(current, label) if inverse else graph.successors(current, label)
+                )
+                for _, neighbour in neighbours:
+                    if neighbour.id not in seen:
+                        seen.add(neighbour.id)
+                        queue.append(neighbour.id)
+        return frozenset(pairs)
+
+    @staticmethod
+    def _compose(left: FrozenSet[IdPair], right: FrozenSet[IdPair]) -> FrozenSet[IdPair]:
+        index: Dict[NodeId, Set[NodeId]] = {}
+        for middle, target in right:
+            index.setdefault(middle, set()).add(target)
+        result: Set[IdPair] = set()
+        for source, middle in left:
+            for target in index.get(middle, ()):
+                result.add((source, target))
+        return frozenset(result)
+
+    # ------------------------------------------------------------------
+    def node(self, expression: NodeExpression) -> FrozenSet[NodeId]:
+        key = id(expression)
+        if key in self._node_cache:
+            return self._node_cache[key]
+        result = self._node(expression)
+        self._node_cache[key] = result
+        return result
+
+    def _node(self, expression: NodeExpression) -> FrozenSet[NodeId]:
+        graph = self.graph
+        if isinstance(expression, NodeNot):
+            return frozenset(graph.node_ids) - self.node(expression.inner)
+        if isinstance(expression, NodeAnd):
+            return self.node(expression.left) & self.node(expression.right)
+        if isinstance(expression, NodeOr):
+            return self.node(expression.left) | self.node(expression.right)
+        if isinstance(expression, NodeExists):
+            return frozenset(source for source, _ in self.path(expression.path))
+        raise EvaluationError(f"unknown GXPath node expression {expression!r}")  # pragma: no cover
+
+
+def evaluate_path(
+    graph: DataGraph, expression: PathExpression, null_semantics: bool = False
+) -> FrozenSet[Tuple[Node, Node]]:
+    """The binary relation ``[[α]]_G`` as pairs of nodes."""
+    evaluator = _Evaluator(graph, null_semantics)
+    return frozenset(
+        (graph.node(source), graph.node(target)) for source, target in evaluator.path(expression)
+    )
+
+
+def evaluate_node(
+    graph: DataGraph, expression: NodeExpression, null_semantics: bool = False
+) -> FrozenSet[Node]:
+    """The node set ``[[φ]]_G``."""
+    evaluator = _Evaluator(graph, null_semantics)
+    return frozenset(graph.node(node_id) for node_id in evaluator.node(expression))
+
+
+def node_holds(
+    graph: DataGraph, expression: NodeExpression, node_id: NodeId, null_semantics: bool = False
+) -> bool:
+    """Whether ``v ∈ [[φ]]_G`` for the node with the given id."""
+    evaluator = _Evaluator(graph, null_semantics)
+    return node_id in evaluator.node(expression)
+
+
+def path_holds(
+    graph: DataGraph,
+    expression: PathExpression,
+    source: NodeId,
+    target: NodeId,
+    null_semantics: bool = False,
+) -> bool:
+    """Whether ``(source, target) ∈ [[α]]_G``."""
+    evaluator = _Evaluator(graph, null_semantics)
+    return (source, target) in evaluator.path(expression)

@@ -1,0 +1,264 @@
+"""Parser for GXPath-core with data comparisons.
+
+Two entry points are provided: :func:`parse_gxpath_path` for path
+expressions and :func:`parse_gxpath_node` for node expressions.
+
+Path expression syntax::
+
+    path    := concat ('|' concat)*             union
+    concat  := factor (('.' | '/')? factor)*    composition
+    factor  := base postfix*
+    postfix := '*' | '=' | '!=' | '≠'           star (axes only), data tests
+    base    := LABEL | LABEL '-' | '(' path ')' | '[' node ']' | 'eps' | 'ε'
+
+Node expression syntax::
+
+    node  := conj ('|' conj)*                   disjunction
+    conj  := atom ('&' atom)*                   conjunction
+    atom  := '~' atom | '<' path '>' | '(' node ')'
+
+``LABEL '-'`` denotes the inverse axis ``a⁻``; ``*`` may only be applied
+to an axis (possibly inverted), reflecting the *core* restriction that
+transitive closure applies to letters only.
+
+Examples::
+
+    parse_gxpath_node("<a.[<b>]>")            # ⟨a·[⟨b⟩]⟩
+    parse_gxpath_node("~< (a.b)= >")          # ¬⟨(a·b)=⟩
+    parse_gxpath_path("a-* . (b)!=")
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..exceptions import ParseError
+from .ast import (
+    Axis,
+    AxisStar,
+    NodeExpression,
+    PathEpsilon,
+    PathExpression,
+    axis,
+    axis_star,
+    exists,
+    inverse_axis,
+    node_and,
+    node_not,
+    node_or,
+    node_test,
+    path_concat,
+    path_equal,
+    path_not_equal,
+    path_union,
+)
+
+__all__ = ["parse_gxpath_path", "parse_gxpath_node"]
+
+_RESERVED = set("()[]<>|./*=!≠~&-⁻")
+_EPSILON_TOKENS = {"eps", "ε"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "!" and index + 1 < len(text) and text[index + 1] == "=":
+            tokens.append(("!=", "!=", index))
+            index += 2
+            continue
+        if char == "≠":
+            tokens.append(("!=", "≠", index))
+            index += 1
+            continue
+        if char == "⁻":
+            tokens.append(("-", "⁻", index))
+            index += 1
+            continue
+        if char in "()[]<>|./*=~&-":
+            tokens.append((char, char, index))
+            index += 1
+            continue
+        if char == "!":
+            raise ParseError("'!' must be followed by '=' in GXPath expressions", text, index)
+        start = index
+        while index < len(text) and not text[index].isspace() and text[index] not in _RESERVED:
+            index += 1
+        tokens.append(("label", text[start:index], start))
+    return tokens
+
+
+class _GxParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.position = 0
+
+    def peek(self) -> Optional[Tuple[str, str, int]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of GXPath expression", self.text, len(self.text))
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None or token[0] != kind:
+            where = token[2] if token else len(self.text)
+            raise ParseError(f"expected {kind!r}", self.text, where)
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.peek() is None
+
+    # ------------------------------------------------------------------
+    # Path expressions
+    # ------------------------------------------------------------------
+    def parse_path(self) -> PathExpression:
+        parts = [self.parse_path_concat()]
+        while True:
+            token = self.peek()
+            if token is not None and token[0] == "|":
+                self.advance()
+                parts.append(self.parse_path_concat())
+            else:
+                break
+        return path_union(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_path_concat(self) -> PathExpression:
+        parts = [self.parse_path_factor()]
+        while True:
+            token = self.peek()
+            if token is None:
+                break
+            if token[0] in {".", "/"}:
+                self.advance()
+                parts.append(self.parse_path_factor())
+            elif token[0] in {"label", "(", "["}:
+                parts.append(self.parse_path_factor())
+            else:
+                break
+        return path_concat(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_path_factor(self) -> PathExpression:
+        expression = self.parse_path_base()
+        while True:
+            token = self.peek()
+            if token is None:
+                return expression
+            if token[0] == "*":
+                self.advance()
+                if isinstance(expression, Axis):
+                    expression = axis_star(expression.label, expression.inverse)
+                else:
+                    raise ParseError(
+                        "in core GXPath, '*' may only be applied to an axis a or a-",
+                        self.text,
+                        token[2],
+                    )
+            elif token[0] == "=":
+                self.advance()
+                expression = path_equal(expression)
+            elif token[0] == "!=":
+                self.advance()
+                expression = path_not_equal(expression)
+            else:
+                return expression
+
+    def parse_path_base(self) -> PathExpression:
+        kind, value, position = self.advance()
+        if kind == "(":
+            inner = self.parse_path()
+            self.expect(")")
+            return inner
+        if kind == "[":
+            condition = self.parse_node()
+            self.expect("]")
+            return node_test(condition)
+        if kind == "label":
+            if value in _EPSILON_TOKENS:
+                return PathEpsilon()
+            token = self.peek()
+            if token is not None and token[0] == "-":
+                self.advance()
+                return inverse_axis(value)
+            return axis(value)
+        raise ParseError(f"unexpected token {value!r} in path expression", self.text, position)
+
+    # ------------------------------------------------------------------
+    # Node expressions
+    # ------------------------------------------------------------------
+    def parse_node(self) -> NodeExpression:
+        parts = [self.parse_node_conj()]
+        while True:
+            token = self.peek()
+            if token is not None and token[0] == "|":
+                self.advance()
+                parts.append(self.parse_node_conj())
+            else:
+                break
+        return node_or(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_node_conj(self) -> NodeExpression:
+        parts = [self.parse_node_atom()]
+        while True:
+            token = self.peek()
+            if token is not None and token[0] == "&":
+                self.advance()
+                parts.append(self.parse_node_atom())
+            else:
+                break
+        return node_and(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_node_atom(self) -> NodeExpression:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of node expression", self.text, len(self.text))
+        kind, value, position = token
+        if kind == "~":
+            self.advance()
+            return node_not(self.parse_node_atom())
+        if kind == "<":
+            self.advance()
+            path = self.parse_path()
+            self.expect(">")
+            return exists(path)
+        if kind == "(":
+            self.advance()
+            inner = self.parse_node()
+            self.expect(")")
+            return inner
+        raise ParseError(f"unexpected token {value!r} in node expression", self.text, position)
+
+
+def parse_gxpath_path(text: str) -> PathExpression:
+    """Parse a GXPath path expression."""
+    if not text or not text.strip():
+        raise ParseError("empty GXPath expression", text, 0)
+    parser = _GxParser(text)
+    expression = parser.parse_path()
+    if not parser.at_end():
+        token = parser.peek()
+        raise ParseError(f"unexpected token {token[1]!r}", text, token[2])
+    return expression
+
+
+def parse_gxpath_node(text: str) -> NodeExpression:
+    """Parse a GXPath node expression."""
+    if not text or not text.strip():
+        raise ParseError("empty GXPath expression", text, 0)
+    parser = _GxParser(text)
+    expression = parser.parse_node()
+    if not parser.at_end():
+        token = parser.peek()
+        raise ParseError(f"unexpected token {token[1]!r}", text, token[2])
+    return expression

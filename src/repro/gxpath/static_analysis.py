@@ -1,0 +1,242 @@
+"""Static analysis of GXPath-core: satisfiability machinery of Theorem 7.
+
+Theorem 7 of the paper shows that satisfiability and containment of
+``GXPath_core~`` expressions are undecidable.  The proof turns a data
+tree ``G`` (with the *non-repeating property*: no two children of a node
+reached by the same label) and a node expression φ into the formula::
+
+    φ' = φ_G ∧ φ_δ ∧ ¬φ
+
+such that φ' is satisfiable iff there is a data graph ``G' ⊇ G`` with
+``root ∉ [[φ]]_{G'}``.  The two auxiliary formulas are:
+
+* ``φ_G`` — forces any model to contain the topological structure of the
+  tree ``G`` below the evaluation node: a single-node tree gives ``⟨ε⟩``,
+  and a tree whose root has children reached by ``a1 .. an`` with
+  subtrees ``G1 .. Gn`` gives ``⟨a1·[φ_{G1}]⟩ ∧ ... ∧ ⟨an·[φ_{Gn}]⟩``;
+* ``φ_δ`` — forces the data values of (the images of) distinct tree nodes
+  to be distinct: ``⋀ { ¬⟨w_y · (w_y⁻ · w_z)=⟩ : y ≠ z }`` where ``w_x``
+  is the label word of the unique root-to-``x`` path.
+
+Undecidability itself cannot be exercised, but the constructions are
+executable and are validated on bounded instances: this module also
+contains a (necessarily incomplete) bounded satisfiability search used by
+the experiments to confirm the behaviour of φ' on small cases.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.node import NodeId
+from ..exceptions import ReductionError
+from .ast import (
+    NodeExpression,
+    PathExpression,
+    axis,
+    epsilon,
+    exists,
+    inverse_axis,
+    node_and,
+    node_not,
+    node_test,
+    path_concat,
+    path_equal,
+)
+from .evaluation import evaluate_node, node_holds
+
+__all__ = [
+    "tree_root",
+    "has_non_repeating_property",
+    "structure_formula",
+    "distinctness_formula",
+    "satisfiability_reduction_formula",
+    "bounded_satisfiability",
+    "bounded_model_search",
+    "bounded_containment_counterexample",
+]
+
+
+def tree_root(graph: DataGraph) -> NodeId:
+    """The root of a tree-shaped data graph (unique node with no incoming edge).
+
+    Raises
+    ------
+    ReductionError
+        If the graph is not a tree (wrong edge count, several roots, or
+        some node unreachable from the root).
+    """
+    roots = [node.id for node in graph.nodes if graph.in_degree(node.id) == 0]
+    if len(roots) != 1:
+        raise ReductionError(f"expected exactly one root, found {len(roots)}")
+    root = roots[0]
+    if graph.num_edges != graph.num_nodes - 1:
+        raise ReductionError("a tree must have exactly |V| - 1 edges")
+    if len(graph.reachable_from(root)) != graph.num_nodes:
+        raise ReductionError("not all nodes are reachable from the root")
+    return root
+
+
+def has_non_repeating_property(graph: DataGraph) -> bool:
+    """Whether no label occurs on two edges out of the same node (Lemma 2)."""
+    for node in graph.nodes:
+        seen = set()
+        for label, _ in graph.successors(node.id):
+            if label in seen:
+                return False
+            seen.add(label)
+    return True
+
+
+def structure_formula(graph: DataGraph, root: Optional[NodeId] = None) -> NodeExpression:
+    """The formula ``φ_G`` forcing the tree structure of *graph* (Theorem 7)."""
+    if root is None:
+        root = tree_root(graph)
+    if not has_non_repeating_property(graph):
+        raise ReductionError("φ_G requires the non-repeating property")
+
+    def build(node_id: NodeId) -> NodeExpression:
+        children = sorted(graph.successors(node_id), key=lambda item: item[0])
+        if not children:
+            return exists(epsilon())
+        conjuncts = [
+            exists(path_concat(axis(label), node_test(build(child.id)))) for label, child in children
+        ]
+        return node_and(*conjuncts)
+
+    return build(root)
+
+
+def _root_paths(graph: DataGraph, root: NodeId) -> Dict[NodeId, Tuple[str, ...]]:
+    """Label words of the unique root-to-node paths of a tree."""
+    words: Dict[NodeId, Tuple[str, ...]] = {root: ()}
+    stack = [root]
+    while stack:
+        current = stack.pop()
+        for label, child in graph.successors(current):
+            words[child.id] = words[current] + (label,)
+            stack.append(child.id)
+    return words
+
+
+def _word_path(word: Sequence[str]) -> PathExpression:
+    """The path expression for a forward label word (ε for the empty word)."""
+    if not word:
+        return epsilon()
+    return path_concat(*[axis(label) for label in word])
+
+
+def _inverse_word_path(word: Sequence[str]) -> PathExpression:
+    """The path expression for the reversed, inverted label word."""
+    if not word:
+        return epsilon()
+    return path_concat(*[inverse_axis(label) for label in reversed(word)])
+
+
+def distinctness_formula(graph: DataGraph, root: Optional[NodeId] = None) -> NodeExpression:
+    """The formula ``φ_δ`` forcing pairwise distinct data values (Theorem 7).
+
+    ``φ_δ = ⋀ { ¬⟨ w_y · (w_y⁻ · w_z)= ⟩ : y, z nodes of G, y ≠ z }``.
+    """
+    if root is None:
+        root = tree_root(graph)
+    words = _root_paths(graph, root)
+    node_ids = sorted(words.keys(), key=repr)
+    conjuncts: List[NodeExpression] = []
+    for y in node_ids:
+        for z in node_ids:
+            if y == z:
+                continue
+            inner = path_concat(
+                _word_path(words[y]),
+                path_equal(path_concat(_inverse_word_path(words[y]), _word_path(words[z]))),
+            )
+            conjuncts.append(node_not(exists(inner)))
+    if not conjuncts:
+        # Single-node tree: nothing to distinguish.
+        return exists(epsilon())
+    return node_and(*conjuncts)
+
+
+def satisfiability_reduction_formula(
+    graph: DataGraph, phi: NodeExpression, root: Optional[NodeId] = None
+) -> NodeExpression:
+    """The formula ``φ' = φ_G ∧ φ_δ ∧ ¬φ`` of Theorem 7."""
+    if root is None:
+        root = tree_root(graph)
+    return node_and(structure_formula(graph, root), distinctness_formula(graph, root), node_not(phi))
+
+
+# ----------------------------------------------------------------------
+# Bounded satisfiability search
+# ----------------------------------------------------------------------
+def bounded_model_search(
+    phi: NodeExpression,
+    alphabet: Sequence[str],
+    max_nodes: int,
+    max_values: int = 2,
+    null_semantics: bool = False,
+) -> Optional[Tuple[DataGraph, NodeId]]:
+    """Search for a model of φ among all data graphs with at most *max_nodes* nodes.
+
+    The search is exhaustive over graphs with nodes ``0 .. k-1``
+    (``k ≤ max_nodes``), data values drawn from ``{0 .. max_values-1}``
+    and edges over *alphabet* — exponential, so only suitable for very
+    small bounds (the experiments use ``max_nodes ≤ 3``).  Returns a
+    witnessing graph and node, or ``None`` if no bounded model exists.
+    """
+    labels = sorted(set(alphabet) | set(phi.labels()))
+    for size in range(1, max_nodes + 1):
+        possible_edges = [
+            (source, label, target)
+            for source in range(size)
+            for label in labels
+            for target in range(size)
+        ]
+        for values in itertools.product(range(max_values), repeat=size):
+            for edge_mask in itertools.product((False, True), repeat=len(possible_edges)):
+                graph = DataGraph(alphabet=labels)
+                for node_index in range(size):
+                    graph.add_node(node_index, values[node_index])
+                for include, (source, label, target) in zip(edge_mask, possible_edges):
+                    if include:
+                        graph.add_edge(source, label, target)
+                satisfied = evaluate_node(graph, phi, null_semantics)
+                if satisfied:
+                    return graph, next(iter(satisfied)).id
+    return None
+
+
+def bounded_satisfiability(
+    phi: NodeExpression,
+    alphabet: Sequence[str],
+    max_nodes: int,
+    max_values: int = 2,
+    null_semantics: bool = False,
+) -> bool:
+    """Whether φ has a model with at most *max_nodes* nodes (see caveats above)."""
+    return bounded_model_search(phi, alphabet, max_nodes, max_values, null_semantics) is not None
+
+
+def bounded_containment_counterexample(
+    phi: NodeExpression,
+    psi: NodeExpression,
+    alphabet: Sequence[str],
+    max_nodes: int,
+    max_values: int = 2,
+    null_semantics: bool = False,
+) -> Optional[Tuple[DataGraph, NodeId]]:
+    """Search for a bounded witness that ``[[φ]] ⊈ [[ψ]]``.
+
+    Containment of ``GXPath_core~`` node expressions is undecidable
+    (Theorem 7); this helper performs the same exhaustive bounded search
+    as :func:`bounded_model_search` but looks for a graph and node
+    satisfying ``φ ∧ ¬ψ``.  Returning ``None`` therefore only means "no
+    counterexample with at most *max_nodes* nodes", never a proof of
+    containment.
+    """
+    return bounded_model_search(
+        node_and(phi, node_not(psi)), alphabet, max_nodes, max_values, null_semantics
+    )

@@ -1,0 +1,141 @@
+"""Conjunctive (data) RPQs.
+
+Section 5 of the paper notes that the navigational query-answering results
+of [8, 12] also hold for *conjunctive RPQs* (CRPQs) and their extensions.
+A CRPQ is a conjunction of RPQ atoms sharing variables, with a tuple of
+output variables::
+
+    Q(x, y)  :-  (x, e1, z), (z, e2, y), (y, e3, x)
+
+This module implements CRPQs whose atoms may be plain RPQs or data RPQs,
+evaluated by a straightforward join over the atom relations.  They are
+used by the workloads (conjunctive patterns over exchanged graphs) and by
+tests exercising closure under homomorphisms for conjunctive queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.node import Node
+from ..exceptions import EvaluationError
+from .data_rpq import DataRPQ
+from .data_rpq_eval import evaluate_data_rpq
+from .rpq import RPQ
+from .rpq_eval import evaluate_rpq
+
+__all__ = ["Atom", "ConjunctiveRPQ", "evaluate_crpq"]
+
+QueryLike = Union[RPQ, DataRPQ]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``(x, e, y)``: variable *source*, query *query*, variable *target*."""
+
+    source: str
+    query: QueryLike
+    target: str
+
+
+@dataclass(frozen=True)
+class ConjunctiveRPQ:
+    """A conjunctive (data) RPQ with designated output variables.
+
+    Attributes
+    ----------
+    head:
+        The output variables, in order.
+    atoms:
+        The conjunction of atoms; every head variable must occur in some atom.
+    """
+
+    head: Tuple[str, ...]
+    atoms: Tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        mentioned = self.variables()
+        for variable in self.head:
+            if variable not in mentioned:
+                raise EvaluationError(f"head variable {variable!r} does not occur in any atom")
+        if not self.atoms:
+            raise EvaluationError("a conjunctive RPQ needs at least one atom")
+
+    @property
+    def arity(self) -> int:
+        """Number of output variables."""
+        return len(self.head)
+
+    def variables(self) -> FrozenSet[str]:
+        """All variables occurring in the atoms."""
+        result = set()
+        for atom in self.atoms:
+            result.add(atom.source)
+            result.add(atom.target)
+        return frozenset(result)
+
+    def is_boolean(self) -> bool:
+        """Whether the query has no output variables."""
+        return not self.head
+
+
+def evaluate_crpq(
+    graph: DataGraph, query: ConjunctiveRPQ, null_semantics: bool = False
+) -> FrozenSet[Tuple[Node, ...]]:
+    """Evaluate a conjunctive (data) RPQ by joining its atom relations.
+
+    Returns the set of tuples of nodes for the head variables; a Boolean
+    query returns ``{()}`` when satisfied and ``frozenset()`` otherwise.
+    """
+    # Evaluate every atom once.
+    atom_relations: List[Tuple[Atom, FrozenSet[Tuple[Node, Node]]]] = []
+    for atom in query.atoms:
+        if isinstance(atom.query, DataRPQ):
+            relation = evaluate_data_rpq(graph, atom.query, null_semantics)
+        elif isinstance(atom.query, RPQ):
+            relation = evaluate_rpq(graph, atom.query)
+        else:  # pragma: no cover - defensive
+            raise EvaluationError(f"unsupported atom query {atom.query!r}")
+        atom_relations.append((atom, relation))
+
+    # Join atom by atom, keeping partial assignments of variables to nodes.
+    assignments: List[Dict[str, Node]] = [{}]
+    # Order atoms to join connected variables early (greedy heuristic).
+    remaining = list(atom_relations)
+    ordered: List[Tuple[Atom, FrozenSet[Tuple[Node, Node]]]] = []
+    bound_vars: set = set()
+    while remaining:
+        index = next(
+            (
+                i
+                for i, (atom, _) in enumerate(remaining)
+                if atom.source in bound_vars or atom.target in bound_vars
+            ),
+            0,
+        )
+        atom, relation = remaining.pop(index)
+        ordered.append((atom, relation))
+        bound_vars.update({atom.source, atom.target})
+
+    for atom, relation in ordered:
+        next_assignments: List[Dict[str, Node]] = []
+        for assignment in assignments:
+            for source, target in relation:
+                if atom.source in assignment and assignment[atom.source] != source:
+                    continue
+                if atom.target in assignment and assignment[atom.target] != target:
+                    continue
+                extended = dict(assignment)
+                extended[atom.source] = source
+                extended[atom.target] = target
+                next_assignments.append(extended)
+        assignments = next_assignments
+        if not assignments:
+            return frozenset()
+
+    results = set()
+    for assignment in assignments:
+        results.add(tuple(assignment[variable] for variable in query.head))
+    return frozenset(results)

@@ -1,0 +1,248 @@
+"""Evaluation of data RPQs over data graphs.
+
+Two engines are provided:
+
+* **Relational-algebra engine for equality RPQs** — REE expressions are
+  evaluated bottom-up: each sub-expression denotes a binary relation over
+  the graph's nodes (pairs connected by a path whose data path matches the
+  sub-expression), built by composition, union, transitive closure and
+  endpoint data-value filtering for the ``e=`` / ``e≠`` subscripts.  This
+  is sound because an REE subscript only ever compares the *first* and
+  *last* data value of the sub-path it annotates, which are exactly the
+  endpoint node values of the corresponding sub-relation.  Data complexity
+  is polynomial (the NLogspace bound of [Libkin, Martens, Vrgoč]).
+
+* **Register-automaton product engine** — REM (and, via the REE→REM
+  translation, also REE) expressions are compiled to register automata and
+  evaluated by reachability in the product of the automaton with the
+  graph; configurations are ``(node, state, register valuation)`` where
+  register contents range over the graph's data values.  This is the
+  general-purpose engine for memory RPQs.
+
+Both engines accept the SQL-null semantics flag of Section 7, under which
+no comparison involving a null node's value is true.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.node import Node, NodeId
+from ..datagraph.values import values_differ, values_equal
+from ..datapaths import (
+    RegexWithEquality,
+    RegexWithMemory,
+    RegisterAutomaton,
+    Valuation,
+    compile_rem,
+    ree_to_rem,
+)
+from ..datapaths.ree import (
+    ReeConcat,
+    ReeEpsilon,
+    ReeEqualTest,
+    ReeLetter,
+    ReeNotEqualTest,
+    ReePlus,
+    ReeUnion,
+)
+from ..exceptions import EvaluationError
+from .data_rpq import DataRPQ
+
+__all__ = [
+    "evaluate_data_rpq",
+    "evaluate_ree_algebraic",
+    "evaluate_via_register_automaton",
+    "data_rpq_holds",
+]
+
+NodePair = Tuple[Node, Node]
+
+
+def evaluate_data_rpq(
+    graph: DataGraph,
+    query: DataRPQ,
+    null_semantics: bool = False,
+    engine: str = "auto",
+) -> FrozenSet[NodePair]:
+    """Evaluate a data RPQ on a data graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph.
+    query:
+        The data RPQ (REM- or REE-based).
+    null_semantics:
+        Apply the SQL-null comparison rules of Section 7.
+    engine:
+        ``"auto"`` (default) picks the algebraic engine for equality RPQs
+        and the register-automaton engine for memory RPQs; ``"algebraic"``
+        and ``"automaton"`` force a specific engine (the algebraic engine
+        only supports REE expressions).
+    """
+    expression = query.expression
+    if engine not in {"auto", "algebraic", "automaton"}:
+        raise EvaluationError(f"unknown data RPQ engine {engine!r}")
+    if engine == "algebraic" or (engine == "auto" and isinstance(expression, RegexWithEquality)):
+        if not isinstance(expression, RegexWithEquality):
+            raise EvaluationError("the algebraic engine only evaluates equality RPQs (REE)")
+        return evaluate_ree_algebraic(graph, expression, null_semantics)
+    if isinstance(expression, RegexWithEquality):
+        expression = ree_to_rem(expression)
+    return evaluate_via_register_automaton(graph, expression, null_semantics)
+
+
+def data_rpq_holds(
+    graph: DataGraph,
+    query: DataRPQ,
+    source: NodeId,
+    target: NodeId,
+    null_semantics: bool = False,
+) -> bool:
+    """Whether ``(source, target)`` belongs to the query answer."""
+    source_node = graph.node(source)
+    target_node = graph.node(target)
+    return (source_node, target_node) in evaluate_data_rpq(graph, query, null_semantics)
+
+
+# ----------------------------------------------------------------------
+# Engine 1: bottom-up relational algebra for REE
+# ----------------------------------------------------------------------
+def evaluate_ree_algebraic(
+    graph: DataGraph, expression: RegexWithEquality, null_semantics: bool = False
+) -> FrozenSet[NodePair]:
+    """Evaluate an equality RPQ by bottom-up relation construction."""
+    cache: Dict[int, FrozenSet[Tuple[NodeId, NodeId]]] = {}
+    id_pairs = _ree_relation(graph, expression, null_semantics, cache)
+    return frozenset((graph.node(source), graph.node(target)) for source, target in id_pairs)
+
+
+def _ree_relation(
+    graph: DataGraph,
+    expression: RegexWithEquality,
+    null_semantics: bool,
+    cache: Dict[int, FrozenSet[Tuple[NodeId, NodeId]]],
+) -> FrozenSet[Tuple[NodeId, NodeId]]:
+    key = id(expression)
+    if key in cache:
+        return cache[key]
+    if isinstance(expression, ReeEpsilon):
+        result = frozenset((node_id, node_id) for node_id in graph.node_ids)
+    elif isinstance(expression, ReeLetter):
+        result = frozenset(
+            (source.id, target.id) for source, target in graph.edge_relation(expression.symbol)
+        )
+    elif isinstance(expression, ReeConcat):
+        left = _ree_relation(graph, expression.left, null_semantics, cache)
+        right = _ree_relation(graph, expression.right, null_semantics, cache)
+        result = _compose(left, right)
+    elif isinstance(expression, ReeUnion):
+        result = _ree_relation(graph, expression.left, null_semantics, cache) | _ree_relation(
+            graph, expression.right, null_semantics, cache
+        )
+    elif isinstance(expression, ReePlus):
+        result = _transitive_closure(_ree_relation(graph, expression.inner, null_semantics, cache))
+    elif isinstance(expression, (ReeEqualTest, ReeNotEqualTest)):
+        inner = _ree_relation(graph, expression.inner, null_semantics, cache)
+        want_equal = isinstance(expression, ReeEqualTest)
+        kept = set()
+        for source, target in inner:
+            first = graph.value_of(source)
+            last = graph.value_of(target)
+            if null_semantics:
+                ok = values_equal(first, last) if want_equal else values_differ(first, last)
+            else:
+                ok = (first == last) if want_equal else (first != last)
+            if ok:
+                kept.add((source, target))
+        result = frozenset(kept)
+    else:  # pragma: no cover - defensive
+        raise EvaluationError(f"unknown REE node {expression!r}")
+    cache[key] = result
+    return result
+
+
+def _compose(
+    left: Iterable[Tuple[NodeId, NodeId]], right: Iterable[Tuple[NodeId, NodeId]]
+) -> FrozenSet[Tuple[NodeId, NodeId]]:
+    by_source: Dict[NodeId, Set[NodeId]] = {}
+    for source, middle in left:
+        by_source.setdefault(middle, set())
+    right_index: Dict[NodeId, Set[NodeId]] = {}
+    for middle, target in right:
+        right_index.setdefault(middle, set()).add(target)
+    result: Set[Tuple[NodeId, NodeId]] = set()
+    for source, middle in left:
+        for target in right_index.get(middle, ()):
+            result.add((source, target))
+    return frozenset(result)
+
+
+def _transitive_closure(relation: Iterable[Tuple[NodeId, NodeId]]) -> FrozenSet[Tuple[NodeId, NodeId]]:
+    successors: Dict[NodeId, Set[NodeId]] = {}
+    for source, target in relation:
+        successors.setdefault(source, set()).add(target)
+    closure: Set[Tuple[NodeId, NodeId]] = set()
+    for start in list(successors):
+        seen: Set[NodeId] = set()
+        queue = deque(successors.get(start, ()))
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            closure.add((start, current))
+            queue.extend(successors.get(current, ()))
+    return frozenset(closure)
+
+
+# ----------------------------------------------------------------------
+# Engine 2: register-automaton × graph product for REM
+# ----------------------------------------------------------------------
+def evaluate_via_register_automaton(
+    graph: DataGraph,
+    expression: RegexWithMemory | RegisterAutomaton,
+    null_semantics: bool = False,
+) -> FrozenSet[NodePair]:
+    """Evaluate a memory RPQ by product reachability with its register automaton."""
+    automaton = expression if isinstance(expression, RegisterAutomaton) else compile_rem(expression)
+    pairs: Set[NodePair] = set()
+    for source in graph.nodes:
+        for target_id in _ra_reachable(graph, automaton, source.id, null_semantics):
+            pairs.add((source, graph.node(target_id)))
+    return frozenset(pairs)
+
+
+def _ra_reachable(
+    graph: DataGraph, automaton: RegisterAutomaton, source: NodeId, null_semantics: bool
+) -> Set[NodeId]:
+    start_value = graph.value_of(source)
+    initial = automaton.silent_closure(
+        {(automaton.initial, Valuation())}, start_value, null_semantics
+    )
+    seen: Set[Tuple[NodeId, int, Valuation]] = {
+        (source, state, valuation) for state, valuation in initial
+    }
+    queue: deque = deque(seen)
+    targets: Set[NodeId] = set()
+    for node_id, state, _ in seen:
+        if state in automaton.accepting:
+            targets.add(node_id)
+    while queue:
+        node_id, state, valuation = queue.popleft()
+        for label, neighbour in graph.successors(node_id):
+            stepped = automaton.letter_step(
+                {(state, valuation)}, label, neighbour.value, null_semantics
+            )
+            for next_state, next_valuation in stepped:
+                config = (neighbour.id, next_state, next_valuation)
+                if config in seen:
+                    continue
+                seen.add(config)
+                if next_state in automaton.accepting:
+                    targets.add(neighbour.id)
+                queue.append(config)
+    return targets

@@ -1,0 +1,112 @@
+"""Regular path queries (RPQs) on data graphs.
+
+Section 2 of the paper: an RPQ over Σ is a regular expression ``e``; on a
+(data) graph it returns the pairs of nodes connected by a path whose label
+belongs to ``L(e)``.  Special cases used throughout the paper:
+
+* *atomic* RPQs — a single letter ``a`` (the relation ``E_a``);
+* *word* RPQs — a single word ``w ∈ Σ*`` (the right-hand sides of
+  relational mappings, Definition 3);
+* the *reachability* RPQ ``Σ*``.
+
+The :class:`RPQ` wrapper couples a regular expression with convenience
+classification methods; evaluation lives in
+:mod:`repro.query.rpq_eval`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from ..regular import (
+    Regex,
+    as_finite_language,
+    as_word,
+    is_reachability,
+    letter,
+    parse_regex,
+    universal,
+    word,
+)
+
+__all__ = ["RPQ", "atomic_rpq", "word_rpq", "reachability_rpq", "rpq"]
+
+
+@dataclass(frozen=True)
+class RPQ:
+    """A regular path query: a wrapper around a regular expression over Σ.
+
+    Attributes
+    ----------
+    expression:
+        The underlying :class:`~repro.regular.ast.Regex`.
+    """
+
+    expression: Regex
+
+    @property
+    def arity(self) -> int:
+        """RPQs are binary queries."""
+        return 2
+
+    def letters(self) -> FrozenSet[str]:
+        """Edge labels mentioned by the query."""
+        return self.expression.letters()
+
+    def is_atomic(self) -> bool:
+        """Whether the query is a single letter ``a`` (the LAV left-hand shape)."""
+        single = as_word(self.expression)
+        return single is not None and len(single) == 1
+
+    def as_letter(self) -> Optional[str]:
+        """The letter of an atomic RPQ, or ``None``."""
+        single = as_word(self.expression)
+        if single is not None and len(single) == 1:
+            return single[0]
+        return None
+
+    def is_word(self) -> bool:
+        """Whether the query is a word RPQ (Definition 3)."""
+        return as_word(self.expression) is not None
+
+    def as_word(self) -> Optional[Tuple[str, ...]]:
+        """The word of a word RPQ, or ``None``."""
+        return as_word(self.expression)
+
+    def is_finite(self) -> bool:
+        """Whether the query denotes a finite language ``w1 + ... + wm``."""
+        return as_finite_language(self.expression) is not None
+
+    def finite_language(self) -> Optional[FrozenSet[Tuple[str, ...]]]:
+        """The finite language denoted, or ``None`` when infinite."""
+        return as_finite_language(self.expression)
+
+    def is_reachability(self, alphabet: Optional[Sequence[str]] = None) -> bool:
+        """Whether the query is the unconstrained reachability RPQ ``Σ*``."""
+        return is_reachability(self.expression, alphabet)
+
+    def __str__(self) -> str:
+        return str(self.expression)
+
+
+def rpq(expression: Regex | str) -> RPQ:
+    """Build an RPQ from a regular expression AST or its textual form."""
+    if isinstance(expression, str):
+        expression = parse_regex(expression)
+    return RPQ(expression)
+
+
+def atomic_rpq(symbol: str) -> RPQ:
+    """The atomic RPQ ``a`` returning the edge relation ``E_a``."""
+    return RPQ(letter(symbol))
+
+
+def word_rpq(labels: Sequence[str]) -> RPQ:
+    """The word RPQ denoting exactly the given label sequence."""
+    return RPQ(word(tuple(labels)))
+
+
+def reachability_rpq(alphabet: Sequence[str]) -> RPQ:
+    """The reachability RPQ ``Σ*`` over the given alphabet."""
+    return RPQ(universal(tuple(alphabet)))

@@ -1,0 +1,168 @@
+"""Evaluation of RPQs over data graphs by a product construction.
+
+The textbook NLogspace procedure: compile the regular expression into an
+ε-NFA, form the product with the graph (states are pairs of a graph node
+and an automaton state) and compute reachability.  ``e(G)`` is the set of
+pairs ``(v, v')`` such that some accepting product state ``(v', q_f)`` is
+reachable from an initial product state ``(v, q_0)``.
+
+The evaluator also exposes single-source and pair-checking entry points
+used by mapping satisfaction checks, and a word-specific fast path for
+the word RPQs of relational mappings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.node import Node, NodeId
+from ..regular import NFA, Regex, parse_regex, to_nfa
+from .rpq import RPQ
+
+__all__ = [
+    "evaluate_rpq",
+    "evaluate_rpq_from",
+    "rpq_holds",
+    "evaluate_word",
+    "witness_path_labels",
+]
+
+
+def _coerce_nfa(query: RPQ | Regex | str) -> NFA:
+    if isinstance(query, RPQ):
+        return to_nfa(query.expression)
+    return to_nfa(query)
+
+
+def evaluate_rpq(graph: DataGraph, query: RPQ | Regex | str) -> FrozenSet[Tuple[Node, Node]]:
+    """The full binary relation ``e(G)`` of an RPQ on a data graph."""
+    nfa = _coerce_nfa(query)
+    pairs: Set[Tuple[Node, Node]] = set()
+    for source in graph.nodes:
+        for target_id in _reachable_targets(graph, nfa, source.id):
+            pairs.add((source, graph.node(target_id)))
+    return frozenset(pairs)
+
+
+def evaluate_rpq_from(graph: DataGraph, query: RPQ | Regex | str, source: NodeId) -> FrozenSet[Node]:
+    """All nodes ``v'`` with ``(source, v') ∈ e(G)``."""
+    nfa = _coerce_nfa(query)
+    return frozenset(graph.node(target) for target in _reachable_targets(graph, nfa, source))
+
+
+def rpq_holds(graph: DataGraph, query: RPQ | Regex | str, source: NodeId, target: NodeId) -> bool:
+    """Whether ``(source, target) ∈ e(G)``."""
+    nfa = _coerce_nfa(query)
+    return target in _reachable_targets(graph, nfa, source, stop_at=target)
+
+
+def _reachable_targets(
+    graph: DataGraph, nfa: NFA, source: NodeId, stop_at: Optional[NodeId] = None
+) -> Set[NodeId]:
+    """Graph nodes reachable from *source* along a path accepted by *nfa*."""
+    initial_states = nfa.initial_closure()
+    start_configs = {(source, state) for state in initial_states}
+    seen: Set[Tuple[NodeId, int]] = set(start_configs)
+    queue: deque = deque(start_configs)
+    targets: Set[NodeId] = set()
+    accepting = nfa.accepting
+
+    def _note(node_id: NodeId, state: int) -> None:
+        if state in accepting:
+            targets.add(node_id)
+
+    for node_id, state in start_configs:
+        _note(node_id, state)
+    if stop_at is not None and stop_at in targets:
+        return targets
+
+    while queue:
+        node_id, state = queue.popleft()
+        for label, neighbour in graph.successors(node_id):
+            for next_state in nfa.step({state}, label):
+                config = (neighbour.id, next_state)
+                if config in seen:
+                    continue
+                seen.add(config)
+                _note(neighbour.id, next_state)
+                if stop_at is not None and stop_at in targets:
+                    return targets
+                queue.append(config)
+    return targets
+
+
+def evaluate_word(graph: DataGraph, labels: Sequence[str]) -> FrozenSet[Tuple[Node, Node]]:
+    """Evaluate a word RPQ directly by composing edge relations.
+
+    This avoids the automaton machinery for the common case of relational
+    mapping rules (right-hand sides are words, Definition 3).
+    """
+    labels = tuple(labels)
+    if not labels:
+        return frozenset((node, node) for node in graph.nodes)
+    # frontier maps: for each start node, the set of nodes reached so far
+    reached: Dict[NodeId, Set[NodeId]] = {node_id: {node_id} for node_id in graph.node_ids}
+    for label in labels:
+        next_reached: Dict[NodeId, Set[NodeId]] = {}
+        for start, current in reached.items():
+            bucket: Set[NodeId] = set()
+            for node_id in current:
+                for _, neighbour in graph.successors(node_id, label):
+                    bucket.add(neighbour.id)
+            if bucket:
+                next_reached[start] = bucket
+        reached = next_reached
+        if not reached:
+            return frozenset()
+    pairs: Set[Tuple[Node, Node]] = set()
+    for start, finals in reached.items():
+        for final in finals:
+            pairs.add((graph.node(start), graph.node(final)))
+    return frozenset(pairs)
+
+
+def witness_path_labels(
+    graph: DataGraph, query: RPQ | Regex | str, source: NodeId, target: NodeId
+) -> Optional[Tuple[str, ...]]:
+    """The label sequence of a shortest witnessing path, or ``None``.
+
+    Useful for explanations in examples and for tests that need to check
+    that the product construction found a genuine path.
+    """
+    nfa = _coerce_nfa(query)
+    initial_states = nfa.initial_closure()
+    start_configs = {(source, state) for state in initial_states}
+    parents: Dict[Tuple[NodeId, int], Tuple[Optional[Tuple[NodeId, int]], Optional[str]]] = {
+        config: (None, None) for config in start_configs
+    }
+    queue: deque = deque(start_configs)
+    accepting = nfa.accepting
+
+    def _reconstruct(config: Tuple[NodeId, int]) -> Tuple[str, ...]:
+        labels: List[str] = []
+        cursor: Optional[Tuple[NodeId, int]] = config
+        while cursor is not None:
+            parent, label = parents[cursor]
+            if label is not None:
+                labels.append(label)
+            cursor = parent
+        return tuple(reversed(labels))
+
+    for config in start_configs:
+        if config[0] == target and config[1] in accepting:
+            return ()
+
+    while queue:
+        node_id, state = queue.popleft()
+        for label, neighbour in graph.successors(node_id):
+            for next_state in nfa.step({state}, label):
+                config = (neighbour.id, next_state)
+                if config in parents:
+                    continue
+                parents[config] = ((node_id, state), label)
+                if neighbour.id == target and next_state in accepting:
+                    return _reconstruct(config)
+                queue.append(config)
+    return None

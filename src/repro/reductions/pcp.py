@@ -1,0 +1,181 @@
+"""The Post Correspondence Problem: instances, bounded solving, stock examples.
+
+Both undecidability proofs of the paper (Theorem 1 for data RPQs under
+LAV/GAV relational/reachability mappings, Theorem 6 / Lemma 2 for GXPath
+under copy mappings) reduce from PCP over the alphabet ``{a, b}``: an
+instance is a list of *tiles* ``(u_r, v_r)`` of nonempty words, and a
+solution is a nonempty index sequence ``r_1 ... r_m`` with
+``u_{r_1}···u_{r_m} = v_{r_1}···v_{r_m}``.
+
+PCP is undecidable, so the library cannot decide it — but the reduction
+gadgets can be *validated* on bounded instances: this module provides a
+breadth-first bounded solver (complete up to a given solution length)
+plus a small zoo of standard solvable and (provably, for the bound)
+unsolvable instances used by the tests and experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ReductionError
+
+__all__ = [
+    "PCPInstance",
+    "solve_pcp_bounded",
+    "verify_pcp_solution",
+    "SOLVABLE_EXAMPLES",
+    "UNSOLVABLE_EXAMPLES",
+]
+
+Tile = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class PCPInstance:
+    """A PCP instance: an ordered list of tiles ``(u_r, v_r)`` over ``{a, b}``."""
+
+    tiles: Tuple[Tile, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.tiles:
+            raise ReductionError("a PCP instance needs at least one tile")
+        for index, (top, bottom) in enumerate(self.tiles):
+            if not top or not bottom:
+                raise ReductionError(f"tile #{index + 1} has an empty word")
+            for word in (top, bottom):
+                if any(symbol not in {"a", "b"} for symbol in word):
+                    raise ReductionError(
+                        f"tile #{index + 1} uses symbols outside {{a, b}}: {word!r}"
+                    )
+
+    @property
+    def size(self) -> int:
+        """Number of tiles ``n``."""
+        return len(self.tiles)
+
+    def top(self, index: int) -> str:
+        """The word ``u_r`` of the 1-based tile index ``r``."""
+        return self.tiles[index - 1][0]
+
+    def bottom(self, index: int) -> str:
+        """The word ``v_r`` of the 1-based tile index ``r``."""
+        return self.tiles[index - 1][1]
+
+    def words(self, indices: Sequence[int]) -> Tuple[str, str]:
+        """The concatenated top and bottom words of an index sequence."""
+        top = "".join(self.top(index) for index in indices)
+        bottom = "".join(self.bottom(index) for index in indices)
+        return top, bottom
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"({top}/{bottom})" for top, bottom in self.tiles)
+        return f"PCP[{inner}]"
+
+
+def verify_pcp_solution(instance: PCPInstance, indices: Sequence[int]) -> bool:
+    """Whether the 1-based index sequence is a PCP solution of the instance."""
+    if not indices:
+        return False
+    if any(index < 1 or index > instance.size for index in indices):
+        return False
+    top, bottom = instance.words(indices)
+    return top == bottom
+
+
+def solve_pcp_bounded(
+    instance: PCPInstance, max_length: int, max_states: int = 200_000
+) -> Optional[Tuple[int, ...]]:
+    """Search for a PCP solution using at most *max_length* tiles.
+
+    A breadth-first search over the *overhang* (the part of the longer of
+    the two concatenations sticking out beyond the shorter one); states
+    are pruned when the overhang cannot be matched.  Complete for the
+    given bound: returns a shortest solution of length ≤ ``max_length``,
+    or ``None`` if there is none within the bound.
+
+    Raises
+    ------
+    ReductionError
+        If the state budget is exceeded (the instance is too explosive for
+        the requested bound).
+    """
+    # state: (side, overhang) where side = +1 if the top string is ahead,
+    # -1 if the bottom string is ahead; overhang is the extra suffix.
+    initial: List[Tuple[Tuple[int, str], Tuple[int, ...]]] = []
+    for index in range(1, instance.size + 1):
+        top, bottom = instance.top(index), instance.bottom(index)
+        state = _extend_overhang("", 1, top, bottom)
+        if state is None:
+            continue
+        side, overhang = state
+        if overhang == "":
+            return (index,)
+        initial.append(((side, overhang), (index,)))
+
+    seen = {state for state, _ in initial}
+    queue = deque(initial)
+    explored = 0
+    while queue:
+        (side, overhang), sequence = queue.popleft()
+        if len(sequence) >= max_length:
+            continue
+        for index in range(1, instance.size + 1):
+            top, bottom = instance.top(index), instance.bottom(index)
+            nxt = _extend_overhang(overhang, side, top, bottom)
+            if nxt is None:
+                continue
+            next_side, next_overhang = nxt
+            next_sequence = sequence + (index,)
+            if next_overhang == "":
+                return next_sequence
+            state = (next_side, next_overhang)
+            # BFS explores by sequence length, so the first visit to an
+            # overhang state is via a shortest prefix; revisits are skipped.
+            if state in seen:
+                continue
+            seen.add(state)
+            explored += 1
+            if explored > max_states:
+                raise ReductionError(
+                    f"bounded PCP search exceeded {max_states} states; lower max_length"
+                )
+            queue.append((state, next_sequence))
+    return None
+
+
+def _extend_overhang(overhang: str, side: int, top: str, bottom: str) -> Optional[Tuple[int, str]]:
+    """Extend the current overhang with one tile; ``None`` if the tile mismatches."""
+    if side >= 0:
+        ahead = overhang + top  # the top string including its lead
+        behind = bottom
+    else:
+        ahead = overhang + bottom
+        behind = top
+    # one of the two must be a prefix of the other
+    if ahead.startswith(behind):
+        remainder = ahead[len(behind):]
+        return (side if side != 0 else 1, remainder) if remainder else (1, "")
+    if behind.startswith(ahead):
+        remainder = behind[len(ahead):]
+        return (-side if side != 0 else -1, remainder)
+    return None
+
+
+#: Solvable instances with short solutions (found by the bounded solver).
+SOLVABLE_EXAMPLES: Dict[str, PCPInstance] = {
+    "identity": PCPInstance((("a", "a"),), name="identity"),
+    "two-tiles": PCPInstance((("a", "ab"), ("bb", "b")), name="two-tiles"),
+    "classic": PCPInstance((("a", "baa"), ("ab", "aa"), ("bba", "bb")), name="classic"),
+    "sipser-like": PCPInstance((("b", "bbb"), ("babbb", "ba"), ("ba", "a")), name="sipser-like"),
+}
+
+#: Instances with no solution at all (simple length / letter-count arguments).
+UNSOLVABLE_EXAMPLES: Dict[str, PCPInstance] = {
+    "length-mismatch": PCPInstance((("a", "aa"), ("b", "bb")), name="length-mismatch"),
+    "letter-mismatch": PCPInstance((("a", "b"), ("b", "a")), name="letter-mismatch"),
+    "prefix-clash": PCPInstance((("ab", "ba"), ("aa", "bb")), name="prefix-clash"),
+}

@@ -1,0 +1,268 @@
+"""The Theorem 1 gadget: PCP encoded as certain answering under a GSM.
+
+Theorem 1 reduces PCP to ``QueryAnswering_GSM`` for a LAV/GAV
+relational/reachability mapping and an equality RPQ: from a PCP instance
+it builds a source data graph ``G_s`` with two designated nodes
+``start`` and ``end`` such that ``(start, end) ∉ 2_M(Q, G_s)`` iff the
+instance is solvable.
+
+This module implements the executable parts of that construction:
+
+* :func:`pcp_source_graph` — the source graph of the proof sketch: a
+  single path ``start -i-> ... -s-> · -#-> end`` whose middle section
+  lists every tile ``(u_r, v_r)``, with ``t`` marking the start of each
+  tile, ``↔`` separating ``u_r`` from ``v_r``, and pairwise distinct data
+  values throughout;
+* :func:`theorem1_mapping` — the mapping with copy rules ``(ℓ, ℓ)`` for
+  ``ℓ ∈ {a, b, t, i, s, ↔}`` and the single reachability rule
+  ``(#, Σ_t*)``: LAV, GAV except for the reachability rule, exactly the
+  minimal class of Theorem 1;
+* :func:`solution_witness_graph` — given a PCP solution, the single-path
+  target instance the proof uses in the "if solvable" direction: the
+  source is copied and the ``#`` edge is replaced by a solution section
+  (the chosen tile indices, encoded with ``t`` / ``m`` / ``m̄`` / ``id``
+  markers and shared data values) followed by a verification section;
+* :func:`decode_witness` — reads the tile sequence back out of a witness
+  graph, so tests can confirm the round trip;
+* :func:`structural_error_query` — an equality RPQ over the target
+  alphabet that detects structurally malformed replacement paths (a
+  representative part of the full error-detection query; the complete
+  query of the proof is only sketched in the paper).
+
+The undecidability itself is of course not executable; the experiments
+validate the two directions of the reduction on bounded instances by
+combining these builders with the bounded PCP solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.gsm import GraphSchemaMapping, MappingRule
+from ..core.solutions import is_solution
+from ..datagraph.graph import DataGraph
+from ..exceptions import ReductionError
+from ..query.data_rpq import DataRPQ, equality_rpq
+from ..query.rpq import atomic_rpq, reachability_rpq
+from .pcp import PCPInstance, verify_pcp_solution
+
+__all__ = [
+    "THEOREM1_ALPHABET",
+    "pcp_source_graph",
+    "theorem1_mapping",
+    "solution_witness_graph",
+    "decode_witness",
+    "structural_error_query",
+    "repetition_error_query",
+]
+
+#: The alphabet used by the Theorem 1 encoding (both source and target).
+THEOREM1_ALPHABET: Tuple[str, ...] = ("a", "b", "i", "t", "m", "mbar", "id", "s", "v", "sep", "#")
+
+#: The labels whose edges are copied verbatim by the mapping.
+_COPIED_LABELS: Tuple[str, ...] = ("a", "b", "t", "i", "s", "sep")
+
+
+def pcp_source_graph(instance: PCPInstance) -> DataGraph:
+    """Build the Theorem 1 source graph for a PCP instance.
+
+    The graph is a single path: ``start -i->`` then, for each tile
+    ``(u_r, v_r)``, a ``t`` edge followed by the letters of ``u_r``, a
+    ``sep`` (the paper's ``↔``) edge, and the letters of ``v_r``; after the
+    last tile an ``s`` edge and a final ``#`` edge into ``end``.  All data
+    values are pairwise distinct.
+    """
+    graph = DataGraph(alphabet=THEOREM1_ALPHABET, name=f"thm1-source-{instance.name or 'pcp'}")
+    counter = [0]
+
+    def fresh_value() -> str:
+        counter[0] += 1
+        return f"c{counter[0]}"
+
+    graph.add_node("start", fresh_value())
+    previous = "start"
+
+    def step(label: str, node_id: str) -> str:
+        nonlocal previous
+        graph.add_node(node_id, fresh_value())
+        graph.add_edge(previous, label, node_id)
+        previous = node_id
+        return node_id
+
+    step("i", "input")
+    for r in range(1, instance.size + 1):
+        step("t", f"tile{r}:start")
+        for position, letter in enumerate(instance.top(r)):
+            step(letter, f"tile{r}:u{position + 1}")
+        step("sep", f"tile{r}:sep")
+        for position, letter in enumerate(instance.bottom(r)):
+            step(letter, f"tile{r}:v{position + 1}")
+    step("s", "solution-anchor")
+    graph.add_node("end", fresh_value())
+    graph.add_edge(previous, "#", "end")
+    return graph
+
+
+def theorem1_mapping() -> GraphSchemaMapping:
+    """The Theorem 1 mapping: copy rules ``(ℓ, ℓ)`` plus ``(#, Σ_t*)``.
+
+    Every rule is both LAV and GAV except the reachability rule, which is
+    LAV with target ``Σ_t*`` — the minimal non-relational addition the
+    theorem needs.
+    """
+    rules: List[MappingRule] = [
+        MappingRule(atomic_rpq(label), atomic_rpq(label), name=f"copy-{label}")
+        for label in _COPIED_LABELS
+    ]
+    rules.append(
+        MappingRule(atomic_rpq("#"), reachability_rpq(THEOREM1_ALPHABET), name="reach-#")
+    )
+    mapping = GraphSchemaMapping(
+        rules,
+        source_alphabet=THEOREM1_ALPHABET,
+        target_alphabet=THEOREM1_ALPHABET,
+        name="theorem1",
+    )
+    if not mapping.is_lav_gav_relational_reachability():
+        raise ReductionError("internal error: the Theorem 1 mapping left its intended class")
+    return mapping
+
+
+def solution_witness_graph(
+    instance: PCPInstance, solution: Sequence[int]
+) -> DataGraph:
+    """The single-path target instance witnessing a PCP solution.
+
+    The source graph is copied (everything except the ``#`` edge) and the
+    ``#`` edge is replaced by a path that first lists the chosen tile
+    indices (the *solution section*: for each chosen tile ``r``, a ``t``
+    edge per tile index below ``r``, an ``m`` edge marking the choice, and
+    the letters of ``u_r`` interleaved with ``id`` edges, mirrored for
+    ``v_r`` after an ``sep`` edge and closed with ``m̄``), then a ``v``
+    edge and a *verification section* spelling the common word
+    ``u_{r_1}···u_{r_m}``, and finally reaches ``end``.
+
+    The resulting graph is a solution of :func:`theorem1_mapping` for the
+    source graph, and :func:`decode_witness` recovers ``solution`` from it.
+    """
+    if not verify_pcp_solution(instance, solution):
+        raise ReductionError(f"{list(solution)} is not a solution of {instance}")
+    source = pcp_source_graph(instance)
+    witness = source.copy()
+    witness.name = f"thm1-witness-{instance.name or 'pcp'}"
+    # remove the # edge; the replacement path supplies the connection.
+    anchor = "solution-anchor"
+    witness.remove_edge(anchor, "#", "end")
+
+    counter = [0]
+
+    def fresh_value() -> str:
+        counter[0] += 1
+        return f"w{counter[0]}"
+
+    previous = anchor
+
+    def step(label: str, node_id: str, value: Optional[str] = None) -> str:
+        nonlocal previous
+        witness.add_node(node_id, value if value is not None else fresh_value())
+        witness.add_edge(previous, label, node_id)
+        previous = node_id
+        return node_id
+
+    # --- solution section: encode the chosen tile indices -------------
+    step("s", "sol:start")
+    for occurrence, tile_index in enumerate(solution):
+        # unary encoding of the tile index by t-edges, then the m marker
+        for tick in range(tile_index):
+            step("t", f"sol:{occurrence}:tick{tick}")
+        step("m", f"sol:{occurrence}:pick")
+        # the letters of u_r, each preceded by an id edge carrying a value
+        # shared with the verification section below
+        for position, letter in enumerate(instance.top(tile_index)):
+            step("id", f"sol:{occurrence}:u-id{position}", value=f"sync:{occurrence}:{position}")
+            step(letter, f"sol:{occurrence}:u{position}")
+        step("sep", f"sol:{occurrence}:sep")
+        for position, letter in enumerate(instance.bottom(tile_index)):
+            step("id", f"sol:{occurrence}:v-id{position}")
+            step(letter, f"sol:{occurrence}:v{position}")
+        step("mbar", f"sol:{occurrence}:close")
+    # --- verification section: spell the common word ------------------
+    step("v", "verify:start")
+    common_word, bottom_word = instance.words(solution)
+    assert common_word == bottom_word
+    position_counter = 0
+    for occurrence, tile_index in enumerate(solution):
+        for position, letter in enumerate(instance.top(tile_index)):
+            step("id", f"verify:{occurrence}:id{position}", value=f"sync:{occurrence}:{position}")
+            step(letter, f"verify:{position_counter}")
+            position_counter += 1
+    # close the path into the original end node
+    witness.add_edge(previous, "#", "end")
+    return witness
+
+
+def decode_witness(witness: DataGraph) -> Tuple[int, ...]:
+    """Recover the tile-index sequence from a witness graph.
+
+    Walks the replacement path from ``sol:start`` and counts the ``t``
+    ticks before each ``m`` marker.  Raises
+    :class:`~repro.exceptions.ReductionError` if the solution section is
+    malformed.
+    """
+    if not witness.has_node("sol:start"):
+        raise ReductionError("witness graph has no solution section")
+    indices: List[int] = []
+    current = "sol:start"
+    ticks = 0
+    visited = set()
+    while True:
+        if current in visited:
+            raise ReductionError("witness solution section contains a cycle")
+        visited.add(current)
+        successors = list(witness.successors(current))
+        if not successors:
+            raise ReductionError("witness solution section ends unexpectedly")
+        # the replacement path is a simple chain: follow its unique successor
+        # (the original source path is disjoint from sol:/verify: nodes)
+        chain = [
+            (label, node)
+            for label, node in successors
+            if isinstance(node.id, str) and (node.id.startswith("sol:") or node.id.startswith("verify:"))
+        ]
+        if not chain:
+            raise ReductionError("witness solution section is disconnected")
+        label, node = chain[0]
+        if label == "t":
+            ticks += 1
+        elif label == "m":
+            if ticks == 0:
+                raise ReductionError("tile marker with no preceding tile index")
+            indices.append(ticks)
+            ticks = 0
+        elif label == "v":
+            return tuple(indices)
+        current = node.id
+
+
+def structural_error_query() -> DataRPQ:
+    """An equality RPQ detecting a malformed start of the replacement path.
+
+    The full Theorem 1 query is a disjunction of error patterns; this
+    representative disjunct flags replacement paths that do not begin with
+    an ``s`` edge followed by a tile choice (``t`` then eventually ``m``):
+    it matches when an ``s`` edge is immediately followed by ``m``, ``v``
+    or ``#`` — which can never happen on a well-formed witness.
+    """
+    return equality_rpq("s.(m | v | #)")
+
+
+def repetition_error_query() -> DataRPQ:
+    """An equality RPQ detecting a repeated data value in the verification section.
+
+    The paper's query includes a disjunct asserting that the subpath after
+    the ``v`` label must carry pairwise distinct data values; its error
+    pattern is "some value after ``v`` repeats", expressed with a single
+    equality subscript.
+    """
+    sigma = "|".join(label for label in THEOREM1_ALPHABET if label != "#")
+    return equality_rpq(f"v . ({sigma})* . ((({sigma})+)=) . ({sigma})*")

@@ -1,0 +1,338 @@
+"""Abstract syntax trees for ordinary regular expressions over edge labels.
+
+These are the expressions used by RPQs (Section 2): ``ε``, single
+letters, union, concatenation and the Kleene plus/star.  Expressions are
+immutable and hashable; structural helpers (``letters``, ``is_word``,
+``word``, ``language_bound``) support the mapping classification of
+Definition 3 and the bounded-solution arguments of Proposition 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Optional, Sequence, Tuple
+
+__all__ = [
+    "Regex",
+    "Epsilon",
+    "Letter",
+    "Concat",
+    "Union",
+    "Star",
+    "Plus",
+    "EPSILON",
+    "letter",
+    "concat",
+    "union",
+    "star",
+    "plus",
+    "word",
+    "any_of",
+    "universal",
+]
+
+
+class Regex:
+    """Base class of regular expression nodes.
+
+    Sub-classes are frozen dataclasses; use the module-level smart
+    constructors (:func:`concat`, :func:`union`, ...) when building
+    expressions programmatically — they perform light simplifications
+    (dropping ``ε`` in concatenations, flattening unions) that keep the
+    automata small.
+    """
+
+    def letters(self) -> FrozenSet[str]:
+        """The set of alphabet letters occurring in the expression."""
+        raise NotImplementedError
+
+    def is_word(self) -> bool:
+        """Whether the expression denotes a single word (possibly ε)."""
+        return self.word() is not None
+
+    def word(self) -> Optional[Tuple[str, ...]]:
+        """The single word denoted, as a tuple of letters, or ``None``."""
+        raise NotImplementedError
+
+    def finite_language(self, limit: int = 10_000) -> Optional[FrozenSet[Tuple[str, ...]]]:
+        """The denoted language if it is finite and small, else ``None``.
+
+        Used to recognise "relational" right-hand sides of mappings of the
+        form ``w1 + ... + wm`` (the generalisation noted after
+        Proposition 2).  The *limit* caps the number of words computed.
+        """
+        words = set()
+        for item in self._enumerate_finite(limit):
+            if item is None:
+                return None
+            words.add(item)
+            if len(words) > limit:
+                return None
+        return frozenset(words)
+
+    def _enumerate_finite(self, limit: int) -> Iterator[Optional[Tuple[str, ...]]]:
+        raise NotImplementedError
+
+    def max_word_length(self) -> Optional[int]:
+        """Length of the longest word denoted, or ``None`` if unbounded."""
+        raise NotImplementedError
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return union(self, other)
+
+    def __mul__(self, other: "Regex") -> "Regex":
+        return concat(self, other)
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The empty word ε."""
+
+    def letters(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def word(self) -> Optional[Tuple[str, ...]]:
+        return ()
+
+    def _enumerate_finite(self, limit: int) -> Iterator[Optional[Tuple[str, ...]]]:
+        yield ()
+
+    def max_word_length(self) -> Optional[int]:
+        return 0
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Letter(Regex):
+    """A single alphabet letter (an atomic RPQ)."""
+
+    symbol: str
+
+    def letters(self) -> FrozenSet[str]:
+        return frozenset({self.symbol})
+
+    def word(self) -> Optional[Tuple[str, ...]]:
+        return (self.symbol,)
+
+    def _enumerate_finite(self, limit: int) -> Iterator[Optional[Tuple[str, ...]]]:
+        yield (self.symbol,)
+
+    def max_word_length(self) -> Optional[int]:
+        return 1
+
+    def __str__(self) -> str:
+        return self.symbol
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation ``e1 · e2``."""
+
+    left: Regex
+    right: Regex
+
+    def letters(self) -> FrozenSet[str]:
+        return self.left.letters() | self.right.letters()
+
+    def word(self) -> Optional[Tuple[str, ...]]:
+        left = self.left.word()
+        right = self.right.word()
+        if left is None or right is None:
+            return None
+        return left + right
+
+    def _enumerate_finite(self, limit: int) -> Iterator[Optional[Tuple[str, ...]]]:
+        lefts = list(self.left._enumerate_finite(limit))
+        rights = list(self.right._enumerate_finite(limit))
+        if any(item is None for item in lefts) or any(item is None for item in rights):
+            yield None
+            return
+        count = 0
+        for left_word in lefts:
+            for right_word in rights:
+                yield left_word + right_word  # type: ignore[operator]
+                count += 1
+                if count > limit:
+                    yield None
+                    return
+
+    def max_word_length(self) -> Optional[int]:
+        left = self.left.max_word_length()
+        right = self.right.max_word_length()
+        if left is None or right is None:
+            return None
+        return left + right
+
+    def __str__(self) -> str:
+        return f"({self.left}·{self.right})"
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    """Union ``e1 + e2``."""
+
+    left: Regex
+    right: Regex
+
+    def letters(self) -> FrozenSet[str]:
+        return self.left.letters() | self.right.letters()
+
+    def word(self) -> Optional[Tuple[str, ...]]:
+        left = self.left.word()
+        right = self.right.word()
+        if left is not None and right is not None and left == right:
+            return left
+        return None
+
+    def _enumerate_finite(self, limit: int) -> Iterator[Optional[Tuple[str, ...]]]:
+        yield from self.left._enumerate_finite(limit)
+        yield from self.right._enumerate_finite(limit)
+
+    def max_word_length(self) -> Optional[int]:
+        left = self.left.max_word_length()
+        right = self.right.max_word_length()
+        if left is None or right is None:
+            return None
+        return max(left, right)
+
+    def __str__(self) -> str:
+        return f"({self.left}+{self.right})"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star ``e*`` (zero or more repetitions)."""
+
+    inner: Regex
+
+    def letters(self) -> FrozenSet[str]:
+        return self.inner.letters()
+
+    def word(self) -> Optional[Tuple[str, ...]]:
+        inner = self.inner.word()
+        if inner == ():
+            return ()
+        return None
+
+    def _enumerate_finite(self, limit: int) -> Iterator[Optional[Tuple[str, ...]]]:
+        inner = self.inner.word()
+        if inner == ():
+            yield ()
+        else:
+            yield None
+
+    def max_word_length(self) -> Optional[int]:
+        inner = self.inner.max_word_length()
+        if inner == 0:
+            return 0
+        return None
+
+    def __str__(self) -> str:
+        return f"({self.inner})*"
+
+
+@dataclass(frozen=True)
+class Plus(Regex):
+    """Kleene plus ``e+`` (one or more repetitions)."""
+
+    inner: Regex
+
+    def letters(self) -> FrozenSet[str]:
+        return self.inner.letters()
+
+    def word(self) -> Optional[Tuple[str, ...]]:
+        inner = self.inner.word()
+        if inner == ():
+            return ()
+        return None
+
+    def _enumerate_finite(self, limit: int) -> Iterator[Optional[Tuple[str, ...]]]:
+        inner = self.inner.word()
+        if inner == ():
+            yield ()
+        else:
+            yield None
+
+    def max_word_length(self) -> Optional[int]:
+        inner = self.inner.max_word_length()
+        if inner == 0:
+            return 0
+        return None
+
+    def __str__(self) -> str:
+        return f"({self.inner})+"
+
+
+#: The canonical ε expression.
+EPSILON = Epsilon()
+
+
+def letter(symbol: str) -> Letter:
+    """An atomic expression denoting the single letter *symbol*."""
+    if not isinstance(symbol, str) or not symbol:
+        raise ValueError(f"letters must be non-empty strings, got {symbol!r}")
+    return Letter(symbol)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Concatenation of expressions, dropping ε factors."""
+    useful = [part for part in parts if not isinstance(part, Epsilon)]
+    if not useful:
+        return EPSILON
+    result = useful[0]
+    for part in useful[1:]:
+        result = Concat(result, part)
+    return result
+
+
+def union(*parts: Regex) -> Regex:
+    """Union of expressions, deduplicating identical alternatives."""
+    if not parts:
+        raise ValueError("union needs at least one expression")
+    seen: list[Regex] = []
+    for part in parts:
+        if part not in seen:
+            seen.append(part)
+    result = seen[0]
+    for part in seen[1:]:
+        result = Union(result, part)
+    return result
+
+
+def star(inner: Regex) -> Regex:
+    """Kleene star of an expression."""
+    if isinstance(inner, (Star, Plus)):
+        return Star(inner.inner)
+    if isinstance(inner, Epsilon):
+        return EPSILON
+    return Star(inner)
+
+
+def plus(inner: Regex) -> Regex:
+    """Kleene plus of an expression."""
+    if isinstance(inner, Plus):
+        return inner
+    if isinstance(inner, Star):
+        return Star(inner.inner)
+    if isinstance(inner, Epsilon):
+        return EPSILON
+    return Plus(inner)
+
+
+def word(letters_seq: Sequence[str]) -> Regex:
+    """The expression denoting exactly the word given as a letter sequence."""
+    return concat(*[letter(symbol) for symbol in letters_seq]) if letters_seq else EPSILON
+
+
+def any_of(alphabet: Sequence[str]) -> Regex:
+    """The expression ``a1 + a2 + ... + ak`` over the given letters."""
+    if not alphabet:
+        raise ValueError("any_of needs a non-empty alphabet")
+    return union(*[letter(symbol) for symbol in sorted(set(alphabet))])
+
+
+def universal(alphabet: Sequence[str]) -> Regex:
+    """The reachability expression ``Σ*`` over the given alphabet."""
+    return star(any_of(alphabet))

@@ -1,0 +1,198 @@
+"""Deterministic finite automata: subset construction, completion, minimisation.
+
+DFAs are used where complementation is needed — notably by the Theorem 1
+gadget, whose "shape" error expression is the complement of an ordinary
+regular expression, and by the language-equivalence helper used in tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .nfa import NFA
+
+__all__ = ["DFA", "determinize", "minimize"]
+
+
+@dataclass
+class DFA:
+    """A complete or partial DFA over an explicit alphabet.
+
+    Attributes
+    ----------
+    alphabet:
+        The symbols over which the automaton is defined.
+    initial:
+        The initial state.
+    accepting:
+        The set of accepting states.
+    transitions:
+        Mapping ``state -> symbol -> state``.  Missing entries denote a
+        rejecting sink (the automaton may be partial).
+    num_states:
+        States are ``0 .. num_states - 1``.
+    """
+
+    alphabet: FrozenSet[str]
+    num_states: int
+    initial: int
+    accepting: Set[int]
+    transitions: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+    def delta(self, state: int, symbol: str) -> Optional[int]:
+        """The successor of *state* on *symbol*, or ``None`` if undefined."""
+        return self.transitions.get(state, {}).get(symbol)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Whether the DFA accepts the given word."""
+        state: Optional[int] = self.initial
+        for symbol in word:
+            if state is None:
+                return False
+            state = self.delta(state, symbol)
+        return state is not None and state in self.accepting
+
+    def completed(self) -> "DFA":
+        """A complete version of this DFA (adding a rejecting sink if needed)."""
+        needs_sink = any(
+            self.delta(state, symbol) is None for state in range(self.num_states) for symbol in self.alphabet
+        )
+        if not needs_sink:
+            return self
+        sink = self.num_states
+        transitions = {state: dict(by_symbol) for state, by_symbol in self.transitions.items()}
+        for state in range(self.num_states + 1):
+            transitions.setdefault(state, {})
+            for symbol in self.alphabet:
+                transitions[state].setdefault(symbol, sink)
+        return DFA(self.alphabet, self.num_states + 1, self.initial, set(self.accepting), transitions)
+
+    def complement(self) -> "DFA":
+        """The DFA accepting the complement language (over :attr:`alphabet`)."""
+        complete = self.completed()
+        accepting = {state for state in range(complete.num_states) if state not in complete.accepting}
+        return DFA(complete.alphabet, complete.num_states, complete.initial, accepting, complete.transitions)
+
+    def is_empty(self) -> bool:
+        """Whether the accepted language is empty."""
+        seen = {self.initial}
+        queue = deque([self.initial])
+        while queue:
+            state = queue.popleft()
+            if state in self.accepting:
+                return False
+            for symbol in self.alphabet:
+                nxt = self.delta(state, symbol)
+                if nxt is not None and nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return True
+
+    def to_nfa(self) -> NFA:
+        """View this DFA as an NFA (used to re-enter the product pipelines)."""
+        nfa = NFA(self.num_states, {self.initial}, set(self.accepting))
+        for state, by_symbol in self.transitions.items():
+            for symbol, target in by_symbol.items():
+                nfa.add_transition(state, symbol, target)
+        return nfa
+
+    def accepted_words(self, max_length: int):
+        """Enumerate accepted words of bounded length (delegates to the NFA view)."""
+        return self.to_nfa().accepted_words(max_length)
+
+
+def determinize(nfa: NFA, alphabet: Optional[Iterable[str]] = None) -> DFA:
+    """Subset construction: convert an ε-NFA to a DFA over *alphabet*.
+
+    If *alphabet* is omitted, the symbols used by the NFA are taken; pass
+    an explicit alphabet when the complement must be taken with respect to
+    a larger symbol set.
+    """
+    symbols = frozenset(alphabet) if alphabet is not None else nfa.symbols()
+    start = nfa.initial_closure()
+    index: Dict[FrozenSet[int], int] = {start: 0}
+    transitions: Dict[int, Dict[str, int]] = {}
+    accepting: Set[int] = set()
+    queue: deque = deque([start])
+    while queue:
+        subset = queue.popleft()
+        state_id = index[subset]
+        if subset & nfa.accepting:
+            accepting.add(state_id)
+        transitions.setdefault(state_id, {})
+        for symbol in symbols:
+            target = nfa.step(subset, symbol)
+            if not target:
+                continue
+            if target not in index:
+                index[target] = len(index)
+                queue.append(target)
+            transitions[state_id][symbol] = index[target]
+    return DFA(symbols, len(index), 0, accepting, transitions)
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Hopcroft-style minimisation of a complete DFA.
+
+    The input is completed first; unreachable states are dropped.
+    """
+    complete = dfa.completed()
+    # Restrict to reachable states.
+    reachable: List[int] = []
+    seen = {complete.initial}
+    queue = deque([complete.initial])
+    while queue:
+        state = queue.popleft()
+        reachable.append(state)
+        for symbol in complete.alphabet:
+            nxt = complete.delta(state, symbol)
+            if nxt is not None and nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    reachable_set = set(reachable)
+
+    accepting = complete.accepting & reachable_set
+    non_accepting = reachable_set - accepting
+    partition: List[Set[int]] = [block for block in (accepting, non_accepting) if block]
+    work: List[Set[int]] = [set(block) for block in partition]
+
+    while work:
+        splitter = work.pop()
+        for symbol in complete.alphabet:
+            pre = {state for state in reachable_set if complete.delta(state, symbol) in splitter}
+            new_partition: List[Set[int]] = []
+            for block in partition:
+                inside = block & pre
+                outside = block - pre
+                if inside and outside:
+                    new_partition.extend([inside, outside])
+                    if block in work:
+                        work.remove(block)
+                        work.extend([inside, outside])
+                    else:
+                        work.append(inside if len(inside) <= len(outside) else outside)
+                else:
+                    new_partition.append(block)
+            partition = new_partition
+
+    block_of: Dict[int, int] = {}
+    for block_index, block in enumerate(partition):
+        for state in block:
+            block_of[state] = block_index
+    transitions: Dict[int, Dict[str, int]] = {}
+    for block_index, block in enumerate(partition):
+        representative = next(iter(block))
+        transitions[block_index] = {}
+        for symbol in complete.alphabet:
+            target = complete.delta(representative, symbol)
+            if target is not None:
+                transitions[block_index][symbol] = block_of[target]
+    return DFA(
+        complete.alphabet,
+        len(partition),
+        block_of[complete.initial],
+        {block_of[state] for state in accepting},
+        transitions,
+    )

@@ -1,0 +1,219 @@
+"""Nondeterministic finite automata and the Thompson construction.
+
+RPQ evaluation (Section 2) and the bounded procedures of Sections 5–6
+evaluate regular expressions by compiling them into NFAs with ε
+transitions, then running a product construction with the data graph or a
+word.  States are plain integers; the construction is the textbook
+Thompson translation, producing an automaton with a single initial and a
+single accepting state and O(|e|) states overall.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .ast import Concat, Epsilon, Letter, Plus, Regex, Star, Union
+
+__all__ = ["NFA", "thompson", "EPSILON_SYMBOL"]
+
+#: Symbol used internally for ε transitions.
+EPSILON_SYMBOL: Optional[str] = None
+
+
+@dataclass
+class NFA:
+    """An ε-NFA over an alphabet of edge labels.
+
+    Attributes
+    ----------
+    num_states:
+        States are ``0 .. num_states - 1``.
+    initial:
+        The set of initial states.
+    accepting:
+        The set of accepting states.
+    transitions:
+        Mapping ``state -> symbol -> set of states``; the symbol ``None``
+        denotes ε transitions.
+    """
+
+    num_states: int
+    initial: Set[int]
+    accepting: Set[int]
+    transitions: Dict[int, Dict[Optional[str], Set[int]]] = field(default_factory=dict)
+
+    def add_transition(self, source: int, symbol: Optional[str], target: int) -> None:
+        """Add a transition (``symbol=None`` for ε)."""
+        self.transitions.setdefault(source, {}).setdefault(symbol, set()).add(target)
+
+    def symbols(self) -> FrozenSet[str]:
+        """Alphabet symbols actually used by transitions (excluding ε)."""
+        result: Set[str] = set()
+        for by_symbol in self.transitions.values():
+            for symbol in by_symbol:
+                if symbol is not None:
+                    result.add(symbol)
+        return frozenset(result)
+
+    def epsilon_closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        """The ε-closure of a set of states."""
+        closure = set(states)
+        queue = deque(closure)
+        while queue:
+            state = queue.popleft()
+            for nxt in self.transitions.get(state, {}).get(None, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    queue.append(nxt)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[int], symbol: str) -> FrozenSet[int]:
+        """One symbol step followed by ε-closure."""
+        moved: Set[int] = set()
+        for state in states:
+            moved.update(self.transitions.get(state, {}).get(symbol, ()))
+        return self.epsilon_closure(moved)
+
+    def initial_closure(self) -> FrozenSet[int]:
+        """ε-closure of the initial states."""
+        return self.epsilon_closure(self.initial)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Whether the automaton accepts the given word of labels."""
+        current = self.initial_closure()
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def is_empty(self) -> bool:
+        """Whether the accepted language is empty (no accepting state reachable)."""
+        reachable = set(self.initial_closure())
+        queue = deque(reachable)
+        while queue:
+            state = queue.popleft()
+            for targets in self.transitions.get(state, {}).values():
+                for nxt in targets:
+                    if nxt not in reachable:
+                        reachable.add(nxt)
+                        queue.append(nxt)
+        return not (reachable & self.accepting)
+
+    def accepted_words(self, max_length: int) -> Iterator[Tuple[str, ...]]:
+        """Enumerate accepted words of length at most *max_length* (for tests)."""
+        seen: Set[Tuple[Tuple[str, ...], FrozenSet[int]]] = set()
+        start = self.initial_closure()
+        queue: deque = deque([((), start)])
+        while queue:
+            word, states = queue.popleft()
+            if states & self.accepting:
+                yield word
+            if len(word) >= max_length:
+                continue
+            for symbol in sorted(self.symbols()):
+                nxt = self.step(states, symbol)
+                if not nxt:
+                    continue
+                key = (word + (symbol,), nxt)
+                if key in seen:
+                    continue
+                seen.add(key)
+                queue.append((word + (symbol,), nxt))
+
+    def shortest_accepted_word(self) -> Optional[Tuple[str, ...]]:
+        """A shortest accepted word, or ``None`` if the language is empty."""
+        start = self.initial_closure()
+        if start & self.accepting:
+            return ()
+        visited: Set[FrozenSet[int]] = {start}
+        queue: deque = deque([(start, ())])
+        while queue:
+            states, word = queue.popleft()
+            for symbol in sorted(self.symbols()):
+                nxt = self.step(states, symbol)
+                if not nxt or nxt in visited:
+                    continue
+                if nxt & self.accepting:
+                    return word + (symbol,)
+                visited.add(nxt)
+                queue.append((nxt, word + (symbol,)))
+        return None
+
+    def reversed(self) -> "NFA":
+        """The reverse automaton (accepts the mirror language)."""
+        reverse = NFA(self.num_states, set(self.accepting), set(self.initial))
+        for source, by_symbol in self.transitions.items():
+            for symbol, targets in by_symbol.items():
+                for target in targets:
+                    reverse.add_transition(target, symbol, source)
+        return reverse
+
+
+class _Builder:
+    """Mutable helper allocating states for the Thompson construction."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.transitions: Dict[int, Dict[Optional[str], Set[int]]] = defaultdict(dict)
+
+    def fresh(self) -> int:
+        state = self.count
+        self.count += 1
+        return state
+
+    def link(self, source: int, symbol: Optional[str], target: int) -> None:
+        self.transitions[source].setdefault(symbol, set()).add(target)
+
+    def build(self, initial: int, accepting: int) -> NFA:
+        return NFA(
+            num_states=self.count,
+            initial={initial},
+            accepting={accepting},
+            transitions={state: dict(by_symbol) for state, by_symbol in self.transitions.items()},
+        )
+
+
+def thompson(expression: Regex) -> NFA:
+    """Compile a regular expression to an ε-NFA via the Thompson construction."""
+    builder = _Builder()
+
+    def _compile(expr: Regex) -> Tuple[int, int]:
+        start = builder.fresh()
+        end = builder.fresh()
+        if isinstance(expr, Epsilon):
+            builder.link(start, None, end)
+        elif isinstance(expr, Letter):
+            builder.link(start, expr.symbol, end)
+        elif isinstance(expr, Concat):
+            left_start, left_end = _compile(expr.left)
+            right_start, right_end = _compile(expr.right)
+            builder.link(start, None, left_start)
+            builder.link(left_end, None, right_start)
+            builder.link(right_end, None, end)
+        elif isinstance(expr, Union):
+            left_start, left_end = _compile(expr.left)
+            right_start, right_end = _compile(expr.right)
+            builder.link(start, None, left_start)
+            builder.link(start, None, right_start)
+            builder.link(left_end, None, end)
+            builder.link(right_end, None, end)
+        elif isinstance(expr, Star):
+            inner_start, inner_end = _compile(expr.inner)
+            builder.link(start, None, end)
+            builder.link(start, None, inner_start)
+            builder.link(inner_end, None, inner_start)
+            builder.link(inner_end, None, end)
+        elif isinstance(expr, Plus):
+            inner_start, inner_end = _compile(expr.inner)
+            builder.link(start, None, inner_start)
+            builder.link(inner_end, None, inner_start)
+            builder.link(inner_end, None, end)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown regular expression node {expr!r}")
+        return start, end
+
+    initial, accepting = _compile(expression)
+    return builder.build(initial, accepting)

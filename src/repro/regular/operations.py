@@ -1,0 +1,148 @@
+"""Language-level operations on regular expressions.
+
+These helpers implement the standard decision problems on the regular
+languages denoted by RPQ expressions: membership, emptiness,
+intersection-emptiness, containment and equivalence.  They are used by
+the mapping classifier (recognising word RPQs and finite-union RPQs), by
+the Theorem 1 gadget (complementing the "shape" expression) and widely in
+tests as an independent oracle for the automata pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+
+from .ast import Regex
+from .dfa import DFA, determinize, minimize
+from .nfa import NFA, thompson
+from .parser import parse_regex
+
+__all__ = [
+    "to_nfa",
+    "to_dfa",
+    "matches",
+    "is_empty",
+    "intersect_nfa",
+    "intersection_empty",
+    "contains",
+    "equivalent",
+    "complement_dfa",
+    "enumerate_language",
+    "shortest_word",
+]
+
+
+def to_nfa(expression: Regex | str) -> NFA:
+    """Compile an expression (or its textual form) into an ε-NFA."""
+    if isinstance(expression, str):
+        expression = parse_regex(expression)
+    return thompson(expression)
+
+
+def to_dfa(expression: Regex | str, alphabet: Optional[Iterable[str]] = None) -> DFA:
+    """Compile an expression into a minimal DFA over *alphabet*."""
+    if isinstance(expression, str):
+        expression = parse_regex(expression)
+    symbols = set(alphabet) if alphabet is not None else set(expression.letters())
+    return minimize(determinize(thompson(expression), symbols))
+
+
+def matches(expression: Regex | str, word: Sequence[str]) -> bool:
+    """Whether *word* (a sequence of labels) belongs to the language of *expression*."""
+    return to_nfa(expression).accepts(tuple(word))
+
+
+def is_empty(expression: Regex | str) -> bool:
+    """Whether the language of *expression* is empty.
+
+    Regular expressions without an explicit empty-language constant can
+    only denote empty languages through the (excluded) pathological cases,
+    so in practice this returns ``False``; it is still exposed because the
+    DFA pipeline produces genuinely empty automata (e.g. complements of
+    universal languages).
+    """
+    return to_nfa(expression).is_empty()
+
+
+def intersect_nfa(left: NFA, right: NFA) -> NFA:
+    """Product automaton accepting the intersection of two NFA languages."""
+    left_closure = left.initial_closure()
+    right_closure = right.initial_closure()
+    index: dict = {}
+    transitions: list = []
+
+    def _state(pair: Tuple[int, int]) -> int:
+        if pair not in index:
+            index[pair] = len(index)
+        return index[pair]
+
+    symbols = left.symbols() & right.symbols()
+    frontier = [(ls, rs) for ls in left_closure for rs in right_closure]
+    for pair in frontier:
+        _state(pair)
+    seen = set(frontier)
+    while frontier:
+        current = frontier.pop()
+        left_state, right_state = current
+        for symbol in symbols:
+            left_targets = left.step({left_state}, symbol)
+            right_targets = right.step({right_state}, symbol)
+            for lt in left_targets:
+                for rt in right_targets:
+                    nxt = (lt, rt)
+                    transitions.append((current, symbol, nxt))
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+                        _state(nxt)
+
+    product = NFA(
+        num_states=len(index),
+        initial={_state((ls, rs)) for ls in left_closure for rs in right_closure},
+        accepting={
+            state_id
+            for pair, state_id in index.items()
+            if pair[0] in left.accepting and pair[1] in right.accepting
+        },
+    )
+    for source, symbol, target in transitions:
+        product.add_transition(index[source], symbol, index[target])
+    return product
+
+
+def intersection_empty(left: Regex | str, right: Regex | str) -> bool:
+    """Whether the languages of the two expressions are disjoint."""
+    return intersect_nfa(to_nfa(left), to_nfa(right)).is_empty()
+
+
+def contains(larger: Regex | str, smaller: Regex | str, alphabet: Optional[Iterable[str]] = None) -> bool:
+    """Whether ``L(smaller) ⊆ L(larger)``.
+
+    Decided as emptiness of ``L(smaller) ∩ complement(L(larger))`` over a
+    common alphabet (the union of the two letter sets unless given).
+    """
+    larger_expr = parse_regex(larger) if isinstance(larger, str) else larger
+    smaller_expr = parse_regex(smaller) if isinstance(smaller, str) else smaller
+    symbols = set(alphabet) if alphabet is not None else set(larger_expr.letters() | smaller_expr.letters())
+    larger_dfa = to_dfa(larger_expr, symbols).complement()
+    return intersect_nfa(to_nfa(smaller_expr), larger_dfa.to_nfa()).is_empty()
+
+
+def equivalent(left: Regex | str, right: Regex | str, alphabet: Optional[Iterable[str]] = None) -> bool:
+    """Whether the two expressions denote the same language."""
+    return contains(left, right, alphabet) and contains(right, left, alphabet)
+
+
+def complement_dfa(expression: Regex | str, alphabet: Iterable[str]) -> DFA:
+    """The complement of the expression's language as a DFA over *alphabet*."""
+    return to_dfa(expression, alphabet).complement()
+
+
+def enumerate_language(expression: Regex | str, max_length: int) -> Iterator[Tuple[str, ...]]:
+    """Enumerate all words of length at most *max_length* in the language."""
+    yield from to_nfa(expression).accepted_words(max_length)
+
+
+def shortest_word(expression: Regex | str) -> Optional[Tuple[str, ...]]:
+    """A shortest word in the language, or ``None`` if empty."""
+    return to_nfa(expression).shortest_accepted_word()

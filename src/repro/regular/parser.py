@@ -1,0 +1,152 @@
+"""Parser for RPQ regular expressions.
+
+Grammar (labels may be multi-character identifiers, so concatenation is
+written explicitly with ``.`` or simply with whitespace)::
+
+    expr   := term ('|' term)*            # union (also accepts 'U')
+    term   := factor (('.')? factor)*     # concatenation
+    factor := base ('*' | '+')*           # Kleene star / plus (postfix)
+    base   := LABEL | '(' expr ')' | 'eps' | 'ε' | '_'
+
+Examples::
+
+    parse_regex("a.b*")           # a followed by any number of b
+    parse_regex("(a|b)+")         # nonempty words over {a, b}
+    parse_regex("knows . worksAt")
+
+The token ``LABEL`` is a maximal run of characters other than
+whitespace and the reserved characters ``( ) | . * +``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..exceptions import ParseError
+from .ast import EPSILON, Regex, concat, letter, plus, star, union
+
+__all__ = ["parse_regex", "tokenize_regex"]
+
+_RESERVED = set("()|.*+")
+_EPSILON_TOKENS = {"eps", "ε", "_"}
+
+
+def tokenize_regex(text: str) -> List[Tuple[str, str, int]]:
+    """Tokenise a regular expression string.
+
+    Returns a list of ``(kind, value, position)`` triples where *kind* is
+    one of ``"label"``, ``"("``, ``")"``, ``"|"``, ``"."``, ``"*"``,
+    ``"+"``.
+    """
+    tokens: List[Tuple[str, str, int]] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in _RESERVED:
+            tokens.append((char, char, index))
+            index += 1
+            continue
+        start = index
+        while index < len(text) and not text[index].isspace() and text[index] not in _RESERVED:
+            index += 1
+        tokens.append(("label", text[start:index], start))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize_regex(text)
+        self.position = 0
+
+    def peek(self) -> Optional[Tuple[str, str, int]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of expression", self.text, len(self.text))
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None or token[0] != kind:
+            where = token[2] if token else len(self.text)
+            raise ParseError(f"expected {kind!r}", self.text, where)
+        return self.advance()
+
+    def parse(self) -> Regex:
+        expr = self.parse_union()
+        token = self.peek()
+        if token is not None:
+            raise ParseError(f"unexpected token {token[1]!r}", self.text, token[2])
+        return expr
+
+    def parse_union(self) -> Regex:
+        parts = [self.parse_concat()]
+        while True:
+            token = self.peek()
+            if token is not None and (token[0] == "|" or (token[0] == "label" and token[1] == "U")):
+                self.advance()
+                parts.append(self.parse_concat())
+            else:
+                break
+        return union(*parts)
+
+    def parse_concat(self) -> Regex:
+        parts = [self.parse_postfix()]
+        while True:
+            token = self.peek()
+            if token is None:
+                break
+            if token[0] == ".":
+                self.advance()
+                parts.append(self.parse_postfix())
+            elif token[0] == "label" and token[1] == "U":
+                break  # union operator handled by parse_union
+            elif token[0] in {"label", "("}:
+                parts.append(self.parse_postfix())
+            else:
+                break
+        return concat(*parts)
+
+    def parse_postfix(self) -> Regex:
+        expr = self.parse_base()
+        while True:
+            token = self.peek()
+            if token is not None and token[0] == "*":
+                self.advance()
+                expr = star(expr)
+            elif token is not None and token[0] == "+":
+                self.advance()
+                expr = plus(expr)
+            else:
+                return expr
+
+    def parse_base(self) -> Regex:
+        token = self.advance()
+        kind, value, position = token
+        if kind == "(":
+            inner = self.parse_union()
+            self.expect(")")
+            return inner
+        if kind == "label":
+            if value in _EPSILON_TOKENS:
+                return EPSILON
+            if value == "U":
+                raise ParseError("'U' is the union operator, not a label", self.text, position)
+            return letter(value)
+        raise ParseError(f"unexpected token {value!r}", self.text, position)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse a regular expression string into a :class:`~repro.regular.ast.Regex`."""
+    if not text or not text.strip():
+        raise ParseError("empty regular expression", text, 0)
+    return _Parser(text).parse()

@@ -1,0 +1,178 @@
+"""The standard chase with marked nulls.
+
+Classical relational data exchange materialises a canonical universal
+solution by chasing the source instance with the st-tgds and then the
+target constraints [Fagin, Kolaitis, Miller, Popa 2005; the paper's
+reference [20]].  The paper contrasts this marked-null construction with
+its SQL-null universal solutions (Section 7); both are implemented in
+this library so experiments can compare them.
+
+The chase implemented here is the *standard* (a.k.a. restricted) chase:
+
+* a tgd fires on a homomorphism of its body whose head is not already
+  satisfied by an extension of that homomorphism; existential variables
+  are witnessed by fresh marked nulls;
+* an egd fires on a homomorphism equating two distinct terms: if both are
+  constants the chase **fails** (:class:`~repro.exceptions.ChaseFailure`);
+  otherwise a null is replaced by the other term everywhere;
+* the procedure repeats until no dependency fires or a step budget is
+  exhausted (the mappings used in this library are weakly acyclic — the
+  st-tgd phase never loops — but the budget guards against misuse).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import ChaseFailure, ReproError
+from .conjunctive import AtomPattern, Variable, homomorphisms
+from .schema import Instance, MarkedNull, Schema, fresh_null_factory
+from .tgds import EGD, TGD
+
+__all__ = ["chase", "chase_step_tgd", "chase_step_egd", "solution_satisfies"]
+
+
+def _instantiate(atom: AtomPattern, assignment: Dict[Variable, Hashable]) -> Tuple[Hashable, ...]:
+    return tuple(
+        assignment[term] if isinstance(term, Variable) else term for term in atom.terms
+    )
+
+
+def _head_satisfied(
+    instance: Instance, tgd: TGD, assignment: Dict[Variable, Hashable]
+) -> bool:
+    """Whether the head of *tgd* is already witnessed under *assignment*."""
+    seed = {
+        variable: value
+        for variable, value in assignment.items()
+        if variable in tgd.head_variables() and variable in tgd.body_variables()
+    }
+    for _ in homomorphisms(instance, tgd.head, seed):
+        return True
+    return False
+
+
+def chase_step_tgd(instance: Instance, tgd: TGD, make_null) -> bool:
+    """Apply one round of a tgd to every triggering homomorphism.
+
+    Returns ``True`` if any fact was added.
+    """
+    changed = False
+    # materialise the trigger list first: we mutate the instance as we go
+    triggers = list(homomorphisms(instance, tgd.body))
+    for assignment in triggers:
+        if _head_satisfied(instance, tgd, assignment):
+            continue
+        extended = dict(assignment)
+        for variable in tgd.existential_variables():
+            extended[variable] = make_null()
+        for atom in tgd.head:
+            if instance.add_fact(atom.relation, _instantiate(atom, extended)):
+                changed = True
+    return changed
+
+
+def chase_step_egd(instance: Instance, egd: EGD) -> Tuple[Instance, bool]:
+    """Apply one round of an egd; returns the (possibly new) instance and a change flag.
+
+    Raises
+    ------
+    ChaseFailure
+        If the egd tries to equate two distinct constants.
+    """
+    for assignment in homomorphisms(instance, egd.body):
+        left = assignment[egd.left]
+        right = assignment[egd.right]
+        if left == right:
+            continue
+        left_null = isinstance(left, MarkedNull)
+        right_null = isinstance(right, MarkedNull)
+        if not left_null and not right_null:
+            raise ChaseFailure(f"egd {egd} equates distinct constants {left!r} and {right!r}")
+        if left_null:
+            replacement = {left: right}
+        else:
+            replacement = {right: left}
+        return instance.substitute(replacement), True
+    return instance, False
+
+
+def chase(
+    source_like: Instance,
+    tgds: Sequence[TGD] = (),
+    egds: Sequence[EGD] = (),
+    target_schema: Optional[Schema] = None,
+    max_rounds: int = 10_000,
+) -> Instance:
+    """Chase an instance with the given dependencies.
+
+    Parameters
+    ----------
+    source_like:
+        The starting instance (for st-tgds this is the source instance
+        viewed over the combined schema; facts over source relations are
+        preserved in the result).
+    tgds, egds:
+        The dependencies to chase with.
+    target_schema:
+        Optional schema for the result; defaults to the schema of the
+        input extended by any relations used in tgd heads.
+    max_rounds:
+        Safety budget on chase rounds.
+
+    Returns
+    -------
+    Instance
+        The chased instance (a canonical universal solution when the
+        dependencies are the st-tgds/egds of a schema mapping).
+    """
+    schema = source_like.schema if target_schema is None else source_like.schema.union(target_schema)
+    working = Instance(schema)
+    for relation, values in source_like.all_facts():
+        working.add_fact(relation, values)
+
+    make_null = fresh_null_factory()
+    for _ in range(max_rounds):
+        changed = False
+        for tgd in tgds:
+            if chase_step_tgd(working, tgd, make_null):
+                changed = True
+        egd_changed = True
+        while egd_changed:
+            egd_changed = False
+            for egd in egds:
+                working, step_changed = chase_step_egd(working, egd)
+                if step_changed:
+                    egd_changed = True
+                    changed = True
+        if not changed:
+            return working
+    raise ReproError(f"chase did not terminate within {max_rounds} rounds")
+
+
+def solution_satisfies(
+    source: Instance, target: Instance, tgds: Sequence[TGD], egds: Sequence[EGD] = ()
+) -> bool:
+    """Whether ``(source, target)`` satisfies all dependencies.
+
+    st-tgd bodies are matched against the source ∪ target instance and
+    heads against the target ∪ source (the standard semantics when the
+    schemas are disjoint: bodies only use source relations, heads only
+    target ones).
+    """
+    combined_schema = source.schema.union(target.schema)
+    combined = Instance(combined_schema)
+    for relation, values in source.all_facts():
+        combined.add_fact(relation, values)
+    for relation, values in target.all_facts():
+        combined.add_fact(relation, values)
+
+    for tgd in tgds:
+        for assignment in homomorphisms(combined, tgd.body):
+            if not _head_satisfied(combined, tgd, assignment):
+                return False
+    for egd in egds:
+        for assignment in homomorphisms(combined, egd.body):
+            if assignment[egd.left] != assignment[egd.right]:
+                return False
+    return True

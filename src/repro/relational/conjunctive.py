@@ -1,0 +1,129 @@
+"""Conjunctive queries over relational instances.
+
+Relational schema mappings (Section 6) express the right-hand sides of
+st-tgds as conjunctive queries over the target schema; the chase and the
+mapping-satisfaction checks both need conjunctive-query evaluation.  The
+implementation is the standard backtracking homomorphism search over the
+query atoms, with variables and constants distinguished by the
+:class:`Variable` wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import ReproError
+from .schema import Instance
+
+__all__ = ["Variable", "AtomPattern", "ConjunctiveQuery", "evaluate_cq"]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A query variable, distinct from every constant."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = Hashable  # either a constant / marked null, or a Variable
+
+
+@dataclass(frozen=True)
+class AtomPattern:
+    """An atom ``R(t1, ..., tk)`` whose terms are variables or constants."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in the atom."""
+        return frozenset(term for term in self.terms if isinstance(term, Variable))
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query ``Q(x̄) :- atom1, ..., atomk``.
+
+    Attributes
+    ----------
+    head:
+        The free (output) variables.
+    atoms:
+        The body atoms; every head variable must occur in the body.
+    """
+
+    head: Tuple[Variable, ...]
+    atoms: Tuple[AtomPattern, ...]
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise ReproError("a conjunctive query needs at least one atom")
+        body_variables = self.variables()
+        for variable in self.head:
+            if variable not in body_variables:
+                raise ReproError(f"head variable {variable!r} does not occur in the body")
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables of the query body."""
+        result: set = set()
+        for atom in self.atoms:
+            result |= atom.variables()
+        return frozenset(result)
+
+    def existential_variables(self) -> FrozenSet[Variable]:
+        """Body variables that are not in the head."""
+        return self.variables() - frozenset(self.head)
+
+    @property
+    def arity(self) -> int:
+        """Number of output variables."""
+        return len(self.head)
+
+
+def _match_atom(
+    instance: Instance, atom: AtomPattern, assignment: Dict[Variable, Hashable]
+) -> Iterator[Dict[Variable, Hashable]]:
+    """All extensions of *assignment* matching *atom* against the instance."""
+    for fact in instance.facts(atom.relation):
+        extended = dict(assignment)
+        ok = True
+        for term, value in zip(atom.terms, fact):
+            if isinstance(term, Variable):
+                if term in extended and extended[term] != value:
+                    ok = False
+                    break
+                extended[term] = value
+            elif term != value:
+                ok = False
+                break
+        if ok:
+            yield extended
+
+
+def homomorphisms(
+    instance: Instance,
+    atoms: Sequence[AtomPattern],
+    seed: Optional[Dict[Variable, Hashable]] = None,
+) -> Iterator[Dict[Variable, Hashable]]:
+    """All assignments of variables to instance terms satisfying every atom."""
+    assignments: List[Dict[Variable, Hashable]] = [dict(seed or {})]
+    for atom in atoms:
+        next_assignments: List[Dict[Variable, Hashable]] = []
+        for assignment in assignments:
+            next_assignments.extend(_match_atom(instance, atom, assignment))
+        assignments = next_assignments
+        if not assignments:
+            return
+    yield from assignments
+
+
+def evaluate_cq(instance: Instance, query: ConjunctiveQuery) -> FrozenSet[Tuple[Hashable, ...]]:
+    """Evaluate a conjunctive query, returning the set of head-variable tuples."""
+    answers = set()
+    for assignment in homomorphisms(instance, query.atoms):
+        answers.add(tuple(assignment[variable] for variable in query.head))
+    return frozenset(answers)

@@ -1,0 +1,197 @@
+"""Relational schemas, instances and terms (constants and marked nulls).
+
+Section 6 of the paper casts relational graph schema mappings as ordinary
+relational schema mappings over the encoding ``D_G`` of data graphs, and
+contrasts the *marked nulls* of classical data exchange with the single
+SQL-style null of Section 7.  This module provides the small relational
+layer those constructions need: named relations of fixed arity, instances
+as sets of facts, and labelled (marked) nulls as first-class terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..exceptions import ReproError
+
+__all__ = ["MarkedNull", "RelationSchema", "Schema", "Instance", "fresh_null_factory"]
+
+
+@dataclass(frozen=True)
+class MarkedNull:
+    """A labelled (marked) null ``⊥_k`` as used in classical data exchange.
+
+    Two marked nulls are equal exactly when their labels coincide; they
+    are never equal to constants.
+    """
+
+    label: int
+
+    def __repr__(self) -> str:
+        return f"⊥{self.label}"
+
+
+def fresh_null_factory(start: int = 0):
+    """A callable producing globally fresh marked nulls ``⊥_start, ⊥_start+1, ...``."""
+    counter = [start]
+
+    def make() -> MarkedNull:
+        null = MarkedNull(counter[0])
+        counter[0] += 1
+        return null
+
+    return make
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation name together with its arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("relation names must be non-empty")
+        if self.arity < 0:
+            raise ReproError("relation arity must be non-negative")
+
+
+class Schema:
+    """A relational schema: a collection of relation schemas indexed by name."""
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()):
+        self._relations: Dict[str, RelationSchema] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: RelationSchema) -> None:
+        """Add (or re-declare consistently) a relation."""
+        existing = self._relations.get(relation.name)
+        if existing is not None and existing.arity != relation.arity:
+            raise ReproError(
+                f"relation {relation.name!r} redeclared with arity {relation.arity}, "
+                f"was {existing.arity}"
+            )
+        self._relations[relation.name] = relation
+
+    def arity(self, name: str) -> int:
+        """The arity of the named relation."""
+        try:
+            return self._relations[name].arity
+        except KeyError:
+            raise ReproError(f"unknown relation {name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        """Whether the schema declares this relation."""
+        return name in self._relations
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """All relation names, sorted."""
+        return tuple(sorted(self._relations))
+
+    def union(self, other: "Schema") -> "Schema":
+        """The union of two schemas (consistent arities required)."""
+        merged = Schema(self._relations.values())
+        for relation in other._relations.values():
+            merged.add(relation)
+        return merged
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{r.name}/{r.arity}" for r in self._relations.values())
+        return f"Schema({inner})"
+
+
+class Instance:
+    """A relational instance: a finite set of facts over a schema.
+
+    Terms may be arbitrary hashable constants or :class:`MarkedNull`
+    objects.  Facts are tuples; adding a fact with the wrong arity or over
+    an undeclared relation is an error.
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._facts: Dict[str, Set[Tuple[Hashable, ...]]] = {
+            name: set() for name in schema.relation_names()
+        }
+
+    def add_fact(self, relation: str, values: Tuple[Hashable, ...]) -> bool:
+        """Add a fact; returns ``True`` if it was new."""
+        if relation not in self._facts:
+            if not self.schema.has_relation(relation):
+                raise ReproError(f"unknown relation {relation!r}")
+            self._facts[relation] = set()
+        values = tuple(values)
+        if len(values) != self.schema.arity(relation):
+            raise ReproError(
+                f"fact {relation}{values!r} has arity {len(values)}, "
+                f"expected {self.schema.arity(relation)}"
+            )
+        if values in self._facts[relation]:
+            return False
+        self._facts[relation].add(values)
+        return True
+
+    def facts(self, relation: str) -> FrozenSet[Tuple[Hashable, ...]]:
+        """All facts of the named relation."""
+        if not self.schema.has_relation(relation):
+            raise ReproError(f"unknown relation {relation!r}")
+        return frozenset(self._facts.get(relation, ()))
+
+    def all_facts(self) -> Iterator[Tuple[str, Tuple[Hashable, ...]]]:
+        """Iterate over ``(relation, tuple)`` pairs."""
+        for relation in sorted(self._facts):
+            for values in sorted(self._facts[relation], key=repr):
+                yield relation, values
+
+    def has_fact(self, relation: str, values: Tuple[Hashable, ...]) -> bool:
+        """Whether the fact is present."""
+        return tuple(values) in self._facts.get(relation, set())
+
+    def active_domain(self) -> FrozenSet[Hashable]:
+        """All terms occurring in some fact."""
+        domain: Set[Hashable] = set()
+        for facts in self._facts.values():
+            for values in facts:
+                domain.update(values)
+        return frozenset(domain)
+
+    def nulls(self) -> FrozenSet[MarkedNull]:
+        """All marked nulls occurring in the instance."""
+        return frozenset(term for term in self.active_domain() if isinstance(term, MarkedNull))
+
+    def size(self) -> int:
+        """Total number of facts."""
+        return sum(len(facts) for facts in self._facts.values())
+
+    def copy(self) -> "Instance":
+        """A structural copy."""
+        clone = Instance(self.schema)
+        for relation, facts in self._facts.items():
+            clone._facts.setdefault(relation, set()).update(facts)
+        return clone
+
+    def substitute(self, replacement: Dict[Hashable, Hashable]) -> "Instance":
+        """Apply a term substitution (used by the chase when egds equate terms)."""
+        clone = Instance(self.schema)
+        for relation, facts in self._facts.items():
+            for values in facts:
+                clone.add_fact(relation, tuple(replacement.get(term, term) for term in values))
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        names = set(self._facts) | set(other._facts)
+        return all(self._facts.get(name, set()) == other._facts.get(name, set()) for name in names)
+
+    def __hash__(self) -> int:  # pragma: no cover - instances are mutable
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"<Instance: {self.size()} facts over {len(self._facts)} relations>"

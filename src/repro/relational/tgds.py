@@ -1,0 +1,92 @@
+"""Tuple-generating and equality-generating dependencies.
+
+The relational mapping ``M_rel`` of Proposition 1 is specified by:
+
+* **source-to-target tgds** ``∀x̄ (φ_source(x̄) → ∃z̄ ψ_target(x̄, z̄))``;
+* **target tgds** of the same shape but with both sides over the target;
+* a **key constraint** (an egd) saying each node id has one data value.
+
+This module defines the dependency classes used by the chase
+(:mod:`repro.relational.chase`).  Bodies and heads are conjunctions of
+:class:`~repro.relational.conjunctive.AtomPattern` atoms; the frontier
+(shared variables) is inferred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from ..exceptions import ReproError
+from .conjunctive import AtomPattern, Variable
+
+__all__ = ["TGD", "EGD"]
+
+
+@dataclass(frozen=True)
+class TGD:
+    """A tuple-generating dependency ``∀x̄ (body → ∃z̄ head)``.
+
+    Variables occurring in the head but not in the body are existential:
+    the chase invents fresh marked nulls for them.
+    """
+
+    body: Tuple[AtomPattern, ...]
+    head: Tuple[AtomPattern, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.body or not self.head:
+            raise ReproError("a tgd needs a non-empty body and a non-empty head")
+
+    def body_variables(self) -> FrozenSet[Variable]:
+        """Variables occurring in the body."""
+        result: set = set()
+        for atom in self.body:
+            result |= atom.variables()
+        return frozenset(result)
+
+    def head_variables(self) -> FrozenSet[Variable]:
+        """Variables occurring in the head."""
+        result: set = set()
+        for atom in self.head:
+            result |= atom.variables()
+        return frozenset(result)
+
+    def existential_variables(self) -> FrozenSet[Variable]:
+        """Head variables not bound by the body (chased with fresh nulls)."""
+        return self.head_variables() - self.body_variables()
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        body = " ∧ ".join(f"{a.relation}{a.terms}" for a in self.body)
+        head = " ∧ ".join(f"{a.relation}{a.terms}" for a in self.head)
+        return f"{label}{body} → {head}"
+
+
+@dataclass(frozen=True)
+class EGD:
+    """An equality-generating dependency ``∀x̄ (body → x = y)``.
+
+    The key constraint of Proposition 1 — each node id carries a single
+    data value — is the canonical example.
+    """
+
+    body: Tuple[AtomPattern, ...]
+    left: Variable
+    right: Variable
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise ReproError("an egd needs a non-empty body")
+        variables: set = set()
+        for atom in self.body:
+            variables |= atom.variables()
+        if self.left not in variables or self.right not in variables:
+            raise ReproError("egd equality variables must occur in the body")
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        body = " ∧ ".join(f"{a.relation}{a.terms}" for a in self.body)
+        return f"{label}{body} → {self.left} = {self.right}"

@@ -1,0 +1,20 @@
+"""Workloads: scenario bundles and random sweeps for experiments and examples."""
+
+from .random_workloads import (
+    RandomWorkload,
+    random_equality_query,
+    random_relational_mapping,
+    workload_sweep,
+)
+from .scenarios import Scenario, movie_catalog_scenario, provenance_scenario, social_network_scenario
+
+__all__ = [
+    "Scenario",
+    "social_network_scenario",
+    "movie_catalog_scenario",
+    "provenance_scenario",
+    "RandomWorkload",
+    "random_relational_mapping",
+    "random_equality_query",
+    "workload_sweep",
+]

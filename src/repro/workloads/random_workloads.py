@@ -1,0 +1,133 @@
+"""Random workload generation: mappings, queries and full sweeps.
+
+The experiment suite measures scaling behaviour on controlled random
+inputs.  This module draws random relational mappings (word targets of
+bounded length), random equality-RPQ queries of a requested shape, and
+packages (source graph, mapping, query) triples into reproducible sweeps
+parameterised by size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.gsm import GraphSchemaMapping, MappingRule
+from ..datagraph import generators
+from ..datagraph.graph import DataGraph
+from ..exceptions import WorkloadError
+from ..query.data_rpq import DataRPQ, equality_rpq
+from ..query.rpq import atomic_rpq, word_rpq
+
+__all__ = ["RandomWorkload", "random_relational_mapping", "random_equality_query", "workload_sweep"]
+
+
+@dataclass(frozen=True)
+class RandomWorkload:
+    """One random (source, mapping, query) instance of a sweep."""
+
+    name: str
+    source: DataGraph
+    mapping: GraphSchemaMapping
+    query: DataRPQ
+    parameters: Dict[str, object]
+
+
+def _rng(seed: Optional[int | random.Random]) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_relational_mapping(
+    source_labels: Sequence[str],
+    target_labels: Sequence[str],
+    max_word_length: int = 2,
+    rules_per_label: int = 1,
+    rng: Optional[int | random.Random] = None,
+) -> GraphSchemaMapping:
+    """A random LAV relational mapping: each source label maps to random word(s)."""
+    if not source_labels or not target_labels:
+        raise WorkloadError("random_relational_mapping needs non-empty alphabets")
+    if max_word_length < 1:
+        raise WorkloadError("max_word_length must be at least 1")
+    generator = _rng(rng)
+    rules: List[MappingRule] = []
+    for label in source_labels:
+        for _ in range(max(1, rules_per_label)):
+            length = generator.randint(1, max_word_length)
+            word = tuple(target_labels[generator.randrange(len(target_labels))] for _ in range(length))
+            rules.append(MappingRule(atomic_rpq(label), word_rpq(word)))
+    return GraphSchemaMapping(rules, target_alphabet=target_labels, name="random-relational")
+
+
+def random_equality_query(
+    target_labels: Sequence[str],
+    length: int = 2,
+    test: str = "equal",
+    rng: Optional[int | random.Random] = None,
+) -> DataRPQ:
+    """A random data RPQ over the target labels.
+
+    ``test`` selects the query shape: ``"equal"`` / ``"unequal"`` wraps a
+    random word of the requested length in ``(·)=`` / ``(·)≠``;
+    ``"repeat"`` builds the value-repetition query
+    ``Σ* (Σ+)= Σ*``; ``"plain"`` is the bare word (no data test).
+    """
+    if not target_labels:
+        raise WorkloadError("random_equality_query needs a non-empty target alphabet")
+    generator = _rng(rng)
+    word = [target_labels[generator.randrange(len(target_labels))] for _ in range(max(1, length))]
+    body = ".".join(word)
+    sigma = "|".join(sorted(set(target_labels)))
+    if test == "equal":
+        return equality_rpq(f"({body})=")
+    if test == "unequal":
+        return equality_rpq(f"({body})!=")
+    if test == "repeat":
+        return equality_rpq(f"({sigma})* . ((({sigma})+)=) . ({sigma})*")
+    if test == "plain":
+        return equality_rpq(body)
+    raise WorkloadError(f"unknown query shape {test!r}")
+
+
+def workload_sweep(
+    sizes: Sequence[int],
+    edge_factor: float = 1.5,
+    domain_size: Optional[int] = None,
+    max_word_length: int = 2,
+    query_test: str = "equal",
+    query_length: int = 2,
+    source_labels: Sequence[str] = ("r", "s"),
+    target_labels: Sequence[str] = ("t", "u"),
+    seed: int = 20170514,
+) -> Iterator[RandomWorkload]:
+    """Yield one random workload per requested source size (deterministic in *seed*)."""
+    for size in sizes:
+        generator = random.Random(seed * 1_000_003 + size)
+        source = generators.random_graph(
+            num_nodes=size,
+            num_edges=int(size * edge_factor),
+            labels=source_labels,
+            rng=generator,
+            domain_size=domain_size if domain_size is not None else max(2, size // 2),
+        )
+        mapping = random_relational_mapping(
+            source_labels, target_labels, max_word_length=max_word_length, rng=generator
+        )
+        query = random_equality_query(
+            target_labels, length=query_length, test=query_test, rng=generator
+        )
+        yield RandomWorkload(
+            name=f"sweep-n{size}",
+            source=source,
+            mapping=mapping,
+            query=query,
+            parameters={
+                "nodes": size,
+                "edges": source.num_edges,
+                "domain_size": domain_size,
+                "query_test": query_test,
+            },
+        )

@@ -1,0 +1,50 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagraph import DataGraph, GraphBuilder
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random generator for tests needing randomness."""
+    return random.Random(20170514)  # PODS 2017 start date
+
+
+@pytest.fixture
+def toy_graph() -> DataGraph:
+    """A small social-network-like data graph used by many tests.
+
+    Four people, a ``knows`` relation and a ``worksAt`` relation; two of
+    the people share a data value (the city they live in).
+    """
+    return (
+        GraphBuilder(name="toy")
+        .node("alice", "Edinburgh")
+        .node("bob", "Edinburgh")
+        .node("carol", "Paris")
+        .node("dave", "Chicago")
+        .node("uni", "UoE")
+        .edge("alice", "knows", "bob")
+        .edge("bob", "knows", "carol")
+        .edge("carol", "knows", "dave")
+        .edge("dave", "knows", "alice")
+        .edge("alice", "worksAt", "uni")
+        .edge("bob", "worksAt", "uni")
+        .build()
+    )
+
+
+@pytest.fixture
+def chain_graph_10() -> DataGraph:
+    """A 10-edge chain with all-distinct data values."""
+    builder = GraphBuilder(name="chain10")
+    for i in range(11):
+        builder.node(f"c{i}", f"value{i}")
+    for i in range(10):
+        builder.edge(f"c{i}", "a", f"c{i + 1}")
+    return builder.build()

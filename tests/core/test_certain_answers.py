@@ -1,0 +1,250 @@
+"""Tests for the certain-answer algorithms (Sections 6–8, Propositions 4–5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    GraphSchemaMapping,
+    certain_answers,
+    certain_answers_data_path,
+    certain_answers_equality_only,
+    certain_answers_naive,
+    certain_answers_with_nulls,
+    is_certain_answer,
+    simplify_mapping_for_data_path_query,
+)
+from repro.datagraph import GraphBuilder
+from repro.exceptions import CertainAnswerError, UnsupportedQueryError
+from repro.query import equality_rpq, memory_rpq, rpq
+
+
+def _ids(pairs):
+    return {(source.id, target.id) for source, target in pairs}
+
+
+@pytest.fixture
+def copy_like_source():
+    """p1(v) -r-> p2(v) -r-> p3(w): two nodes share a data value."""
+    return (
+        GraphBuilder(name="src")
+        .node("p1", "v")
+        .node("p2", "v")
+        .node("p3", "w")
+        .edge("p1", "r", "p2")
+        .edge("p2", "r", "p3")
+        .build()
+    )
+
+
+@pytest.fixture
+def copy_mapping_single():
+    """r ⟶ t : a plain relabelling (relational, LAV and GAV)."""
+    return GraphSchemaMapping([("r", "t")], name="relabel")
+
+
+@pytest.fixture
+def expanding_mapping():
+    """r ⟶ t.t : every source edge becomes a 2-step path with an invented middle node."""
+    return GraphSchemaMapping([("r", "t.t")], name="expand")
+
+
+class TestNavigationalQueries:
+    def test_copy_mapping_preserves_navigation(self, copy_like_source, copy_mapping_single):
+        answers = certain_answers(copy_mapping_single, copy_like_source, rpq("t.t"))
+        assert _ids(answers) == {("p1", "p3")}
+
+    def test_expanding_mapping(self, copy_like_source, expanding_mapping):
+        assert _ids(certain_answers(expanding_mapping, copy_like_source, rpq("t.t"))) == {
+            ("p1", "p2"),
+            ("p2", "p3"),
+        }
+        assert _ids(certain_answers(expanding_mapping, copy_like_source, rpq("t.t.t.t"))) == {
+            ("p1", "p3")
+        }
+        assert _ids(certain_answers(expanding_mapping, copy_like_source, rpq("t*"))) >= {
+            ("p1", "p3"),
+            ("p1", "p1"),
+        }
+
+    def test_no_spurious_answers(self, copy_like_source, copy_mapping_single):
+        # nothing forces a t-edge from p3 anywhere
+        answers = certain_answers(copy_mapping_single, copy_like_source, rpq("t"))
+        assert ("p3", "p1") not in _ids(answers)
+        assert _ids(answers) == {("p1", "p2"), ("p2", "p3")}
+
+
+class TestEqualityOnlyQueries:
+    """Theorem 5: the least-informative algorithm is exact for REE= / REM=."""
+
+    def test_equality_query_on_copy(self, copy_like_source, copy_mapping_single):
+        query = equality_rpq("(t)=")
+        exact = certain_answers_naive(copy_mapping_single, copy_like_source, query)
+        fast = certain_answers_equality_only(copy_mapping_single, copy_like_source, query)
+        assert _ids(exact) == _ids(fast) == {("p1", "p2")}
+
+    def test_equality_query_through_invented_nodes(self, copy_like_source, expanding_mapping):
+        # (t.t)= asks for 2-step paths with equal endpoint values; the invented
+        # middle nodes have unknown values, endpoints keep source values.
+        query = equality_rpq("(t.t)=")
+        exact = certain_answers_naive(expanding_mapping, copy_like_source, query)
+        fast = certain_answers_equality_only(expanding_mapping, copy_like_source, query)
+        assert _ids(exact) == _ids(fast) == {("p1", "p2")}
+
+    def test_repeated_value_query(self, copy_like_source, expanding_mapping):
+        query = equality_rpq("t* . (t+)= . t*")
+        exact = certain_answers_naive(expanding_mapping, copy_like_source, query)
+        fast = certain_answers_equality_only(expanding_mapping, copy_like_source, query)
+        assert _ids(exact) == _ids(fast)
+        # p1 and p2 carry the same value and are joined by a path, so any pair
+        # of source nodes on a path covering both is an answer:
+        assert ("p1", "p2") in _ids(fast)
+        assert ("p1", "p3") in _ids(fast)
+
+    def test_memory_equality_query(self, copy_like_source, copy_mapping_single):
+        query = memory_rpq("!x.(t+[x=])")
+        fast = certain_answers_equality_only(copy_mapping_single, copy_like_source, query)
+        exact = certain_answers_naive(copy_mapping_single, copy_like_source, query)
+        assert _ids(fast) == _ids(exact) == {("p1", "p2")}
+
+    def test_rejects_inequality_queries(self, copy_like_source, copy_mapping_single):
+        with pytest.raises(UnsupportedQueryError):
+            certain_answers_equality_only(
+                copy_mapping_single, copy_like_source, equality_rpq("(t)!=")
+            )
+
+
+class TestInequalityQueriesAndNullApproximation:
+    """Theorems 3–4 and Remark 1: 2ⁿ_M is a sound under-approximation of 2_M."""
+
+    def test_inequality_on_source_values_is_certain(self, copy_like_source, copy_mapping_single):
+        query = equality_rpq("(t.t)!=")
+        exact = certain_answers_naive(copy_mapping_single, copy_like_source, query)
+        approx = certain_answers_with_nulls(copy_mapping_single, copy_like_source, query)
+        assert _ids(exact) == {("p1", "p3")}  # values v vs w are known to differ
+        assert _ids(approx) == {("p1", "p3")}
+
+    def test_inequality_through_invented_node_is_not_certain(self, copy_like_source, expanding_mapping):
+        # (t)!= between a source node and an invented node is never certain:
+        # the adversary can give the invented node the same value.
+        query = equality_rpq("(t)!=")
+        exact = certain_answers_naive(expanding_mapping, copy_like_source, query)
+        approx = certain_answers_with_nulls(expanding_mapping, copy_like_source, query)
+        assert _ids(exact) == set()
+        assert _ids(approx) == set()
+
+    def test_approximation_is_sound(self, copy_like_source, expanding_mapping):
+        for text in ["(t.t)=", "(t.t)!=", "t* . (t+)= . t*", "(t.t.t.t)!="]:
+            query = equality_rpq(text)
+            exact = certain_answers_naive(expanding_mapping, copy_like_source, query)
+            approx = certain_answers_with_nulls(expanding_mapping, copy_like_source, query)
+            assert _ids(approx) <= _ids(exact), text
+
+    def test_approximation_can_be_strict(self):
+        """A case where 2ⁿ_M misses an answer that 2_M contains (Remark 1).
+
+        Source: a(1) -r-> b(2).  Mapping: r ⟶ t.t, so every solution has a
+        path a -t-> m -t-> b through some node m.  Query:
+        ``((t)=.t) | ((t)!=.t)`` — "the first step endpoints are equal, or
+        they are different".  In every solution over plain data values the
+        value of m is either equal to a's value or not, so (a, b) is a
+        genuine certain answer.  Over the universal solution m is the SQL
+        null and neither comparison is true, so the null-based
+        approximation misses the answer.
+        """
+        source = GraphBuilder().node("a", 1).node("b", 2).edge("a", "r", "b").build()
+        mapping = GraphSchemaMapping([("r", "t.t")])
+        query = equality_rpq("((t)=.t) | ((t)!=.t)")
+        exact = certain_answers_naive(mapping, source, query)
+        approx = certain_answers_with_nulls(mapping, source, query)
+        # In every solution the invented value is either equal to a's or not,
+        # so (a, b) is a certain answer...
+        assert ("a", "b") in _ids(exact)
+        # ...but under SQL-null evaluation neither comparison is true.
+        assert ("a", "b") not in _ids(approx)
+        assert _ids(approx) < _ids(exact)
+
+
+class TestDataPathQueriesUnderArbitraryMappings:
+    """Proposition 5: rules producing long words are useless and can be dropped."""
+
+    def test_simplification_drops_reachability_rules(self):
+        mapping = GraphSchemaMapping(
+            [("r", "t"), ("s", "(t|u)*"), ("p", "t.t.t.t")], target_alphabet={"t", "u"}
+        )
+        simplified = simplify_mapping_for_data_path_query(mapping, query_length=2)
+        assert simplified is not None
+        assert len(simplified) == 1
+        assert str(next(iter(simplified)).source) == "r"
+
+    def test_simplification_can_remove_everything(self):
+        mapping = GraphSchemaMapping([("r", "(t|u)*")], target_alphabet={"t", "u"})
+        assert simplify_mapping_for_data_path_query(mapping, query_length=3) is None
+
+    def test_certain_answers_with_reachability_rule(self, copy_like_source):
+        mapping = GraphSchemaMapping(
+            [("r", "t"), ("r", "(t|u)*")], target_alphabet={"t", "u"}
+        )
+        query = equality_rpq("(t)=")
+        answers = certain_answers_data_path(mapping, copy_like_source, query)
+        assert _ids(answers) == {("p1", "p2")}
+
+    def test_reachability_only_mapping_gives_empty_answers(self, copy_like_source):
+        mapping = GraphSchemaMapping([("r", "(t|u)*")], target_alphabet={"t", "u"})
+        query = equality_rpq("(t)=")
+        assert certain_answers_data_path(mapping, copy_like_source, query) == frozenset()
+
+    def test_rejects_non_path_queries(self, copy_like_source):
+        mapping = GraphSchemaMapping([("r", "(t|u)*")], target_alphabet={"t", "u"})
+        with pytest.raises(UnsupportedQueryError):
+            certain_answers_data_path(mapping, copy_like_source, equality_rpq("t|u"))
+
+
+class TestDispatcherAndEdgeCases:
+    def test_auto_dispatch(self, copy_like_source, copy_mapping_single):
+        equality = equality_rpq("(t)=")
+        assert certain_answers(copy_mapping_single, copy_like_source, equality, method="auto")
+        inequality = equality_rpq("(t.t)!=")
+        auto = certain_answers(copy_mapping_single, copy_like_source, inequality, method="auto")
+        naive = certain_answers(copy_mapping_single, copy_like_source, inequality, method="naive")
+        assert _ids(auto) == _ids(naive)
+
+    def test_auto_dispatch_non_relational_data_path(self, copy_like_source):
+        mapping = GraphSchemaMapping([("r", "t"), ("r", "(t|u)*")], target_alphabet={"t", "u"})
+        answers = certain_answers(mapping, copy_like_source, equality_rpq("(t)="), method="auto")
+        assert _ids(answers) == {("p1", "p2")}
+
+    def test_auto_dispatch_rejects_undecidable_combination(self, copy_like_source):
+        mapping = GraphSchemaMapping([("r", "(t|u)*")], target_alphabet={"t", "u"})
+        with pytest.raises(UnsupportedQueryError):
+            certain_answers(mapping, copy_like_source, equality_rpq("((t|u)+)="), method="auto")
+
+    def test_unknown_method(self, copy_like_source, copy_mapping_single):
+        with pytest.raises(CertainAnswerError):
+            certain_answers(copy_mapping_single, copy_like_source, rpq("t"), method="bogus")
+        with pytest.raises(UnsupportedQueryError):
+            certain_answers(copy_mapping_single, copy_like_source, rpq("t"), method="data-path")
+
+    def test_is_certain_answer(self, copy_like_source, copy_mapping_single):
+        assert is_certain_answer(copy_mapping_single, copy_like_source, rpq("t"), ("p1", "p2"))
+        assert not is_certain_answer(copy_mapping_single, copy_like_source, rpq("t"), ("p1", "p3"))
+
+    def test_budget_guard(self, copy_like_source):
+        # many invented nodes -> enumeration rejected under a tiny budget
+        mapping = GraphSchemaMapping([("r", "t.t.t.t.t")])
+        with pytest.raises(CertainAnswerError):
+            certain_answers_naive(mapping, copy_like_source, equality_rpq("(t)!="), budget=10)
+
+    def test_unsolvable_mapping_makes_everything_certain(self):
+        source = GraphBuilder().node("x", 1).node("y", 2).edge("x", "r", "y").build()
+        mapping = GraphSchemaMapping([("r", "eps")], target_alphabet={"t"})
+        answers = certain_answers_naive(mapping, source, rpq("t"))
+        assert ("x", "y") in _ids(answers)
+        approx = certain_answers_with_nulls(mapping, source, rpq("t"))
+        assert ("x", "y") in _ids(approx)
+        fast = certain_answers_equality_only(mapping, source, rpq("t"))
+        assert ("x", "y") in _ids(fast)
+
+    def test_unsupported_query_object(self, copy_like_source, copy_mapping_single):
+        with pytest.raises(UnsupportedQueryError):
+            certain_answers_naive(copy_mapping_single, copy_like_source, "not a query")

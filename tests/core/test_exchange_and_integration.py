@@ -1,0 +1,155 @@
+"""Tests for the data exchange and virtual integration façades."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DataExchangeEngine, GraphSchemaMapping, VirtualIntegrationSystem
+from repro.datagraph import GraphBuilder
+from repro.exceptions import InvalidMappingError, UnsupportedQueryError
+from repro.query import equality_rpq, rpq
+
+
+def _ids(pairs):
+    return {(source.id, target.id) for source, target in pairs}
+
+
+@pytest.fixture
+def source():
+    return (
+        GraphBuilder(name="hr")
+        .node("ann", "Ann")
+        .node("ben", "Ben")
+        .node("acme", "ACME")
+        .edge("ann", "colleague", "ben")
+        .edge("ann", "employer", "acme")
+        .edge("ben", "employer", "acme")
+        .build()
+    )
+
+
+@pytest.fixture
+def engine():
+    mapping = GraphSchemaMapping(
+        [("colleague", "knows"), ("employer", "affiliated.with")], name="hr-to-social"
+    )
+    return DataExchangeEngine(mapping)
+
+
+class TestDataExchangeEngine:
+    def test_materialise_nulls(self, engine, source):
+        result = engine.materialise(source, policy="nulls")
+        assert result.policy == "nulls"
+        assert result.null_node_count == 2  # one per employer edge
+        assert engine.check_solution(source, result.target)
+
+    def test_materialise_fresh(self, engine, source):
+        result = engine.materialise(source, policy="fresh")
+        assert result.null_node_count == 0
+        assert engine.check_solution(source, result.target)
+
+    def test_materialize_alias(self, engine, source):
+        assert engine.materialize(source).target == engine.materialise(source).target
+
+    def test_unknown_policy(self, engine, source):
+        with pytest.raises(UnsupportedQueryError):
+            engine.materialise(source, policy="bogus")
+
+    def test_explain_violations(self, engine, source):
+        empty_target = GraphBuilder().build()
+        assert engine.explain_violations(source, empty_target)
+        good = engine.materialise(source).target
+        assert engine.explain_violations(source, good) == []
+
+    def test_certain_answers_navigational(self, engine, source):
+        answers = engine.certain_answers(source, rpq("knows"))
+        assert _ids(answers) == {("ann", "ben")}
+
+    def test_certain_answers_with_data(self, engine, source):
+        # both ann and ben are affiliated with the same (invented) department node;
+        # (affiliated.with)= would need the invented value, never certain;
+        # the 4-step query through acme is certain because acme is a shared constant.
+        query = equality_rpq("(affiliated.with)=")
+        assert engine.certain_answers(source, query, method="naive") == frozenset()
+        round_trip = equality_rpq("(affiliated . with . (with)- . (affiliated)-)=")
+        # labels with '-' are just distinct labels here, so skip: use exact query on shared node
+        shared = equality_rpq("(affiliated.with)= | (affiliated.with)!=")
+        exact = engine.certain_answers_exact(source, shared)
+        approx = engine.certain_answers_approximate(source, shared)
+        assert _ids(approx) <= _ids(exact)
+
+    def test_exact_and_fast_agree_on_equality_queries(self, engine, source):
+        query = equality_rpq("(knows)=")
+        assert _ids(engine.certain_answers(source, query)) == _ids(
+            engine.certain_answers_exact(source, query)
+        )
+
+
+class TestVirtualIntegrationSystem:
+    def _build_system(self):
+        system = VirtualIntegrationSystem(["knows", "worksAt"], name="demo")
+        friends = system.add_source("friends", "knows")
+        coworkers = system.add_source("coworkers", "worksAt . (worksAt)-" if False else "knows.knows")
+        friends.extend(
+            [
+                ((1, "Ann"), (2, "Ben")),
+                ((2, "Ben"), (3, "Cat")),
+            ]
+        )
+        coworkers.add((1, "Ann"), (3, "Cat"))
+        return system
+
+    def test_validation(self):
+        with pytest.raises(InvalidMappingError):
+            VirtualIntegrationSystem([])
+        system = VirtualIntegrationSystem(["knows"])
+        system.add_source("s1", "knows")
+        with pytest.raises(InvalidMappingError):
+            system.add_source("s1", "knows")
+        with pytest.raises(InvalidMappingError):
+            system.add_source("s2", "unknownLabel")
+        with pytest.raises(InvalidMappingError):
+            system.source("missing")
+        with pytest.raises(InvalidMappingError):
+            VirtualIntegrationSystem(["knows"]).as_mapping()
+
+    def test_source_graph_and_mapping(self):
+        system = self._build_system()
+        graph = system.as_source_graph()
+        assert graph.num_nodes == 3
+        assert graph.has_edge(1, "src:friends", 2)
+        mapping = system.as_mapping()
+        assert mapping.is_lav()
+        assert len(mapping) == 2
+        assert len(system.sources) == 2
+        assert len(system.source("friends")) == 2
+
+    def test_certain_answers_navigational(self):
+        system = self._build_system()
+        # friends tuples force knows-edges; the coworkers source only forces
+        # a knows.knows path which already exists virtually, adding nothing new.
+        answers = system.certain_answers(rpq("knows"))
+        assert _ids(answers) == {(1, 2), (2, 3)}
+        two_step = system.certain_answers(rpq("knows.knows"))
+        assert (1, 3) in _ids(two_step)
+
+    def test_certain_answers_with_data(self):
+        system = VirtualIntegrationSystem(["cites"], name="scholar")
+        src = system.add_source("citations", "cites")
+        src.extend(
+            [
+                ((10, "paperA"), (11, "paperB")),
+                ((11, "paperB"), (12, "paperA")),
+            ]
+        )
+        # same-title nodes two hops apart (ids differ, data value repeats)
+        query = equality_rpq("(cites.cites)=")
+        answers = system.certain_answers(query)
+        assert _ids(answers) == {(10, 12)}
+
+    def test_canonical_global_graph(self):
+        system = self._build_system()
+        graph = system.canonical_global_graph()
+        assert graph.has_edge(1, "knows", 2)
+        # the coworkers view knows.knows invents one intermediate null node
+        assert len(graph.null_nodes()) == 1

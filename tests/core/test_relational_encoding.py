@@ -1,0 +1,120 @@
+"""Tests for the Proposition 1 relational encoding of relational GSMs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GraphSchemaMapping, universal_solution
+from repro.core.relational_encoding import (
+    SOURCE_PREFIX,
+    TARGET_PREFIX,
+    chase_universal_instance,
+    chased_instance_to_graph,
+    encode_source_graph,
+    node_transfer_tgds,
+    relational_mapping_schema,
+    target_constraints,
+    word_rule_tgds,
+)
+from repro.datagraph import GraphBuilder, find_isomorphism
+from repro.datagraph.relational_view import edge_relation_name
+from repro.exceptions import UnsupportedQueryError
+from repro.relational import chase, solution_satisfies
+
+
+@pytest.fixture
+def source():
+    return (
+        GraphBuilder(name="src")
+        .node("a", 1)
+        .node("b", 2)
+        .node("c", 3)
+        .edge("a", "r", "b")
+        .edge("b", "r", "c")
+        .edge("a", "s", "c")
+        .build()
+    )
+
+
+@pytest.fixture
+def mapping():
+    return GraphSchemaMapping([("r", "t.t"), ("s", "u")], name="expand")
+
+
+class TestSchemaAndEncoding:
+    def test_schema_contains_both_sides(self, mapping):
+        schema = relational_mapping_schema(mapping)
+        assert schema.has_relation("Ns")
+        assert schema.has_relation("Nt")
+        assert schema.has_relation(edge_relation_name("r", SOURCE_PREFIX))
+        assert schema.has_relation(edge_relation_name("t", TARGET_PREFIX))
+
+    def test_encode_source_graph(self, mapping, source):
+        instance = encode_source_graph(mapping, source)
+        assert instance.has_fact("Ns", ("a", 1))
+        assert instance.has_fact(edge_relation_name("r", SOURCE_PREFIX), ("a", "b"))
+        assert not instance.facts("Nt")
+
+
+class TestDependencies:
+    def test_word_rule_tgds_shape(self, mapping):
+        tgds = word_rule_tgds(mapping)
+        assert len(tgds) == 2
+        expand = next(tgd for tgd in tgds if tgd.name == "rule0")
+        target_atoms = [atom for atom in expand.head if atom.relation.startswith(f"{TARGET_PREFIX}_")]
+        assert len(target_atoms) == 2  # the word t.t is a two-atom path
+        assert expand.existential_variables()  # the middle node is existential
+
+    def test_word_rule_tgds_reject_non_word_targets(self):
+        mapping = GraphSchemaMapping([("r", "t|u.u")])
+        with pytest.raises(UnsupportedQueryError):
+            word_rule_tgds(mapping)
+
+    def test_node_transfer_and_target_constraints(self, mapping):
+        transfer = node_transfer_tgds(mapping)
+        assert len(transfer) == 4  # two per rule
+        coverage, keys = target_constraints(mapping)
+        assert len(coverage) == len(mapping.target_alphabet)
+        assert len(keys) == 1
+
+    def test_full_st_tgd_chase_agrees_with_direct_construction(self, mapping, source):
+        """Chasing D_Gs with the Proposition 1 dependencies reproduces the universal solution."""
+        instance = encode_source_graph(mapping, source)
+        tgds = word_rule_tgds(mapping) + node_transfer_tgds(mapping)
+        coverage, keys = target_constraints(mapping)
+        chased = chase(instance, tgds=tgds + coverage, egds=keys)
+        graph = chased_instance_to_graph(chased)
+        direct = universal_solution(mapping, source)
+        assert find_isomorphism(graph, direct) is not None
+
+
+class TestChaseUniversalInstance:
+    def test_chased_instance_is_a_relational_solution(self, mapping, source):
+        chased = chase_universal_instance(mapping, source)
+        # it satisfies the target constraints of M_rel
+        coverage, keys = target_constraints(mapping)
+        assert solution_satisfies(chased, chased, coverage, keys)
+        # and contains target node facts for all domain nodes
+        assert chased.has_fact("Nt", ("a", 1))
+        assert chased.has_fact("Nt", ("c", 3))
+
+    def test_decoded_graph_matches_universal_solution(self, mapping, source):
+        """Proposition 1: solutions of M_rel correspond to solutions of M."""
+        chased = chase_universal_instance(mapping, source)
+        decoded = chased_instance_to_graph(chased)
+        direct = universal_solution(mapping, source)
+        assert find_isomorphism(decoded, direct) is not None
+
+    def test_non_relational_mapping_rejected(self, source):
+        mapping = GraphSchemaMapping([("r", "t*")])
+        with pytest.raises(UnsupportedQueryError):
+            chase_universal_instance(mapping, source)
+
+    def test_non_word_source_queries_supported(self, source):
+        """Source queries may be arbitrary RPQs (they are evaluated on G_s)."""
+        mapping = GraphSchemaMapping([("r+", "t")])
+        chased = chase_universal_instance(mapping, source)
+        decoded = chased_instance_to_graph(chased)
+        assert decoded.has_edge("a", "t", "c")  # from the r.r path a->b->c
+        direct = universal_solution(mapping, source)
+        assert find_isomorphism(decoded, direct) is not None

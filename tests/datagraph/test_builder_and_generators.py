@@ -1,0 +1,155 @@
+"""Tests for the graph builder and synthetic generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagraph import NULL, GraphBuilder, chain_graph, cycle_graph, graph_from_edges
+from repro.datagraph import generators
+from repro.exceptions import PathError, WorkloadError
+
+
+class TestGraphBuilder:
+    def test_chaining(self):
+        g = (
+            GraphBuilder(name="b")
+            .node("a", 1)
+            .nodes([("b", 2), ("c", 3)])
+            .edge("a", "r", "b")
+            .edges([("b", "r", "c"), ("c", "s", "a")])
+            .build()
+        )
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert g.name == "b"
+
+    def test_edge_creates_missing_endpoints_with_null(self):
+        g = GraphBuilder().edge("x", "r", "y").build()
+        assert g.node("x").is_null
+        assert g.node("y").is_null
+
+    def test_path_with_values(self):
+        g = GraphBuilder().path(["p", "q", "r"], ["a", "b"], values=[1, 2, 3]).build()
+        assert g.value_of("q") == 2
+        assert g.has_edge("p", "a", "q")
+
+    def test_path_length_mismatch(self):
+        with pytest.raises(PathError):
+            GraphBuilder().path(["p", "q"], ["a", "b"])
+        with pytest.raises(PathError):
+            GraphBuilder().path(["p", "q"], ["a"], values=[1])
+
+    def test_declare_labels(self):
+        g = GraphBuilder().declare_labels(["x", "y"]).build()
+        assert g.alphabet == frozenset({"x", "y"})
+
+    def test_graph_from_edges(self):
+        g = graph_from_edges([("a", "r", "b")], values={"a": 1, "c": 3})
+        assert g.value_of("a") == 1
+        assert g.node("b").is_null
+        assert g.has_node("c")
+
+    def test_chain_and_cycle_helpers(self):
+        chain = chain_graph(3)
+        assert chain.num_nodes == 4
+        assert chain.num_edges == 3
+        cyc = cycle_graph(3)
+        assert cyc.num_edges == 3
+        assert cyc.has_edge("v2", "a", "v0")
+        with pytest.raises(PathError):
+            cycle_graph(0)
+
+
+class TestGenerators:
+    def test_chain_generator(self):
+        g = generators.chain(5, labels=("a", "b"))
+        assert g.num_nodes == 6
+        assert g.num_edges == 5
+        assert g.has_edge("n0", "a", "n1")
+        assert g.has_edge("n1", "b", "n2")
+
+    def test_chain_with_domain(self):
+        g = generators.chain(20, domain_size=2, rng=1)
+        assert len(g.data_values()) <= 2
+
+    def test_cycle_generator(self):
+        g = generators.cycle(4)
+        assert g.num_edges == 4
+        with pytest.raises(WorkloadError):
+            generators.cycle(0)
+
+    def test_complete_graph(self):
+        g = generators.complete_graph(3)
+        assert g.num_edges == 6
+        g_loops = generators.complete_graph(3, include_loops=True)
+        assert g_loops.num_edges == 9
+
+    def test_grid(self):
+        g = generators.grid(2, 3)
+        assert g.num_nodes == 6
+        assert g.has_edge((0, 0), "right", (0, 1))
+        assert g.has_edge((0, 0), "down", (1, 0))
+
+    def test_random_tree(self):
+        g = generators.random_tree(10, rng=3)
+        assert g.num_nodes == 10
+        assert g.num_edges == 9
+        with pytest.raises(WorkloadError):
+            generators.random_tree(0)
+
+    def test_non_repeating_tree(self):
+        g = generators.random_tree(5, labels=("a", "b", "c", "d", "e"), rng=3, non_repeating=True)
+        for node in g.node_ids:
+            labels = [label for label, _ in g.successors(node)]
+            assert len(labels) == len(set(labels))
+
+    def test_non_repeating_tree_single_label_is_chain(self):
+        g = generators.random_tree(10, labels=("a",), rng=3, non_repeating=True)
+        # With a single label the only non-repeating tree is a chain:
+        # every node has at most one outgoing edge.
+        assert all(g.out_degree(node) <= 1 for node in g.node_ids)
+        assert g.num_edges == 9
+
+    def test_random_graph(self):
+        g = generators.random_graph(10, 30, rng=7)
+        assert g.num_nodes == 10
+        assert g.num_edges <= 30
+        with pytest.raises(WorkloadError):
+            generators.random_graph(0, 1)
+
+    def test_random_graph_determinism(self):
+        g1 = generators.random_graph(8, 20, rng=42)
+        g2 = generators.random_graph(8, 20, rng=42)
+        assert g1 == g2
+
+    def test_random_graph_no_self_loops(self):
+        g = generators.random_graph(5, 40, rng=2, allow_self_loops=False)
+        for source, _, target in g.edges:
+            assert source.id != target.id
+
+    def test_preferential_attachment(self):
+        g = generators.preferential_attachment(20, rng=5)
+        assert g.num_nodes == 20
+        assert g.num_edges >= 19 - 1
+        with pytest.raises(WorkloadError):
+            generators.preferential_attachment(1)
+
+    def test_layered_dag(self):
+        g = generators.layered_dag(3, 4, rng=9, density=1.0)
+        assert g.num_nodes == 12
+        assert g.num_edges == 2 * 4 * 4
+        with pytest.raises(WorkloadError):
+            generators.layered_dag(0, 1)
+
+    def test_random_data_values_domain(self):
+        values = generators.random_data_values(100, 3, rng=1)
+        assert len(set(values)) <= 3
+        with pytest.raises(WorkloadError):
+            generators.random_data_values(5, 0)
+
+    def test_rng_accepts_random_instance(self):
+        rng = random.Random(0)
+        g = generators.chain(3, rng=rng, domain_size=5)
+        assert g.num_nodes == 4

@@ -1,0 +1,103 @@
+"""Tests for graph (de)serialisation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagraph import (
+    NULL,
+    DataGraph,
+    GraphBuilder,
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+)
+from repro.exceptions import SerializationError
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self, toy_graph):
+        payload = graph_to_dict(toy_graph)
+        rebuilt = graph_from_dict(payload)
+        assert rebuilt == toy_graph
+        assert rebuilt.name == toy_graph.name
+
+    def test_null_values_round_trip(self):
+        g = GraphBuilder().node("a", NULL).node("b", 3).edge("a", "r", "b").build()
+        rebuilt = graph_from_dict(graph_to_dict(g))
+        assert rebuilt.node("a").is_null
+        assert rebuilt.value_of("b") == 3
+
+    def test_alphabet_preserved(self):
+        g = DataGraph(alphabet={"unused"})
+        g.add_node("a", 1)
+        rebuilt = graph_from_dict(graph_to_dict(g))
+        assert "unused" in rebuilt.alphabet
+
+    def test_strict_rejects_tuple_ids(self):
+        g = DataGraph()
+        g.add_node(("compound", 1), 2)
+        with pytest.raises(SerializationError):
+            graph_to_dict(g)
+        payload = graph_to_dict(g, strict=False)
+        assert isinstance(payload["nodes"][0]["id"], str)
+
+    def test_strict_rejects_non_scalar_values(self):
+        g = DataGraph()
+        g.add_node("a", ("tuple", "value"))
+        with pytest.raises(SerializationError):
+            graph_to_dict(g)
+        assert graph_to_dict(g, strict=False)["nodes"][0]["value"] == repr(("tuple", "value"))
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict({"nodes": []})
+        with pytest.raises(SerializationError):
+            graph_from_dict({"nodes": [{"value": 3}], "edges": []})
+        with pytest.raises(SerializationError):
+            graph_from_dict({"nodes": [], "edges": [{"source": "a", "label": "r"}]})
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, toy_graph):
+        text = graph_to_json(toy_graph)
+        rebuilt = graph_from_json(text)
+        assert rebuilt == toy_graph
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            graph_from_json("{not json")
+
+    def test_non_object_json(self):
+        with pytest.raises(SerializationError):
+            graph_from_json("[1, 2, 3]")
+
+
+@st.composite
+def serializable_graph(draw):
+    size = draw(st.integers(min_value=1, max_value=6))
+    g = DataGraph(name="prop")
+    for i in range(size):
+        value = draw(st.one_of(st.none(), st.integers(-5, 5), st.text(max_size=4)))
+        g.add_node(f"n{i}", NULL if value is None else value)
+    for _ in range(draw(st.integers(min_value=0, max_value=10))):
+        s = draw(st.integers(0, size - 1))
+        t = draw(st.integers(0, size - 1))
+        label = draw(st.sampled_from(["a", "b"]))
+        g.add_edge(f"n{s}", label, f"n{t}")
+    return g
+
+
+class TestSerializationProperties:
+    @given(serializable_graph())
+    @settings(max_examples=50)
+    def test_dict_round_trip_is_identity(self, graph):
+        assert graph_from_dict(graph_to_dict(graph)) == graph
+
+    @given(serializable_graph())
+    @settings(max_examples=30)
+    def test_json_round_trip_is_identity(self, graph):
+        assert graph_from_json(graph_to_json(graph)) == graph

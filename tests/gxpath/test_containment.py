@@ -1,0 +1,32 @@
+"""Tests for the bounded GXPath containment counterexample search."""
+
+from __future__ import annotations
+
+from repro.gxpath import bounded_containment_counterexample, node_holds, parse_gxpath_node
+
+
+class TestBoundedContainment:
+    def test_counterexample_found_when_not_contained(self):
+        # ⟨a⟩ is not contained in ⟨a.a⟩: a single a-edge suffices as witness.
+        phi = parse_gxpath_node("<a>")
+        psi = parse_gxpath_node("<a.a>")
+        witness = bounded_containment_counterexample(phi, psi, ["a"], max_nodes=2, max_values=1)
+        assert witness is not None
+        graph, node = witness
+        assert node_holds(graph, phi, node)
+        assert not node_holds(graph, psi, node)
+
+    def test_no_bounded_counterexample_for_true_containment(self):
+        # ⟨a.a⟩ ⊆ ⟨a⟩ holds on every graph, so no counterexample exists.
+        phi = parse_gxpath_node("<a.a>")
+        psi = parse_gxpath_node("<a>")
+        assert bounded_containment_counterexample(phi, psi, ["a"], max_nodes=3, max_values=1) is None
+
+    def test_data_comparison_containment(self):
+        # ⟨(a)=⟩ is not contained in ⟨(a)!=⟩, but the witness needs only one value;
+        # the converse needs two distinct values, so it is missed at max_values=1.
+        equal = parse_gxpath_node("<(a)=>")
+        unequal = parse_gxpath_node("<(a)!=>")
+        assert bounded_containment_counterexample(equal, unequal, ["a"], 2, max_values=1) is not None
+        assert bounded_containment_counterexample(unequal, equal, ["a"], 2, max_values=1) is None
+        assert bounded_containment_counterexample(unequal, equal, ["a"], 2, max_values=2) is not None

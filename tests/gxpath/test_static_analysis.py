@@ -1,0 +1,174 @@
+"""Tests for the Theorem 7 constructions (φ_G, φ_δ, φ') and bounded satisfiability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagraph import DataGraph, GraphBuilder
+from repro.exceptions import ReductionError
+from repro.gxpath import (
+    bounded_model_search,
+    bounded_satisfiability,
+    distinctness_formula,
+    evaluate_node,
+    exists,
+    has_non_repeating_property,
+    node_holds,
+    parse_gxpath_node,
+    satisfiability_reduction_formula,
+    structure_formula,
+    tree_root,
+)
+
+
+@pytest.fixture
+def small_tree() -> DataGraph:
+    """root(0) -a-> left(1), root -b-> right(2), left -c-> leaf(3); all values distinct."""
+    return (
+        GraphBuilder(name="tree")
+        .node("root", 0)
+        .node("left", 1)
+        .node("right", 2)
+        .node("leaf", 3)
+        .edge("root", "a", "left")
+        .edge("root", "b", "right")
+        .edge("left", "c", "leaf")
+        .build()
+    )
+
+
+class TestTreeHelpers:
+    def test_tree_root(self, small_tree):
+        assert tree_root(small_tree) == "root"
+
+    def test_tree_root_rejects_non_trees(self):
+        g = GraphBuilder().node("a", 1).node("b", 2).edge("a", "r", "b").edge("b", "r", "a").build()
+        with pytest.raises(ReductionError):
+            tree_root(g)
+        g2 = GraphBuilder().node("a", 1).node("b", 2).build()  # two roots, no edges
+        with pytest.raises(ReductionError):
+            tree_root(g2)
+
+    def test_tree_root_rejects_unreachable(self):
+        g = (
+            GraphBuilder()
+            .node("a", 1)
+            .node("b", 2)
+            .node("c", 3)
+            .edge("a", "r", "b")
+            .edge("c", "s", "b")
+            .build()
+        )
+        # b has two parents; a and c are both roots
+        with pytest.raises(ReductionError):
+            tree_root(g)
+
+    def test_non_repeating_property(self, small_tree):
+        assert has_non_repeating_property(small_tree)
+        repeating = (
+            GraphBuilder()
+            .node("r", 0)
+            .node("x", 1)
+            .node("y", 2)
+            .edge("r", "a", "x")
+            .edge("r", "a", "y")
+            .build()
+        )
+        assert not has_non_repeating_property(repeating)
+
+
+class TestStructureFormula:
+    def test_tree_satisfies_its_own_structure_formula(self, small_tree):
+        phi = structure_formula(small_tree)
+        assert node_holds(small_tree, phi, "root")
+        assert not node_holds(small_tree, phi, "right")
+
+    def test_single_node_tree(self):
+        g = GraphBuilder().node("only", 5).build()
+        phi = structure_formula(g)
+        assert node_holds(g, phi, "only")
+
+    def test_missing_branch_falsifies(self, small_tree):
+        phi = structure_formula(small_tree)
+        pruned = small_tree.copy()
+        pruned.remove_node("leaf")
+        assert not node_holds(pruned, phi, "root")
+
+    def test_extension_still_satisfies(self, small_tree):
+        """φ_G only forces containment of G's structure — supergraphs still satisfy it."""
+        phi = structure_formula(small_tree)
+        extended = small_tree.copy()
+        extended.add_node("extra", 9)
+        extended.add_edge("right", "d", "extra")
+        assert node_holds(extended, phi, "root")
+
+    def test_requires_non_repeating(self):
+        repeating = (
+            GraphBuilder()
+            .node("r", 0)
+            .node("x", 1)
+            .node("y", 2)
+            .edge("r", "a", "x")
+            .edge("r", "a", "y")
+            .build()
+        )
+        with pytest.raises(ReductionError):
+            structure_formula(repeating)
+
+
+class TestDistinctnessFormula:
+    def test_distinct_values_satisfy(self, small_tree):
+        phi = distinctness_formula(small_tree)
+        assert node_holds(small_tree, phi, "root")
+
+    def test_repeated_values_violate(self, small_tree):
+        phi = distinctness_formula(small_tree)
+        bad = small_tree.copy()
+        bad.set_value("right", 1)  # same value as "left"
+        assert not node_holds(bad, phi, "root")
+
+    def test_single_node_tree(self):
+        g = GraphBuilder().node("only", 5).build()
+        phi = distinctness_formula(g)
+        assert node_holds(g, phi, "only")
+
+
+class TestReductionFormula:
+    def test_phi_prime_satisfied_when_phi_fails_at_root(self, small_tree):
+        # φ = ⟨d⟩ (root has an outgoing d-edge) is false at the root, so
+        # φ' = φ_G ∧ φ_δ ∧ ¬φ holds at the root of the tree itself.
+        phi = parse_gxpath_node("<d>")
+        phi_prime = satisfiability_reduction_formula(small_tree, phi)
+        assert node_holds(small_tree, phi_prime, "root")
+
+    def test_phi_prime_unsatisfied_when_phi_forced(self, small_tree):
+        # φ = ⟨a⟩ holds at the root of every graph containing the tree, so φ' fails there.
+        phi = parse_gxpath_node("<a>")
+        phi_prime = satisfiability_reduction_formula(small_tree, phi)
+        assert not node_holds(small_tree, phi_prime, "root")
+
+
+class TestBoundedSatisfiability:
+    def test_simple_satisfiable(self):
+        phi = parse_gxpath_node("<a>")
+        result = bounded_model_search(phi, ["a"], max_nodes=2, max_values=1)
+        assert result is not None
+        graph, node = result
+        assert node_holds(graph, phi, node)
+
+    def test_unsatisfiable_contradiction(self):
+        phi = parse_gxpath_node("<a> & ~<a>")
+        assert not bounded_satisfiability(phi, ["a"], max_nodes=2, max_values=1)
+
+    def test_requires_distinct_values(self):
+        # needs an a-edge between two nodes with different values: no model with 1 value
+        phi = parse_gxpath_node("<(a)!=>")
+        assert not bounded_satisfiability(phi, ["a"], max_nodes=2, max_values=1)
+        assert bounded_satisfiability(phi, ["a"], max_nodes=2, max_values=2)
+
+    def test_model_search_returns_valid_witness(self):
+        phi = parse_gxpath_node("<(a.b)=> & ~<(a)=>")
+        result = bounded_model_search(phi, ["a", "b"], max_nodes=3, max_values=2)
+        assert result is not None
+        graph, node = result
+        assert node_holds(graph, phi, node)

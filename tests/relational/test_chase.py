@@ -1,0 +1,216 @@
+"""Tests for tgds, egds and the standard chase."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ChaseFailure, ReproError
+from repro.relational import (
+    EGD,
+    TGD,
+    AtomPattern,
+    Instance,
+    MarkedNull,
+    RelationSchema,
+    Schema,
+    Variable,
+    chase,
+    solution_satisfies,
+)
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def _schema(*relations):
+    return Schema([RelationSchema(name, arity) for name, arity in relations])
+
+
+class TestDependencyValidation:
+    def test_tgd_needs_body_and_head(self):
+        atom = AtomPattern("R", (X, Y))
+        with pytest.raises(ReproError):
+            TGD(body=(), head=(atom,))
+        with pytest.raises(ReproError):
+            TGD(body=(atom,), head=())
+
+    def test_tgd_variable_sets(self):
+        tgd = TGD(body=(AtomPattern("S", (X, Y)),), head=(AtomPattern("T", (X, Z)),))
+        assert tgd.body_variables() == frozenset({X, Y})
+        assert tgd.head_variables() == frozenset({X, Z})
+        assert tgd.existential_variables() == frozenset({Z})
+        assert "→" in str(tgd)
+
+    def test_egd_validation(self):
+        with pytest.raises(ReproError):
+            EGD(body=(), left=X, right=Y)
+        with pytest.raises(ReproError):
+            EGD(body=(AtomPattern("R", (X,)),), left=X, right=Y)
+        egd = EGD(body=(AtomPattern("N", (X, Y)), AtomPattern("N", (X, Z))), left=Y, right=Z)
+        assert "=" in str(egd)
+
+
+class TestChase:
+    def test_fkmp_example(self):
+        """The paper's Section 7 illustration: S(x,y) → ∃z T(x,z) ∧ T(z,y)."""
+        schema = _schema(("S", 2), ("T", 2))
+        source = Instance(schema)
+        source.add_fact("S", ("a", "b"))
+        source.add_fact("S", ("c", "d"))
+        tgd = TGD(
+            body=(AtomPattern("S", (X, Y)),),
+            head=(AtomPattern("T", (X, Z)), AtomPattern("T", (Z, Y))),
+        )
+        result = chase(source, tgds=[tgd])
+        t_facts = result.facts("T")
+        assert len(t_facts) == 4
+        nulls = result.nulls()
+        assert len(nulls) == 2  # one invented null per S-fact
+        # each null connects the right constants
+        for null in nulls:
+            sources = {fact[0] for fact in t_facts if fact[1] == null}
+            targets = {fact[1] for fact in t_facts if fact[0] == null}
+            assert sources in ({"a"}, {"c"})
+            assert targets in ({"b"}, {"d"})
+
+    def test_chase_is_idempotent_when_head_satisfied(self):
+        schema = _schema(("S", 2), ("T", 2))
+        source = Instance(schema)
+        source.add_fact("S", ("a", "b"))
+        source.add_fact("T", ("a", "b"))
+        tgd = TGD(body=(AtomPattern("S", (X, Y)),), head=(AtomPattern("T", (X, Y)),))
+        result = chase(source, tgds=[tgd])
+        assert result.facts("T") == frozenset({("a", "b")})
+        assert not result.nulls()
+
+    def test_copy_tgd(self):
+        schema = _schema(("E", 2), ("F", 2))
+        source = Instance(schema)
+        source.add_fact("E", (1, 2))
+        source.add_fact("E", (2, 3))
+        tgd = TGD(body=(AtomPattern("E", (X, Y)),), head=(AtomPattern("F", (X, Y)),))
+        result = chase(source, tgds=[tgd])
+        assert result.facts("F") == frozenset({(1, 2), (2, 3)})
+
+    def test_target_tgd_round(self):
+        # E(x,y) → F(x,y), then F(x,y) → G(y,x): two rounds needed.
+        schema = _schema(("E", 2), ("F", 2), ("G", 2))
+        source = Instance(schema)
+        source.add_fact("E", ("p", "q"))
+        tgds = [
+            TGD(body=(AtomPattern("E", (X, Y)),), head=(AtomPattern("F", (X, Y)),)),
+            TGD(body=(AtomPattern("F", (X, Y)),), head=(AtomPattern("G", (Y, X)),)),
+        ]
+        result = chase(source, tgds=tgds)
+        assert result.facts("G") == frozenset({("q", "p")})
+
+    def test_egd_merges_nulls(self):
+        schema = _schema(("S", 2), ("N", 2))
+        source = Instance(schema)
+        source.add_fact("S", ("id1", "v1"))
+        tgds = [
+            TGD(body=(AtomPattern("S", (X, Y)),), head=(AtomPattern("N", (X, Z)),)),
+            TGD(body=(AtomPattern("S", (X, Y)),), head=(AtomPattern("N", (X, Y)),)),
+        ]
+        key = EGD(body=(AtomPattern("N", (X, Y)), AtomPattern("N", (X, Z))), left=Y, right=Z)
+        result = chase(source, tgds=tgds, egds=[key])
+        assert result.facts("N") == frozenset({("id1", "v1")})
+        assert not result.nulls()
+
+    def test_egd_failure_on_distinct_constants(self):
+        schema = _schema(("N", 2),)
+        source = Instance(schema)
+        source.add_fact("N", ("id1", "v1"))
+        source.add_fact("N", ("id1", "v2"))
+        key = EGD(body=(AtomPattern("N", (X, Y)), AtomPattern("N", (X, Z))), left=Y, right=Z)
+        with pytest.raises(ChaseFailure):
+            chase(source, tgds=[], egds=[key])
+
+    def test_non_terminating_chase_hits_budget(self):
+        # R(x,y) → ∃z R(y,z) generates an infinite chain of nulls.
+        schema = _schema(("R", 2),)
+        source = Instance(schema)
+        source.add_fact("R", ("a", "b"))
+        tgd = TGD(body=(AtomPattern("R", (X, Y)),), head=(AtomPattern("R", (Y, Z)),))
+        with pytest.raises(ReproError):
+            chase(source, tgds=[tgd], max_rounds=5)
+
+
+class TestSolutionSatisfies:
+    def test_satisfying_pair(self):
+        schema = _schema(("S", 2), ("T", 2))
+        source = Instance(schema)
+        source.add_fact("S", ("a", "b"))
+        target = Instance(schema)
+        target.add_fact("T", ("a", "b"))
+        tgd = TGD(body=(AtomPattern("S", (X, Y)),), head=(AtomPattern("T", (X, Y)),))
+        assert solution_satisfies(source, target, [tgd])
+
+    def test_violating_pair(self):
+        schema = _schema(("S", 2), ("T", 2))
+        source = Instance(schema)
+        source.add_fact("S", ("a", "b"))
+        target = Instance(schema)
+        tgd = TGD(body=(AtomPattern("S", (X, Y)),), head=(AtomPattern("T", (X, Y)),))
+        assert not solution_satisfies(source, target, [tgd])
+
+    def test_egd_checked(self):
+        schema = _schema(("N", 2),)
+        source = Instance(schema)
+        target = Instance(schema)
+        target.add_fact("N", ("id", "v1"))
+        target.add_fact("N", ("id", "v2"))
+        key = EGD(body=(AtomPattern("N", (X, Y)), AtomPattern("N", (X, Z))), left=Y, right=Z)
+        assert not solution_satisfies(source, target, [], [key])
+
+    def test_chase_result_is_a_solution(self):
+        schema = _schema(("S", 2), ("T", 2))
+        source = Instance(schema)
+        source.add_fact("S", ("a", "b"))
+        source.add_fact("S", ("b", "c"))
+        tgd = TGD(
+            body=(AtomPattern("S", (X, Y)),),
+            head=(AtomPattern("T", (X, Z)), AtomPattern("T", (Z, Y))),
+        )
+        result = chase(source, tgds=[tgd])
+        assert solution_satisfies(source, result, [tgd])
+
+
+class TestGraphRelationalView:
+    """Round-trips between data graphs and their D_G relational encoding."""
+
+    def test_encode_decode_round_trip(self, toy_graph):
+        from repro.datagraph.relational_view import decode_graph, encode_graph
+
+        instance = encode_graph(toy_graph)
+        assert instance.has_fact("N", ("alice", "Edinburgh"))
+        assert instance.has_fact("E_knows", ("alice", "bob"))
+        assert decode_graph(instance, name=toy_graph.name) == toy_graph
+
+    def test_null_values_round_trip(self):
+        from repro.datagraph import GraphBuilder, NULL
+        from repro.datagraph.relational_view import decode_graph, encode_graph
+
+        graph = GraphBuilder().node("x", NULL).node("y", 1).edge("x", "a", "y").build()
+        decoded = decode_graph(encode_graph(graph))
+        assert decoded.node("x").is_null
+        assert decoded.value_of("y") == 1
+
+    def test_decode_rejects_key_violation(self):
+        from repro.datagraph.relational_view import decode_graph, graph_schema
+        from repro.exceptions import SerializationError
+
+        instance = Instance(graph_schema(["a"]))
+        instance.add_fact("N", ("id1", "v1"))
+        instance.add_fact("N", ("id1", "v2"))
+        with pytest.raises(SerializationError):
+            decode_graph(instance)
+
+    def test_decode_rejects_dangling_edge(self):
+        from repro.datagraph.relational_view import decode_graph, graph_schema
+        from repro.exceptions import SerializationError
+
+        instance = Instance(graph_schema(["a"]))
+        instance.add_fact("N", ("id1", "v1"))
+        instance.add_fact("E_a", ("id1", "ghost"))
+        with pytest.raises(SerializationError):
+            decode_graph(instance)

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import GraphBuilder, graph_to_json
+from repro.cli import main
+from repro.datagraph import graph_from_json
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = (
+        GraphBuilder(name="cli-src")
+        .node("a", "v1")
+        .node("b", "v1")
+        .node("c", "v2")
+        .edge("a", "r", "b")
+        .edge("b", "r", "c")
+        .build()
+    )
+    path = tmp_path / "graph.json"
+    path.write_text(graph_to_json(graph), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def mapping_file(tmp_path):
+    path = tmp_path / "mapping.json"
+    path.write_text(json.dumps({"name": "cli-map", "rules": [["r", "t.t"]]}), encoding="utf-8")
+    return path
+
+
+class TestInfoAndEvaluate:
+    def test_info(self, graph_file, capsys):
+        assert main(["info", str(graph_file)]) == 0
+        output = capsys.readouterr().out
+        assert "3 nodes" in output and "alphabet" in output
+
+    def test_evaluate_rpq(self, graph_file, capsys):
+        assert main(["evaluate", str(graph_file), "--rpq", "r.r"]) == 0
+        output = capsys.readouterr().out
+        assert "a (v1)  ->  c (v2)" in output
+        assert "1 answer(s)" in output
+
+    def test_evaluate_ree(self, graph_file, capsys):
+        assert main(["evaluate", str(graph_file), "--ree", "(r)="]) == 0
+        output = capsys.readouterr().out
+        assert "a (v1)  ->  b (v1)" in output
+
+    def test_evaluate_rem(self, graph_file, capsys):
+        assert main(["evaluate", str(graph_file), "--rem", "!x.(r[x!=])+"]) == 0
+        output = capsys.readouterr().out
+        assert "answer(s)" in output
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "no-such-file.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCertainAndExchange:
+    def test_certain_answers(self, graph_file, mapping_file, capsys):
+        assert main(["certain", str(graph_file), str(mapping_file), "--rpq", "t.t"]) == 0
+        output = capsys.readouterr().out
+        assert "a (v1)  ->  b (v1)" in output
+        assert "2 answer(s)" in output
+
+    def test_certain_answers_with_method(self, graph_file, mapping_file, capsys):
+        assert main(
+            ["certain", str(graph_file), str(mapping_file), "--ree", "(t.t)=", "--method", "naive"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "a (v1)  ->  b (v1)" in output
+
+    def test_exchange_to_file(self, graph_file, mapping_file, tmp_path, capsys):
+        target_path = tmp_path / "target.json"
+        assert main(
+            ["exchange", str(graph_file), str(mapping_file), "--policy", "nulls", "-o", str(target_path)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        target = graph_from_json(target_path.read_text(encoding="utf-8"))
+        assert len(target.null_nodes()) == 2
+
+    def test_exchange_to_stdout(self, graph_file, mapping_file, capsys):
+        assert main(["exchange", str(graph_file), str(mapping_file), "--policy", "fresh"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["nodes"]
+
+    def test_bad_mapping_payload(self, graph_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"rules": "nope"}), encoding="utf-8")
+        assert main(["certain", str(graph_file), str(bad), "--rpq", "t"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_runs_a_small_experiment(self, capsys):
+        assert main(["experiment", "e8"]) == 0
+        output = capsys.readouterr().out
+        assert "E8" in output and "agree" in output
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "E99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
