@@ -5,8 +5,16 @@ from __future__ import annotations
 import pytest
 
 from repro.datagraph import generators
+from repro.engine import default_engine
 from repro.experiments import e10_query_eval
-from repro.query import equality_rpq, evaluate_data_rpq, evaluate_rpq, memory_rpq, rpq
+from repro.query import (
+    equality_rpq,
+    evaluate_data_rpq,
+    evaluate_rpq,
+    evaluate_rpq_naive,
+    memory_rpq,
+    rpq,
+)
 
 
 def bench_e10_scaling_experiment(run_once):
@@ -23,6 +31,22 @@ def bench_e10_rpq_evaluation(benchmark, medium_graph):
     query = rpq("(a|b)*.a.(a|b)*")
     answers = benchmark(evaluate_rpq, medium_graph, query)
     assert answers
+
+
+def bench_e10_rpq_evaluation_naive_baseline(benchmark, medium_graph):
+    """The seed per-source BFS, kept as the speedup baseline for e(G)."""
+    query = rpq("(a|b)*.a.(a|b)*")
+    answers = benchmark.pedantic(
+        evaluate_rpq_naive, args=(medium_graph, query), rounds=1, iterations=1
+    )
+    assert answers == evaluate_rpq(medium_graph, query)
+
+
+def bench_e10_rpq_evaluate_many(benchmark, medium_graph):
+    """Batched evaluation of a query mix over one shared label index."""
+    queries = ["(a|b)*.a.(a|b)*", "a.(a|b)*.b", "a*", "b.a*", "(a.b)+"]
+    answers = benchmark(default_engine().evaluate_many, medium_graph, queries)
+    assert len(answers) == len(queries)
 
 
 def bench_e10_ree_algebraic_engine(benchmark, medium_graph):

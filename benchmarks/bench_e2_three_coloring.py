@@ -7,8 +7,6 @@ from repro.reductions.three_coloring import (
     complete_graph_k4,
     gadget_certain_by_coloring_adversary,
     odd_cycle,
-    petersen_fragment,
-    triangle,
 )
 
 

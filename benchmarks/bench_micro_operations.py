@@ -15,7 +15,8 @@ import pytest
 from repro.core import GraphSchemaMapping, universal_solution
 from repro.datagraph import DataPath, GraphBuilder, find_homomorphism, generators
 from repro.datapaths import parse_rem, rem_matches
-from repro.query import equality_rpq, evaluate_data_rpq, evaluate_rpq, rpq
+from repro.engine import default_engine
+from repro.query import equality_rpq, evaluate_data_rpq, evaluate_rpq, evaluate_rpq_naive, rpq
 
 
 @pytest.fixture(scope="module")
@@ -35,6 +36,29 @@ def bench_micro_rpq_product_evaluation(benchmark, graph_200):
     query = rpq("a.(a|b)*.b")
     answers = benchmark(evaluate_rpq, graph_200, query)
     assert answers is not None
+
+
+def bench_micro_rpq_product_evaluation_naive(benchmark, graph_200):
+    """The seed per-source product BFS (speedup baseline for the engine)."""
+    query = rpq("a.(a|b)*.b")
+    answers = benchmark.pedantic(
+        evaluate_rpq_naive, args=(graph_200, query), rounds=1, iterations=1
+    )
+    assert answers == evaluate_rpq(graph_200, query)
+
+
+def bench_micro_label_index_build(benchmark, graph_200):
+    from repro.datagraph import LabelIndex
+
+    index = benchmark(LabelIndex, graph_200)
+    assert index.nodes
+
+
+def bench_micro_engine_holds_many(benchmark, graph_200):
+    node_ids = graph_200.node_ids
+    pairs = [(node_ids[i], node_ids[(i * 7 + 3) % len(node_ids)]) for i in range(100)]
+    verdicts = benchmark(default_engine().holds_many, graph_200, "a.(a|b)*.b", pairs)
+    assert len(verdicts) == len(set(pairs))
 
 
 def bench_micro_ree_evaluation(benchmark, graph_200):

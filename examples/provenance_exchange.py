@@ -20,7 +20,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import DataExchangeEngine, certain_answers, equality_rpq
+from repro import DataExchangeEngine, certain_answers
 from repro.workloads import provenance_scenario
 
 

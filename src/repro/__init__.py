@@ -57,6 +57,7 @@ from .datagraph import (
     graph_to_json,
 )
 from .gxpath import evaluate_node as evaluate_gxpath_node
+from .engine import EvaluationEngine, default_engine
 from .gxpath import evaluate_path as evaluate_gxpath_path
 from .gxpath import parse_gxpath_node, parse_gxpath_path
 from .query import (
@@ -105,6 +106,9 @@ __all__ = [
     "evaluate_rpq",
     "evaluate_data_rpq",
     "evaluate_crpq",
+    # evaluation engine
+    "EvaluationEngine",
+    "default_engine",
     "parse_gxpath_node",
     "parse_gxpath_path",
     "evaluate_gxpath_node",

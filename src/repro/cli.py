@@ -21,7 +21,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .core.certain_answers import certain_answers
 from .core.exchange import DataExchangeEngine

@@ -24,7 +24,11 @@ from .gsm import GraphSchemaMapping, MappingRule, copy_mapping, gav_mapping, lav
 from .integration import SourceRelation, VirtualIntegrationSystem
 from .least_informative import least_informative_solution, least_informative_solution_from_skeleton
 from .solutions import RuleViolation, is_solution, mapping_domain, source_requirements, violations
-from .universal import homomorphism_to_solution, universal_solution, universal_solution_from_skeleton
+from .universal import (
+    homomorphism_to_solution,
+    universal_solution,
+    universal_solution_from_skeleton,
+)
 
 __all__ = [
     "GraphSchemaMapping",

@@ -18,7 +18,7 @@ node) into a target data graph.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node

@@ -38,20 +38,18 @@ Four algorithms are implemented, matching the paper's results:
 from __future__ import annotations
 
 import itertools
-from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node
+from ..engine import default_engine
 from ..exceptions import CertainAnswerError, SolutionError, UnsupportedQueryError
 from ..query.crpq import ConjunctiveRPQ, evaluate_crpq
 from ..query.data_rpq import DataRPQ
-from ..query.data_rpq_eval import evaluate_data_rpq
 from ..query.rpq import RPQ
-from ..query.rpq_eval import evaluate_rpq
-from .canonical import Skeleton, build_skeleton, materialise
+from .canonical import build_skeleton, materialise
 from .gsm import GraphSchemaMapping, MappingRule
 from .least_informative import least_informative_solution_from_skeleton
-from .solutions import mapping_domain
 from .universal import universal_solution_from_skeleton
 
 __all__ = [
@@ -75,11 +73,17 @@ DEFAULT_NAIVE_BUDGET = 250_000
 
 
 def _evaluate(graph: DataGraph, query: Query, null_semantics: bool = False) -> FrozenSet[NodeTuple]:
-    """Evaluate an RPQ, data RPQ or conjunctive (data) RPQ on a graph."""
+    """Evaluate an RPQ, data RPQ or conjunctive (data) RPQ on a graph.
+
+    Routed through the shared engine: the adversarial enumeration of
+    :func:`certain_answers_naive` evaluates one fixed query over hundreds
+    of counter-solution graphs, so the compiled automaton is reused from
+    the cache on every iteration after the first.
+    """
     if isinstance(query, DataRPQ):
-        return evaluate_data_rpq(graph, query, null_semantics=null_semantics)
+        return default_engine().evaluate_data_rpq(graph, query, null_semantics=null_semantics)
     if isinstance(query, RPQ):
-        return evaluate_rpq(graph, query)
+        return default_engine().evaluate_rpq(graph, query)
     if isinstance(query, ConjunctiveRPQ):
         return evaluate_crpq(graph, query, null_semantics=null_semantics)
     raise UnsupportedQueryError(f"unsupported query object {query!r}")

@@ -22,7 +22,7 @@ data path query              Proposition 5 simplification when the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet, Tuple
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node

@@ -27,11 +27,15 @@ predicates and convenience constructors (copy mappings, LAV mappings).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import InvalidMappingError
-from ..query.rpq import RPQ, atomic_rpq, reachability_rpq, rpq, word_rpq
+from ..query.rpq import RPQ, atomic_rpq, rpq
 from ..regular import Regex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datagraph.graph import DataGraph
+    from ..datagraph.node import Node
 
 __all__ = ["MappingRule", "GraphSchemaMapping", "lav_mapping", "copy_mapping", "gav_mapping"]
 
@@ -86,6 +90,32 @@ class MappingRule:
         if not language:
             return 0
         return max(len(word) for word in language)
+
+    # ------------------------------------------------------------------
+    # Satisfaction checks (engine-routed)
+    # ------------------------------------------------------------------
+    def source_answers(self, source: "DataGraph") -> FrozenSet[Tuple["Node", "Node"]]:
+        """``q(G_s)``: the pairs this rule obliges every solution to provide."""
+        from ..engine import default_engine
+
+        return default_engine().evaluate_rpq(source, self.source)
+
+    def target_answers(self, target: "DataGraph") -> FrozenSet[Tuple["Node", "Node"]]:
+        """``q'(G_t)``: the pairs the target query produces on a candidate solution."""
+        from ..engine import default_engine
+
+        return default_engine().evaluate_rpq(target, self.target)
+
+    def satisfied_by(self, source: "DataGraph", target: "DataGraph") -> bool:
+        """Whether ``q(G_s) ⊆ q'(G_t)`` — this rule's half of ``(G_s, G_t) ⊨ M``.
+
+        Both evaluations go through the shared engine, so checking many
+        candidate targets against one source compiles each query once.
+        """
+        obligations = self.source_answers(source)
+        if not obligations:
+            return True
+        return obligations <= self.target_answers(target)
 
     def __str__(self) -> str:
         label = f"{self.name}: " if self.name else ""
@@ -207,6 +237,16 @@ class GraphSchemaMapping:
                 return None
             lengths.append(length)
         return max(lengths) if lengths else 0
+
+    def is_satisfied_by(self, source: "DataGraph", target: "DataGraph") -> bool:
+        """Whether ``(source, target) ⊨ M`` (Definition 1).
+
+        Delegates to :func:`repro.core.solutions.is_solution`, which
+        batches all source-query evaluations through the shared engine.
+        """
+        from .solutions import is_solution
+
+        return is_solution(self, source, target)
 
     def relational_rules(self) -> Tuple[MappingRule, ...]:
         """The subset of rules whose target query is relational."""

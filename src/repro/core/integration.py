@@ -16,7 +16,7 @@ certain-answer machinery through the LAV GSM this induces.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node

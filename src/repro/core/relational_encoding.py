@@ -27,17 +27,10 @@ tests) with the Section 7 universal solution built directly on graphs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from ..datagraph.graph import DataGraph
-from ..datagraph.relational_view import (
-    DATA_PREDICATE,
-    NODE_ID_PREDICATE,
-    NODE_RELATION,
-    edge_relation_name,
-    encode_graph,
-    graph_schema,
-)
+from ..datagraph.relational_view import DATA_PREDICATE, NODE_ID_PREDICATE, edge_relation_name
 from ..datagraph.values import NULL
 from ..exceptions import UnsupportedQueryError
 from ..relational.chase import chase

@@ -15,11 +15,11 @@ must contain (Section 7).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node
-from ..query.rpq_eval import evaluate_rpq
+from ..engine import default_engine
 from .gsm import GraphSchemaMapping, MappingRule
 
 __all__ = ["RuleViolation", "is_solution", "violations", "mapping_domain", "source_requirements"]
@@ -40,8 +40,14 @@ class RuleViolation:
 def source_requirements(
     mapping: GraphSchemaMapping, source: DataGraph
 ) -> Dict[MappingRule, FrozenSet[Tuple[Node, Node]]]:
-    """For each rule ``(q, q')``, the pairs ``q(G_s)`` the target must provide."""
-    return {rule: evaluate_rpq(source, rule.source) for rule in mapping.rules}
+    """For each rule ``(q, q')``, the pairs ``q(G_s)`` the target must provide.
+
+    All source queries are evaluated in one batched engine pass, sharing
+    the source graph's label index and the compiled-automaton cache.
+    """
+    rules = mapping.rules
+    answers = default_engine().evaluate_many(source, [rule.source for rule in rules])
+    return dict(zip(rules, answers))
 
 
 def violations(
@@ -51,12 +57,13 @@ def violations(
 
     An empty list means ``(source, target) ⊨ M``.
     """
+    engine = default_engine()
     found: List[RuleViolation] = []
     requirements = source_requirements(mapping, source)
     for rule, pairs in requirements.items():
         if not pairs:
             continue
-        target_answers = evaluate_rpq(target, rule.target)
+        target_answers = engine.evaluate_rpq(target, rule.target)
         for left, right in pairs:
             if (left, right) not in target_answers:
                 found.append(RuleViolation(rule, (left, right)))
@@ -65,11 +72,12 @@ def violations(
 
 def is_solution(mapping: GraphSchemaMapping, source: DataGraph, target: DataGraph) -> bool:
     """Whether ``(source, target) ⊨ M``."""
+    engine = default_engine()
     requirements = source_requirements(mapping, source)
     for rule, pairs in requirements.items():
         if not pairs:
             continue
-        target_answers = evaluate_rpq(target, rule.target)
+        target_answers = engine.evaluate_rpq(target, rule.target)
         if not pairs <= target_answers:
             return False
     return True

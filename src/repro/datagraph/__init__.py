@@ -8,6 +8,7 @@ generators and (de)serialisation.
 
 from .builder import GraphBuilder, chain_graph, cycle_graph, graph_from_edges
 from .graph import DataGraph, Edge
+from .index import LabelIndex
 from .morphisms import (
     apply_homomorphism,
     find_homomorphism,
@@ -34,6 +35,7 @@ from .values import (
 __all__ = [
     "DataGraph",
     "Edge",
+    "LabelIndex",
     "Node",
     "NodeId",
     "make_node",

@@ -20,7 +20,7 @@ Shapes provided:
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..exceptions import WorkloadError
 from .graph import DataGraph

@@ -17,11 +17,25 @@ relational instance ``D_G`` of Section 6.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..exceptions import DuplicateNodeError, InvalidEdgeError, UnknownNodeError
 from .node import Node, NodeId
 from .values import NULL, DataValue, is_null
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .index import LabelIndex
 
 __all__ = ["Edge", "DataGraph"]
 
@@ -52,7 +66,7 @@ class DataGraph:
     True
     """
 
-    __slots__ = ("_nodes", "_succ", "_pred", "_alphabet", "_edge_count", "name")
+    __slots__ = ("_nodes", "_succ", "_pred", "_alphabet", "_edge_count", "_version", "_index", "name")
 
     def __init__(self, alphabet: Iterable[str] = (), name: str = ""):
         self._nodes: Dict[NodeId, Node] = {}
@@ -62,7 +76,38 @@ class DataGraph:
         self._pred: Dict[str, Dict[NodeId, Set[NodeId]]] = defaultdict(lambda: defaultdict(set))
         self._alphabet: Set[str] = set(alphabet)
         self._edge_count = 0
+        self._version = 0
+        self._index: Optional["LabelIndex"] = None
         self.name = name
+
+    def _mutated(self) -> None:
+        """Record a structural change, invalidating any cached label index."""
+        self._version += 1
+        self._index = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumped by every structural change.
+
+        Query engines key cached derived structures (the label index,
+        per-graph memo tables) on this counter so that mutating the graph
+        transparently invalidates them.
+        """
+        return self._version
+
+    def label_index(self) -> "LabelIndex":
+        """The label-indexed adjacency snapshot for the current graph state.
+
+        Built lazily on first use and cached until the next mutation; see
+        :class:`repro.datagraph.index.LabelIndex`.
+        """
+        index = self._index
+        if index is None or index.version != self._version:
+            from .index import LabelIndex
+
+            index = LabelIndex(self)
+            self._index = index
+        return index
 
     # ------------------------------------------------------------------
     # Node management
@@ -86,6 +131,7 @@ class DataGraph:
             )
         node = Node(node_id, value)
         self._nodes[node_id] = node
+        self._mutated()
         return node
 
     def add_node_object(self, node: Node) -> Node:
@@ -108,6 +154,7 @@ class DataGraph:
             for source in list(self._pred[label].get(node_id, ())):
                 self.remove_edge(source, label, node_id)
         del self._nodes[node_id]
+        self._mutated()
 
     def has_node(self, node_id: NodeId) -> bool:
         """Whether a node with the given id exists."""
@@ -139,6 +186,7 @@ class DataGraph:
         old = self.node(node_id)
         new = old.with_value(value)
         self._nodes[node_id] = new
+        self._mutated()
         return new
 
     @property
@@ -180,11 +228,14 @@ class DataGraph:
             raise InvalidEdgeError(f"edge label must be a non-empty string, got {label!r}")
         src = self.node(source)
         dst = self.node(target)
-        self._alphabet.add(label)
+        if label not in self._alphabet:
+            self._alphabet.add(label)
+            self._mutated()
         if target not in self._succ[label][source]:
             self._succ[label][source].add(target)
             self._pred[label][target].add(source)
             self._edge_count += 1
+            self._mutated()
         return (src, label, dst)
 
     def add_path(self, node_ids: Iterable[NodeId], labels: Iterable[str]) -> None:
@@ -207,6 +258,7 @@ class DataGraph:
             self._succ[label][source].discard(target)
             self._pred[label][target].discard(source)
             self._edge_count -= 1
+            self._mutated()
 
     def has_edge(self, source: NodeId, label: str, target: NodeId) -> bool:
         """Whether the edge ``(source, label, target)`` is present."""
@@ -229,6 +281,18 @@ class DataGraph:
             for target_id in targets:
                 pairs.add((self._nodes[source_id], self._nodes[target_id]))
         return frozenset(pairs)
+
+    def adjacency(self, label: str, reverse: bool = False) -> Mapping[NodeId, Set[NodeId]]:
+        """The raw per-label adjacency map (``source -> targets``, by id).
+
+        With ``reverse=True`` the predecessor map (``target -> sources``)
+        is returned instead.  The mapping is a read-only view of internal
+        state; callers must not mutate it (use :meth:`add_edge` /
+        :meth:`remove_edge`).  :meth:`label_index` builds an immutable
+        flattened snapshot on top of this for the query engine.
+        """
+        table = self._pred if reverse else self._succ
+        return table.get(label, {})
 
     def successors(self, node_id: NodeId, label: Optional[str] = None) -> Iterator[Tuple[str, Node]]:
         """Yield ``(label, node)`` pairs reachable by one edge from *node_id*.
@@ -272,7 +336,9 @@ class DataGraph:
         for label in labels:
             if not isinstance(label, str) or not label:
                 raise InvalidEdgeError(f"edge label must be a non-empty string, got {label!r}")
-            self._alphabet.add(label)
+            if label not in self._alphabet:
+                self._alphabet.add(label)
+                self._mutated()
 
     @property
     def num_nodes(self) -> int:

@@ -1,0 +1,123 @@
+"""Label-indexed adjacency snapshots used by the query-evaluation engine.
+
+A :class:`LabelIndex` is an immutable, flattened view of a
+:class:`~repro.datagraph.graph.DataGraph`'s adjacency, organised for the
+product constructions in :mod:`repro.engine`:
+
+* per-label successor/predecessor maps holding plain tuples of node ids
+  (no :class:`~repro.datagraph.node.Node` materialisation, no nested
+  ``defaultdict`` machinery on the hot path);
+* a dense node ordering (``nodes`` / ``position``) so that sets of nodes
+  can be represented as integer bitmasks during multi-source reachability;
+* the data-value map needed by the data-RPQ engines.
+
+Indexes are built lazily by :meth:`DataGraph.label_index` and carry the
+graph ``version`` they were built against; any mutation of the graph
+bumps the version, so a stale index is detected and rebuilt rather than
+serving wrong adjacency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+from .node import NodeId
+from .values import DataValue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .graph import DataGraph
+
+__all__ = ["LabelIndex"]
+
+#: Empty adjacency map used as the default for labels absent from a graph.
+_EMPTY_ADJACENCY: Mapping[NodeId, Tuple[NodeId, ...]] = {}
+
+
+class LabelIndex:
+    """An immutable label-indexed adjacency snapshot of a data graph.
+
+    Instances are cheap to query and safe to share: they never mutate, and
+    they remember the graph ``version`` they were built from so callers
+    (and :meth:`DataGraph.label_index`) can detect staleness.
+    """
+
+    __slots__ = ("version", "nodes", "position", "values", "labels", "_succ", "_pred")
+
+    def __init__(self, graph: "DataGraph"):
+        self.version: int = graph.version
+        self.nodes: Tuple[NodeId, ...] = graph.node_ids
+        self.position: Dict[NodeId, int] = {
+            node_id: index for index, node_id in enumerate(self.nodes)
+        }
+        self.values: Dict[NodeId, DataValue] = {
+            node.id: node.value for node in graph.nodes
+        }
+        self.labels: FrozenSet[str] = graph.alphabet
+        self._succ: Dict[str, Dict[NodeId, Tuple[NodeId, ...]]] = {}
+        self._pred: Dict[str, Dict[NodeId, Tuple[NodeId, ...]]] = {}
+        for label in sorted(graph.alphabet):
+            forward = {
+                source: tuple(targets)
+                for source, targets in graph.adjacency(label).items()
+                if targets
+            }
+            backward = {
+                target: tuple(sources)
+                for target, sources in graph.adjacency(label, reverse=True).items()
+                if sources
+            }
+            if forward:
+                self._succ[label] = forward
+            if backward:
+                self._pred[label] = backward
+
+    # ------------------------------------------------------------------
+    def successors(self, label: str) -> Mapping[NodeId, Tuple[NodeId, ...]]:
+        """The successor map ``source id -> (target ids...)`` for *label*."""
+        return self._succ.get(label, _EMPTY_ADJACENCY)
+
+    def predecessors(self, label: str) -> Mapping[NodeId, Tuple[NodeId, ...]]:
+        """The predecessor map ``target id -> (source ids...)`` for *label*."""
+        return self._pred.get(label, _EMPTY_ADJACENCY)
+
+    def targets(self, label: str, source: NodeId) -> Tuple[NodeId, ...]:
+        """Targets of *source* along *label* (empty tuple when none)."""
+        return self._succ.get(label, _EMPTY_ADJACENCY).get(source, ())
+
+    def sources(self, label: str, target: NodeId) -> Tuple[NodeId, ...]:
+        """Sources with a *label* edge into *target* (empty tuple when none)."""
+        return self._pred.get(label, _EMPTY_ADJACENCY).get(target, ())
+
+    def pairs(self, label: str) -> Iterator[Tuple[NodeId, NodeId]]:
+        """All ``(source id, target id)`` pairs of the *label* edge relation."""
+        for source, targets in self._succ.get(label, _EMPTY_ADJACENCY).items():
+            for target in targets:
+                yield (source, target)
+
+    def edge_labels(self) -> FrozenSet[str]:
+        """Labels that actually carry at least one edge."""
+        return frozenset(self._succ)
+
+    # ------------------------------------------------------------------
+    def mask_of(self, node_ids: Iterable[NodeId]) -> int:
+        """Bitmask of the given node ids under this index's node ordering."""
+        position = self.position
+        mask = 0
+        for node_id in node_ids:
+            mask |= 1 << position[node_id]
+        return mask
+
+    def nodes_of(self, mask: int) -> Iterator[NodeId]:
+        """Node ids whose bits are set in *mask* (inverse of :meth:`mask_of`)."""
+        nodes = self.nodes
+        while mask:
+            low = mask & -mask
+            yield nodes[low.bit_length() - 1]
+            mask ^= low
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        edges = sum(len(targets) for adj in self._succ.values() for targets in adj.values())
+        return (
+            f"<LabelIndex v{self.version}: {len(self.nodes)} nodes, {edges} edges, "
+            f"{len(self._succ)} labels>"
+        )

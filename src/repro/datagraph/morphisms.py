@@ -22,10 +22,10 @@ solutions into other solutions, gadget validations, tests) are small.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from .graph import DataGraph
-from .node import Node, NodeId
+from .node import NodeId
 from .values import is_null
 
 __all__ = [

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from types import MappingProxyType
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
 
 from ..datagraph.values import DataValue, is_null
 from ..exceptions import UnboundVariableError

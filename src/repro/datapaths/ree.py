@@ -21,8 +21,7 @@ either endpoint value is the null.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..datagraph.paths import DataPath
 from ..datagraph.values import values_differ, values_equal

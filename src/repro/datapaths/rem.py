@@ -20,10 +20,9 @@ the ``null_semantics`` flag.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
 
 from ..datagraph.paths import DataPath
-from ..datagraph.values import DataValue
 from ..exceptions import EvaluationError
 from .conditions import (
     EMPTY_VALUATION,

@@ -1,0 +1,41 @@
+"""The shared query-evaluation engine (compiled-automaton cache + indexed product BFS).
+
+This sub-package is the seam between the query languages (RPQ, data RPQ,
+GXPath) and the data store (:class:`~repro.datagraph.graph.DataGraph`).
+It provides:
+
+* :class:`EvaluationEngine` — the facade every evaluator routes through,
+  owning LRU-bounded caches of parsed regexes and compiled automata plus
+  batched entry points (``evaluate_many`` / ``holds_many``);
+* :func:`default_engine` — the process-wide instance used by the
+  module-level functions in :mod:`repro.query` and by the certain-answer
+  algorithms, so all call sites share one compilation cache;
+* :class:`CompiledAutomaton` — ε-free tabular automata built once per
+  query;
+* the indexed product evaluators (:mod:`repro.engine.product`,
+  :mod:`repro.engine.data`) that run over each graph's lazily built
+  :class:`~repro.datagraph.index.LabelIndex`.
+
+Quickstart::
+
+    from repro.engine import default_engine
+
+    engine = default_engine()
+    answers = engine.evaluate_rpq(graph, "a.(a|b)*.b")      # full e(G)
+    many = engine.evaluate_many(graph, ["a.b", "b*", "a*"])  # shared index
+    engine.stats()["automata"].hits                          # cache telemetry
+"""
+
+from .cache import CacheStats, LRUCache
+from .compiled import CompiledAutomaton, compile_nfa
+from .engine import EvaluationEngine, default_engine, set_default_engine
+
+__all__ = [
+    "EvaluationEngine",
+    "default_engine",
+    "set_default_engine",
+    "CompiledAutomaton",
+    "compile_nfa",
+    "CacheStats",
+    "LRUCache",
+]

@@ -1,0 +1,301 @@
+"""The shared query-evaluation engine facade.
+
+:class:`EvaluationEngine` is the one seam every evaluator in the project
+routes through.  It owns:
+
+* **compiled-automaton caches** (LRU-bounded, keyed on the structural
+  query AST) — parsed regexes, Thompson NFAs compiled to ε-free tables,
+  and register automata for memory RPQs;
+* **the product evaluators** of :mod:`repro.engine.product` and
+  :mod:`repro.engine.data`, driven by each graph's lazily built
+  :class:`~repro.datagraph.index.LabelIndex`;
+* **batched entry points** (:meth:`evaluate_many`, :meth:`holds_many`)
+  that amortise compilation and index construction across a workload.
+
+A process-wide default instance (:func:`default_engine`) backs the
+module-level convenience functions ``repro.query.evaluate_rpq`` /
+``evaluate_data_rpq`` and the certain-answer algorithms, so any two
+call sites evaluating the same query share one compiled automaton.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.node import Node, NodeId
+from ..datapaths import (
+    RegexWithEquality,
+    RegexWithMemory,
+    RegisterAutomaton,
+    compile_rem,
+    ree_to_rem,
+)
+from ..exceptions import EvaluationError
+from ..regular import Regex, parse_regex, thompson
+from . import data as data_kernels
+from . import product
+from .cache import CacheStats, LRUCache
+from .compiled import CompiledAutomaton
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a query<->engine cycle
+    from ..query.data_rpq import DataRPQ
+    from ..query.rpq import RPQ
+
+__all__ = ["EvaluationEngine", "default_engine", "set_default_engine"]
+
+#: Queries are accepted as RPQ wrappers, regex ASTs, or textual expressions.
+#: (The RPQ type is only referenced structurally — via its ``expression``
+#: attribute — so this module never imports :mod:`repro.query` at runtime.)
+RPQLike = Union["RPQ", Regex, str]
+NodePair = Tuple[Node, Node]
+
+
+class EvaluationEngine:
+    """Shared, cached evaluation of RPQs, data RPQs and word queries.
+
+    Parameters
+    ----------
+    automaton_cache_size:
+        Bound on the number of compiled NFAs kept (LRU eviction).
+    register_cache_size:
+        Bound on the number of compiled register automata kept.
+    parse_cache_size:
+        Bound on the number of parsed textual regular expressions kept.
+    """
+
+    def __init__(
+        self,
+        automaton_cache_size: int = 256,
+        register_cache_size: int = 128,
+        parse_cache_size: int = 512,
+    ):
+        self._automata: LRUCache[CompiledAutomaton] = LRUCache(automaton_cache_size)
+        self._register_automata: LRUCache[RegisterAutomaton] = LRUCache(register_cache_size)
+        self._parses: LRUCache[Regex] = LRUCache(parse_cache_size)
+
+    # ------------------------------------------------------------------
+    # Compilation (cached)
+    # ------------------------------------------------------------------
+    def parse(self, text: str) -> Regex:
+        """Parse a textual regular expression (cached by the literal text)."""
+        return self._parses.get_or_build(text, lambda: parse_regex(text))
+
+    def _expression_of(self, query: RPQLike) -> Regex:
+        if isinstance(query, str):
+            return self.parse(query)
+        if isinstance(query, Regex):
+            return query
+        return query.expression  # RPQ wrapper (structural, avoids import cycle)
+
+    def compile_rpq(self, query: RPQLike) -> CompiledAutomaton:
+        """The compiled ε-free automaton of an RPQ (cached on the regex AST)."""
+        expression = self._expression_of(query)
+        return self._automata.get_or_build(
+            expression, lambda: CompiledAutomaton(thompson(expression))
+        )
+
+    def compile_data_rpq(
+        self, expression: Union[RegexWithEquality, RegexWithMemory]
+    ) -> RegisterAutomaton:
+        """The register automaton of a REM (or translated REE) expression."""
+
+        def build() -> RegisterAutomaton:
+            rem = ree_to_rem(expression) if isinstance(expression, RegexWithEquality) else expression
+            return compile_rem(rem)
+
+        return self._register_automata.get_or_build(expression, build)
+
+    # ------------------------------------------------------------------
+    # RPQ evaluation
+    # ------------------------------------------------------------------
+    def evaluate_rpq(self, graph: DataGraph, query: RPQLike) -> FrozenSet[NodePair]:
+        """The full binary relation ``e(G)`` of an RPQ on a data graph."""
+        compiled = self.compile_rpq(query)
+        index = graph.label_index()
+        node = graph.node
+        return frozenset(
+            (node(source), node(target))
+            for source, target in product.full_relation(index, compiled)
+        )
+
+    def evaluate_rpq_ids(self, graph: DataGraph, query: RPQLike) -> FrozenSet[Tuple[NodeId, NodeId]]:
+        """``e(G)`` as raw id pairs (no Node materialisation)."""
+        return frozenset(product.full_relation(graph.label_index(), self.compile_rpq(query)))
+
+    def evaluate_rpq_from(
+        self, graph: DataGraph, query: RPQLike, source: NodeId
+    ) -> FrozenSet[Node]:
+        """All nodes ``v`` with ``(source, v) ∈ e(G)``."""
+        graph.node(source)  # raise UnknownNodeError early, mirroring the seed API
+        targets = product.reachable_targets(graph.label_index(), self.compile_rpq(query), source)
+        return frozenset(graph.node(target) for target in targets)
+
+    def rpq_holds(self, graph: DataGraph, query: RPQLike, source: NodeId, target: NodeId) -> bool:
+        """Whether ``(source, target) ∈ e(G)``."""
+        graph.node(source)
+        return product.pair_holds(graph.label_index(), self.compile_rpq(query), source, target)
+
+    def witness_path_labels(
+        self, graph: DataGraph, query: RPQLike, source: NodeId, target: NodeId
+    ) -> Optional[Tuple[str, ...]]:
+        """The label sequence of a shortest witnessing path, or ``None``."""
+        graph.node(source)
+        return product.witness_labels(graph.label_index(), self.compile_rpq(query), source, target)
+
+    # ------------------------------------------------------------------
+    # Batched entry points
+    # ------------------------------------------------------------------
+    def evaluate_many(
+        self, graph: DataGraph, queries: Sequence[RPQLike]
+    ) -> Tuple[FrozenSet[NodePair], ...]:
+        """Evaluate several RPQs over one graph, sharing its label index.
+
+        Returns one answer relation per query, in query order.  Duplicate
+        queries are evaluated once.
+        """
+        index = graph.label_index()
+        node = graph.node
+        # Keyed on the compiled object itself (identity hash): this both
+        # dedupes repeated queries and pins the automaton alive, so LRU
+        # eviction mid-batch cannot recycle a key.
+        memo: Dict[CompiledAutomaton, FrozenSet[NodePair]] = {}
+        results: List[FrozenSet[NodePair]] = []
+        for query in queries:
+            compiled = self.compile_rpq(query)
+            answer = memo.get(compiled)
+            if answer is None:
+                answer = frozenset(
+                    (node(source), node(target))
+                    for source, target in product.full_relation(index, compiled)
+                )
+                memo[compiled] = answer
+            results.append(answer)
+        return tuple(results)
+
+    def holds_many(
+        self,
+        graph: DataGraph,
+        query: RPQLike,
+        pairs: Iterable[Tuple[NodeId, NodeId]],
+    ) -> Dict[Tuple[NodeId, NodeId], bool]:
+        """Decide membership of many pairs at once.
+
+        Pairs are grouped by source so each distinct source runs one
+        product BFS; when the workload asks about most of the graph, the
+        engine switches to one full-relation pass instead.
+        """
+        wanted: Dict[NodeId, Set[NodeId]] = {}
+        ordered: List[Tuple[NodeId, NodeId]] = []
+        for source, target in pairs:
+            graph.node(source)  # raise UnknownNodeError, matching rpq_holds
+            graph.node(target)
+            ordered.append((source, target))
+            wanted.setdefault(source, set()).add(target)
+        if not ordered:
+            return {}
+        compiled = self.compile_rpq(query)
+        index = graph.label_index()
+        if len(wanted) > max(4, len(index.nodes) // 4):
+            relation = product.full_relation(index, compiled)
+            return {pair: pair in relation for pair in ordered}
+        verdicts: Dict[Tuple[NodeId, NodeId], bool] = {}
+        for source, targets in wanted.items():
+            reachable = product.reachable_targets(index, compiled, source)
+            for target in targets:
+                verdicts[(source, target)] = target in reachable
+        return {pair: verdicts[pair] for pair in ordered}
+
+    # ------------------------------------------------------------------
+    # Data RPQ evaluation
+    # ------------------------------------------------------------------
+    def evaluate_data_rpq(
+        self,
+        graph: DataGraph,
+        query: DataRPQ,
+        null_semantics: bool = False,
+        engine: str = "auto",
+    ) -> FrozenSet[NodePair]:
+        """Evaluate a data RPQ, dispatching between the REE and REM engines."""
+        expression = query.expression
+        if engine not in {"auto", "algebraic", "automaton"}:
+            raise EvaluationError(f"unknown data RPQ engine {engine!r}")
+        index = graph.label_index()
+        node = graph.node
+        if engine == "algebraic" or (
+            engine == "auto" and isinstance(expression, RegexWithEquality)
+        ):
+            if not isinstance(expression, RegexWithEquality):
+                raise EvaluationError("the algebraic engine only evaluates equality RPQs (REE)")
+            id_pairs = data_kernels.ree_relation(index, expression, null_semantics)
+        else:
+            automaton = self.compile_data_rpq(expression)
+            id_pairs = data_kernels.register_automaton_relation(index, automaton, null_semantics)
+        return frozenset((node(source), node(target)) for source, target in id_pairs)
+
+    def data_rpq_holds(
+        self,
+        graph: DataGraph,
+        query: DataRPQ,
+        source: NodeId,
+        target: NodeId,
+        null_semantics: bool = False,
+    ) -> bool:
+        """Whether ``(source, target)`` belongs to the data RPQ answer."""
+        source_node = graph.node(source)
+        target_node = graph.node(target)
+        return (source_node, target_node) in self.evaluate_data_rpq(graph, query, null_semantics)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Mapping[str, CacheStats]:
+        """Hit/miss snapshots of every cache, keyed by cache name."""
+        return {
+            "automata": self._automata.stats(),
+            "register_automata": self._register_automata.stats(),
+            "parses": self._parses.stats(),
+        }
+
+    def clear_caches(self) -> None:
+        """Drop all cached compilation artefacts."""
+        self._automata.clear()
+        self._register_automata.clear()
+        self._parses.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        parts = ", ".join(
+            f"{name}={snapshot.size}/{snapshot.maxsize} ({snapshot.hits} hits)"
+            for name, snapshot in stats.items()
+        )
+        return f"<EvaluationEngine {parts}>"
+
+
+#: The process-wide engine behind the module-level evaluation functions.
+_DEFAULT_ENGINE = EvaluationEngine()
+
+
+def default_engine() -> EvaluationEngine:
+    """The process-wide shared engine instance."""
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: EvaluationEngine) -> EvaluationEngine:
+    """Replace the process-wide engine (returns the previous one)."""
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous

@@ -17,7 +17,7 @@ from ..datagraph import generators
 from ..query.data_rpq import equality_rpq, memory_rpq
 from ..query.data_rpq_eval import evaluate_data_rpq
 from ..query.rpq import rpq
-from ..query.rpq_eval import evaluate_rpq
+from ..query.rpq_eval import evaluate_rpq, evaluate_rpq_naive
 from .harness import ExperimentResult, geometric_slowdown, timed
 
 __all__ = ["run"]
@@ -37,7 +37,8 @@ def run(sizes: Sequence[int] = (20, 50, 100, 200), seed: int = 29) -> Experiment
         graph = generators.random_graph(
             size, int(size * 2), labels=("a", "b"), rng=seed, domain_size=max(2, size // 5)
         )
-        _, rpq_time = timed(lambda: evaluate_rpq(graph, rpq_query))
+        engine_answers, rpq_time = timed(lambda: evaluate_rpq(graph, rpq_query))
+        naive_answers, rpq_naive_time = timed(lambda: evaluate_rpq_naive(graph, rpq_query))
         algebraic, algebraic_time = timed(
             lambda: evaluate_data_rpq(graph, ree_query, engine="algebraic")
         )
@@ -52,9 +53,11 @@ def run(sizes: Sequence[int] = (20, 50, 100, 200), seed: int = 29) -> Experiment
             nodes=size,
             edges=graph.num_edges,
             rpq_seconds=rpq_time,
+            rpq_naive_seconds=rpq_naive_time,
+            rpq_speedup=(rpq_naive_time / rpq_time) if rpq_time > 0 else float("inf"),
             ree_algebraic_seconds=algebraic_time,
             ree_automaton_seconds=automaton_time,
-            engines_agree=(algebraic == automaton),
+            engines_agree=(algebraic == automaton) and (engine_answers == naive_answers),
             rem_seconds=rem_time,
         )
     for label, times in (("rpq", rpq_times), ("ree", ree_times), ("rem", rem_times)):
@@ -62,4 +65,7 @@ def run(sizes: Sequence[int] = (20, 50, 100, 200), seed: int = 29) -> Experiment
         if growth is not None:
             result.add_note(f"{label} average consecutive slowdown: {growth:.2f}x per size step")
     result.add_note("engines_agree must be yes on every row (REE engine ablation)")
+    result.add_note(
+        "rpq_speedup compares the shared-engine evaluator against the seed per-source BFS"
+    )
     return result

@@ -9,7 +9,7 @@ the exact algorithm's reach.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..core.certain_answers import certain_answers_naive, certain_answers_with_nulls
 from ..core.gsm import GraphSchemaMapping

@@ -9,7 +9,7 @@ the exact algorithm blows up almost immediately.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..core.certain_answers import certain_answers_naive, certain_answers_with_nulls
 from ..core.universal import universal_solution

@@ -12,7 +12,7 @@ relational/reachability mapping of Theorem 1,
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict
 
 from ..core.solutions import is_solution
 from ..query.data_rpq_eval import evaluate_data_rpq

@@ -15,7 +15,6 @@ Claims validated on bounded instances:
 
 from __future__ import annotations
 
-from typing import Dict
 
 from ..core.solutions import is_solution
 from ..gxpath.evaluation import node_holds

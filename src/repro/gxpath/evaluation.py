@@ -45,10 +45,17 @@ IdPair = Tuple[NodeId, NodeId]
 
 
 class _Evaluator:
-    """One evaluation pass over a fixed graph, with memoisation per sub-expression."""
+    """One evaluation pass over a fixed graph, with memoisation per sub-expression.
+
+    Axis relations and per-label transitive closures are read off the
+    graph's :meth:`~repro.datagraph.graph.DataGraph.label_index`, so a
+    pass never materialises :class:`~repro.datagraph.node.Node` objects
+    or scans edges of irrelevant labels.
+    """
 
     def __init__(self, graph: DataGraph, null_semantics: bool):
         self.graph = graph
+        self.index = graph.label_index()
         self.null_semantics = null_semantics
         self._path_cache: Dict[int, FrozenSet[IdPair]] = {}
         self._node_cache: Dict[int, FrozenSet[NodeId]] = {}
@@ -67,10 +74,10 @@ class _Evaluator:
         if isinstance(expression, PathEpsilon):
             return frozenset((node_id, node_id) for node_id in graph.node_ids)
         if isinstance(expression, Axis):
-            pairs = graph.edge_relation(expression.label)
+            pairs = self.index.pairs(expression.label)
             if expression.inverse:
-                return frozenset((target.id, source.id) for source, target in pairs)
-            return frozenset((source.id, target.id) for source, target in pairs)
+                return frozenset((target, source) for source, target in pairs)
+            return frozenset(pairs)
         if isinstance(expression, AxisStar):
             return self._axis_star(expression.label, expression.inverse)
         if isinstance(expression, PathConcat):
@@ -80,10 +87,11 @@ class _Evaluator:
         if isinstance(expression, (PathEqual, PathNotEqual)):
             inner = self.path(expression.inner)
             want_equal = isinstance(expression, PathEqual)
+            values = self.index.values
             kept = set()
             for source, target in inner:
-                first = graph.value_of(source)
-                last = graph.value_of(target)
+                first = values[source]
+                last = values[target]
                 if self.null_semantics:
                     ok = values_equal(first, last) if want_equal else values_differ(first, last)
                 else:
@@ -97,21 +105,19 @@ class _Evaluator:
         raise EvaluationError(f"unknown GXPath path expression {expression!r}")  # pragma: no cover
 
     def _axis_star(self, label: str, inverse: bool) -> FrozenSet[IdPair]:
-        graph = self.graph
+        index = self.index
+        adjacency = index.predecessors(label) if inverse else index.successors(label)
         pairs: Set[IdPair] = set()
-        for start in graph.node_ids:
+        for start in index.nodes:
             seen = {start}
-            queue = deque([start])
+            queue = deque((start,))
             while queue:
                 current = queue.popleft()
                 pairs.add((start, current))
-                neighbours = (
-                    graph.predecessors(current, label) if inverse else graph.successors(current, label)
-                )
-                for _, neighbour in neighbours:
-                    if neighbour.id not in seen:
-                        seen.add(neighbour.id)
-                        queue.append(neighbour.id)
+                for neighbour in adjacency.get(current, ()):
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        queue.append(neighbour)
         return frozenset(pairs)
 
     @staticmethod

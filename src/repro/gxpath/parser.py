@@ -35,7 +35,6 @@ from typing import List, Optional, Tuple
 from ..exceptions import ParseError
 from .ast import (
     Axis,
-    AxisStar,
     NodeExpression,
     PathEpsilon,
     PathExpression,

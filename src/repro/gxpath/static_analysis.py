@@ -27,7 +27,7 @@ the experiments to confirm the behaviour of φ' on small cases.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import NodeId
@@ -45,7 +45,7 @@ from .ast import (
     path_concat,
     path_equal,
 )
-from .evaluation import evaluate_node, node_holds
+from .evaluation import evaluate_node
 
 __all__ = [
     "tree_root",

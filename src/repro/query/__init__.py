@@ -12,12 +12,20 @@ from .data_rpq import DataRPQ, data_path_query, data_rpq, equality_rpq, memory_r
 from .data_rpq_eval import (
     data_rpq_holds,
     evaluate_data_rpq,
+    evaluate_data_rpq_naive,
     evaluate_ree_algebraic,
     evaluate_via_register_automaton,
 )
 from .homomorphism_closure import is_preserved_on, violates_homomorphism_preservation
 from .rpq import RPQ, atomic_rpq, reachability_rpq, rpq, word_rpq
-from .rpq_eval import evaluate_rpq, evaluate_rpq_from, evaluate_word, rpq_holds, witness_path_labels
+from .rpq_eval import (
+    evaluate_rpq,
+    evaluate_rpq_from,
+    evaluate_rpq_naive,
+    evaluate_word,
+    rpq_holds,
+    witness_path_labels,
+)
 
 __all__ = [
     "RPQ",
@@ -27,6 +35,7 @@ __all__ = [
     "reachability_rpq",
     "evaluate_rpq",
     "evaluate_rpq_from",
+    "evaluate_rpq_naive",
     "rpq_holds",
     "evaluate_word",
     "witness_path_labels",
@@ -36,6 +45,7 @@ __all__ = [
     "memory_rpq",
     "data_path_query",
     "evaluate_data_rpq",
+    "evaluate_data_rpq_naive",
     "evaluate_ree_algebraic",
     "evaluate_via_register_automaton",
     "data_rpq_holds",

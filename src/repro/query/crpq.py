@@ -16,7 +16,7 @@ tests exercising closure under homomorphisms for conjunctive queries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, List, Tuple, Union
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node

@@ -21,16 +21,22 @@ Two engines are provided:
 
 Both engines accept the SQL-null semantics flag of Section 7, under which
 no comparison involving a null node's value is true.
+
+The public functions route through the shared
+:class:`~repro.engine.engine.EvaluationEngine`: register automata are
+compiled once per query (LRU-cached on the expression AST) and both
+strategies run over the graph's label index.  The seed evaluators are
+kept as :func:`evaluate_data_rpq_naive` for equivalence testing and
+benchmarking.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import FrozenSet, Set, Tuple
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node, NodeId
-from ..datagraph.values import values_differ, values_equal
 from ..datapaths import (
     RegexWithEquality,
     RegexWithMemory,
@@ -39,16 +45,7 @@ from ..datapaths import (
     compile_rem,
     ree_to_rem,
 )
-from ..datapaths.ree import (
-    ReeConcat,
-    ReeEpsilon,
-    ReeEqualTest,
-    ReeLetter,
-    ReeNotEqualTest,
-    ReePlus,
-    ReeUnion,
-)
-from ..exceptions import EvaluationError
+from ..engine import default_engine
 from .data_rpq import DataRPQ
 
 __all__ = [
@@ -56,6 +53,7 @@ __all__ = [
     "evaluate_ree_algebraic",
     "evaluate_via_register_automaton",
     "data_rpq_holds",
+    "evaluate_data_rpq_naive",
 ]
 
 NodePair = Tuple[Node, Node]
@@ -83,16 +81,9 @@ def evaluate_data_rpq(
         and ``"automaton"`` force a specific engine (the algebraic engine
         only supports REE expressions).
     """
-    expression = query.expression
-    if engine not in {"auto", "algebraic", "automaton"}:
-        raise EvaluationError(f"unknown data RPQ engine {engine!r}")
-    if engine == "algebraic" or (engine == "auto" and isinstance(expression, RegexWithEquality)):
-        if not isinstance(expression, RegexWithEquality):
-            raise EvaluationError("the algebraic engine only evaluates equality RPQs (REE)")
-        return evaluate_ree_algebraic(graph, expression, null_semantics)
-    if isinstance(expression, RegexWithEquality):
-        expression = ree_to_rem(expression)
-    return evaluate_via_register_automaton(graph, expression, null_semantics)
+    return default_engine().evaluate_data_rpq(
+        graph, query, null_semantics=null_semantics, engine=engine
+    )
 
 
 def data_rpq_holds(
@@ -103,120 +94,61 @@ def data_rpq_holds(
     null_semantics: bool = False,
 ) -> bool:
     """Whether ``(source, target)`` belongs to the query answer."""
-    source_node = graph.node(source)
-    target_node = graph.node(target)
-    return (source_node, target_node) in evaluate_data_rpq(graph, query, null_semantics)
+    return default_engine().data_rpq_holds(graph, query, source, target, null_semantics)
 
 
-# ----------------------------------------------------------------------
-# Engine 1: bottom-up relational algebra for REE
-# ----------------------------------------------------------------------
 def evaluate_ree_algebraic(
     graph: DataGraph, expression: RegexWithEquality, null_semantics: bool = False
 ) -> FrozenSet[NodePair]:
     """Evaluate an equality RPQ by bottom-up relation construction."""
-    cache: Dict[int, FrozenSet[Tuple[NodeId, NodeId]]] = {}
-    id_pairs = _ree_relation(graph, expression, null_semantics, cache)
+    from ..engine.data import ree_relation
+
+    id_pairs = ree_relation(graph.label_index(), expression, null_semantics)
     return frozenset((graph.node(source), graph.node(target)) for source, target in id_pairs)
 
 
-def _ree_relation(
-    graph: DataGraph,
-    expression: RegexWithEquality,
-    null_semantics: bool,
-    cache: Dict[int, FrozenSet[Tuple[NodeId, NodeId]]],
-) -> FrozenSet[Tuple[NodeId, NodeId]]:
-    key = id(expression)
-    if key in cache:
-        return cache[key]
-    if isinstance(expression, ReeEpsilon):
-        result = frozenset((node_id, node_id) for node_id in graph.node_ids)
-    elif isinstance(expression, ReeLetter):
-        result = frozenset(
-            (source.id, target.id) for source, target in graph.edge_relation(expression.symbol)
-        )
-    elif isinstance(expression, ReeConcat):
-        left = _ree_relation(graph, expression.left, null_semantics, cache)
-        right = _ree_relation(graph, expression.right, null_semantics, cache)
-        result = _compose(left, right)
-    elif isinstance(expression, ReeUnion):
-        result = _ree_relation(graph, expression.left, null_semantics, cache) | _ree_relation(
-            graph, expression.right, null_semantics, cache
-        )
-    elif isinstance(expression, ReePlus):
-        result = _transitive_closure(_ree_relation(graph, expression.inner, null_semantics, cache))
-    elif isinstance(expression, (ReeEqualTest, ReeNotEqualTest)):
-        inner = _ree_relation(graph, expression.inner, null_semantics, cache)
-        want_equal = isinstance(expression, ReeEqualTest)
-        kept = set()
-        for source, target in inner:
-            first = graph.value_of(source)
-            last = graph.value_of(target)
-            if null_semantics:
-                ok = values_equal(first, last) if want_equal else values_differ(first, last)
-            else:
-                ok = (first == last) if want_equal else (first != last)
-            if ok:
-                kept.add((source, target))
-        result = frozenset(kept)
-    else:  # pragma: no cover - defensive
-        raise EvaluationError(f"unknown REE node {expression!r}")
-    cache[key] = result
-    return result
-
-
-def _compose(
-    left: Iterable[Tuple[NodeId, NodeId]], right: Iterable[Tuple[NodeId, NodeId]]
-) -> FrozenSet[Tuple[NodeId, NodeId]]:
-    by_source: Dict[NodeId, Set[NodeId]] = {}
-    for source, middle in left:
-        by_source.setdefault(middle, set())
-    right_index: Dict[NodeId, Set[NodeId]] = {}
-    for middle, target in right:
-        right_index.setdefault(middle, set()).add(target)
-    result: Set[Tuple[NodeId, NodeId]] = set()
-    for source, middle in left:
-        for target in right_index.get(middle, ()):
-            result.add((source, target))
-    return frozenset(result)
-
-
-def _transitive_closure(relation: Iterable[Tuple[NodeId, NodeId]]) -> FrozenSet[Tuple[NodeId, NodeId]]:
-    successors: Dict[NodeId, Set[NodeId]] = {}
-    for source, target in relation:
-        successors.setdefault(source, set()).add(target)
-    closure: Set[Tuple[NodeId, NodeId]] = set()
-    for start in list(successors):
-        seen: Set[NodeId] = set()
-        queue = deque(successors.get(start, ()))
-        while queue:
-            current = queue.popleft()
-            if current in seen:
-                continue
-            seen.add(current)
-            closure.add((start, current))
-            queue.extend(successors.get(current, ()))
-    return frozenset(closure)
-
-
-# ----------------------------------------------------------------------
-# Engine 2: register-automaton × graph product for REM
-# ----------------------------------------------------------------------
 def evaluate_via_register_automaton(
     graph: DataGraph,
     expression: RegexWithMemory | RegisterAutomaton,
     null_semantics: bool = False,
 ) -> FrozenSet[NodePair]:
     """Evaluate a memory RPQ by product reachability with its register automaton."""
-    automaton = expression if isinstance(expression, RegisterAutomaton) else compile_rem(expression)
+    from ..engine.data import register_automaton_relation
+
+    if isinstance(expression, RegisterAutomaton):
+        automaton = expression
+    else:
+        automaton = default_engine().compile_data_rpq(expression)
+    id_pairs = register_automaton_relation(graph.label_index(), automaton, null_semantics)
+    return frozenset((graph.node(source), graph.node(target)) for source, target in id_pairs)
+
+
+# ----------------------------------------------------------------------
+# Reference implementation (the seed evaluator)
+# ----------------------------------------------------------------------
+def evaluate_data_rpq_naive(
+    graph: DataGraph,
+    query: DataRPQ,
+    null_semantics: bool = False,
+) -> FrozenSet[NodePair]:
+    """The seed data-RPQ evaluator: per-call compilation, per-source BFS.
+
+    Kept as the executable specification for the engine's equivalence
+    tests and as the benchmark baseline; production call sites use
+    :func:`evaluate_data_rpq`.
+    """
+    expression = query.expression
+    if isinstance(expression, RegexWithEquality):
+        expression = ree_to_rem(expression)
+    automaton = compile_rem(expression)
     pairs: Set[NodePair] = set()
     for source in graph.nodes:
-        for target_id in _ra_reachable(graph, automaton, source.id, null_semantics):
+        for target_id in _ra_reachable_naive(graph, automaton, source.id, null_semantics):
             pairs.add((source, graph.node(target_id)))
     return frozenset(pairs)
 
 
-def _ra_reachable(
+def _ra_reachable_naive(
     graph: DataGraph, automaton: RegisterAutomaton, source: NodeId, null_semantics: bool
 ) -> Set[NodeId]:
     start_value = graph.value_of(source)

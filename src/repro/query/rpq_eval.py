@@ -6,19 +6,26 @@ and an automaton state) and compute reachability.  ``e(G)`` is the set of
 pairs ``(v, v')`` such that some accepting product state ``(v', q_f)`` is
 reachable from an initial product state ``(v, q_0)``.
 
-The evaluator also exposes single-source and pair-checking entry points
-used by mapping satisfaction checks, and a word-specific fast path for
-the word RPQs of relational mappings.
+The public functions here delegate to the shared
+:class:`~repro.engine.engine.EvaluationEngine`, which caches one compiled
+ε-free automaton per query across *all* entry points (``evaluate_rpq``,
+``evaluate_rpq_from``, ``rpq_holds``, ``witness_path_labels``) and runs a
+single multi-source product pass over the graph's label index instead of
+one BFS per source node.  The seed per-source evaluator is kept as
+:func:`evaluate_rpq_naive`: it is the executable specification the engine
+is validated against, and the baseline the benchmark suite measures
+speedups over.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node, NodeId
-from ..regular import NFA, Regex, parse_regex, to_nfa
+from ..engine import default_engine
+from ..regular import NFA, Regex, to_nfa
 from .rpq import RPQ
 
 __all__ = [
@@ -27,17 +34,78 @@ __all__ = [
     "rpq_holds",
     "evaluate_word",
     "witness_path_labels",
+    "evaluate_rpq_naive",
 ]
-
-
-def _coerce_nfa(query: RPQ | Regex | str) -> NFA:
-    if isinstance(query, RPQ):
-        return to_nfa(query.expression)
-    return to_nfa(query)
 
 
 def evaluate_rpq(graph: DataGraph, query: RPQ | Regex | str) -> FrozenSet[Tuple[Node, Node]]:
     """The full binary relation ``e(G)`` of an RPQ on a data graph."""
+    return default_engine().evaluate_rpq(graph, query)
+
+
+def evaluate_rpq_from(graph: DataGraph, query: RPQ | Regex | str, source: NodeId) -> FrozenSet[Node]:
+    """All nodes ``v'`` with ``(source, v') ∈ e(G)``."""
+    return default_engine().evaluate_rpq_from(graph, query, source)
+
+
+def rpq_holds(graph: DataGraph, query: RPQ | Regex | str, source: NodeId, target: NodeId) -> bool:
+    """Whether ``(source, target) ∈ e(G)``."""
+    return default_engine().rpq_holds(graph, query, source, target)
+
+
+def witness_path_labels(
+    graph: DataGraph, query: RPQ | Regex | str, source: NodeId, target: NodeId
+) -> Optional[Tuple[str, ...]]:
+    """The label sequence of a shortest witnessing path, or ``None``.
+
+    Useful for explanations in examples and for tests that need to check
+    that the product construction found a genuine path.
+    """
+    return default_engine().witness_path_labels(graph, query, source, target)
+
+
+def evaluate_word(graph: DataGraph, labels: Sequence[str]) -> FrozenSet[Tuple[Node, Node]]:
+    """Evaluate a word RPQ directly by composing edge relations.
+
+    This avoids the automaton machinery for the common case of relational
+    mapping rules (right-hand sides are words, Definition 3).
+    """
+    labels = tuple(labels)
+    if not labels:
+        return frozenset((node, node) for node in graph.nodes)
+    index = graph.label_index()
+    # frontier maps: for each start node, the set of nodes reached so far
+    reached: Dict[NodeId, Set[NodeId]] = {node_id: {node_id} for node_id in index.nodes}
+    for label in labels:
+        successors = index.successors(label)
+        next_reached: Dict[NodeId, Set[NodeId]] = {}
+        for start, current in reached.items():
+            bucket: Set[NodeId] = set()
+            for node_id in current:
+                bucket.update(successors.get(node_id, ()))
+            if bucket:
+                next_reached[start] = bucket
+        reached = next_reached
+        if not reached:
+            return frozenset()
+    pairs: Set[Tuple[Node, Node]] = set()
+    for start, finals in reached.items():
+        for final in finals:
+            pairs.add((graph.node(start), graph.node(final)))
+    return frozenset(pairs)
+
+
+# ----------------------------------------------------------------------
+# Reference implementation (the seed evaluator)
+# ----------------------------------------------------------------------
+def evaluate_rpq_naive(graph: DataGraph, query: RPQ | Regex | str) -> FrozenSet[Tuple[Node, Node]]:
+    """``e(G)`` by the seed per-source product BFS (reference implementation).
+
+    Recompiles the automaton on every call and runs one BFS per source
+    node.  Kept as the executable specification for the engine's
+    equivalence tests and as the baseline of the benchmark suite; all
+    production call sites use :func:`evaluate_rpq`.
+    """
     nfa = _coerce_nfa(query)
     pairs: Set[Tuple[Node, Node]] = set()
     for source in graph.nodes:
@@ -46,16 +114,10 @@ def evaluate_rpq(graph: DataGraph, query: RPQ | Regex | str) -> FrozenSet[Tuple[
     return frozenset(pairs)
 
 
-def evaluate_rpq_from(graph: DataGraph, query: RPQ | Regex | str, source: NodeId) -> FrozenSet[Node]:
-    """All nodes ``v'`` with ``(source, v') ∈ e(G)``."""
-    nfa = _coerce_nfa(query)
-    return frozenset(graph.node(target) for target in _reachable_targets(graph, nfa, source))
-
-
-def rpq_holds(graph: DataGraph, query: RPQ | Regex | str, source: NodeId, target: NodeId) -> bool:
-    """Whether ``(source, target) ∈ e(G)``."""
-    nfa = _coerce_nfa(query)
-    return target in _reachable_targets(graph, nfa, source, stop_at=target)
+def _coerce_nfa(query: RPQ | Regex | str) -> NFA:
+    if isinstance(query, RPQ):
+        return to_nfa(query.expression)
+    return to_nfa(query)
 
 
 def _reachable_targets(
@@ -91,78 +153,3 @@ def _reachable_targets(
                     return targets
                 queue.append(config)
     return targets
-
-
-def evaluate_word(graph: DataGraph, labels: Sequence[str]) -> FrozenSet[Tuple[Node, Node]]:
-    """Evaluate a word RPQ directly by composing edge relations.
-
-    This avoids the automaton machinery for the common case of relational
-    mapping rules (right-hand sides are words, Definition 3).
-    """
-    labels = tuple(labels)
-    if not labels:
-        return frozenset((node, node) for node in graph.nodes)
-    # frontier maps: for each start node, the set of nodes reached so far
-    reached: Dict[NodeId, Set[NodeId]] = {node_id: {node_id} for node_id in graph.node_ids}
-    for label in labels:
-        next_reached: Dict[NodeId, Set[NodeId]] = {}
-        for start, current in reached.items():
-            bucket: Set[NodeId] = set()
-            for node_id in current:
-                for _, neighbour in graph.successors(node_id, label):
-                    bucket.add(neighbour.id)
-            if bucket:
-                next_reached[start] = bucket
-        reached = next_reached
-        if not reached:
-            return frozenset()
-    pairs: Set[Tuple[Node, Node]] = set()
-    for start, finals in reached.items():
-        for final in finals:
-            pairs.add((graph.node(start), graph.node(final)))
-    return frozenset(pairs)
-
-
-def witness_path_labels(
-    graph: DataGraph, query: RPQ | Regex | str, source: NodeId, target: NodeId
-) -> Optional[Tuple[str, ...]]:
-    """The label sequence of a shortest witnessing path, or ``None``.
-
-    Useful for explanations in examples and for tests that need to check
-    that the product construction found a genuine path.
-    """
-    nfa = _coerce_nfa(query)
-    initial_states = nfa.initial_closure()
-    start_configs = {(source, state) for state in initial_states}
-    parents: Dict[Tuple[NodeId, int], Tuple[Optional[Tuple[NodeId, int]], Optional[str]]] = {
-        config: (None, None) for config in start_configs
-    }
-    queue: deque = deque(start_configs)
-    accepting = nfa.accepting
-
-    def _reconstruct(config: Tuple[NodeId, int]) -> Tuple[str, ...]:
-        labels: List[str] = []
-        cursor: Optional[Tuple[NodeId, int]] = config
-        while cursor is not None:
-            parent, label = parents[cursor]
-            if label is not None:
-                labels.append(label)
-            cursor = parent
-        return tuple(reversed(labels))
-
-    for config in start_configs:
-        if config[0] == target and config[1] in accepting:
-            return ()
-
-    while queue:
-        node_id, state = queue.popleft()
-        for label, neighbour in graph.successors(node_id):
-            for next_state in nfa.step({state}, label):
-                config = (neighbour.id, next_state)
-                if config in parents:
-                    continue
-                parents[config] = ((node_id, state), label)
-                if neighbour.id == target and next_state in accepting:
-                    return _reconstruct(config)
-                queue.append(config)
-    return None

@@ -33,7 +33,7 @@ The executable pieces implemented here:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..core.gsm import GraphSchemaMapping, copy_mapping
 from ..datagraph.graph import DataGraph

@@ -36,10 +36,9 @@ combining these builders with the bounded PCP solver.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.gsm import GraphSchemaMapping, MappingRule
-from ..core.solutions import is_solution
 from ..datagraph.graph import DataGraph
 from ..exceptions import ReductionError
 from ..query.data_rpq import DataRPQ, equality_rpq

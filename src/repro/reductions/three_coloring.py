@@ -52,7 +52,7 @@ error, i.e. iff ``H`` is *not* 3-colourable.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Set, Tuple
 
 from ..core.certain_answers import certain_answers_naive
 from ..core.gsm import GraphSchemaMapping, lav_mapping

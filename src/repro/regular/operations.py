@@ -10,7 +10,7 @@ tests as an independent oracle for the automata pipeline.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 from .ast import Regex
 from .dfa import DFA, determinize, minimize

@@ -22,7 +22,7 @@ The chase implemented here is the *standard* (a.k.a. restricted) chase:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 from ..exceptions import ChaseFailure, ReproError
 from .conjunctive import AtomPattern, Variable, homomorphisms

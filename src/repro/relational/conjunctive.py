@@ -11,7 +11,7 @@ query atoms, with variables and constants distinguished by the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import ReproError
 from .schema import Instance

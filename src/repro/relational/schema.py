@@ -10,8 +10,8 @@ as sets of facts, and labelled (marked) nulls as first-class terms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
 
 from ..exceptions import ReproError
 

@@ -6,7 +6,12 @@ from .random_workloads import (
     random_relational_mapping,
     workload_sweep,
 )
-from .scenarios import Scenario, movie_catalog_scenario, provenance_scenario, social_network_scenario
+from .scenarios import (
+    Scenario,
+    movie_catalog_scenario,
+    provenance_scenario,
+    social_network_scenario,
+)
 
 __all__ = [
     "Scenario",

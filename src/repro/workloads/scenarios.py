@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional
 
 from ..core.gsm import GraphSchemaMapping
 from ..datagraph.graph import DataGraph

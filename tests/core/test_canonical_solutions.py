@@ -13,7 +13,7 @@ from repro.core import (
     mapping_domain,
     universal_solution,
 )
-from repro.datagraph import NULL, GraphBuilder, find_isomorphism, is_null_homomorphism
+from repro.datagraph import GraphBuilder, find_isomorphism, is_null_homomorphism
 from repro.exceptions import SolutionError, UnsupportedQueryError
 
 

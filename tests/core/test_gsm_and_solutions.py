@@ -17,7 +17,7 @@ from repro.core import (
 )
 from repro.datagraph import GraphBuilder
 from repro.exceptions import InvalidMappingError
-from repro.query import atomic_rpq, reachability_rpq, rpq, word_rpq
+from repro.query import atomic_rpq, reachability_rpq, word_rpq
 
 
 @pytest.fixture
@@ -197,6 +197,39 @@ class TestSolutionChecking:
     def test_empty_source_everything_is_solution(self, simple_mapping):
         empty = GraphBuilder().build()
         assert is_solution(simple_mapping, empty, GraphBuilder().build())
+
+
+class TestRuleSatisfactionHelpers:
+    """The engine-routed satisfaction accessors on MappingRule / GSM."""
+
+    def test_rule_source_and_target_answers(self, simple_mapping, people_source):
+        friend_rule = next(rule for rule in simple_mapping if str(rule.source) == "friend")
+        obligations = {(a.id, b.id) for a, b in friend_rule.source_answers(people_source)}
+        assert obligations == {("ann", "ben"), ("ben", "cat")}
+        target = (
+            GraphBuilder()
+            .node("ann", "Ann")
+            .node("ben", "Ben")
+            .edge("ann", "knows", "ben")
+            .build()
+        )
+        provided = {(a.id, b.id) for a, b in friend_rule.target_answers(target)}
+        assert provided == {("ann", "ben")}
+        assert not friend_rule.satisfied_by(people_source, target)  # (ben, cat) missing
+
+    def test_rule_satisfied_when_vacuous_or_covered(self, people_source):
+        vacuous = MappingRule(atomic_rpq("unused-label"), atomic_rpq("anything"))
+        assert vacuous.satisfied_by(people_source, GraphBuilder().build())
+        copy_rule = MappingRule(atomic_rpq("friend"), atomic_rpq("friend"))
+        assert copy_rule.satisfied_by(people_source, people_source.copy())
+
+    def test_mapping_is_satisfied_by_matches_is_solution(self, simple_mapping, people_source):
+        bad_target = GraphBuilder().build()
+        assert simple_mapping.is_satisfied_by(people_source, bad_target) == is_solution(
+            simple_mapping, people_source, bad_target
+        )
+        mapping = copy_mapping(["friend", "employer"])
+        assert mapping.is_satisfied_by(people_source, people_source.copy())
 
     def test_mapping_domain(self, simple_mapping, people_source):
         domain = {node.id for node in mapping_domain(simple_mapping, people_source)}

@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.datagraph import NULL, GraphBuilder, chain_graph, cycle_graph, graph_from_edges
+from repro.datagraph import GraphBuilder, chain_graph, cycle_graph, graph_from_edges
 from repro.datagraph import generators
 from repro.exceptions import PathError, WorkloadError
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datagraph import NULL, PropertyGraph, property_graph_to_data_graph
+from repro.datagraph import PropertyGraph, property_graph_to_data_graph
 from repro.exceptions import GraphError, UnknownNodeError
 
 

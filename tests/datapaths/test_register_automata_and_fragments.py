@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.datagraph import NULL, DataPath
 from repro.datapaths import (
-    EMPTY_VALUATION,
     Equal,
     Fragment,
     NotEqual,

@@ -1,0 +1,263 @@
+"""Property tests: the indexed/batched engine against the naive evaluators.
+
+For random graphs (drawn via :mod:`repro.workloads.random_workloads` and
+:mod:`repro.datagraph.generators`) and random queries, the engine must
+return byte-identical answer sets to the seed implementations for RPQs,
+data RPQs and GXPath.  The naive evaluators are the executable
+specification — any divergence is an engine bug.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagraph import generators
+from repro.engine import EvaluationEngine, default_engine
+from repro.gxpath.ast import (
+    Axis,
+    AxisStar,
+    NodeExists,
+    PathConcat,
+    PathEpsilon,
+    PathEqual,
+    PathNotEqual,
+    PathUnion,
+)
+from repro.gxpath.evaluation import evaluate_path
+from repro.query import (
+    evaluate_data_rpq,
+    evaluate_data_rpq_naive,
+    evaluate_rpq,
+    evaluate_rpq_naive,
+    rpq,
+)
+from repro.workloads.random_workloads import random_equality_query, workload_sweep
+
+RPQ_POOL = [
+    "a",
+    "b.a",
+    "(a|b)*",
+    "a.(a|b)*.b",
+    "(a|b)*.a.(a|b)*",
+    "(a.b)+",
+    "a*|b*",
+    "(a|b).(a|b).(a|b)",
+]
+
+
+def random_graph_from(seed: int, size: int):
+    return generators.random_graph(
+        num_nodes=size,
+        num_edges=size * 2,
+        labels=("a", "b"),
+        rng=seed,
+        domain_size=max(2, size // 3),
+    )
+
+
+# ----------------------------------------------------------------------
+# RPQ: engine vs seed per-source BFS
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=1, max_value=40),
+    query_index=st.integers(min_value=0, max_value=len(RPQ_POOL) - 1),
+)
+def test_rpq_engine_matches_naive(seed, size, query_index):
+    graph = random_graph_from(seed, size)
+    query = rpq(RPQ_POOL[query_index])
+    assert evaluate_rpq(graph, query) == evaluate_rpq_naive(graph, query)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=1, max_value=30),
+)
+def test_rpq_batched_and_point_entry_points_agree(seed, size):
+    graph = random_graph_from(seed, size)
+    engine = EvaluationEngine()
+    queries = [RPQ_POOL[seed % len(RPQ_POOL)], RPQ_POOL[(seed + 3) % len(RPQ_POOL)]]
+    batched = engine.evaluate_many(graph, queries)
+    for query, answer in zip(queries, batched):
+        assert answer == evaluate_rpq_naive(graph, query)
+        pairs = [(source.id, target.id) for source, target in answer]
+        verdicts = engine.holds_many(graph, query, pairs)
+        assert all(verdicts.values())
+        # spot-check some non-answers too
+        node_ids = graph.node_ids
+        non_answers = [
+            (node_ids[i], node_ids[j])
+            for i in range(len(node_ids))
+            for j in range(len(node_ids))
+            if (graph.node(node_ids[i]), graph.node(node_ids[j])) not in answer
+        ][:10]
+        negative = engine.holds_many(graph, query, non_answers)
+        assert not any(negative.values())
+
+
+# ----------------------------------------------------------------------
+# Data RPQ: algebraic and register engines vs seed product BFS
+# ----------------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=1, max_value=16),
+    shape=st.sampled_from(["equal", "unequal", "repeat", "plain"]),
+    null_semantics=st.booleans(),
+)
+def test_data_rpq_engines_match_naive(seed, size, shape, null_semantics):
+    graph = generators.random_graph(
+        num_nodes=size,
+        num_edges=size * 2,
+        labels=("a", "b"),
+        rng=seed,
+        domain_size=max(2, size // 2),
+    )
+    query = random_equality_query(("a", "b"), length=2, test=shape, rng=seed)
+    naive = evaluate_data_rpq_naive(graph, query, null_semantics=null_semantics)
+    algebraic = evaluate_data_rpq(graph, query, null_semantics, engine="algebraic")
+    automaton = evaluate_data_rpq(graph, query, null_semantics, engine="automaton")
+    assert algebraic == naive
+    assert automaton == naive
+
+
+def test_data_rpq_equivalence_on_workload_sweep():
+    for workload in workload_sweep(sizes=(6, 10, 14), query_test="repeat"):
+        graph = workload.source
+        # the sweep query is over the target alphabet; ask it over the
+        # source alphabet instead so it actually touches edges
+        query = random_equality_query(
+            tuple(sorted(workload.mapping.source_alphabet)), test="repeat", rng=workload.parameters["nodes"]
+        )
+        naive = evaluate_data_rpq_naive(graph, query)
+        assert evaluate_data_rpq(graph, query, engine="algebraic") == naive
+        assert evaluate_data_rpq(graph, query, engine="automaton") == naive
+
+
+# ----------------------------------------------------------------------
+# GXPath: indexed evaluator vs a direct seed-style reference
+# ----------------------------------------------------------------------
+def reference_path(graph, expression, null_semantics=False):
+    """Seed-style GXPath path semantics, written directly on the graph API."""
+    if isinstance(expression, PathEpsilon):
+        return frozenset((node_id, node_id) for node_id in graph.node_ids)
+    if isinstance(expression, Axis):
+        pairs = {
+            (source.id, target.id)
+            for source, target in graph.edge_relation(expression.label)
+        }
+        return frozenset((t, s) for s, t in pairs) if expression.inverse else frozenset(pairs)
+    if isinstance(expression, AxisStar):
+        result = set()
+        for start in graph.node_ids:
+            seen = {start}
+            stack = [start]
+            while stack:
+                current = stack.pop()
+                result.add((start, current))
+                steps = (
+                    graph.predecessors(current, expression.label)
+                    if expression.inverse
+                    else graph.successors(current, expression.label)
+                )
+                for _, neighbour in steps:
+                    if neighbour.id not in seen:
+                        seen.add(neighbour.id)
+                        stack.append(neighbour.id)
+        return frozenset(result)
+    if isinstance(expression, PathConcat):
+        left = reference_path(graph, expression.left, null_semantics)
+        right = reference_path(graph, expression.right, null_semantics)
+        return frozenset(
+            (s, t2) for s, t1 in left for t1b, t2 in right if t1 == t1b
+        )
+    if isinstance(expression, PathUnion):
+        return reference_path(graph, expression.left, null_semantics) | reference_path(
+            graph, expression.right, null_semantics
+        )
+    if isinstance(expression, (PathEqual, PathNotEqual)):
+        from repro.datagraph import values_differ, values_equal
+
+        inner = reference_path(graph, expression.inner, null_semantics)
+        want_equal = isinstance(expression, PathEqual)
+        kept = set()
+        for s, t in inner:
+            first, last = graph.value_of(s), graph.value_of(t)
+            if null_semantics:
+                ok = values_equal(first, last) if want_equal else values_differ(first, last)
+            else:
+                ok = (first == last) if want_equal else (first != last)
+            if ok:
+                kept.add((s, t))
+        return frozenset(kept)
+    raise AssertionError(f"unexpected expression {expression!r}")
+
+
+def random_gxpath(rng: random.Random, depth: int = 3):
+    if depth == 0 or rng.random() < 0.3:
+        choice = rng.random()
+        if choice < 0.15:
+            return PathEpsilon()
+        label = rng.choice(["a", "b"])
+        inverse = rng.random() < 0.4
+        if choice < 0.6:
+            return Axis(label, inverse)
+        return AxisStar(label, inverse)
+    combinator = rng.choice(["concat", "union", "equal", "notequal"])
+    if combinator == "concat":
+        return PathConcat(random_gxpath(rng, depth - 1), random_gxpath(rng, depth - 1))
+    if combinator == "union":
+        return PathUnion(random_gxpath(rng, depth - 1), random_gxpath(rng, depth - 1))
+    if combinator == "equal":
+        return PathEqual(random_gxpath(rng, depth - 1))
+    return PathNotEqual(random_gxpath(rng, depth - 1))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=1, max_value=20),
+    null_semantics=st.booleans(),
+)
+def test_gxpath_engine_matches_reference(seed, size, null_semantics):
+    graph = random_graph_from(seed, size)
+    rng = random.Random(seed)
+    expression = random_gxpath(rng)
+    expected = reference_path(graph, expression, null_semantics)
+    actual = frozenset(
+        (source.id, target.id)
+        for source, target in evaluate_path(graph, expression, null_semantics)
+    )
+    assert actual == expected
+
+
+def test_gxpath_node_exists_uses_indexed_paths(toy_graph):
+    from repro.gxpath.evaluation import evaluate_node
+
+    expression = NodeExists(PathConcat(Axis("knows"), Axis("worksAt")))
+    nodes = {node.id for node in evaluate_node(toy_graph, expression)}
+    assert nodes == {"alice", "dave"}
+
+
+# ----------------------------------------------------------------------
+# Mutation safety: results must track graph changes (no stale caches)
+# ----------------------------------------------------------------------
+def test_engine_results_follow_graph_mutations(toy_graph):
+    engine = default_engine()
+    before = engine.evaluate_rpq(toy_graph, "knows.knows")
+    toy_graph.add_edge("dave", "knows", "bob")
+    after = engine.evaluate_rpq(toy_graph, "knows.knows")
+    assert before != after
+    assert after == evaluate_rpq_naive(toy_graph, "knows.knows")
+
+
+@pytest.mark.parametrize("query", RPQ_POOL)
+def test_rpq_pool_on_fixed_graph(query):
+    graph = random_graph_from(424242, 25)
+    assert evaluate_rpq(graph, query) == evaluate_rpq_naive(graph, query)

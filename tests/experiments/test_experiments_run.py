@@ -8,7 +8,6 @@ library they exercise.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments import EXPERIMENTS
 from repro.experiments import (

@@ -10,8 +10,6 @@ from repro.gxpath import (
     bounded_model_search,
     bounded_satisfiability,
     distinctness_formula,
-    evaluate_node,
-    exists,
     has_non_repeating_property,
     node_holds,
     parse_gxpath_node,

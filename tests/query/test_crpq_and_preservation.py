@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datagraph import NULL, DataGraph, GraphBuilder
+from repro.datagraph import NULL, GraphBuilder
 from repro.exceptions import EvaluationError
 from repro.query import (
     Atom,

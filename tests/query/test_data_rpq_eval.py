@@ -9,16 +9,7 @@ from hypothesis import strategies as st
 from repro.datagraph import NULL, DataGraph, GraphBuilder, enumerate_paths, generators
 from repro.datapaths import parse_ree, parse_rem, ree_matches, rem_matches
 from repro.exceptions import EvaluationError
-from repro.query import (
-    DataRPQ,
-    data_path_query,
-    data_rpq_holds,
-    equality_rpq,
-    evaluate_data_rpq,
-    evaluate_ree_algebraic,
-    evaluate_via_register_automaton,
-    memory_rpq,
-)
+from repro.query import data_path_query, data_rpq_holds, equality_rpq, evaluate_data_rpq, memory_rpq
 
 
 def _ids(pairs):

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.datagraph import DataGraph, GraphBuilder
+from repro.datagraph import GraphBuilder
 from repro.datagraph import generators
 from repro.query import (
     RPQ,

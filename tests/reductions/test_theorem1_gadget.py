@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core import is_solution
-from repro.datagraph import Node
 from repro.exceptions import ReductionError
 from repro.query import evaluate_data_rpq, evaluate_rpq, rpq
 from repro.reductions import (
@@ -180,7 +179,6 @@ class TestReductionCorrespondence:
 
     def test_reachability_certain_answer_start_end(self, instance):
         """(start, end) is always a certain answer of plain reachability."""
-        from repro.core import certain_answers_with_nulls
 
         source = pcp_source_graph(instance)
         sigma = "|".join(label for label in THEOREM1_ALPHABET)

@@ -7,7 +7,7 @@ import pytest
 from repro.core import certain_answers_naive, is_solution
 from repro.datapaths import count_inequality_tests
 from repro.exceptions import ReductionError
-from repro.gxpath import evaluate_node, has_non_repeating_property, node_holds, tree_root
+from repro.gxpath import has_non_repeating_property, node_holds, tree_root
 from repro.reductions import (
     SOLVABLE_EXAMPLES,
     UndirectedGraph,

@@ -10,7 +10,6 @@ from repro.exceptions import ParseError
 from repro.regular import (
     EPSILON,
     Concat,
-    Letter,
     Plus,
     Star,
     Union,

@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.regular import (
-    NFA,
     complement_dfa,
     contains,
     determinize,
@@ -17,9 +16,7 @@ from repro.regular import (
     intersection_empty,
     matches,
     minimize,
-    parse_regex,
     shortest_word,
-    thompson,
     to_dfa,
     to_nfa,
 )

@@ -10,7 +10,6 @@ from repro.relational import (
     TGD,
     AtomPattern,
     Instance,
-    MarkedNull,
     RelationSchema,
     Schema,
     Variable,

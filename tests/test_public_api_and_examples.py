@@ -8,7 +8,6 @@ the library API and the documentation-level code users copy from.
 from __future__ import annotations
 
 import importlib
-import sys
 from pathlib import Path
 
 import pytest
