@@ -1,4 +1,11 @@
-"""Benchmark E10 — baseline (data) RPQ evaluation and the REE engine ablation."""
+"""Benchmark E10 — baseline (data) RPQ evaluation and the REE engine ablation.
+
+The speedup-gate pair (``bench_e10_rpq_evaluation`` vs its naive
+baseline) measures the engine evaluator itself, so it calls the engine
+facade directly — routing it through a caching session would benchmark
+the result cache instead.  Session-level behaviour (caching, batching,
+executors) is measured in ``bench_session_batch.py``.
+"""
 
 from __future__ import annotations
 
@@ -7,14 +14,7 @@ import pytest
 from repro.datagraph import generators
 from repro.engine import default_engine
 from repro.experiments import e10_query_eval
-from repro.query import (
-    equality_rpq,
-    evaluate_data_rpq,
-    evaluate_rpq,
-    evaluate_rpq_naive,
-    memory_rpq,
-    rpq,
-)
+from repro.query import equality_rpq, evaluate_rpq_naive, memory_rpq, rpq
 
 
 def bench_e10_scaling_experiment(run_once):
@@ -29,7 +29,7 @@ def medium_graph():
 
 def bench_e10_rpq_evaluation(benchmark, medium_graph):
     query = rpq("(a|b)*.a.(a|b)*")
-    answers = benchmark(evaluate_rpq, medium_graph, query)
+    answers = benchmark(default_engine().evaluate_rpq, medium_graph, query)
     assert answers
 
 
@@ -39,7 +39,7 @@ def bench_e10_rpq_evaluation_naive_baseline(benchmark, medium_graph):
     answers = benchmark.pedantic(
         evaluate_rpq_naive, args=(medium_graph, query), rounds=1, iterations=1
     )
-    assert answers == evaluate_rpq(medium_graph, query)
+    assert answers == default_engine().evaluate_rpq(medium_graph, query)
 
 
 def bench_e10_rpq_evaluate_many(benchmark, medium_graph):
@@ -52,7 +52,9 @@ def bench_e10_rpq_evaluate_many(benchmark, medium_graph):
 def bench_e10_ree_algebraic_engine(benchmark, medium_graph):
     query = equality_rpq("(a|b)* . ((a|b)+)= . (a|b)*")
     answers = benchmark.pedantic(
-        evaluate_data_rpq, args=(medium_graph, query), kwargs={"engine": "algebraic"},
+        default_engine().evaluate_data_rpq,
+        args=(medium_graph, query),
+        kwargs={"engine": "algebraic"},
         rounds=1, iterations=1,
     )
     assert answers
@@ -61,7 +63,9 @@ def bench_e10_ree_algebraic_engine(benchmark, medium_graph):
 def bench_e10_ree_automaton_engine(benchmark, medium_graph):
     query = equality_rpq("(a.b)=")
     answers = benchmark.pedantic(
-        evaluate_data_rpq, args=(medium_graph, query), kwargs={"engine": "automaton"},
+        default_engine().evaluate_data_rpq,
+        args=(medium_graph, query),
+        kwargs={"engine": "automaton"},
         rounds=1, iterations=1,
     )
     assert answers is not None
@@ -70,6 +74,6 @@ def bench_e10_ree_automaton_engine(benchmark, medium_graph):
 def bench_e10_memory_rpq_evaluation(benchmark, medium_graph):
     query = memory_rpq("!x.((a|b)[x!=])+")
     answers = benchmark.pedantic(
-        evaluate_data_rpq, args=(medium_graph, query), rounds=1, iterations=1
+        default_engine().evaluate_data_rpq, args=(medium_graph, query), rounds=1, iterations=1
     )
     assert answers is not None

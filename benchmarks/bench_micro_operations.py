@@ -16,7 +16,7 @@ from repro.core import GraphSchemaMapping, universal_solution
 from repro.datagraph import DataPath, GraphBuilder, find_homomorphism, generators
 from repro.datapaths import parse_rem, rem_matches
 from repro.engine import default_engine
-from repro.query import equality_rpq, evaluate_data_rpq, evaluate_rpq, evaluate_rpq_naive, rpq
+from repro.query import equality_rpq, evaluate_rpq_naive, rpq
 
 
 @pytest.fixture(scope="module")
@@ -34,7 +34,7 @@ def bench_micro_graph_construction(benchmark):
 
 def bench_micro_rpq_product_evaluation(benchmark, graph_200):
     query = rpq("a.(a|b)*.b")
-    answers = benchmark(evaluate_rpq, graph_200, query)
+    answers = benchmark(default_engine().evaluate_rpq, graph_200, query)
     assert answers is not None
 
 
@@ -44,7 +44,7 @@ def bench_micro_rpq_product_evaluation_naive(benchmark, graph_200):
     answers = benchmark.pedantic(
         evaluate_rpq_naive, args=(graph_200, query), rounds=1, iterations=1
     )
-    assert answers == evaluate_rpq(graph_200, query)
+    assert answers == default_engine().evaluate_rpq(graph_200, query)
 
 
 def bench_micro_label_index_build(benchmark, graph_200):
@@ -63,7 +63,7 @@ def bench_micro_engine_holds_many(benchmark, graph_200):
 
 def bench_micro_ree_evaluation(benchmark, graph_200):
     query = equality_rpq("(a.b)=")
-    answers = benchmark(evaluate_data_rpq, graph_200, query)
+    answers = benchmark(default_engine().evaluate_data_rpq, graph_200, query)
     assert answers is not None
 
 

@@ -15,8 +15,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import GraphSchemaMapping, PropertyGraph, certain_answers, equality_rpq, rpq
-from repro import evaluate_gxpath_node, parse_gxpath_node
+from repro import GraphSchemaMapping, GraphSession, PropertyGraph, Query
+from repro import certain_answers, equality_rpq, rpq
 
 
 def build_property_graph() -> PropertyGraph:
@@ -41,10 +41,11 @@ def main() -> None:
     # GXPath over the converted graph: people whose city property matches
     # their employer's city property (compare data values through the
     # prop:city nodes of both endpoints of a WORKS_AT edge).
-    same_city_as_employer = parse_gxpath_node(
-        "< (prop:city . (prop:city- . WORKS_AT . prop:city))= >"
+    session = GraphSession(dg)
+    same_city_as_employer = Query.gxpath(
+        "< (prop:city . (prop:city- . WORKS_AT . prop:city))= >", kind="node"
     )
-    matches = evaluate_gxpath_node(dg, same_city_as_employer)
+    matches = session.run(same_city_as_employer).nodes()
     print("\npeople based in the same city as their employer (GXPath):")
     for node in sorted(matches, key=lambda node: str(node.id)):
         if isinstance(node.id, str):
@@ -76,9 +77,12 @@ def main() -> None:
     from repro import universal_solution
 
     exchanged = universal_solution(mapping, dg)
-    same_city_contacts = parse_gxpath_node("< (locatedIn . (locatedIn- . contact . locatedIn))= >")
+    same_city_contacts = Query.gxpath(
+        "< (locatedIn . (locatedIn- . contact . locatedIn))= >", kind="node"
+    )
+    answer = GraphSession(exchanged).run(same_city_contacts)
     print("\npeople with a contact based in their own city (GXPath on the exchanged graph):")
-    for node in sorted(evaluate_gxpath_node(exchanged, same_city_contacts), key=lambda n: str(n.id)):
+    for node in sorted(answer.nodes(), key=lambda n: str(n.id)):
         print(f"  {node.id} ({node.value})")
 
 

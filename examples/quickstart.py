@@ -17,6 +17,7 @@ from repro import (
     DataExchangeEngine,
     GraphBuilder,
     GraphSchemaMapping,
+    Query,
     certain_answers,
     equality_rpq,
     least_informative_solution,
@@ -97,6 +98,23 @@ def main() -> None:
     result = engine.materialise(source, policy="nulls")
     print(f"\nDataExchangeEngine materialised a target with {result.null_node_count} null nodes; "
           f"is it a solution? {engine.check_solution(source, result.target)}")
+
+    # --- querying the exchanged instance through a session --------------
+    # ExchangeResult.session() opens the unified execution API over the
+    # materialised target: one Query IR for every language, lazy results,
+    # and a result cache keyed on the graph's mutation counter.
+    session = result.session()
+    knows = session.run(Query.rpq("knows"))
+    seen_twice = session.run(Query.rpq("knows"))        # served from the cache
+    assert seen_twice.pairs() == knows.pairs()
+    print(f"\nsession over the exchanged graph: {knows.count()} 'knows' edges "
+          f"(cache hits so far: {session.stats()['results'].hits})")
+    same_city = session.run(Query.parse("(knows)=", dialect="ree"), null_semantics=True)
+    print(f"same-value 'knows' pairs under SQL-null semantics: {same_city.count()}")
+    batch = session.run_many([Query.rpq("knows"), Query.rpq("knows.knows"),
+                              Query.gxpath("<knows>")])
+    print(f"run_many answered {len(batch)} queries "
+          f"({', '.join(str(item.count()) for item in batch)} answers each)")
 
 
 if __name__ == "__main__":

@@ -4,16 +4,28 @@ A faithful, executable reproduction of *Schema Mappings for Data Graphs*
 (Nadime Francis and Leonid Libkin, PODS 2017).  See README.md for a tour
 and DESIGN.md for the module inventory.
 
-The top-level package re-exports the main user-facing API:
+The top-level package re-exports the main user-facing API, in the order
+of ``__all__``:
 
-* the data model (:class:`DataGraph`, :class:`Node`, :class:`DataPath`,
-  :class:`PropertyGraph`, :class:`GraphBuilder`);
-* query languages (RPQs via :func:`rpq`, data RPQs via
-  :func:`equality_rpq` / :func:`memory_rpq` / :func:`data_path_query`,
-  GXPath via :func:`parse_gxpath_node` / :func:`parse_gxpath_path`);
+* the data model (:class:`DataGraph`, :class:`Node`, :class:`Path`,
+  :class:`DataPath`, :class:`GraphBuilder`, :class:`PropertyGraph`, the
+  :data:`NULL` value and the JSON (de)serialisers);
+* the unified execution API (:class:`Query`, :class:`QueryKind`,
+  :class:`GraphSession`, :class:`Result`, :class:`ExecutionPolicy`,
+  :class:`SequentialExecutor`, :class:`ParallelExecutor`,
+  :func:`session_for`) — every query language evaluated through one
+  session with a versioned result cache and pluggable executors;
+* query construction for each language (RPQs via :func:`rpq` and
+  friends, data RPQs via :func:`equality_rpq` / :func:`memory_rpq` /
+  :func:`data_path_query`, regular-expression parsing via
+  :func:`parse_regex`, GXPath via :func:`parse_gxpath_node` /
+  :func:`parse_gxpath_path`);
+* the evaluation engine seam (:class:`EvaluationEngine`,
+  :func:`default_engine`) and the deprecated module-level evaluators
+  (``evaluate_*``), kept as shims over per-graph default sessions;
 * schema mappings and certain answers (:class:`GraphSchemaMapping`,
   :func:`certain_answers`, :func:`universal_solution`,
-  :func:`least_informative_solution`);
+  :func:`least_informative_solution`, ...);
 * the end-to-end façades (:class:`DataExchangeEngine`,
   :class:`VirtualIntegrationSystem`).
 
@@ -23,8 +35,18 @@ their sub-packages, e.g. ``from repro.reductions import pcp``.
 
 from __future__ import annotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from .api import (
+    ExecutionPolicy,
+    GraphSession,
+    ParallelExecutor,
+    Query,
+    QueryKind,
+    Result,
+    SequentialExecutor,
+    session_for,
+)
 from .core import (
     DataExchangeEngine,
     GraphSchemaMapping,
@@ -56,10 +78,13 @@ from .datagraph import (
     graph_to_dict,
     graph_to_json,
 )
-from .gxpath import evaluate_node as evaluate_gxpath_node
 from .engine import EvaluationEngine, default_engine
-from .gxpath import evaluate_path as evaluate_gxpath_path
-from .gxpath import parse_gxpath_node, parse_gxpath_path
+from .gxpath import (
+    evaluate_gxpath_node,
+    evaluate_gxpath_path,
+    parse_gxpath_node,
+    parse_gxpath_path,
+)
 from .query import (
     RPQ,
     ConjunctiveRPQ,
@@ -91,7 +116,16 @@ __all__ = [
     "graph_from_dict",
     "graph_to_json",
     "graph_from_json",
-    # queries
+    # unified execution API (repro.api)
+    "Query",
+    "QueryKind",
+    "GraphSession",
+    "Result",
+    "ExecutionPolicy",
+    "SequentialExecutor",
+    "ParallelExecutor",
+    "session_for",
+    # query construction per language
     "RPQ",
     "DataRPQ",
     "ConjunctiveRPQ",
@@ -103,14 +137,14 @@ __all__ = [
     "memory_rpq",
     "data_path_query",
     "parse_regex",
+    "parse_gxpath_node",
+    "parse_gxpath_path",
+    # evaluation engine seam + deprecated module-level evaluators
+    "EvaluationEngine",
+    "default_engine",
     "evaluate_rpq",
     "evaluate_data_rpq",
     "evaluate_crpq",
-    # evaluation engine
-    "EvaluationEngine",
-    "default_engine",
-    "parse_gxpath_node",
-    "parse_gxpath_path",
     "evaluate_gxpath_node",
     "evaluate_gxpath_path",
     # mappings and certain answers

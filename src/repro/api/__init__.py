@@ -1,0 +1,44 @@
+"""The unified public execution API: query IR, sessions, executors.
+
+This sub-package is the one front door to query evaluation.  Every
+language of the paper — RPQs, data RPQs (REE/REM), conjunctive RPQs and
+GXPath node/path expressions — normalises into a single tagged, hashable
+:class:`Query` plan, and every plan executes through a
+:class:`GraphSession` that binds a graph, a shared evaluation engine and
+an :class:`ExecutionPolicy`:
+
+.. code-block:: python
+
+    from repro.api import ExecutionPolicy, GraphSession, Query
+
+    session = GraphSession(graph)
+    session.run(Query.rpq("knows.knows")).pairs()
+    session.run(Query.parse("(knows)=", dialect="ree")).holds("ann", "ben")
+    session.run(Query.gxpath("<a.[<b>]>")).nodes()
+
+    batch = [Query.rpq(text) for text in workload]
+    parallel = GraphSession(graph, policy=ExecutionPolicy(executor="process"))
+    results = parallel.run_many(batch)          # worker-pool fan-out
+
+Sessions memoise answers keyed on the graph's mutation counter
+(``graph.version``), so results are never stale and mutations never need
+explicit invalidation.  The deprecated module-level ``evaluate_*``
+functions delegate to per-graph default sessions (:func:`session_for`).
+"""
+
+from .executors import ExecutionPolicy, ParallelExecutor, SequentialExecutor
+from .query import Query, QueryKind, QueryLike
+from .result import Result
+from .session import GraphSession, session_for
+
+__all__ = [
+    "Query",
+    "QueryKind",
+    "QueryLike",
+    "Result",
+    "GraphSession",
+    "session_for",
+    "ExecutionPolicy",
+    "SequentialExecutor",
+    "ParallelExecutor",
+]

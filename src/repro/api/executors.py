@@ -1,0 +1,204 @@
+"""Pluggable batch executors and the session execution policy.
+
+A :class:`GraphSession` hands every ``run_many`` batch to an *executor*,
+whose only job is to turn ``(engine, graph, queries)`` into one answer
+set per query:
+
+* :class:`SequentialExecutor` — evaluate in order on the calling thread;
+  the default, and the best choice for single queries and small batches.
+* :class:`ParallelExecutor` — fan a batch out across workers.  The
+  ``"thread"`` backend uses :class:`concurrent.futures.ThreadPoolExecutor`
+  (compilation is pre-warmed sequentially so worker threads only read the
+  engine's caches); the ``"process"`` backend forks worker processes that
+  inherit the graph and compiled automata by copy-on-write, which is the
+  backend that actually scales CPU-bound evaluation across cores under
+  the GIL.  On platforms without ``fork`` the process backend degrades to
+  threads.
+
+Executors never touch the session's result cache — the session resolves
+cache hits first and only ships the misses, so executors stay stateless
+and trivially pluggable (anything with an ``execute_batch`` method
+works).
+
+:class:`ExecutionPolicy` is the declarative knob the session is
+constructed with: which executor to use, how many workers, and how the
+versioned result cache behaves.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..exceptions import EvaluationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datagraph.graph import DataGraph
+    from ..engine.engine import EvaluationEngine
+    from .query import Query
+
+__all__ = [
+    "ExecutionPolicy",
+    "SequentialExecutor",
+    "ParallelExecutor",
+]
+
+
+class SequentialExecutor:
+    """Evaluate a batch in order on the calling thread."""
+
+    name = "sequential"
+
+    def execute_batch(
+        self,
+        engine: "EvaluationEngine",
+        graph: "DataGraph",
+        queries: Sequence["Query"],
+        null_semantics: bool = False,
+    ) -> List[frozenset]:
+        """One answer set per query, in query order."""
+        return [query._evaluate(engine, graph, null_semantics) for query in queries]
+
+    def __repr__(self) -> str:
+        return "SequentialExecutor()"
+
+
+# ----------------------------------------------------------------------
+# Parallel execution
+# ----------------------------------------------------------------------
+#: Fork-inherited batch state; only the worker *index* crosses the process
+#: boundary, the graph and compiled automata arrive by copy-on-write.
+#: The state is global because fork is the only way to ship an unpicklable
+#: DataGraph to workers, so _FORK_LOCK serialises process-backed batches:
+#: concurrent run_many calls would otherwise overwrite each other's batch
+#: between assignment and the workers' fork (and would oversubscribe the
+#: CPUs anyway).
+_FORK_BATCH = None
+_FORK_LOCK = threading.Lock()
+
+
+def _fork_worker(index: int) -> frozenset:
+    engine, graph, queries, null_semantics = _FORK_BATCH
+    return queries[index]._evaluate(engine, graph, null_semantics)
+
+
+class ParallelExecutor:
+    """Evaluate a batch across a worker pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()`` capped at 8.
+    backend:
+        ``"thread"`` (default) or ``"process"``.  Threads add no
+        interpreter-level parallelism for this pure-Python workload but
+        keep results immediately shareable; processes (POSIX ``fork``)
+        run truly concurrently and pay one pickle of each answer set on
+        the way back.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, backend: str = "thread"):
+        if backend not in {"thread", "process"}:
+            raise EvaluationError(f"unknown parallel backend {backend!r}")
+        if max_workers is not None and max_workers < 1:
+            raise EvaluationError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self.backend = backend
+
+    @property
+    def name(self) -> str:
+        return f"parallel-{self.backend}"
+
+    def _workers_for(self, batch_size: int) -> int:
+        limit = self.max_workers or min(os.cpu_count() or 1, 8)
+        return max(1, min(limit, batch_size))
+
+    def execute_batch(
+        self,
+        engine: "EvaluationEngine",
+        graph: "DataGraph",
+        queries: Sequence["Query"],
+        null_semantics: bool = False,
+    ) -> List[frozenset]:
+        """One answer set per query, in query order."""
+        if len(queries) <= 1:
+            return SequentialExecutor().execute_batch(engine, graph, queries, null_semantics)
+        # Compile every automaton and build the label index *before*
+        # fanning out: the engine's LRU caches are not thread-safe for
+        # concurrent builds, and forked workers inherit the warm caches.
+        graph.label_index()
+        for query in queries:
+            query._warm(engine)
+        if self.backend == "process" and self._fork_available():
+            return self._execute_forked(engine, graph, queries, null_semantics)
+        workers = self._workers_for(len(queries))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(lambda query: query._evaluate(engine, graph, null_semantics), queries)
+            )
+
+    @staticmethod
+    def _fork_available() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def _execute_forked(
+        self,
+        engine: "EvaluationEngine",
+        graph: "DataGraph",
+        queries: Sequence["Query"],
+        null_semantics: bool,
+    ) -> List[frozenset]:
+        global _FORK_BATCH
+        context = multiprocessing.get_context("fork")
+        with _FORK_LOCK:
+            _FORK_BATCH = (engine, graph, tuple(queries), null_semantics)
+            try:
+                workers = self._workers_for(len(queries))
+                with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                    return list(pool.map(_fork_worker, range(len(queries))))
+            finally:
+                _FORK_BATCH = None
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(max_workers={self.max_workers}, backend={self.backend!r})"
+
+
+# ----------------------------------------------------------------------
+# Policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a :class:`GraphSession` executes and caches queries.
+
+    Attributes
+    ----------
+    executor:
+        ``"sequential"``, ``"thread"`` or ``"process"`` — the executor
+        ``run_many`` batches are handed to.
+    max_workers:
+        Worker-pool bound for the parallel executors.
+    cache_results:
+        Whether the session memoises answers keyed on
+        ``(graph.version, query.key, null_semantics)``.
+    result_cache_size:
+        LRU bound on the number of cached answer sets.
+    """
+
+    executor: str = "sequential"
+    max_workers: Optional[int] = None
+    cache_results: bool = True
+    result_cache_size: int = 1024
+
+    def build_executor(self):
+        """Instantiate the executor this policy names."""
+        if self.executor == "sequential":
+            return SequentialExecutor()
+        if self.executor in {"thread", "process"}:
+            return ParallelExecutor(max_workers=self.max_workers, backend=self.executor)
+        raise EvaluationError(
+            f"unknown executor {self.executor!r}; expected 'sequential', 'thread' or 'process'"
+        )

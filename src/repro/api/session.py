@@ -1,0 +1,196 @@
+"""Session-scoped query execution: one graph, one engine, one cache.
+
+:class:`GraphSession` is the public execution API of the library.  It
+binds together
+
+* a :class:`~repro.datagraph.graph.DataGraph`,
+* an :class:`~repro.engine.engine.EvaluationEngine` (shared compiled-
+  automaton caches; defaults to the process-wide engine), and
+* an :class:`~repro.api.executors.ExecutionPolicy` (executor choice and
+  result-cache behaviour),
+
+and evaluates :class:`~repro.api.query.Query` plans of *every* language
+through one pair of entry points: :meth:`GraphSession.run` for a single
+query and :meth:`GraphSession.run_many` for a batch.  Both return uniform
+lazy :class:`~repro.api.result.Result` objects.
+
+The session owns a **versioned result cache**: answers are keyed on
+``(graph.version, query.key, null_semantics)``, and since every
+structural mutation bumps the graph's monotonic version counter, a
+mutation transparently invalidates all cached answers — stale entries
+age out of the LRU without any explicit invalidation hook.
+
+:func:`session_for` keeps one default session per graph (stored on the
+graph, so it lives and dies with it); it backs the deprecated
+module-level ``evaluate_*`` shims, which is how legacy call sites
+transparently gain caching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..datagraph.graph import DataGraph
+from ..engine.cache import CacheStats, LRUCache
+from ..engine.engine import EvaluationEngine, default_engine
+from .executors import ExecutionPolicy
+from .query import Query, QueryLike
+from .result import Result
+
+__all__ = ["GraphSession", "session_for"]
+
+#: Shared default policy: sequential execution, 1024-entry result cache.
+_DEFAULT_POLICY = ExecutionPolicy()
+
+
+class GraphSession:
+    """Uniform, cached execution of queries over one data graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph the session is bound to.  The graph may keep
+        mutating; the versioned cache tracks it automatically.
+    engine:
+        The evaluation engine to route through; defaults to the shared
+        process-wide engine so compiled automata are reused across
+        sessions.
+    policy:
+        The :class:`~repro.api.executors.ExecutionPolicy`; defaults to
+        sequential execution with a 1024-entry result cache.
+
+    Examples
+    --------
+    >>> from repro.datagraph import GraphBuilder
+    >>> graph = (GraphBuilder().node("a", 1).node("b", 1)
+    ...          .edge("a", "r", "b").build())
+    >>> session = GraphSession(graph)
+    >>> session.run("r").count()
+    1
+    >>> session.run(Query.parse("(r)=", dialect="ree")).holds("a", "b")
+    True
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        engine: Optional[EvaluationEngine] = None,
+        policy: Optional[ExecutionPolicy] = None,
+    ):
+        self.graph = graph
+        self.engine = engine if engine is not None else default_engine()
+        self.policy = policy if policy is not None else _DEFAULT_POLICY
+        self._executor = self.policy.build_executor()
+        self._results: LRUCache[frozenset] = LRUCache(self.policy.result_cache_size)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, query: QueryLike, null_semantics: bool = False) -> Result:
+        """Evaluate one query, returning a lazy :class:`Result`.
+
+        The answer set is computed on first access of the result (and at
+        most once per result); it is served from the session cache when
+        the same plan was already evaluated at the current graph version.
+        """
+        plan = Query.of(query)
+        return Result(plan, self.graph, lambda: self._answers(plan, null_semantics))
+
+    def run_many(
+        self,
+        queries: Sequence[QueryLike],
+        null_semantics: bool = False,
+        executor=None,
+    ) -> List[Result]:
+        """Evaluate a batch of queries, one :class:`Result` per query.
+
+        Cache hits are resolved up front; only the distinct misses are
+        handed to the executor (the policy's, unless *executor* overrides
+        it), so a warm cache short-circuits the fan-out entirely.  Batch
+        results are materialised eagerly — laziness would serialise the
+        parallel backends.
+        """
+        plans = [Query.of(query) for query in queries]
+        chosen = executor if executor is not None else self._executor
+        caching = self.policy.cache_results
+        version = self.graph.version
+
+        answers: Dict[Tuple, frozenset] = {}
+        misses: List[Query] = []
+        for plan in plans:
+            key = (version, plan.key, null_semantics)
+            if key in answers:
+                continue
+            if caching and key in self._results:
+                answers[key] = self._results.get_or_build(key, lambda: None)  # recorded hit
+            else:
+                answers[key] = None  # placeholder: scheduled for the executor
+                misses.append(plan)
+        if misses:
+            computed = chosen.execute_batch(self.engine, self.graph, misses, null_semantics)
+            for plan, answer in zip(misses, computed):
+                key = (version, plan.key, null_semantics)
+                if caching:
+                    answer = self._results.get_or_build(key, lambda answer=answer: answer)
+                answers[key] = answer
+
+        results: List[Result] = []
+        for plan in plans:
+            answer = answers[(version, plan.key, null_semantics)]
+            result = Result(plan, self.graph, lambda answer=answer: answer)
+            result._force()  # already computed; materialise eagerly
+            results.append(result)
+        return results
+
+    def holds(self, query: QueryLike, *nodes: object, null_semantics: bool = False) -> bool:
+        """Membership shortcut: ``session.run(query).holds(*nodes)``."""
+        return self.run(query, null_semantics=null_semantics).holds(*nodes)
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _answers(self, plan: Query, null_semantics: bool) -> frozenset:
+        if not self.policy.cache_results:
+            return plan._evaluate(self.engine, self.graph, null_semantics)
+        key = (self.graph.version, plan.key, null_semantics)
+        return self._results.get_or_build(
+            key, lambda: plan._evaluate(self.engine, self.graph, null_semantics)
+        )
+
+    def stats(self) -> Mapping[str, CacheStats]:
+        """Cache snapshots: the session's ``results`` cache plus the engine's caches."""
+        stats = {"results": self._results.stats()}
+        stats.update(self.engine.stats())
+        return stats
+
+    def clear_cache(self) -> None:
+        """Drop all cached answer sets (compiled automata stay in the engine)."""
+        self._results.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snapshot = self._results.stats()
+        return (
+            f"<GraphSession graph={self.graph.name or id(self.graph):} "
+            f"version={self.graph.version} executor={self._executor.name} "
+            f"results={snapshot.size}/{snapshot.maxsize} ({snapshot.hits} hits)>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Default sessions (behind the deprecated module-level functions)
+# ----------------------------------------------------------------------
+def session_for(graph: DataGraph) -> GraphSession:
+    """The default (sequential, caching) session of a graph.
+
+    One session is kept per graph, stored on the graph itself, so its
+    lifetime is exactly the graph's — there is no global registry to
+    extend a graph's lifetime or leak sessions.  The deprecated
+    module-level ``evaluate_*`` functions delegate here, which is how
+    legacy call sites inherit result caching for free.  A session built
+    against a replaced process-wide engine is rebuilt transparently.
+    """
+    session = graph._api_session
+    if session is None or session.engine is not default_engine():
+        session = GraphSession(graph)
+        graph._api_session = session
+    return session

@@ -3,13 +3,15 @@
 The CLI works on the JSON graph format of
 :mod:`repro.datagraph.serialization` and on mappings given as JSON lists
 of ``[source, target]`` regular-expression pairs.  It is intentionally
-thin — every sub-command is a few lines over the library API — but it
+thin — every sub-command is a few lines over the unified
+:class:`repro.api.GraphSession` / :class:`repro.api.Query` API — but it
 makes the common reproduction tasks scriptable without writing Python:
 
 .. code-block:: bash
 
     python -m repro info graph.json
     python -m repro evaluate graph.json --rpq "knows.knows"
+    python -m repro evaluate graph.json --gxpath-node "<a.[<b>]>" --json
     python -m repro certain graph.json mapping.json --ree "(knows)=" --method auto
     python -m repro exchange graph.json mapping.json --policy nulls -o target.json
     python -m repro experiment E5
@@ -23,17 +25,23 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from .api import GraphSession, Query
 from .core.certain_answers import certain_answers
 from .core.exchange import DataExchangeEngine
 from .core.gsm import GraphSchemaMapping
 from .datagraph.serialization import graph_from_json, graph_to_json
 from .exceptions import ReproError
-from .query.data_rpq import equality_rpq, memory_rpq
-from .query.data_rpq_eval import evaluate_data_rpq
-from .query.rpq import rpq
-from .query.rpq_eval import evaluate_rpq
 
 __all__ = ["main", "build_parser"]
+
+#: CLI query flags and the :meth:`repro.api.Query.parse` dialect they select.
+_QUERY_FLAGS = (
+    ("rpq", "rpq", "a plain regular path query, e.g. 'knows.knows'"),
+    ("ree", "ree", "an equality RPQ, e.g. '(knows)='"),
+    ("rem", "rem", "a memory RPQ, e.g. '!x.(knows[x!=])+'"),
+    ("gxpath_node", "gxpath-node", "a GXPath node expression, e.g. '<a.[<b>]>'"),
+    ("gxpath_path", "gxpath-path", "a GXPath path expression, e.g. 'a-* . (b)!='"),
+)
 
 
 def _load_graph(path: str):
@@ -52,14 +60,13 @@ def _load_mapping(path: str) -> GraphSchemaMapping:
     return GraphSchemaMapping([(str(source), str(target)) for source, target in rules], name=name)
 
 
-def _parse_query(arguments: argparse.Namespace):
-    if getattr(arguments, "rpq", None):
-        return rpq(arguments.rpq)
-    if getattr(arguments, "ree", None):
-        return equality_rpq(arguments.ree)
-    if getattr(arguments, "rem", None):
-        return memory_rpq(arguments.rem)
-    raise ReproError("provide a query with --rpq, --ree or --rem")
+def _parse_query(arguments: argparse.Namespace) -> Query:
+    """Build the unified query IR from whichever dialect flag was given."""
+    for attribute, dialect, _ in _QUERY_FLAGS:
+        text = getattr(arguments, attribute, None)
+        if text:
+            return Query.parse(text, dialect=dialect)
+    raise ReproError("provide a query with --rpq, --ree, --rem, --gxpath-node or --gxpath-path")
 
 
 def _print_answers(answers) -> None:
@@ -69,11 +76,12 @@ def _print_answers(answers) -> None:
     print(f"{len(rows)} answer(s)")
 
 
-def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_query_arguments(parser: argparse.ArgumentParser, navigational_only: bool = False) -> None:
     group = parser.add_mutually_exclusive_group(required=True)
-    group.add_argument("--rpq", help="a plain regular path query, e.g. 'knows.knows'")
-    group.add_argument("--ree", help="an equality RPQ, e.g. '(knows)='")
-    group.add_argument("--rem", help="a memory RPQ, e.g. '!x.(knows[x!=])+'")
+    for attribute, dialect, help_text in _QUERY_FLAGS:
+        if navigational_only and dialect.startswith("gxpath"):
+            continue
+        group.add_argument(f"--{dialect}", dest=attribute, help=help_text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = commands.add_parser("evaluate", help="evaluate a query on a data graph")
     evaluate.add_argument("graph", help="path to a graph JSON file")
+    evaluate.add_argument(
+        "--json", action="store_true", help="print the result as a JSON document"
+    )
     _add_query_arguments(evaluate)
 
     certain = commands.add_parser("certain", help="certain answers of a target query under a mapping")
@@ -99,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "naive", "nulls", "equality", "data-path"],
         help="certain-answer algorithm (default: auto)",
     )
-    _add_query_arguments(certain)
+    _add_query_arguments(certain, navigational_only=True)
 
     exchange = commands.add_parser("exchange", help="materialise a canonical target instance")
     exchange.add_argument("graph", help="path to the source graph JSON file")
@@ -135,11 +146,11 @@ def _dispatch(arguments: argparse.Namespace) -> int:
     if arguments.command == "evaluate":
         graph = _load_graph(arguments.graph)
         query = _parse_query(arguments)
-        if isinstance(query, type(rpq("a"))):
-            answers = evaluate_rpq(graph, query)
+        result = GraphSession(graph).run(query)
+        if arguments.json:
+            print(result.to_json(indent=2))
         else:
-            answers = evaluate_data_rpq(graph, query)
-        _print_answers(answers)
+            _print_answers(result.rows())
         return 0
 
     if arguments.command == "certain":
@@ -169,7 +180,8 @@ def _dispatch(arguments: argparse.Namespace) -> int:
 
         name = arguments.name.upper()
         if name not in EXPERIMENTS:
-            print(f"error: unknown experiment {name}; available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+            print(f"error: unknown experiment {name}; available: {', '.join(EXPERIMENTS)}",
+                  file=sys.stderr)
             return 1
         result = EXPERIMENTS[name]()
         print(result.to_table())

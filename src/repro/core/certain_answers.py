@@ -40,11 +40,13 @@ from __future__ import annotations
 import itertools
 from typing import FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
+from ..api import Query as IRQuery
+from ..api import QueryKind
 from ..datagraph.graph import DataGraph
-from ..datagraph.node import Node
 from ..engine import default_engine
+from ..datagraph.node import Node
 from ..exceptions import CertainAnswerError, SolutionError, UnsupportedQueryError
-from ..query.crpq import ConjunctiveRPQ, evaluate_crpq
+from ..query.crpq import ConjunctiveRPQ
 from ..query.data_rpq import DataRPQ
 from ..query.rpq import RPQ
 from .canonical import build_skeleton, materialise
@@ -72,21 +74,44 @@ NodeTuple = Tuple[Node, ...]
 DEFAULT_NAIVE_BUDGET = 250_000
 
 
+def _unwrap_query(query: object) -> Query:
+    """Accept the unified :class:`repro.api.Query` IR alongside raw wrappers.
+
+    Certain-answer semantics are defined for queries closed under the
+    relevant homomorphisms — RPQs, data RPQs and conjunctive (data) RPQs.
+    GXPath plans (which include negation) are rejected explicitly.
+    """
+    if isinstance(query, IRQuery):
+        if query.kind in (QueryKind.GXPATH_NODE, QueryKind.GXPATH_PATH):
+            raise UnsupportedQueryError(
+                "certain answers are not defined for GXPath queries (they are not closed "
+                "under homomorphisms); use RPQs, data RPQs or conjunctive RPQs"
+            )
+        return query.plan
+    if isinstance(query, (RPQ, DataRPQ, ConjunctiveRPQ)):
+        return query
+    raise UnsupportedQueryError(f"unsupported query object {query!r}")
+
+
 def _evaluate(graph: DataGraph, query: Query, null_semantics: bool = False) -> FrozenSet[NodeTuple]:
     """Evaluate an RPQ, data RPQ or conjunctive (data) RPQ on a graph.
 
-    Routed through the shared engine: the adversarial enumeration of
-    :func:`certain_answers_naive` evaluates one fixed query over hundreds
-    of counter-solution graphs, so the compiled automaton is reused from
-    the cache on every iteration after the first.
+    Routed through the unified IR's evaluation seam
+    (:meth:`repro.api.Query._evaluate`) over the shared engine: the
+    adversarial enumeration of :func:`certain_answers_naive` evaluates
+    one fixed query over (hundreds of) thousands of throwaway
+    counter-solution graphs, so the compiled automaton is reused from the
+    engine cache on every iteration after the first.  The
+    :class:`~repro.api.GraphSession` result cache is deliberately *not*
+    used here — every graph in the loop is evaluated exactly once and
+    discarded, so versioned memoisation would only add key-hashing and
+    eviction overhead to the hot path.
     """
-    if isinstance(query, DataRPQ):
-        return default_engine().evaluate_data_rpq(graph, query, null_semantics=null_semantics)
-    if isinstance(query, RPQ):
-        return default_engine().evaluate_rpq(graph, query)
-    if isinstance(query, ConjunctiveRPQ):
-        return evaluate_crpq(graph, query, null_semantics=null_semantics)
-    raise UnsupportedQueryError(f"unsupported query object {query!r}")
+    plan = IRQuery.of(_unwrap_query(query))
+    answers = plan._evaluate(default_engine(), graph, null_semantics)
+    if plan.kind is QueryKind.GXPATH_NODE:  # pragma: no cover - rejected by _unwrap_query
+        return frozenset((node,) for node in answers)
+    return answers
 
 
 def _query_arity(query: Query) -> int:
@@ -140,6 +165,7 @@ def certain_answers_naive(
     CertainAnswerError
         If the enumeration would exceed *budget* counter-solutions.
     """
+    query = _unwrap_query(query)
     try:
         skeleton = build_skeleton(mapping, source)
     except SolutionError:
@@ -207,6 +233,7 @@ def certain_answers_with_nulls(
     evaluates the query under SQL-null semantics and keeps the answer
     tuples that contain no null node.
     """
+    query = _unwrap_query(query)
     try:
         skeleton = build_skeleton(mapping, source)
     except SolutionError:
@@ -231,6 +258,7 @@ def certain_answers_equality_only(
     UnsupportedQueryError
         If the query uses inequality comparisons (outside REM= / REE=).
     """
+    query = _unwrap_query(query)
     if _query_uses_inequality(query):
         raise UnsupportedQueryError(
             "certain_answers_equality_only only applies to REM= / REE= queries "
@@ -285,6 +313,7 @@ def certain_answers_data_path(
     budget: int = DEFAULT_NAIVE_BUDGET,
 ) -> FrozenSet[NodePair]:
     """Certain answers of a data path query under an arbitrary GSM (Proposition 5)."""
+    query = _unwrap_query(query)
     if not isinstance(query, DataRPQ) or not query.is_data_path_query():
         raise UnsupportedQueryError(
             "certain_answers_data_path requires a data path query (path with tests)"
@@ -320,6 +349,7 @@ def certain_answers(
     * ``"equality"`` — the least informative solution algorithm;
     * ``"data-path"`` — the Proposition 5 simplification.
     """
+    query = _unwrap_query(query)
     if method == "naive":
         return certain_answers_naive(mapping, source, query, budget=budget)
     if method == "nulls":

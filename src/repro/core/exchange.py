@@ -22,13 +22,16 @@ data path query              Proposition 5 simplification when the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Tuple
+from typing import TYPE_CHECKING, FrozenSet, Optional, Tuple
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node
 from ..exceptions import UnsupportedQueryError
 from ..query.data_rpq import DataRPQ
 from ..query.rpq import RPQ
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api import ExecutionPolicy, GraphSession
 from .certain_answers import (
     DEFAULT_NAIVE_BUDGET,
     certain_answers,
@@ -56,6 +59,23 @@ class ExchangeResult:
         """Number of invented null nodes in the materialised target."""
         return len(self.target.null_nodes())
 
+    def session(self, execution: Optional["ExecutionPolicy"] = None) -> "GraphSession":
+        """A :class:`~repro.api.GraphSession` over the materialised target.
+
+        *execution* is the session's :class:`~repro.api.ExecutionPolicy`
+        (named to avoid colliding with the exchange ``policy`` string of
+        :meth:`DataExchangeEngine.materialise`).  Queries posed here see
+        the canonical instance *directly* (answers may mention invented
+        nodes); pose queries through
+        :meth:`DataExchangeEngine.certain_answers` for certain-answer
+        semantics.  Under the ``"nulls"`` policy, run queries with
+        ``null_semantics=True`` to apply the SQL-null comparison rules of
+        Section 7.
+        """
+        from ..api import GraphSession
+
+        return GraphSession(self.target, policy=execution)
+
 
 class DataExchangeEngine:
     """Materialise and query exchanged graph data under a fixed mapping."""
@@ -79,6 +99,20 @@ class DataExchangeEngine:
         return ExchangeResult(source=source, target=target, policy=policy)
 
     materialize = materialise  # American-spelling alias
+
+    def target_session(
+        self,
+        source: DataGraph,
+        policy: str = "nulls",
+        execution: Optional["ExecutionPolicy"] = None,
+    ) -> "GraphSession":
+        """Materialise *source* and open a session over the target instance.
+
+        Equivalent to ``self.materialise(source, policy).session(execution)``;
+        the one-stop entry point for exploring an exchanged instance with
+        the unified query API.
+        """
+        return self.materialise(source, policy=policy).session(execution)
 
     def check_solution(self, source: DataGraph, target: DataGraph) -> bool:
         """Whether ``(source, target)`` satisfies the mapping."""

@@ -70,6 +70,8 @@ class VirtualIntegrationSystem:
             raise InvalidMappingError("the global schema needs at least one edge label")
         self.name = name
         self._sources: Dict[str, SourceRelation] = {}
+        # one cached (fingerprint, session) pair for global_session
+        self._global_session = None
 
     # ------------------------------------------------------------------
     def add_source(self, name: str, view: RPQ | Regex | str) -> SourceRelation:
@@ -139,3 +141,31 @@ class VirtualIntegrationSystem:
     def canonical_global_graph(self) -> DataGraph:
         """The universal (null-node) global instance induced by the sources."""
         return universal_solution(self.as_mapping(), self.as_source_graph(), name="global-instance")
+
+    def _sources_fingerprint(self):
+        """A cheap change detector: sources only ever append tuples."""
+        return tuple(
+            (name, len(source), str(source.view)) for name, source in self._sources.items()
+        )
+
+    def global_session(self, policy=None):
+        """A :class:`~repro.api.GraphSession` over the canonical global instance.
+
+        The canonical graph (a full chase) and its session are cached and
+        reused until the registered sources change, so repeated queries
+        benefit from the session's versioned result cache.  Queries run
+        here see the universal (null-node) global graph directly;
+        evaluate with ``null_semantics=True`` and discard answers
+        containing null nodes to recover the sound under-approximation of
+        :meth:`certain_answers` (Theorem 3), or use
+        :meth:`certain_answers` itself for certain-answer semantics.
+        """
+        from ..api import GraphSession
+
+        key = (self._sources_fingerprint(), policy)
+        cached = self._global_session
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        session = GraphSession(self.canonical_global_graph(), policy=policy)
+        self._global_session = (key, session)
+        return session

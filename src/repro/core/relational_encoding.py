@@ -37,7 +37,7 @@ from ..relational.chase import chase
 from ..relational.conjunctive import AtomPattern, Variable
 from ..relational.schema import Instance, MarkedNull, RelationSchema, Schema
 from ..relational.tgds import EGD, TGD
-from ..query.rpq_eval import evaluate_rpq
+from ..engine import default_engine
 from .gsm import GraphSchemaMapping
 
 __all__ = [
@@ -230,7 +230,7 @@ def chase_universal_instance(mapping: GraphSchemaMapping, source: DataGraph) -> 
                 f"rule [{rule}] is not relational; Proposition 1 applies to relational GSMs"
             )
         word = min(target_language, key=lambda item: (len(item), item))
-        for left, right in evaluate_rpq(source, rule.source):
+        for left, right in default_engine().evaluate_rpq(source, rule.source):
             left_value = None if left.is_null else left.value
             right_value = None if right.is_null else right.value
             instance.add_fact(TARGET_NODE_RELATION, (left.id, left_value))

@@ -66,7 +66,22 @@ class DataGraph:
     True
     """
 
-    __slots__ = ("_nodes", "_succ", "_pred", "_alphabet", "_edge_count", "_version", "_index", "name")
+    # _api_session holds the graph's default GraphSession (set lazily by
+    # repro.api.session.session_for); keeping it on the graph ties the
+    # session's lifetime to the graph's without any global registry.
+    # __weakref__ keeps the class slotted while still allowing weak refs.
+    __slots__ = (
+        "_nodes",
+        "_succ",
+        "_pred",
+        "_alphabet",
+        "_edge_count",
+        "_version",
+        "_index",
+        "_api_session",
+        "name",
+        "__weakref__",
+    )
 
     def __init__(self, alphabet: Iterable[str] = (), name: str = ""):
         self._nodes: Dict[NodeId, Node] = {}
@@ -78,6 +93,7 @@ class DataGraph:
         self._edge_count = 0
         self._version = 0
         self._index: Optional["LabelIndex"] = None
+        self._api_session = None
         self.name = name
 
     def _mutated(self) -> None:

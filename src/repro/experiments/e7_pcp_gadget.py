@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..core.solutions import is_solution
-from ..query.data_rpq_eval import evaluate_data_rpq
+from ..engine import default_engine
 from ..reductions.pcp import SOLVABLE_EXAMPLES, UNSOLVABLE_EXAMPLES, PCPInstance, solve_pcp_bounded
 from ..reductions.pcp_mapping import (
     decode_witness,
@@ -56,8 +56,8 @@ def run(max_solution_length: int = 6) -> ExperimentResult:
         witness_ok = is_solution(mapping, source, witness)
         decoded_ok = decode_witness(witness) == tuple(solution)
         start, end = witness.node("start"), witness.node("end")
-        structural_hits = evaluate_data_rpq(witness, structural_error_query())
-        repetition_hits = evaluate_data_rpq(witness, repetition_error_query())
+        structural_hits = default_engine().evaluate_data_rpq(witness, structural_error_query())
+        repetition_hits = default_engine().evaluate_data_rpq(witness, repetition_error_query())
         error_free = (start, end) not in structural_hits and not any(
             str(left.id).endswith(":close") for left, _ in repetition_hits
         )

@@ -78,6 +78,8 @@ __all__ = [
     "exists",
     "evaluate_path",
     "evaluate_node",
+    "evaluate_gxpath_node",
+    "evaluate_gxpath_path",
     "node_holds",
     "path_holds",
     "parse_gxpath_path",
@@ -91,3 +93,49 @@ __all__ = [
     "bounded_model_search",
     "bounded_containment_counterexample",
 ]
+
+
+def evaluate_gxpath_node(graph, expression, null_semantics: bool = False):
+    """The node set ``[[φ]]_G`` of a GXPath node expression.
+
+    .. deprecated:: 1.1.0
+        Use ``GraphSession(graph).run(Query.gxpath(expression)).nodes()``
+        from :mod:`repro.api`; this shim delegates to the graph's default
+        session (and therefore shares its versioned result cache).
+    """
+    import warnings
+
+    warnings.warn(
+        "evaluate_gxpath_node() is deprecated; use "
+        "repro.api.GraphSession.run(Query.gxpath(...)).nodes()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import Query, session_for
+
+    return session_for(graph).run(
+        Query.gxpath(expression, kind="node"), null_semantics=null_semantics
+    ).nodes()
+
+
+def evaluate_gxpath_path(graph, expression, null_semantics: bool = False):
+    """The binary relation ``[[α]]_G`` of a GXPath path expression.
+
+    .. deprecated:: 1.1.0
+        Use ``GraphSession(graph).run(Query.gxpath(expression)).pairs()``
+        from :mod:`repro.api`; this shim delegates to the graph's default
+        session (and therefore shares its versioned result cache).
+    """
+    import warnings
+
+    warnings.warn(
+        "evaluate_gxpath_path() is deprecated; use "
+        "repro.api.GraphSession.run(Query.gxpath(...)).pairs()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import Query, session_for
+
+    return session_for(graph).run(
+        Query.gxpath(expression, kind="path"), null_semantics=null_semantics
+    ).pairs()

@@ -7,7 +7,7 @@ product (memory RPQs), conjunctive combinations of both, and the
 homomorphism-preservation checks used by Propositions 2 and 6.
 """
 
-from .crpq import Atom, ConjunctiveRPQ, evaluate_crpq
+from .crpq import Atom, ConjunctiveRPQ, evaluate_crpq, evaluate_crpq_with_engine
 from .data_rpq import DataRPQ, data_path_query, data_rpq, equality_rpq, memory_rpq
 from .data_rpq_eval import (
     data_rpq_holds,
@@ -52,6 +52,7 @@ __all__ = [
     "Atom",
     "ConjunctiveRPQ",
     "evaluate_crpq",
+    "evaluate_crpq_with_engine",
     "is_preserved_on",
     "violates_homomorphism_preservation",
 ]

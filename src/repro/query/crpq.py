@@ -15,18 +15,20 @@ tests exercising closure under homomorphisms for conjunctive queries.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple, Union
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple, Union
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node
 from ..exceptions import EvaluationError
 from .data_rpq import DataRPQ
-from .data_rpq_eval import evaluate_data_rpq
 from .rpq import RPQ
-from .rpq_eval import evaluate_rpq
 
-__all__ = ["Atom", "ConjunctiveRPQ", "evaluate_crpq"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.engine import EvaluationEngine
+
+__all__ = ["Atom", "ConjunctiveRPQ", "evaluate_crpq", "evaluate_crpq_with_engine"]
 
 QueryLike = Union[RPQ, DataRPQ]
 
@@ -86,16 +88,46 @@ def evaluate_crpq(
 ) -> FrozenSet[Tuple[Node, ...]]:
     """Evaluate a conjunctive (data) RPQ by joining its atom relations.
 
+    .. deprecated:: 1.1.0
+        Use ``GraphSession(graph).run(Query.crpq(query))`` from
+        :mod:`repro.api`; this shim delegates to the graph's default
+        session (and therefore shares its versioned result cache).
+    """
+    warnings.warn(
+        "evaluate_crpq() is deprecated; use repro.api.GraphSession.run(Query.crpq(...)).rows()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import Query, session_for
+
+    return session_for(graph).run(Query.crpq(query), null_semantics=null_semantics).rows()
+
+
+def evaluate_crpq_with_engine(
+    graph: DataGraph,
+    query: ConjunctiveRPQ,
+    null_semantics: bool = False,
+    engine: Optional["EvaluationEngine"] = None,
+) -> FrozenSet[Tuple[Node, ...]]:
+    """Join the atom relations of a conjunctive (data) RPQ through *engine*.
+
     Returns the set of tuples of nodes for the head variables; a Boolean
     query returns ``{()}`` when satisfied and ``frozenset()`` otherwise.
+    This is the internal evaluator behind the CRPQ kind of the unified
+    :class:`repro.api.Query` IR; *engine* defaults to the process-wide
+    shared engine.
     """
+    if engine is None:
+        from ..engine import default_engine
+
+        engine = default_engine()
     # Evaluate every atom once.
     atom_relations: List[Tuple[Atom, FrozenSet[Tuple[Node, Node]]]] = []
     for atom in query.atoms:
         if isinstance(atom.query, DataRPQ):
-            relation = evaluate_data_rpq(graph, atom.query, null_semantics)
+            relation = engine.evaluate_data_rpq(graph, atom.query, null_semantics=null_semantics)
         elif isinstance(atom.query, RPQ):
-            relation = evaluate_rpq(graph, atom.query)
+            relation = engine.evaluate_rpq(graph, atom.query)
         else:  # pragma: no cover - defensive
             raise EvaluationError(f"unsupported atom query {atom.query!r}")
         atom_relations.append((atom, relation))

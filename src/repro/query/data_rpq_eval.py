@@ -32,6 +32,7 @@ benchmarking.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from typing import FrozenSet, Set, Tuple
 
@@ -80,10 +81,27 @@ def evaluate_data_rpq(
         and the register-automaton engine for memory RPQs; ``"algebraic"``
         and ``"automaton"`` force a specific engine (the algebraic engine
         only supports REE expressions).
+
+    .. deprecated:: 1.1.0
+        Use ``GraphSession(graph).run(Query.data_rpq(query)).pairs()``
+        from :mod:`repro.api`; this shim delegates to the graph's default
+        session.  Forcing a specific sub-engine stays available on
+        :meth:`repro.engine.EvaluationEngine.evaluate_data_rpq`.
     """
-    return default_engine().evaluate_data_rpq(
-        graph, query, null_semantics=null_semantics, engine=engine
+    warnings.warn(
+        "evaluate_data_rpq() is deprecated; use "
+        "repro.api.GraphSession.run(Query.data_rpq(...)).pairs()",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    if engine != "auto":
+        # The session IR has no per-call engine override; honour it directly.
+        return default_engine().evaluate_data_rpq(
+            graph, query, null_semantics=null_semantics, engine=engine
+        )
+    from ..api import Query, session_for
+
+    return session_for(graph).run(Query.data_rpq(query), null_semantics=null_semantics).pairs()
 
 
 def data_rpq_holds(

@@ -19,6 +19,7 @@ speedups over.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
 
@@ -39,8 +40,21 @@ __all__ = [
 
 
 def evaluate_rpq(graph: DataGraph, query: RPQ | Regex | str) -> FrozenSet[Tuple[Node, Node]]:
-    """The full binary relation ``e(G)`` of an RPQ on a data graph."""
-    return default_engine().evaluate_rpq(graph, query)
+    """The full binary relation ``e(G)`` of an RPQ on a data graph.
+
+    .. deprecated:: 1.1.0
+        Use ``GraphSession(graph).run(Query.rpq(query)).pairs()`` from
+        :mod:`repro.api`; this shim delegates to the graph's default
+        session (and therefore shares its versioned result cache).
+    """
+    warnings.warn(
+        "evaluate_rpq() is deprecated; use repro.api.GraphSession.run(Query.rpq(...)).pairs()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import Query, session_for
+
+    return session_for(graph).run(Query.rpq(query)).pairs()
 
 
 def evaluate_rpq_from(graph: DataGraph, query: RPQ | Regex | str, source: NodeId) -> FrozenSet[Node]:

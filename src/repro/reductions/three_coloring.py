@@ -60,7 +60,7 @@ from ..core.solutions import is_solution
 from ..datagraph.graph import DataGraph
 from ..exceptions import ReductionError
 from ..query.data_rpq import DataRPQ, equality_rpq
-from ..query.data_rpq_eval import evaluate_data_rpq
+from ..engine import default_engine
 
 __all__ = [
     "UndirectedGraph",
@@ -178,7 +178,7 @@ def gadget_certain_by_coloring_adversary(
         target = _materialise_coloring(source, graph, dict(zip(graph.vertices, assignment)))
         if not is_solution(mapping, source, target):  # pragma: no cover - sanity guard
             raise ReductionError("internal error: coloured target is not a solution")
-        answers = evaluate_data_rpq(target, query)
+        answers = default_engine().evaluate_data_rpq(target, query)
         if (start_node, finish_node) not in answers:
             return False
     return True

@@ -1,0 +1,117 @@
+"""Executors: sequential/parallel agreement, policy validation, backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    ExecutionPolicy,
+    GraphSession,
+    ParallelExecutor,
+    Query,
+    SequentialExecutor,
+)
+from repro.datagraph import generators
+from repro.exceptions import EvaluationError
+from repro.experiments.e10_query_eval import batch_queries
+
+pytestmark = pytest.mark.filterwarnings("error::DeprecationWarning")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.random_graph(40, 80, labels=("a", "b"), rng=11, domain_size=6)
+
+
+@pytest.fixture(scope="module")
+def sequential_answers(graph):
+    session = GraphSession(graph, policy=ExecutionPolicy(cache_results=False))
+    return [result.rows() for result in session.run_many(batch_queries())]
+
+
+class TestPolicy:
+    def test_build_executor(self):
+        assert isinstance(ExecutionPolicy().build_executor(), SequentialExecutor)
+        thread = ExecutionPolicy(executor="thread", max_workers=3).build_executor()
+        assert isinstance(thread, ParallelExecutor) and thread.backend == "thread"
+        process = ExecutionPolicy(executor="process").build_executor()
+        assert process.backend == "process"
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(EvaluationError):
+            ExecutionPolicy(executor="quantum").build_executor()
+
+    def test_bad_parallel_arguments_rejected(self):
+        with pytest.raises(EvaluationError):
+            ParallelExecutor(backend="gpu")
+        with pytest.raises(EvaluationError):
+            ParallelExecutor(max_workers=0)
+
+
+class TestBackendAgreement:
+    """Property (acceptance): run_many under any parallel executor equals
+    sequential results query-for-query on the e10 workload batch."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_equals_sequential(self, graph, sequential_answers, backend):
+        session = GraphSession(
+            graph, policy=ExecutionPolicy(executor=backend, max_workers=4, cache_results=False)
+        )
+        results = session.run_many(batch_queries())
+        assert [result.rows() for result in results] == sequential_answers
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_null_semantics_travels_to_workers(self, graph, backend):
+        queries = [Query.parse("((a|b)+)=", "ree"), Query.parse("!x.((a|b)[x=])+", "rem")]
+        plain = GraphSession(graph, policy=ExecutionPolicy(cache_results=False))
+        parallel = GraphSession(
+            graph, policy=ExecutionPolicy(executor=backend, cache_results=False)
+        )
+        expected = [r.rows() for r in plain.run_many(queries, null_semantics=True)]
+        actual = [r.rows() for r in parallel.run_many(queries, null_semantics=True)]
+        assert actual == expected
+
+    def test_single_query_batches_skip_the_pool(self, graph):
+        executor = ParallelExecutor(backend="process")
+        session = GraphSession(graph, policy=ExecutionPolicy(cache_results=False))
+        [only] = session.run_many([Query.rpq("a.b")], executor=executor)
+        assert only.rows() == session.run(Query.rpq("a.b")).rows()
+
+
+class TestSequentialExecutor:
+    def test_order_is_preserved(self, graph, sequential_answers):
+        # run the batch in reverse and check the answers line up reversed
+        session = GraphSession(graph, policy=ExecutionPolicy(cache_results=False))
+        reversed_answers = [
+            result.rows() for result in session.run_many(list(reversed(batch_queries())))
+        ]
+        assert reversed_answers == list(reversed(sequential_answers))
+
+
+class TestConcurrentBatches:
+    def test_concurrent_process_batches_do_not_cross_wires(self, graph, sequential_answers):
+        """Two threads fanning out process-backed batches concurrently must
+        each get their own batch's answers (the fork state is serialised)."""
+        import threading
+
+        queries = batch_queries()
+        outcomes = {}
+
+        def run(tag, reverse):
+            session = GraphSession(
+                graph, policy=ExecutionPolicy(executor="process", max_workers=2,
+                                              cache_results=False)
+            )
+            batch = list(reversed(queries)) if reverse else list(queries)
+            outcomes[tag] = [result.rows() for result in session.run_many(batch)]
+
+        threads = [
+            threading.Thread(target=run, args=("forward", False)),
+            threading.Thread(target=run, args=("backward", True)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes["forward"] == sequential_answers
+        assert outcomes["backward"] == list(reversed(sequential_answers))

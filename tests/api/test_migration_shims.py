@@ -1,0 +1,104 @@
+"""The deprecated module-level evaluators: warn, then agree with the session.
+
+This module deliberately calls the old API, so it does *not* inherit the
+new-API ``error::DeprecationWarning`` regime; every call is asserted to
+warn via ``pytest.warns`` instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    evaluate_crpq,
+    evaluate_data_rpq,
+    evaluate_gxpath_node,
+    evaluate_gxpath_path,
+    evaluate_rpq,
+)
+from repro.api import GraphSession, Query
+from repro.datagraph import GraphBuilder
+from repro.query import Atom, ConjunctiveRPQ, equality_rpq, memory_rpq, rpq
+from repro.gxpath import parse_gxpath_node, parse_gxpath_path
+
+
+@pytest.fixture()
+def graph():
+    return (
+        GraphBuilder()
+        .node("a", 1).node("b", 1).node("c", 2)
+        .edge("a", "r", "b").edge("b", "r", "c").edge("c", "s", "a")
+        .build()
+    )
+
+
+def test_evaluate_rpq_warns_and_matches_session(graph):
+    with pytest.warns(DeprecationWarning, match="evaluate_rpq"):
+        legacy = evaluate_rpq(graph, rpq("r.r"))
+    assert legacy == GraphSession(graph).run(Query.rpq("r.r")).pairs()
+
+
+def test_evaluate_data_rpq_warns_and_matches_session(graph):
+    query = equality_rpq("(r)=")
+    with pytest.warns(DeprecationWarning, match="evaluate_data_rpq"):
+        legacy = evaluate_data_rpq(graph, query)
+    assert legacy == GraphSession(graph).run(Query.data_rpq(query)).pairs()
+
+
+def test_evaluate_data_rpq_engine_override_still_works(graph):
+    query = equality_rpq("(r)=")
+    with pytest.warns(DeprecationWarning):
+        algebraic = evaluate_data_rpq(graph, query, engine="algebraic")
+    with pytest.warns(DeprecationWarning):
+        automaton = evaluate_data_rpq(graph, query, engine="automaton")
+    assert algebraic == automaton
+
+
+def test_evaluate_crpq_warns_and_matches_session(graph):
+    query = ConjunctiveRPQ(("x", "z"), (Atom("x", rpq("r"), "y"), Atom("y", rpq("r"), "z")))
+    with pytest.warns(DeprecationWarning, match="evaluate_crpq"):
+        legacy = evaluate_crpq(graph, query)
+    assert legacy == GraphSession(graph).run(Query.crpq(query)).rows()
+
+
+def test_evaluate_gxpath_node_warns_and_matches_session(graph):
+    expression = parse_gxpath_node("<r.[<s>]>")
+    with pytest.warns(DeprecationWarning, match="evaluate_gxpath_node"):
+        legacy = evaluate_gxpath_node(graph, expression)
+    assert legacy == GraphSession(graph).run(Query.gxpath(expression)).nodes()
+
+
+def test_evaluate_gxpath_path_warns_and_matches_session(graph):
+    expression = parse_gxpath_path("r.(s)!=")
+    with pytest.warns(DeprecationWarning, match="evaluate_gxpath_path"):
+        legacy = evaluate_gxpath_path(graph, expression)
+    assert legacy == GraphSession(graph).run(Query.gxpath(expression)).pairs()
+
+
+def test_shims_share_the_default_session_cache(graph):
+    session = GraphSession(graph)  # not the default session; warm nothing
+    with pytest.warns(DeprecationWarning):
+        evaluate_rpq(graph, "r.r")
+    from repro.api import session_for
+
+    default = session_for(graph)
+    before = default.stats()["results"].hits
+    with pytest.warns(DeprecationWarning):
+        evaluate_rpq(graph, "r.r")
+    assert default.stats()["results"].hits == before + 1
+    assert session.run(Query.rpq("r.r")).pairs() == evaluate_rpq_quiet(graph)
+
+
+def evaluate_rpq_quiet(graph):
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return evaluate_rpq(graph, "r.r")
+
+
+def test_memory_rpq_through_shim(graph):
+    query = memory_rpq("!x.(r[x=])+")
+    with pytest.warns(DeprecationWarning):
+        legacy = evaluate_data_rpq(graph, query)
+    assert legacy == GraphSession(graph).run(Query.data_rpq(query)).pairs()
