@@ -27,13 +27,12 @@ versioned result cache behaves.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from ..engine.forkpool import fork_available, run_forked
 from ..exceptions import EvaluationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -70,19 +69,11 @@ class SequentialExecutor:
 # ----------------------------------------------------------------------
 # Parallel execution
 # ----------------------------------------------------------------------
-#: Fork-inherited batch state; only the worker *index* crosses the process
-#: boundary, the graph and compiled automata arrive by copy-on-write.
-#: The state is global because fork is the only way to ship an unpicklable
-#: DataGraph to workers, so _FORK_LOCK serialises process-backed batches:
-#: concurrent run_many calls would otherwise overwrite each other's batch
-#: between assignment and the workers' fork (and would oversubscribe the
-#: CPUs anyway).
-_FORK_BATCH = None
-_FORK_LOCK = threading.Lock()
-
-
-def _fork_worker(index: int) -> frozenset:
-    engine, graph, queries, null_semantics = _FORK_BATCH
+def _fork_worker(batch, index: int) -> frozenset:
+    """Forked worker: one query of the batch (which arrives by copy-on-write
+    through :func:`repro.engine.forkpool.run_forked`, fork being the only way
+    to ship an unpicklable DataGraph to workers)."""
+    engine, graph, queries, null_semantics = batch
     return queries[index]._evaluate(engine, graph, null_semantics)
 
 
@@ -133,35 +124,18 @@ class ParallelExecutor:
         graph.label_index()
         for query in queries:
             query._warm(engine)
-        if self.backend == "process" and self._fork_available():
-            return self._execute_forked(engine, graph, queries, null_semantics)
+        if self.backend == "process" and fork_available():
+            return run_forked(
+                (engine, graph, tuple(queries), null_semantics),
+                _fork_worker,
+                len(queries),
+                max_workers=self._workers_for(len(queries)),
+            )
         workers = self._workers_for(len(queries))
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(
                 pool.map(lambda query: query._evaluate(engine, graph, null_semantics), queries)
             )
-
-    @staticmethod
-    def _fork_available() -> bool:
-        return "fork" in multiprocessing.get_all_start_methods()
-
-    def _execute_forked(
-        self,
-        engine: "EvaluationEngine",
-        graph: "DataGraph",
-        queries: Sequence["Query"],
-        null_semantics: bool,
-    ) -> List[frozenset]:
-        global _FORK_BATCH
-        context = multiprocessing.get_context("fork")
-        with _FORK_LOCK:
-            _FORK_BATCH = (engine, graph, tuple(queries), null_semantics)
-            try:
-                workers = self._workers_for(len(queries))
-                with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-                    return list(pool.map(_fork_worker, range(len(queries))))
-            finally:
-                _FORK_BATCH = None
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(max_workers={self.max_workers}, backend={self.backend!r})"
@@ -170,6 +144,10 @@ class ParallelExecutor:
 # ----------------------------------------------------------------------
 # Policy
 # ----------------------------------------------------------------------
+#: Valid ``ExecutionPolicy.intra_query`` modes.
+INTRA_QUERY_MODES = ("off", "blocks", "sharded")
+
+
 @dataclass(frozen=True)
 class ExecutionPolicy:
     """How a :class:`GraphSession` executes and caches queries.
@@ -180,18 +158,46 @@ class ExecutionPolicy:
         ``"sequential"``, ``"thread"`` or ``"process"`` — the executor
         ``run_many`` batches are handed to.
     max_workers:
-        Worker-pool bound for the parallel executors.
+        Worker-pool bound for the parallel executors and for the
+        intra-query source-block fan-out.
     cache_results:
         Whether the session memoises answers keyed on
         ``(graph.version, query.key, null_semantics)``.
     result_cache_size:
         LRU bound on the number of cached answer sets.
+    intra_query:
+        How a *single* full-relation RPQ is evaluated: ``"off"`` (the
+        sequential engine), ``"blocks"`` (the phase-3 source propagation
+        fanned out over worker processes) or ``"sharded"`` (the edge-cut
+        scatter/gather driver).  Answers are identical in every mode and
+        land in the same versioned result cache.
+    intra_query_threshold:
+        Minimum graph size (nodes) before the partitioned drivers kick
+        in; smaller graphs always run sequentially, where the fan-out
+        overhead cannot pay off.
+    num_shards:
+        Shard count for ``intra_query="sharded"`` (default: CPU count
+        capped at 8).
+    point_cache_size:
+        LRU bound on the session's single-source (point-workload) cache
+        of :meth:`GraphSession.targets` answers.
     """
 
     executor: str = "sequential"
     max_workers: Optional[int] = None
     cache_results: bool = True
     result_cache_size: int = 1024
+    intra_query: str = "off"
+    intra_query_threshold: int = 64
+    num_shards: Optional[int] = None
+    point_cache_size: int = 1024
+
+    def __post_init__(self):
+        if self.intra_query not in INTRA_QUERY_MODES:
+            raise EvaluationError(
+                f"unknown intra_query mode {self.intra_query!r}; "
+                f"expected one of {', '.join(INTRA_QUERY_MODES)}"
+            )
 
     def build_executor(self):
         """Instantiate the executor this policy names."""

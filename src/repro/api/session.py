@@ -18,7 +18,15 @@ The session owns a **versioned result cache**: answers are keyed on
 ``(graph.version, query.key, null_semantics)``, and since every
 structural mutation bumps the graph's monotonic version counter, a
 mutation transparently invalidates all cached answers — stale entries
-age out of the LRU without any explicit invalidation hook.
+age out of the LRU without any explicit invalidation hook.  A second,
+independent **point-workload cache** memoises single-source answers
+(:meth:`GraphSession.targets`) under the same versioning scheme.
+
+When the policy enables an ``intra_query`` mode, large full-relation
+RPQs are evaluated through the partitioned drivers of
+:mod:`repro.engine.partition` (source-block worker fan-out or the
+sharded scatter/gather); the answers — and therefore the cache entries
+and :class:`Result` objects — are identical to sequential evaluation.
 
 :func:`session_for` keeps one default session per graph (stored on the
 graph, so it lives and dies with it); it backs the deprecated
@@ -28,13 +36,17 @@ transparently gain caching.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+import os
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from ..datagraph.graph import DataGraph
+from ..datagraph.node import Node, NodeId
 from ..engine.cache import CacheStats, LRUCache
 from ..engine.engine import EvaluationEngine, default_engine
-from .executors import ExecutionPolicy
-from .query import Query, QueryLike
+from ..engine.partition import GraphPartition
+from ..exceptions import EvaluationError
+from .executors import ExecutionPolicy, SequentialExecutor
+from .query import Query, QueryKind, QueryLike
 from .result import Result
 
 __all__ = ["GraphSession", "session_for"]
@@ -82,6 +94,14 @@ class GraphSession:
         self.policy = policy if policy is not None else _DEFAULT_POLICY
         self._executor = self.policy.build_executor()
         self._results: LRUCache[frozenset] = LRUCache(self.policy.result_cache_size)
+        # Point-workload cache: single-source answers keyed on
+        # (graph.version, query.key, source, null_semantics), so repeated
+        # "targets of u" questions neither recompute a BFS nor force the
+        # full relation.
+        self._points: LRUCache[frozenset] = LRUCache(self.policy.point_cache_size)
+        # The sharded mode's edge-cut plan, reused across queries until
+        # the graph version (or the shard count) moves on.
+        self._partition: Optional[GraphPartition] = None
 
     # ------------------------------------------------------------------
     # Execution
@@ -127,7 +147,15 @@ class GraphSession:
                 answers[key] = None  # placeholder: scheduled for the executor
                 misses.append(plan)
         if misses:
-            computed = chosen.execute_batch(self.engine, self.graph, misses, null_semantics)
+            # A sequential batch honours the intra-query mode (one query
+            # at a time, each free to fan its own evaluation out); the
+            # parallel executors keep per-query sequential evaluation —
+            # nesting a fork pool inside every worker would oversubscribe
+            # the CPUs the batch fan-out already owns.
+            if self.policy.intra_query != "off" and isinstance(chosen, SequentialExecutor):
+                computed = [self._evaluate_plan(plan, null_semantics) for plan in misses]
+            else:
+                computed = chosen.execute_batch(self.engine, self.graph, misses, null_semantics)
             for plan, answer in zip(misses, computed):
                 key = (version, plan.key, null_semantics)
                 if caching:
@@ -143,29 +171,122 @@ class GraphSession:
         return results
 
     def holds(self, query: QueryLike, *nodes: object, null_semantics: bool = False) -> bool:
-        """Membership shortcut: ``session.run(query).holds(*nodes)``."""
-        return self.run(query, null_semantics=null_semantics).holds(*nodes)
+        """Membership shortcut: ``session.run(query).holds(*nodes)``.
+
+        For binary RPQs whose full relation is not already cached, the
+        question is answered from the point-workload cache (one
+        single-source BFS) instead of materialising the whole relation.
+        """
+        plan = Query.of(query)
+        if plan.kind is QueryKind.RPQ and len(nodes) == 2:
+            full_key = (self.graph.version, plan.key, null_semantics)
+            if not (self.policy.cache_results and full_key in self._results):
+                source, target = nodes
+                source_node = source if isinstance(source, Node) else self.graph.node(source)
+                target_node = target if isinstance(target, Node) else self.graph.node(target)
+                if (
+                    self.graph.get_node(source_node.id) != source_node
+                    or self.graph.get_node(target_node.id) != target_node
+                ):
+                    return False
+                return target_node in self.targets(
+                    plan, source_node.id, null_semantics=null_semantics
+                )
+        return self.run(plan, null_semantics=null_semantics).holds(*nodes)
+
+    def targets(
+        self, query: QueryLike, source: NodeId, null_semantics: bool = False
+    ) -> FrozenSet[Node]:
+        """All nodes ``v`` with ``(source, v)`` in the query's answer relation.
+
+        The point-workload entry point: answers are memoised in their own
+        LRU keyed on ``(graph.version, query.key, source)``, so
+        single-source questions neither recompute per call nor piggyback
+        on (and pay for) full-relation entries.  RPQs run one indexed
+        product BFS from *source*; other binary plans filter their
+        (session-cached) full relation.
+        """
+        plan = Query.of(query)
+        if plan.arity != 2:
+            raise EvaluationError(
+                f"{plan} has arity {plan.arity}; .targets() needs a binary query"
+            )
+        self.graph.node(source)  # raise UnknownNodeError early
+        if not self.policy.cache_results:
+            return self._targets_of(plan, source, null_semantics)
+        key = (self.graph.version, plan.key, source, null_semantics)
+        return self._points.get_or_build(
+            key, lambda: self._targets_of(plan, source, null_semantics)
+        )
 
     # ------------------------------------------------------------------
     # Cache plumbing
     # ------------------------------------------------------------------
     def _answers(self, plan: Query, null_semantics: bool) -> frozenset:
         if not self.policy.cache_results:
-            return plan._evaluate(self.engine, self.graph, null_semantics)
+            return self._evaluate_plan(plan, null_semantics)
         key = (self.graph.version, plan.key, null_semantics)
         return self._results.get_or_build(
-            key, lambda: plan._evaluate(self.engine, self.graph, null_semantics)
+            key, lambda: self._evaluate_plan(plan, null_semantics)
         )
 
+    def _evaluate_plan(self, plan: Query, null_semantics: bool) -> frozenset:
+        """Evaluate one plan, honouring the policy's intra-query mode.
+
+        Large full-relation RPQs are dispatched through the partitioned
+        drivers of :mod:`repro.engine.partition`; every other plan (and
+        every graph below the threshold) takes the sequential engine.
+        The answers are identical either way, so they share one cache
+        entry and the switch is invisible to callers.
+        """
+        policy = self.policy
+        if (
+            policy.intra_query != "off"
+            and plan.kind is QueryKind.RPQ
+            and self.graph.num_nodes >= policy.intra_query_threshold
+        ):
+            return self.engine.evaluate_rpq_partitioned(
+                self.graph,
+                plan.plan,
+                mode=policy.intra_query,
+                workers=policy.max_workers,
+                partition=self._shard_partition() if policy.intra_query == "sharded" else None,
+            )
+        return plan._evaluate(self.engine, self.graph, null_semantics)
+
+    def _shard_partition(self) -> GraphPartition:
+        """The session's edge-cut plan, rebuilt only when the graph moves on."""
+        index = self.graph.label_index()
+        num_shards = self.policy.num_shards or min(os.cpu_count() or 1, 8)
+        cached = self._partition
+        if cached is None or cached.version != index.version or cached.num_shards != num_shards:
+            cached = GraphPartition.build(index, max(1, num_shards))
+            self._partition = cached
+        return cached
+
+    def _targets_of(self, plan: Query, source: NodeId, null_semantics: bool) -> frozenset:
+        full_key = (self.graph.version, plan.key, null_semantics)
+        if self.policy.cache_results and full_key in self._results:
+            # The full relation is already materialised — filter it
+            # rather than running a fresh traversal.
+            relation = self._results.get_or_build(full_key, lambda: frozenset())
+            return frozenset(target for start, target in relation if start.id == source)
+        if plan.kind is QueryKind.RPQ:
+            return self.engine.evaluate_rpq_from(self.graph, plan.plan, source)
+        answers = self._answers(plan, null_semantics)
+        return frozenset(target for start, target in answers if start.id == source)
+
     def stats(self) -> Mapping[str, CacheStats]:
-        """Cache snapshots: the session's ``results`` cache plus the engine's caches."""
-        stats = {"results": self._results.stats()}
+        """Cache snapshots: the session's ``results`` and ``points`` caches
+        plus the engine's caches."""
+        stats = {"results": self._results.stats(), "points": self._points.stats()}
         stats.update(self.engine.stats())
         return stats
 
     def clear_cache(self) -> None:
         """Drop all cached answer sets (compiled automata stay in the engine)."""
         self._results.clear()
+        self._points.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         snapshot = self._results.stats()

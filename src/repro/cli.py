@@ -25,7 +25,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .api import GraphSession, Query
+from .api import ExecutionPolicy, GraphSession, Query
 from .core.certain_answers import certain_answers
 from .core.exchange import DataExchangeEngine
 from .core.gsm import GraphSchemaMapping
@@ -69,6 +69,19 @@ def _parse_query(arguments: argparse.Namespace) -> Query:
     raise ReproError("provide a query with --rpq, --ree, --rem, --gxpath-node or --gxpath-path")
 
 
+def _execution_policy(arguments: argparse.Namespace) -> ExecutionPolicy:
+    """Map the evaluate sub-command's --policy/--workers onto an ExecutionPolicy."""
+    policy = getattr(arguments, "policy", "sequential")
+    workers = getattr(arguments, "workers", None)
+    if workers is not None and workers < 1:
+        raise ReproError(f"--workers must be positive, got {workers}")
+    if policy == "intra-query":
+        # Threshold 0: the CLI flag is an explicit request, so the
+        # partitioned driver runs regardless of graph size.
+        return ExecutionPolicy(intra_query="blocks", intra_query_threshold=0, max_workers=workers)
+    return ExecutionPolicy(executor=policy, max_workers=workers)
+
+
 def _print_answers(answers) -> None:
     rows = sorted(answers, key=lambda answer: tuple(str(node.id) for node in answer))
     for answer in rows:
@@ -98,6 +111,23 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("graph", help="path to a graph JSON file")
     evaluate.add_argument(
         "--json", action="store_true", help="print the result as a JSON document"
+    )
+    evaluate.add_argument(
+        "--policy",
+        default="sequential",
+        choices=["sequential", "thread", "process", "intra-query"],
+        help="execution policy for the session: 'intra-query' parallelises this "
+        "query's full-relation pass across source blocks; 'thread'/'process' "
+        "configure the batch (run_many) pool and evaluate a single query "
+        "sequentially (default: sequential)",
+    )
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker/pool bound for the thread, process and intra-query policies "
+        "(default: CPU count, capped at 8)",
     )
     _add_query_arguments(evaluate)
 
@@ -146,7 +176,7 @@ def _dispatch(arguments: argparse.Namespace) -> int:
     if arguments.command == "evaluate":
         graph = _load_graph(arguments.graph)
         query = _parse_query(arguments)
-        result = GraphSession(graph).run(query)
+        result = GraphSession(graph, policy=_execution_policy(arguments)).run(query)
         if arguments.json:
             print(result.to_json(indent=2))
         else:

@@ -32,6 +32,7 @@ __all__ = [
     "chain",
     "cycle",
     "complete_graph",
+    "community_graph",
     "grid",
     "random_tree",
     "preferential_attachment",
@@ -223,6 +224,60 @@ def random_graph(
             continue
         seen.add(triple)
         graph.add_edge(f"n{source}", label, f"n{target}")
+    return graph
+
+
+def community_graph(
+    num_communities: int,
+    community_size: int,
+    intra_edges_per_node: int = 3,
+    bridges_per_community: int = 2,
+    labels: Sequence[str] = ("knows",),
+    bridge_label: str = "bridge",
+    rng: Optional[int | random.Random] = None,
+    domain_size: Optional[int] = None,
+) -> DataGraph:
+    """A multi-community graph sized for partitioned evaluation.
+
+    ``num_communities`` dense clusters of ``community_size`` nodes each,
+    with ``intra_edges_per_node`` random intra-community edges per node
+    over *labels* and ``bridges_per_community`` sparse ``bridge_label``
+    edges from each community into the next (wrapping around), so every
+    pair of communities is connected but only through a thin cut.  Nodes
+    are added community by community, which means the contiguous
+    partition strategy of :class:`repro.engine.partition.GraphPartition`
+    recovers the communities and the bridge edges become exactly the
+    cross-shard frontier.
+    """
+    if num_communities < 1 or community_size < 1:
+        raise WorkloadError("community_graph needs at least one community and one node each")
+    generator = _rng(rng)
+    graph = DataGraph(
+        alphabet=set(labels) | {bridge_label},
+        name=f"community-{num_communities}x{community_size}",
+    )
+    total = num_communities * community_size
+    values = _make_values(total, None, domain_size, generator)
+    for community in range(num_communities):
+        for position in range(community_size):
+            graph.add_node(
+                f"c{community}n{position}", values[community * community_size + position]
+            )
+    for community in range(num_communities):
+        for position in range(community_size):
+            for _ in range(intra_edges_per_node):
+                other = generator.randrange(community_size)
+                label = labels[generator.randrange(len(labels))]
+                graph.add_edge(f"c{community}n{position}", label, f"c{community}n{other}")
+    if num_communities > 1:
+        for community in range(num_communities):
+            neighbour = (community + 1) % num_communities
+            for _ in range(bridges_per_community):
+                source = generator.randrange(community_size)
+                target = generator.randrange(community_size)
+                graph.add_edge(
+                    f"c{community}n{source}", bridge_label, f"c{neighbour}n{target}"
+                )
     return graph
 
 

@@ -14,7 +14,11 @@ It provides:
   query;
 * the indexed product evaluators (:mod:`repro.engine.product`,
   :mod:`repro.engine.data`) that run over each graph's lazily built
-  :class:`~repro.datagraph.index.LabelIndex`.
+  :class:`~repro.datagraph.index.LabelIndex`;
+* the partitioned evaluation layer (:mod:`repro.engine.partition`) —
+  edge-cut :class:`GraphPartition` plans with shard-local views, the
+  sharded scatter/gather driver and the source-block parallel driver
+  that fan one ``full_relation`` pass across worker pools.
 
 Quickstart::
 
@@ -29,6 +33,13 @@ Quickstart::
 from .cache import CacheStats, LRUCache
 from .compiled import CompiledAutomaton, compile_nfa
 from .engine import EvaluationEngine, default_engine, set_default_engine
+from .partition import (
+    GraphPartition,
+    ShardView,
+    parallel_full_relation,
+    sharded_full_relation,
+    split_blocks,
+)
 
 __all__ = [
     "EvaluationEngine",
@@ -38,4 +49,9 @@ __all__ = [
     "compile_nfa",
     "CacheStats",
     "LRUCache",
+    "GraphPartition",
+    "ShardView",
+    "split_blocks",
+    "parallel_full_relation",
+    "sharded_full_relation",
 ]

@@ -46,6 +46,7 @@ from ..datapaths import (
 from ..exceptions import EvaluationError
 from ..regular import Regex, parse_regex, thompson
 from . import data as data_kernels
+from . import partition as partition_kernels
 from . import product
 from .cache import CacheStats, LRUCache
 from .compiled import CompiledAutomaton
@@ -134,6 +135,40 @@ class EvaluationEngine:
     def evaluate_rpq_ids(self, graph: DataGraph, query: RPQLike) -> FrozenSet[Tuple[NodeId, NodeId]]:
         """``e(G)`` as raw id pairs (no Node materialisation)."""
         return frozenset(product.full_relation(graph.label_index(), self.compile_rpq(query)))
+
+    def evaluate_rpq_partitioned(
+        self,
+        graph: DataGraph,
+        query: RPQLike,
+        mode: str = "blocks",
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        partition: Optional["partition_kernels.GraphPartition"] = None,
+    ) -> FrozenSet[NodePair]:
+        """``e(G)`` through the partitioned drivers; identical answers to
+        :meth:`evaluate_rpq`.
+
+        ``mode="blocks"`` splits the phase-3 source propagation across
+        worker processes (source-block parallelism); ``mode="sharded"``
+        runs the edge-cut scatter/gather driver, reusing *partition* when
+        one is supplied.
+        """
+        compiled = self.compile_rpq(query)
+        index = graph.label_index()
+        if mode in {"blocks", "source-blocks"}:
+            id_pairs = partition_kernels.parallel_full_relation(
+                index, compiled, num_blocks=workers
+            )
+        elif mode == "sharded":
+            id_pairs = partition_kernels.sharded_full_relation(
+                index, compiled, partition=partition, num_shards=shards
+            )
+        else:
+            raise EvaluationError(
+                f"unknown partitioned mode {mode!r}; expected 'blocks' or 'sharded'"
+            )
+        node = graph.node
+        return frozenset((node(source), node(target)) for source, target in id_pairs)
 
     def evaluate_rpq_from(
         self, graph: DataGraph, query: RPQLike, source: NodeId

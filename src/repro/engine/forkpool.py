@@ -1,0 +1,63 @@
+"""Shared fork-pool fan-out used by the batch executor and the partition driver.
+
+Both cross-query batches (:mod:`repro.api.executors`) and intra-query
+source blocks (:mod:`repro.engine.partition`) ship unpicklable state
+(graphs, label indexes, compiled automata) to workers the same way: a
+module-level global assigned under a lock, worker processes forked so
+they inherit it by copy-on-write, and only a small integer task index
+crossing the process boundary.  This module holds the one copy of that
+subtle pattern.
+
+The lock serialises *all* fork-backed fan-outs in the process: two
+concurrent fan-outs would otherwise overwrite each other's state between
+assignment and the workers' fork, and would oversubscribe the CPUs
+anyway.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional
+
+__all__ = ["fork_available", "run_forked"]
+
+#: (worker, payload) inherited by forked children; guarded by _LOCK.
+_STATE = None
+_LOCK = threading.Lock()
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _invoke(index: int):
+    worker, payload = _STATE
+    return worker(payload, index)
+
+
+def run_forked(
+    payload: Any,
+    worker: Callable[[Any, int], Any],
+    count: int,
+    max_workers: Optional[int] = None,
+) -> List[Any]:
+    """Evaluate ``worker(payload, i)`` for ``i in range(count)`` in forked workers.
+
+    *worker* must be a module-level function (it is reached through the
+    fork-inherited global, and referenced by name from the pool); each
+    call's return value must be picklable for the trip back.  Results are
+    returned in task order.
+    """
+    global _STATE
+    context = multiprocessing.get_context("fork")
+    with _LOCK:
+        _STATE = (worker, payload)
+        try:
+            workers = max_workers if max_workers is not None else count
+            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                return list(pool.map(_invoke, range(count)))
+        finally:
+            _STATE = None

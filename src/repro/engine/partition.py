@@ -1,0 +1,349 @@
+"""Partitioned evaluation: source-block parallelism and sharded scatter/gather.
+
+Two independent ways to split one ``full_relation`` pass across more
+hardware, both built from the phase kernels of :mod:`repro.engine.product`:
+
+* **Source-block parallelism** (:func:`parallel_full_relation`) keeps one
+  copy of the graph but splits the phase-3 bitmask propagation fixpoint —
+  which dominates full-relation evaluation — into independent blocks of
+  source nodes.  Phases 1–2 (forward reachability + backward prune) run
+  once in the caller; each worker then propagates only its block's seed
+  bits and the per-block answer pairs are unioned.  The ``"fork"``
+  backend ships the label index and compiled automaton to workers by
+  copy-on-write, which is what actually buys CPU parallelism under the
+  GIL; the ``"thread"`` backend exists for platforms without ``fork``.
+
+* **Sharded scatter/gather** (:class:`GraphPartition` +
+  :func:`sharded_full_relation`) is the seam toward multi-process /
+  multi-machine evaluation: an edge-cut partition assigns every node to a
+  shard, each shard holds a shard-local adjacency view
+  (:class:`ShardView`, duck-typed to the ``targets`` interface the
+  kernels need), and a driver iterates rounds of shard-local mask
+  propagation followed by cross-shard frontier exchange over the cut
+  edges until no shard learns a new source bit.  Bit positions come from
+  the *global* node ordering, so gathering is a union of the shards'
+  accepting masks.
+
+Both drivers return exactly the pairs of
+:func:`repro.engine.product.full_relation`; equivalence is pinned by
+``tests/engine/test_partition.py`` and the ``bench_intraquery_parallel``
+CI gate keeps the parallel path from regressing below sequential.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..datagraph.index import LabelIndex
+from ..datagraph.node import NodeId
+from ..exceptions import EvaluationError
+from .compiled import CompiledAutomaton
+from .forkpool import fork_available, run_forked
+from . import product
+from .product import Config, Pair
+
+__all__ = [
+    "ShardView",
+    "GraphPartition",
+    "split_blocks",
+    "parallel_full_relation",
+    "sharded_full_relation",
+]
+
+#: Empty adjacency used for labels a shard has no local/cut edges for.
+_EMPTY_ADJACENCY: Mapping[NodeId, Tuple[NodeId, ...]] = {}
+
+
+# ----------------------------------------------------------------------
+# Source-block parallelism
+# ----------------------------------------------------------------------
+def split_blocks(nodes: Sequence[NodeId], num_blocks: int) -> List[Tuple[NodeId, ...]]:
+    """Split *nodes* into at most *num_blocks* contiguous, near-equal blocks.
+
+    Every node lands in exactly one block and no block is empty (fewer
+    blocks are returned when there are fewer nodes than requested).
+    """
+    if num_blocks < 1:
+        raise EvaluationError(f"num_blocks must be positive, got {num_blocks}")
+    count = len(nodes)
+    num_blocks = min(num_blocks, count)
+    if num_blocks <= 1:
+        return [tuple(nodes)] if count else []
+    size, extra = divmod(count, num_blocks)
+    blocks: List[Tuple[NodeId, ...]] = []
+    start = 0
+    for block_index in range(num_blocks):
+        end = start + size + (1 if block_index < extra else 0)
+        blocks.append(tuple(nodes[start:end]))
+        start = end
+    return blocks
+
+
+def _block_worker(state, block_index: int) -> Set[Pair]:
+    """Forked worker: one source block's relation (state arrives by fork)."""
+    index, automaton, useful, blocks = state
+    return product.source_block_relation(index, automaton, useful, blocks[block_index])
+
+
+def parallel_full_relation(
+    index: LabelIndex,
+    automaton: CompiledAutomaton,
+    num_blocks: Optional[int] = None,
+    backend: str = "auto",
+) -> Set[Pair]:
+    """``full_relation`` with the phase-3 fixpoint fanned out over source blocks.
+
+    Parameters
+    ----------
+    num_blocks:
+        Number of source blocks (and workers); defaults to the CPU count
+        capped at 8.
+    backend:
+        ``"fork"``, ``"thread"``, or ``"auto"`` (fork when available).
+    """
+    if backend not in {"auto", "fork", "thread"}:
+        raise EvaluationError(f"unknown intra-query backend {backend!r}")
+    nodes = index.nodes
+    if not nodes:
+        return set()
+    reachable = product.forward_expand(index, automaton, product.initial_configs(automaton, nodes))
+    useful = product.backward_prune(index, automaton, reachable)
+    if not useful:
+        return set()
+    workers = num_blocks if num_blocks is not None else min(os.cpu_count() or 1, 8)
+    if workers < 1:
+        raise EvaluationError(f"num_blocks must be positive, got {workers}")
+    blocks = split_blocks(nodes, workers)
+    if len(blocks) <= 1:
+        return product.source_block_relation(index, automaton, useful, nodes)
+    if backend == "auto":
+        backend = "fork" if fork_available() else "thread"
+    if backend == "fork" and fork_available():
+        partials = run_forked(
+            (index, automaton, useful, blocks), _block_worker, len(blocks)
+        )
+        return set().union(*partials)
+    with ThreadPoolExecutor(max_workers=len(blocks)) as pool:
+        partials = pool.map(
+            lambda block: product.source_block_relation(index, automaton, useful, block), blocks
+        )
+        return set().union(*partials)
+
+
+# ----------------------------------------------------------------------
+# Edge-cut partitions and shard-local views
+# ----------------------------------------------------------------------
+class ShardView:
+    """A shard-local adjacency view over one block of an edge-cut partition.
+
+    Duck-types the ``targets`` interface of
+    :class:`~repro.datagraph.index.LabelIndex`, returning only edges whose
+    *both* endpoints live in the shard, so the product kernels run on a
+    shard unchanged and simply stop at the boundary.  Cut edges (local
+    source, remote target) are kept separately for the driver's
+    frontier-exchange scan.
+    """
+
+    __slots__ = ("shard_id", "nodes", "_succ", "_cut")
+
+    def __init__(
+        self,
+        shard_id: int,
+        nodes: Tuple[NodeId, ...],
+        succ: Dict[str, Dict[NodeId, Tuple[NodeId, ...]]],
+        cut: Dict[str, Dict[NodeId, Tuple[NodeId, ...]]],
+    ):
+        self.shard_id = shard_id
+        self.nodes = nodes
+        self._succ = succ
+        self._cut = cut
+
+    def targets(self, label: str, source: NodeId) -> Tuple[NodeId, ...]:
+        """Shard-local targets of *source* along *label*."""
+        return self._succ.get(label, _EMPTY_ADJACENCY).get(source, ())
+
+    def cut_targets(self, label: str, source: NodeId) -> Tuple[NodeId, ...]:
+        """Targets of *source* along *label* owned by **other** shards."""
+        return self._cut.get(label, _EMPTY_ADJACENCY).get(source, ())
+
+    @property
+    def num_cut_edges(self) -> int:
+        """Number of outgoing edges of this shard crossing the cut."""
+        return sum(len(targets) for by_node in self._cut.values() for targets in by_node.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardView {self.shard_id}: {len(self.nodes)} nodes, "
+            f"{self.num_cut_edges} cut edges>"
+        )
+
+
+class GraphPartition:
+    """An edge-cut partition of a label-indexed graph into shards.
+
+    Planning (this class) is separated from execution
+    (:func:`sharded_full_relation`): a partition assigns every node to a
+    shard and materialises one :class:`ShardView` per shard, with
+    cross-shard edges recorded as frontier-exchange boundaries.  The
+    partition is built against one :class:`LabelIndex` snapshot and
+    remembers its ``version``, so stale partitions are detectable the
+    same way stale indexes are.
+    """
+
+    __slots__ = ("version", "num_shards", "assignment", "shards")
+
+    def __init__(self, index: LabelIndex, assignment: Dict[NodeId, int], num_shards: int):
+        if num_shards < 1:
+            raise EvaluationError(f"a partition needs at least one shard, got {num_shards}")
+        missing = [node for node in index.nodes if node not in assignment]
+        if missing:
+            raise EvaluationError(f"partition assignment misses {len(missing)} node(s)")
+        self.version = index.version
+        self.num_shards = num_shards
+        self.assignment = assignment
+        members: List[List[NodeId]] = [[] for _ in range(num_shards)]
+        for node in index.nodes:
+            shard = assignment[node]
+            if not 0 <= shard < num_shards:
+                raise EvaluationError(f"node {node!r} assigned to invalid shard {shard}")
+            members[shard].append(node)
+        local: List[Dict[str, Dict[NodeId, Tuple[NodeId, ...]]]] = [{} for _ in range(num_shards)]
+        cut: List[Dict[str, Dict[NodeId, Tuple[NodeId, ...]]]] = [{} for _ in range(num_shards)]
+        for label in index.edge_labels():
+            for source, targets in index.successors(label).items():
+                shard = assignment[source]
+                mine = tuple(target for target in targets if assignment[target] == shard)
+                theirs = tuple(target for target in targets if assignment[target] != shard)
+                if mine:
+                    local[shard].setdefault(label, {})[source] = mine
+                if theirs:
+                    cut[shard].setdefault(label, {})[source] = theirs
+        self.shards: Tuple[ShardView, ...] = tuple(
+            ShardView(shard_id, tuple(members[shard_id]), local[shard_id], cut[shard_id])
+            for shard_id in range(num_shards)
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, index: LabelIndex, num_shards: int, strategy: str = "contiguous"
+    ) -> "GraphPartition":
+        """Partition *index* into *num_shards* shards.
+
+        ``"contiguous"`` slices the index's node order into equal blocks —
+        the right default when related nodes are added together (e.g. the
+        community generators); ``"hash"`` scatters nodes by hash, a
+        worst-case cut useful for stress-testing the frontier exchange.
+        """
+        if num_shards < 1:
+            raise EvaluationError(f"a partition needs at least one shard, got {num_shards}")
+        nodes = index.nodes
+        assignment: Dict[NodeId, int] = {}
+        if strategy == "contiguous":
+            for shard_id, block in enumerate(split_blocks(nodes, num_shards)):
+                for node in block:
+                    assignment[node] = shard_id
+        elif strategy == "hash":
+            for node in nodes:
+                assignment[node] = hash(node) % num_shards
+        else:
+            raise EvaluationError(
+                f"unknown partition strategy {strategy!r}; expected 'contiguous' or 'hash'"
+            )
+        return cls(index, assignment, num_shards)
+
+    def owner(self, node: NodeId) -> int:
+        """The shard a node is assigned to."""
+        return self.assignment[node]
+
+    @property
+    def cut_edge_count(self) -> int:
+        """Total number of edges crossing shard boundaries."""
+        return sum(shard.num_cut_edges for shard in self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = "/".join(str(len(shard.nodes)) for shard in self.shards)
+        return (
+            f"<GraphPartition v{self.version}: {self.num_shards} shards ({sizes} nodes), "
+            f"{self.cut_edge_count} cut edges>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Sharded scatter/gather driver
+# ----------------------------------------------------------------------
+def sharded_full_relation(
+    index: LabelIndex,
+    automaton: CompiledAutomaton,
+    partition: Optional[GraphPartition] = None,
+    num_shards: Optional[int] = None,
+) -> Set[Pair]:
+    """``full_relation`` evaluated shard-by-shard with frontier exchange.
+
+    Scatter: every shard seeds its own nodes' initial configurations with
+    their global source bits.  Each round runs the shard-local mask
+    fixpoint (over intra-shard edges only), then scans the changed
+    configurations' cut edges and routes ``(config, mask)`` frontier
+    messages to the owning shards.  The driver iterates rounds until no
+    shard learns a new bit — the number of rounds is bounded by the
+    longest chain of cut edges an answer path crosses.  Gather: the union
+    of the shards' accepting-mask decodings.
+
+    A *partition* may be passed in (reusing a plan across queries);
+    otherwise one is built with ``num_shards`` shards (default: CPU count
+    capped at 8).
+    """
+    nodes = index.nodes
+    if not nodes:
+        return set()
+    if partition is None:
+        shards_wanted = num_shards if num_shards is not None else min(os.cpu_count() or 1, 8)
+        partition = GraphPartition.build(index, max(1, shards_wanted))
+    elif partition.version != index.version:
+        raise EvaluationError(
+            f"stale partition: built at graph version {partition.version}, "
+            f"index is at {index.version}"
+        )
+    moves = automaton.moves
+    owner_of = partition.assignment
+    shards = partition.shards
+
+    masks: List[Dict[Config, int]] = [{} for _ in shards]
+    inboxes: List[Dict[Config, int]] = [
+        product.seed_masks(index, automaton, sources=shard.nodes) for shard in shards
+    ]
+    while any(inboxes):
+        outboxes: Dict[int, Dict[Config, int]] = {}
+        for shard in shards:
+            shard_id = shard.shard_id
+            seeds = inboxes[shard_id]
+            if not seeds:
+                continue
+            inboxes[shard_id] = {}
+            shard_masks = masks[shard_id]
+            _, changed = product.propagate_masks(shard, automaton, seeds, masks=shard_masks)
+            # Frontier exchange: push the changed configurations' masks
+            # across this shard's cut edges to the owners of the targets.
+            for node, state in changed:
+                mask = shard_masks[(node, state)]
+                for symbol, next_states in moves[state]:
+                    remote_targets = shard.cut_targets(symbol, node)
+                    for target in remote_targets:
+                        target_owner = owner_of[target]
+                        outbox = outboxes.setdefault(target_owner, {})
+                        for next_state in next_states:
+                            config = (target, next_state)
+                            outbox[config] = outbox.get(config, 0) | mask
+        # Route messages: only genuinely new bits become next-round seeds.
+        for shard_id, messages in outboxes.items():
+            shard_masks = masks[shard_id]
+            inbox = inboxes[shard_id]
+            for config, mask in messages.items():
+                if mask | shard_masks.get(config, 0) != shard_masks.get(config, 0):
+                    inbox[config] = inbox.get(config, 0) | mask
+    pairs: Set[Pair] = set()
+    for shard_masks in masks:
+        pairs |= product.decode_pairs(nodes, automaton, shard_masks)
+    return pairs

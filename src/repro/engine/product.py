@@ -6,29 +6,42 @@ node regardless of label.  This module replaces it with a three-phase
 pass over the product that is run **once** for the whole binary relation
 ``e(G)``:
 
-1. **Forward multi-source reachability** — one BFS from *all* initial
-   configurations ``(v, q₀)`` at once, over the label-indexed adjacency
-   (only labels the automaton can actually read are followed).
-2. **Backward pruning from accepting states** — a BFS over the reversed
-   product from every reachable accepting configuration; configurations
-   that cannot reach acceptance are *useless* and dropped before the
-   expensive phase.
-3. **Source-set propagation** — a worklist fixpoint that annotates every
-   useful configuration with the bitmask of source nodes that reach it.
-   Masks are Python integers, so unioning the source sets of thousands of
-   configurations is a handful of word-parallel big-int ORs rather than
-   per-source set manipulation.
+1. **Forward multi-source reachability** (:func:`forward_expand`) — one
+   BFS from *all* initial configurations ``(v, q₀)`` at once, over the
+   label-indexed adjacency (only labels the automaton can actually read
+   are followed).
+2. **Backward pruning from accepting states** (:func:`backward_prune`) —
+   a BFS over the reversed product from every reachable accepting
+   configuration; configurations that cannot reach acceptance are
+   *useless* and dropped before the expensive phase.
+3. **Source-set propagation** (:func:`propagate_masks`) — a worklist
+   fixpoint that annotates every useful configuration with the bitmask of
+   source nodes that reach it.  Masks are Python integers, so unioning
+   the source sets of thousands of configurations is a handful of
+   word-parallel big-int ORs rather than per-source set manipulation.
 
 The answer is read off the accepting configurations: ``(u, v) ∈ e(G)``
-iff bit ``u`` is set on some ``(v, q_f)``.  Single-source and single-pair
-questions use a direct BFS (phases 1–2 only, with early exit), which is
-still automaton-compiled and index-driven.
+iff bit ``u`` is set on some ``(v, q_f)``.
+
+Each phase is exposed as a standalone kernel so the partitioned drivers
+in :mod:`repro.engine.partition` can recompose them: the propagation
+fixpoint is *linear* in its seeds (the mask reaching a configuration is
+the union of the contributions of the individual sources), so phase 3
+can be split into independent source blocks (:func:`source_block_relation`)
+and fanned out across worker pools, or run shard-locally with
+cross-shard frontier exchange.  The kernels only require the
+``targets``-style adjacency interface, which shard-local index views
+also implement.
+
+Single-source and single-pair questions use a direct BFS (phases 1–2
+only, with early exit), which is still automaton-compiled and
+index-driven.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..datagraph.index import LabelIndex
 from ..datagraph.node import NodeId
@@ -39,104 +52,215 @@ __all__ = [
     "reachable_targets",
     "pair_holds",
     "witness_labels",
+    "initial_configs",
+    "forward_expand",
+    "backward_prune",
+    "seed_masks",
+    "propagate_masks",
+    "decode_pairs",
+    "source_block_relation",
 ]
 
 Config = Tuple[NodeId, int]
+Pair = Tuple[NodeId, NodeId]
 
 
-def full_relation(index: LabelIndex, automaton: CompiledAutomaton) -> Set[Tuple[NodeId, NodeId]]:
-    """All pairs ``(u, v)`` connected by a path accepted by *automaton*."""
-    nodes = index.nodes
-    if not nodes:
-        return set()
+# ----------------------------------------------------------------------
+# Phase kernels
+# ----------------------------------------------------------------------
+def initial_configs(
+    automaton: CompiledAutomaton, nodes: Iterable[NodeId]
+) -> Set[Config]:
+    """The initial product configurations ``(v, q₀)`` for the given nodes."""
     initial_states = automaton.initial
-    accepting = automaton.accepting
-    moves = automaton.moves
+    return {(node, state) for node in nodes for state in initial_states}
 
-    # Phase 1: forward multi-source reachability over the product.
-    reachable: Set[Config] = set()
-    queue: deque = deque()
-    for node in nodes:
-        for state in initial_states:
-            config = (node, state)
-            reachable.add(config)
-            queue.append(config)
+
+def forward_expand(
+    index: LabelIndex, automaton: CompiledAutomaton, seeds: Iterable[Config]
+) -> Set[Config]:
+    """Phase 1: forward BFS over the product from *seeds* (which are included)."""
+    moves = automaton.moves
+    targets_of = index.targets
+    reachable: Set[Config] = set(seeds)
+    queue: deque = deque(reachable)
     while queue:
         node, state = queue.popleft()
         for symbol, next_states in moves[state]:
-            targets = index.targets(symbol, node)
+            targets = targets_of(symbol, node)
             for target in targets:
                 for next_state in next_states:
                     config = (target, next_state)
                     if config not in reachable:
                         reachable.add(config)
                         queue.append(config)
+    return reachable
 
-    # Phase 2: backward pruning — keep only configurations that can still
-    # reach an accepting configuration (within the reachable set).
+
+def backward_prune(
+    index: LabelIndex, automaton: CompiledAutomaton, reachable: Set[Config]
+) -> Set[Config]:
+    """Phase 2: the subset of *reachable* that can still reach acceptance."""
+    accepting = automaton.accepting
     backward_moves = automaton.backward_moves
+    sources_of = index.sources
     useful: Set[Config] = {config for config in reachable if config[1] in accepting}
-    queue.extend(useful)
+    queue: deque = deque(useful)
     while queue:
         node, state = queue.popleft()
         for symbol, previous_states in backward_moves[state]:
-            sources = index.sources(symbol, node)
+            sources = sources_of(symbol, node)
             for source in sources:
                 for previous_state in previous_states:
                     config = (source, previous_state)
                     if config in reachable and config not in useful:
                         useful.add(config)
                         queue.append(config)
-    if not useful:
-        return set()
+    return useful
 
-    # Phase 3: propagate source bitmasks through the useful configurations.
+
+def seed_masks(
+    index: LabelIndex,
+    automaton: CompiledAutomaton,
+    useful: Optional[Set[Config]] = None,
+    sources: Optional[Sequence[NodeId]] = None,
+) -> Dict[Config, int]:
+    """Initial ``config -> source bitmask`` seeds for phase 3.
+
+    Bits are assigned under the *global* node ordering of *index*, so
+    masks produced from different source blocks (or different shards of a
+    partition) can be OR-merged directly.  With *sources* given, only
+    that block of source nodes contributes seed bits; with *useful*
+    given, seeds at pruned configurations are dropped.
+    """
     position = index.position
-    masks: Dict[Config, int] = {}
-    pending: deque = deque()
-    enqueued: Set[Config] = set()
-    for node in nodes:
+    initial_states = automaton.initial
+    seeds: Dict[Config, int] = {}
+    for node in index.nodes if sources is None else sources:
         bit = 1 << position[node]
         for state in initial_states:
             config = (node, state)
-            if config in useful:
-                masks[config] = masks.get(config, 0) | bit
-                if config not in enqueued:
-                    enqueued.add(config)
-                    pending.append(config)
+            if useful is not None and config not in useful:
+                continue
+            seeds[config] = seeds.get(config, 0) | bit
+    return seeds
+
+
+def propagate_masks(
+    index: LabelIndex,
+    automaton: CompiledAutomaton,
+    seeds: Dict[Config, int],
+    useful: Optional[Set[Config]] = None,
+    masks: Optional[Dict[Config, int]] = None,
+) -> Tuple[Dict[Config, int], Set[Config]]:
+    """Phase 3: propagate source bitmasks to a fixpoint.
+
+    Merges *seeds* into *masks* (a fresh table when ``None``) and runs
+    the worklist until no mask grows.  Restricting propagation to the
+    *useful* set skips dead configurations; shard-local index views pass
+    ``useful=None`` and simply stop at their boundary (their ``targets``
+    return only local edges).
+
+    Returns the mask table and the set of configurations whose mask
+    changed — the sharded driver scans the changed configurations'
+    cut edges to build the next cross-shard frontier.
+    """
+    moves = automaton.moves
+    targets_of = index.targets
+    if masks is None:
+        masks = {}
+    changed: Set[Config] = set()
+    pending: deque = deque()
+    enqueued: Set[Config] = set()
+    for config, mask in seeds.items():
+        known = masks.get(config, 0)
+        merged = known | mask
+        if merged != known:
+            masks[config] = merged
+            changed.add(config)
+            if config not in enqueued:
+                enqueued.add(config)
+                pending.append(config)
     while pending:
         config = pending.popleft()
         enqueued.discard(config)
         node, state = config
         mask = masks[config]
         for symbol, next_states in moves[state]:
-            targets = index.targets(symbol, node)
+            targets = targets_of(symbol, node)
             for target in targets:
                 for next_state in next_states:
                     successor = (target, next_state)
-                    if successor not in useful:
+                    if useful is not None and successor not in useful:
                         continue
                     known = masks.get(successor, 0)
                     merged = known | mask
                     if merged != known:
                         masks[successor] = merged
+                        changed.add(successor)
                         if successor not in enqueued:
                             enqueued.add(successor)
                             pending.append(successor)
+    return masks, changed
 
-    # Read the relation off the accepting configurations.  The bit
-    # decoding mirrors LabelIndex.nodes_of, inlined because this loop
-    # dominates the answer-materialisation cost on dense relations.
-    pairs: Set[Tuple[NodeId, NodeId]] = set()
-    node_list = nodes
+
+def decode_pairs(
+    nodes: Sequence[NodeId],
+    automaton: CompiledAutomaton,
+    masks: Dict[Config, int],
+) -> Set[Pair]:
+    """Read the answer relation off the accepting configurations' masks.
+
+    The bit decoding mirrors ``LabelIndex.nodes_of``, inlined because
+    this loop dominates the answer-materialisation cost on dense
+    relations.
+    """
+    accepting = automaton.accepting
+    pairs: Set[Pair] = set()
     for (node, state), mask in masks.items():
         if state not in accepting:
             continue
         while mask:
             low = mask & -mask
-            pairs.add((node_list[low.bit_length() - 1], node))
+            pairs.add((nodes[low.bit_length() - 1], node))
             mask ^= low
     return pairs
+
+
+def source_block_relation(
+    index: LabelIndex,
+    automaton: CompiledAutomaton,
+    useful: Set[Config],
+    block: Sequence[NodeId],
+) -> Set[Pair]:
+    """The answer pairs contributed by one block of source nodes.
+
+    Runs the phase-3 fixpoint with seeds restricted to *block*; because
+    propagation is linear in its seeds, the union of the block relations
+    over any source partition equals :func:`full_relation`'s answer.
+    Phases 1–2 are shared: the caller computes *useful* once and hands it
+    to every block.
+    """
+    seeds = seed_masks(index, automaton, useful=useful, sources=block)
+    masks, _ = propagate_masks(index, automaton, seeds, useful=useful)
+    return decode_pairs(index.nodes, automaton, masks)
+
+
+# ----------------------------------------------------------------------
+# The sequential composition
+# ----------------------------------------------------------------------
+def full_relation(index: LabelIndex, automaton: CompiledAutomaton) -> Set[Pair]:
+    """All pairs ``(u, v)`` connected by a path accepted by *automaton*."""
+    nodes = index.nodes
+    if not nodes:
+        return set()
+    reachable = forward_expand(index, automaton, initial_configs(automaton, nodes))
+    useful = backward_prune(index, automaton, reachable)
+    if not useful:
+        return set()
+    seeds = seed_masks(index, automaton, useful=useful)
+    masks, _ = propagate_masks(index, automaton, seeds, useful=useful)
+    return decode_pairs(nodes, automaton, masks)
 
 
 def reachable_targets(

@@ -9,6 +9,7 @@ from .random_workloads import (
 from .scenarios import (
     Scenario,
     movie_catalog_scenario,
+    multi_community_scenario,
     provenance_scenario,
     social_network_scenario,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "social_network_scenario",
     "movie_catalog_scenario",
     "provenance_scenario",
+    "multi_community_scenario",
     "RandomWorkload",
     "random_relational_mapping",
     "random_equality_query",

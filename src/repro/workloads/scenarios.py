@@ -14,12 +14,19 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..core.gsm import GraphSchemaMapping
+from ..datagraph.generators import community_graph
 from ..datagraph.graph import DataGraph
 from ..exceptions import WorkloadError
 from ..query.data_rpq import DataRPQ, equality_rpq
 from ..query.rpq import RPQ, rpq
 
-__all__ = ["Scenario", "social_network_scenario", "movie_catalog_scenario", "provenance_scenario"]
+__all__ = [
+    "Scenario",
+    "social_network_scenario",
+    "movie_catalog_scenario",
+    "provenance_scenario",
+    "multi_community_scenario",
+]
 
 
 @dataclass
@@ -195,3 +202,61 @@ def provenance_scenario(
         "adjacent-difference": equality_rpq("(wasGeneratedBy.used)!="),
     }
     return Scenario("provenance", source, mapping, navigational, data)
+
+
+def multi_community_scenario(
+    num_communities: int = 12,
+    community_size: int = 50,
+    intra_edges_per_node: int = 3,
+    bridges_per_community: int = 2,
+    rng: Optional[int | random.Random] = None,
+) -> Scenario:
+    """A federated social network sized for partitioned evaluation.
+
+    The source is a :func:`repro.datagraph.generators.community_graph`:
+    dense ``knows`` clusters (one per regional community) joined by thin
+    ``bridge`` edges, i.e. exactly the shape an edge-cut
+    :class:`~repro.engine.partition.GraphPartition` splits well.  The
+    mapping replicates the source vocabulary unchanged (each region
+    publishes its slice verbatim), so the bundled queries run both on the
+    source graph — how the intra-query benchmarks use them — and as
+    target queries.  The queries are full-relation reachability shapes
+    whose product fixpoint is heavy enough for the intra-query drivers to
+    amortise their fan-out: global reachability, cross-community
+    friendship and a same-value (equality) variant.
+    """
+    if num_communities < 2:
+        raise WorkloadError("multi_community_scenario needs at least two communities")
+    source = community_graph(
+        num_communities,
+        community_size,
+        intra_edges_per_node=intra_edges_per_node,
+        bridges_per_community=bridges_per_community,
+        labels=("knows",),
+        bridge_label="bridge",
+        rng=rng,
+        domain_size=max(2, community_size // 4),
+    )
+    mapping = GraphSchemaMapping(
+        [
+            ("knows", "knows"),
+            ("bridge", "bridge"),
+        ],
+        name="communities-replicate",
+    )
+    navigational = {
+        "global-reach": rpq("(knows|bridge)*"),
+        "cross-community-friends": rpq("knows*.bridge.knows*"),
+        "two-hop-bridges": rpq("(knows|bridge)*.bridge.(knows|bridge)*.bridge.(knows|bridge)*"),
+    }
+    data = {
+        "same-value-reach": equality_rpq("((knows|bridge)+)="),
+        "bridge-value-mismatch": equality_rpq("(bridge)!="),
+    }
+    return Scenario(
+        f"multi-community-{num_communities}x{community_size}",
+        source,
+        mapping,
+        navigational,
+        data,
+    )

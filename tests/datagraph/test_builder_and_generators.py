@@ -153,3 +153,25 @@ class TestGenerators:
         rng = random.Random(0)
         g = generators.chain(3, rng=rng, domain_size=5)
         assert g.num_nodes == 4
+
+    def test_community_graph_shape(self):
+        g = generators.community_graph(3, 4, intra_edges_per_node=2, bridges_per_community=1, rng=5)
+        assert g.num_nodes == 12
+        assert g.alphabet == {"knows", "bridge"}
+        # intra edges stay within a community; bridges go to the next one
+        for source, label, target in g.edges:
+            source_community = str(source.id).split("n")[0]
+            target_community = str(target.id).split("n")[0]
+            if label == "bridge":
+                assert source_community != target_community
+            else:
+                assert source_community == target_community
+        bridges = sum(1 for _, label, _ in g.edges if label == "bridge")
+        assert bridges == 3
+
+    def test_community_graph_determinism_and_validation(self):
+        assert generators.community_graph(2, 3, rng=9) == generators.community_graph(2, 3, rng=9)
+        single = generators.community_graph(1, 4, rng=1)
+        assert all(label != "bridge" for _, label, _ in single.edges)
+        with pytest.raises(WorkloadError):
+            generators.community_graph(0, 4)

@@ -58,7 +58,24 @@ class TestInfoAndEvaluate:
 
     def test_missing_file(self, capsys):
         assert main(["info", "no-such-file.json"]) == 1
-        assert "error" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("policy", ["sequential", "thread", "process", "intra-query"])
+    def test_evaluate_policies_agree(self, graph_file, capsys, policy):
+        """Every --policy returns the sequential answers (possibly reordered pools)."""
+        assert main(["evaluate", str(graph_file), "--rpq", "r.r"]) == 0
+        expected = capsys.readouterr().out
+        assert main([
+            "evaluate", str(graph_file), "--rpq", "r.r", "--policy", policy, "--workers", "2",
+        ]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_evaluate_rejects_bad_workers(self, graph_file, capsys):
+        assert main([
+            "evaluate", str(graph_file), "--rpq", "r", "--policy", "intra-query",
+            "--workers", "0",
+        ]) == 1
+        error = capsys.readouterr().err
+        assert "--workers must be positive" in error and "error" in error
 
 
 class TestCertainAndExchange:

@@ -8,6 +8,7 @@ from repro.core import is_solution, universal_solution
 from repro.exceptions import WorkloadError
 from repro.workloads import (
     movie_catalog_scenario,
+    multi_community_scenario,
     provenance_scenario,
     random_equality_query,
     random_relational_mapping,
@@ -23,6 +24,7 @@ class TestScenarios:
             (social_network_scenario, {"num_people": 8, "rng": 1}),
             (movie_catalog_scenario, {"num_movies": 6, "rng": 1}),
             (provenance_scenario, {"chain_length": 4, "num_chains": 2, "rng": 1}),
+            (multi_community_scenario, {"num_communities": 3, "community_size": 4, "rng": 1}),
         ],
     )
     def test_scenarios_are_well_formed(self, builder, kwargs):
@@ -51,6 +53,18 @@ class TestScenarios:
             movie_catalog_scenario(num_movies=1)
         with pytest.raises(WorkloadError):
             provenance_scenario(chain_length=1)
+        with pytest.raises(WorkloadError):
+            multi_community_scenario(num_communities=1)
+
+    def test_multi_community_scenario_is_shardable(self):
+        """The bundled graph's contiguous partition recovers the communities."""
+        from repro.engine import GraphPartition
+
+        scenario = multi_community_scenario(num_communities=4, community_size=5, rng=3)
+        partition = GraphPartition.build(scenario.source.label_index(), 4)
+        for shard in partition.shards:
+            assert len({str(node).split("n")[0] for node in shard.nodes}) == 1
+        assert 0 < partition.cut_edge_count < scenario.source.num_edges
 
 
 class TestRandomWorkloads:
