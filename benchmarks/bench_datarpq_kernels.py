@@ -1,0 +1,110 @@
+"""Benchmark data-RPQ kernels: per-source REM baseline vs the mask kernel.
+
+The workload is the multi-community scenario
+(:func:`repro.workloads.multi_community_scenario`): dense ``knows``
+clusters joined by thin ``bridge`` edges, with data values drawn from a
+bounded domain — exactly the regime where runs from different sources
+meet in the same ``(node, state, valuation)`` configuration and the
+full-relation mask-propagation pass over the
+:class:`~repro.engine.spaces.RegisterProductSpace` shares their
+downstream work.  Two register-automaton queries are measured:
+
+* a memory RPQ binding the source's value and requiring every hop to
+  differ from it (``!x.((knows|bridge)[x!=])+``), and
+* the scenario's same-value reachability REE, translated to a register
+  automaton (``((knows|bridge)+)=``).
+
+Each runs through the historical per-source product search
+(:func:`repro.engine.data.register_automaton_relation_per_source`) and
+through the shared-kernel mask pass
+(:func:`repro.engine.data.register_automaton_relation`).  Both must
+return identical relations; CI compares the means from BENCH_pr.json and
+fails when the mask kernel falls below the per-source baseline (see the
+bench-smoke gate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datapaths import compile_rem, parse_ree, parse_rem, ree_to_rem
+from repro.engine import data as data_kernels
+from repro.workloads import multi_community_scenario
+
+#: Communities × community size: ~120 nodes with a value domain of 5,
+#: small enough for the per-source baseline to stay CI-sized but dense
+#: enough in repeated values for valuation sharing to show.
+NUM_COMMUNITIES = 6
+COMMUNITY_SIZE = 20
+#: The memory RPQ: walks whose every hop differs from the source's value.
+REM_QUERY = "!x.((knows|bridge)[x!=])+"
+#: The equality RPQ (REE → REM translation): same-value reachability.
+REE_QUERY = "((knows|bridge)+)="
+
+
+@pytest.fixture(scope="module")
+def community_index():
+    scenario = multi_community_scenario(NUM_COMMUNITIES, COMMUNITY_SIZE, rng=17)
+    return scenario.source.label_index()
+
+
+@pytest.fixture(scope="module")
+def rem_automaton():
+    return compile_rem(parse_rem(REM_QUERY))
+
+
+@pytest.fixture(scope="module")
+def ree_automaton():
+    return compile_rem(ree_to_rem(parse_ree(REE_QUERY)))
+
+
+@pytest.fixture(scope="module")
+def expected_rem(community_index, rem_automaton):
+    return data_kernels.register_automaton_relation(community_index, rem_automaton)
+
+
+@pytest.fixture(scope="module")
+def expected_ree(community_index, ree_automaton):
+    return data_kernels.register_automaton_relation(community_index, ree_automaton)
+
+
+def bench_datarpq_per_source_baseline(benchmark, community_index, rem_automaton, expected_rem):
+    pairs = benchmark.pedantic(
+        data_kernels.register_automaton_relation_per_source,
+        args=(community_index, rem_automaton),
+        rounds=1,
+        iterations=1,
+    )
+    assert pairs == expected_rem
+
+
+def bench_datarpq_mask_kernel(benchmark, community_index, rem_automaton, expected_rem):
+    pairs = benchmark.pedantic(
+        data_kernels.register_automaton_relation,
+        args=(community_index, rem_automaton),
+        rounds=1,
+        iterations=1,
+    )
+    assert pairs == expected_rem
+
+
+def bench_datarpq_ree_per_source_baseline(
+    benchmark, community_index, ree_automaton, expected_ree
+):
+    pairs = benchmark.pedantic(
+        data_kernels.register_automaton_relation_per_source,
+        args=(community_index, ree_automaton),
+        rounds=1,
+        iterations=1,
+    )
+    assert pairs == expected_ree
+
+
+def bench_datarpq_ree_mask_kernel(benchmark, community_index, ree_automaton, expected_ree):
+    pairs = benchmark.pedantic(
+        data_kernels.register_automaton_relation,
+        args=(community_index, ree_automaton),
+        rounds=1,
+        iterations=1,
+    )
+    assert pairs == expected_ree

@@ -166,11 +166,14 @@ class ExecutionPolicy:
     result_cache_size:
         LRU bound on the number of cached answer sets.
     intra_query:
-        How a *single* full-relation RPQ is evaluated: ``"off"`` (the
+        How a *single* full-relation query is evaluated: ``"off"`` (the
         sequential engine), ``"blocks"`` (the phase-3 source propagation
         fanned out over worker processes) or ``"sharded"`` (the edge-cut
-        scatter/gather driver).  Answers are identical in every mode and
-        land in the same versioned result cache.
+        scatter/gather driver).  Every dialect with a product space takes
+        the drivers — plain RPQs, data RPQs over the register product,
+        and the axis-star closures inside GXPath expressions.  Answers
+        are identical in every mode and land in the same versioned
+        result cache.
     intra_query_threshold:
         Minimum graph size (nodes) before the partitioned drivers kick
         in; smaller graphs always run sequentially, where the fan-out
@@ -178,6 +181,11 @@ class ExecutionPolicy:
     num_shards:
         Shard count for ``intra_query="sharded"`` (default: CPU count
         capped at 8).
+    sharded_processes:
+        Whether the sharded driver runs its shard rounds in forked
+        worker processes: ``True`` forks whenever the platform supports
+        it, ``False`` keeps the in-process loop, ``None`` (default)
+        forks on graphs large enough to amortise the per-round pool.
     point_cache_size:
         LRU bound on the session's single-source (point-workload) cache
         of :meth:`GraphSession.targets` answers.
@@ -190,6 +198,7 @@ class ExecutionPolicy:
     intra_query: str = "off"
     intra_query_threshold: int = 64
     num_shards: Optional[int] = None
+    sharded_processes: Optional[bool] = None
     point_cache_size: int = 1024
 
     def __post_init__(self):

@@ -36,8 +36,11 @@ transparently gain caching.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node, NodeId
@@ -102,6 +105,12 @@ class GraphSession:
         # The sharded mode's edge-cut plan, reused across queries until
         # the graph version (or the shard count) moves on.
         self._partition: Optional[GraphPartition] = None
+        # Point answers restored from a persistent snapshot
+        # (load_point_cache): string key -> target node ids.  Consulted
+        # on point-cache misses while the graph stays at the snapshot's
+        # version, so a restarted service resumes warm.
+        self._point_snapshot: Dict[str, Tuple[NodeId, ...]] = {}
+        self._point_snapshot_version: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Execution
@@ -216,8 +225,126 @@ class GraphSession:
             return self._targets_of(plan, source, null_semantics)
         key = (self.graph.version, plan.key, source, null_semantics)
         return self._points.get_or_build(
-            key, lambda: self._targets_of(plan, source, null_semantics)
+            key, lambda: self._point_answer(plan, source, null_semantics)
         )
+
+    # ------------------------------------------------------------------
+    # Persistent point-cache snapshots
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _snapshot_key(plan_key: Tuple, source: NodeId, null_semantics: bool) -> str:
+        """The stable textual key a point answer is stored under on disk."""
+        kind_value, plan = plan_key
+        return f"{kind_value}:{plan}|source={source!r}|null={null_semantics}"
+
+    def _graph_fingerprint(self) -> str:
+        """A content digest of the session graph (nodes, values, edges).
+
+        The version counter alone cannot distinguish two different graphs
+        that happen to have mutated the same number of times, so
+        snapshots carry this digest too.  Node ids and values are
+        rendered with ``repr`` — every id the graph accepts is hashable
+        and therefore ``repr``-able.
+        """
+        graph = self.graph
+        digest = hashlib.sha256()
+        for node in sorted(graph.nodes, key=lambda node: repr(node.id)):
+            digest.update(f"n:{node.id!r}={node.value!r};".encode("utf-8"))
+        for source, label, target in sorted(
+            graph.edges, key=lambda edge: (repr(edge[0].id), edge[1], repr(edge[2].id))
+        ):
+            digest.update(f"e:{source.id!r}-{label}->{target.id!r};".encode("utf-8"))
+        return digest.hexdigest()
+
+    def _point_answer(self, plan: Query, source: NodeId, null_semantics: bool) -> frozenset:
+        """A point-cache miss: served from the loaded snapshot when still
+        valid for the current graph version, else computed."""
+        if self._point_snapshot and self._point_snapshot_version == self.graph.version:
+            ids = self._point_snapshot.get(
+                self._snapshot_key(plan.key, source, null_semantics)
+            )
+            if ids is not None:
+                node = self.graph.node
+                return frozenset(node(target) for target in ids)
+        return self._targets_of(plan, source, null_semantics)
+
+    def save_point_cache(self, path: Union[str, Path]) -> int:
+        """Write the point-workload cache to *path* as a JSON snapshot.
+
+        Entries are keyed on ``(graph.version, query.key, source)``; only
+        answers computed at the **current** graph version are saved (plus
+        any still-valid entries of a previously loaded snapshot), so the
+        file always describes exactly one graph version — stamped with a
+        content fingerprint — and :meth:`load_point_cache` can reject
+        mismatches outright.  Target node ids are stored as ``repr``
+        strings (ids are only required to be hashable, not JSON-native)
+        and resolved against the live graph on load.  Returns the number
+        of entries written.
+        """
+        version = self.graph.version
+        entries: Dict[str, List[str]] = {}
+        if self._point_snapshot and self._point_snapshot_version == version:
+            entries.update(
+                {key: [repr(target) for target in ids] for key, ids in self._point_snapshot.items()}
+            )
+        for key, answer in self._points.items():
+            entry_version, plan_key, source, null_semantics = key
+            if entry_version != version:
+                continue  # stale LRU leftovers from before a mutation
+            entries[self._snapshot_key(plan_key, source, null_semantics)] = sorted(
+                repr(node.id) for node in answer
+            )
+        payload = {
+            "format": "repro-point-cache/1",
+            "graph_version": version,
+            "graph_name": self.graph.name,
+            "graph_fingerprint": self._graph_fingerprint(),
+            "entries": entries,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        return len(entries)
+
+    def load_point_cache(self, path: Union[str, Path]) -> int:
+        """Restore a :meth:`save_point_cache` snapshot from *path*.
+
+        The snapshot must match the session graph's **current** version
+        *and* content fingerprint — a snapshot taken at any other
+        version, or on a different graph that happens to share the
+        version count, is rejected with an :class:`EvaluationError`.
+        Loaded answers satisfy subsequent :meth:`targets` calls without
+        recomputation until the graph mutates.  Returns the number of
+        entries restored.
+        """
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or payload.get("format") != "repro-point-cache/1":
+            raise EvaluationError(f"{path} is not a point-cache snapshot")
+        version = payload.get("graph_version")
+        if version != self.graph.version:
+            raise EvaluationError(
+                f"point-cache snapshot was taken at graph version {version}, "
+                f"but the session graph is at version {self.graph.version}"
+            )
+        fingerprint = payload.get("graph_fingerprint")
+        if fingerprint != self._graph_fingerprint():
+            raise EvaluationError(
+                "point-cache snapshot was taken on a different graph "
+                "(content fingerprint mismatch)"
+            )
+        # Stored ids are repr strings; resolve them against the live
+        # graph's ids so int / str / tuple ids all round-trip.
+        by_repr = {repr(node_id): node_id for node_id in self.graph.node_ids}
+        try:
+            entries = {
+                key: tuple(by_repr[target] for target in ids)
+                for key, ids in payload.get("entries", {}).items()
+            }
+        except KeyError as error:
+            raise EvaluationError(
+                f"point-cache snapshot names a node id {error.args[0]} the graph lacks"
+            ) from None
+        self._point_snapshot = entries
+        self._point_snapshot_version = version
+        return len(self._point_snapshot)
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -233,25 +360,56 @@ class GraphSession:
     def _evaluate_plan(self, plan: Query, null_semantics: bool) -> frozenset:
         """Evaluate one plan, honouring the policy's intra-query mode.
 
-        Large full-relation RPQs are dispatched through the partitioned
-        drivers of :mod:`repro.engine.partition`; every other plan (and
-        every graph below the threshold) takes the sequential engine.
-        The answers are identical either way, so they share one cache
-        entry and the switch is invisible to callers.
+        Large full-relation queries are dispatched through the
+        partitioned drivers of :mod:`repro.engine.partition`: plain RPQs
+        over the NFA product, data RPQs (REE/REM) over the register
+        product, and GXPath expressions route their axis-star closures
+        through the drivers.  Every other plan (and every graph below
+        the threshold) takes the sequential engine.  The answers are
+        identical either way, so they share one cache entry and the
+        switch is invisible to callers.
         """
         policy = self.policy
-        if (
-            policy.intra_query != "off"
-            and plan.kind is QueryKind.RPQ
-            and self.graph.num_nodes >= policy.intra_query_threshold
-        ):
-            return self.engine.evaluate_rpq_partitioned(
-                self.graph,
-                plan.plan,
-                mode=policy.intra_query,
-                workers=policy.max_workers,
-                partition=self._shard_partition() if policy.intra_query == "sharded" else None,
-            )
+        mode = policy.intra_query
+        if mode != "off" and self.graph.num_nodes >= policy.intra_query_threshold:
+            partition = self._shard_partition() if mode == "sharded" else None
+            if plan.kind is QueryKind.RPQ:
+                return self.engine.evaluate_rpq_partitioned(
+                    self.graph,
+                    plan.plan,
+                    mode=mode,
+                    workers=policy.max_workers,
+                    partition=partition,
+                    processes=policy.sharded_processes,
+                )
+            if plan.kind is QueryKind.DATA_RPQ:
+                return self.engine.evaluate_data_rpq_partitioned(
+                    self.graph,
+                    plan.plan,
+                    mode=mode,
+                    null_semantics=null_semantics,
+                    workers=policy.max_workers,
+                    partition=partition,
+                    processes=policy.sharded_processes,
+                )
+            if plan.kind in (QueryKind.GXPATH_NODE, QueryKind.GXPATH_PATH):
+                from ..gxpath import evaluation as gxpath_evaluation
+
+                evaluate = (
+                    gxpath_evaluation.evaluate_node
+                    if plan.kind is QueryKind.GXPATH_NODE
+                    else gxpath_evaluation.evaluate_path
+                )
+                return evaluate(
+                    self.graph,
+                    plan.plan,
+                    null_semantics,
+                    closure_mode=mode,
+                    num_workers=policy.max_workers,
+                    num_shards=policy.num_shards,
+                    partition=partition,
+                    processes=policy.sharded_processes,
+                )
         return plan._evaluate(self.engine, self.graph, null_semantics)
 
     def _shard_partition(self) -> GraphPartition:
@@ -284,9 +442,12 @@ class GraphSession:
         return stats
 
     def clear_cache(self) -> None:
-        """Drop all cached answer sets (compiled automata stay in the engine)."""
+        """Drop all cached answer sets, including any loaded point-cache
+        snapshot (compiled automata stay in the engine)."""
         self._results.clear()
         self._points.clear()
+        self._point_snapshot = {}
+        self._point_snapshot_version = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         snapshot = self._results.stats()

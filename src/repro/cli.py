@@ -70,15 +70,33 @@ def _parse_query(arguments: argparse.Namespace) -> Query:
 
 
 def _execution_policy(arguments: argparse.Namespace) -> ExecutionPolicy:
-    """Map the evaluate sub-command's --policy/--workers onto an ExecutionPolicy."""
+    """Map the evaluate sub-command's policy flags onto an ExecutionPolicy."""
     policy = getattr(arguments, "policy", "sequential")
     workers = getattr(arguments, "workers", None)
+    intra_query = getattr(arguments, "intra_query", None)
+    num_shards = getattr(arguments, "num_shards", None)
+    threshold = getattr(arguments, "intra_query_threshold", None)
     if workers is not None and workers < 1:
         raise ReproError(f"--workers must be positive, got {workers}")
-    if policy == "intra-query":
-        # Threshold 0: the CLI flag is an explicit request, so the
-        # partitioned driver runs regardless of graph size.
-        return ExecutionPolicy(intra_query="blocks", intra_query_threshold=0, max_workers=workers)
+    if num_shards is not None and num_shards < 1:
+        raise ReproError(f"--num-shards must be positive, got {num_shards}")
+    if threshold is not None and threshold < 0:
+        raise ReproError(f"--intra-query-threshold must be non-negative, got {threshold}")
+    if policy == "intra-query" or intra_query is not None:
+        # --intra-query implies the intra-query policy; the default
+        # threshold of 0 means the explicit request runs the partitioned
+        # driver regardless of graph size.
+        return ExecutionPolicy(
+            intra_query=intra_query or "blocks",
+            intra_query_threshold=threshold if threshold is not None else 0,
+            max_workers=workers,
+            num_shards=num_shards,
+        )
+    if num_shards is not None or threshold is not None:
+        raise ReproError(
+            "--num-shards and --intra-query-threshold need --policy intra-query "
+            "or an --intra-query mode"
+        )
     return ExecutionPolicy(executor=policy, max_workers=workers)
 
 
@@ -128,6 +146,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker/pool bound for the thread, process and intra-query policies "
         "(default: CPU count, capped at 8)",
+    )
+    evaluate.add_argument(
+        "--intra-query",
+        choices=["blocks", "sharded"],
+        default=None,
+        help="intra-query driver: 'blocks' fans the source propagation out over "
+        "forked workers, 'sharded' runs the edge-cut scatter/gather driver; "
+        "implies --policy intra-query (default when that policy is chosen: blocks)",
+    )
+    evaluate.add_argument(
+        "--num-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard count for --intra-query sharded (default: CPU count, capped at 8)",
+    )
+    evaluate.add_argument(
+        "--intra-query-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="minimum graph size (nodes) before the intra-query drivers kick in "
+        "(default 0: an explicit CLI request always runs them)",
     )
     _add_query_arguments(evaluate)
 

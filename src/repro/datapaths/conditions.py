@@ -240,6 +240,12 @@ class Valuation:
     def __hash__(self) -> int:
         return hash(frozenset(self._assignment.items()))
 
+    def __reduce__(self):
+        # The MappingProxyType behind _assignment does not pickle; rebuild
+        # from a plain dict so register-product configurations can cross
+        # process boundaries (the sharded multiprocess driver).
+        return (Valuation, (dict(self._assignment),))
+
     def __repr__(self) -> str:
         inner = ", ".join(f"{var}={val!r}" for var, val in sorted(self._assignment.items()))
         return f"Valuation({{{inner}}})"

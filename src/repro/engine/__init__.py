@@ -12,13 +12,19 @@ It provides:
   algorithms, so all call sites share one compilation cache;
 * :class:`CompiledAutomaton` — ε-free tabular automata built once per
   query;
-* the indexed product evaluators (:mod:`repro.engine.product`,
-  :mod:`repro.engine.data`) that run over each graph's lazily built
-  :class:`~repro.datagraph.index.LabelIndex`;
+* the :class:`ProductSpace` protocol (:mod:`repro.engine.spaces`) with
+  one implementation per dialect — :class:`NfaProductSpace` for plain
+  RPQs, :class:`RegisterProductSpace` for data RPQs,
+  :class:`ClosureSpace` for GXPath axis-star closures — all evaluated by
+  the same phase kernels (:mod:`repro.engine.product`) over each graph's
+  lazily built :class:`~repro.datagraph.index.LabelIndex`
+  (:mod:`repro.engine.data` holds the REE algebra and the register
+  entry points);
 * the partitioned evaluation layer (:mod:`repro.engine.partition`) —
   edge-cut :class:`GraphPartition` plans with shard-local views, the
-  sharded scatter/gather driver and the source-block parallel driver
-  that fan one ``full_relation`` pass across worker pools.
+  sharded scatter/gather driver (shard rounds in forked worker
+  processes when the platform allows) and the source-block parallel
+  driver, both generic over any product space.
 
 Quickstart::
 
@@ -37,9 +43,12 @@ from .partition import (
     GraphPartition,
     ShardView,
     parallel_full_relation,
+    parallel_product_relation,
     sharded_full_relation,
+    sharded_product_relation,
     split_blocks,
 )
+from .spaces import ClosureSpace, NfaProductSpace, ProductSpace, RegisterProductSpace
 
 __all__ = [
     "EvaluationEngine",
@@ -49,9 +58,15 @@ __all__ = [
     "compile_nfa",
     "CacheStats",
     "LRUCache",
+    "ProductSpace",
+    "NfaProductSpace",
+    "RegisterProductSpace",
+    "ClosureSpace",
     "GraphPartition",
     "ShardView",
     "split_blocks",
     "parallel_full_relation",
+    "parallel_product_relation",
     "sharded_full_relation",
+    "sharded_product_relation",
 ]

@@ -75,6 +75,15 @@ class LRUCache(Generic[V]):
         entries.move_to_end(key)
         return value
 
+    def items(self):
+        """A snapshot of ``(key, value)`` pairs, least-recently-used first.
+
+        Read-only: neither counters nor recency are touched, so sessions
+        can serialise their caches (point-cache snapshots) without
+        distorting the statistics.
+        """
+        return tuple(self._entries.items())
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -35,8 +35,14 @@ from ..datapaths.ree import (
     RegexWithEquality,
 )
 from ..exceptions import EvaluationError
+from . import product
+from .spaces import RegisterProductSpace
 
-__all__ = ["ree_relation", "register_automaton_relation"]
+__all__ = [
+    "ree_relation",
+    "register_automaton_relation",
+    "register_automaton_relation_per_source",
+]
 
 IdPair = Tuple[NodeId, NodeId]
 
@@ -138,11 +144,31 @@ def register_automaton_relation(
 ) -> FrozenSet[IdPair]:
     """The id-pair relation computed by product reachability with *automaton*.
 
-    Configurations are ``(node, state, register valuation)``; the
-    valuation component makes source bitmask sharing unsound, so this
-    engine keeps a per-source search but drives it off the label index
-    and the automaton's own letter transitions (no full-alphabet edge
-    scans).
+    Configurations are ``(node, state, register valuation)``, evaluated
+    as **one** full-relation mask-propagation pass over the
+    :class:`~repro.engine.spaces.RegisterProductSpace`: every source
+    seeds its initial silent closure with its own bit, and the shared
+    phase-3 fixpoint annotates each configuration with the bitmask of
+    sources reaching it.  Sources whose runs meet in the same
+    ``(node, state, valuation)`` configuration — common when register
+    contents range over a bounded value domain — share all downstream
+    expansion, which the historical per-source search (kept as
+    :func:`register_automaton_relation_per_source`) repeated once per
+    source.
+    """
+    space = RegisterProductSpace(index, automaton, null_semantics)
+    return frozenset(product.product_relation(space))
+
+
+def register_automaton_relation_per_source(
+    index: LabelIndex, automaton: RegisterAutomaton, null_semantics: bool = False
+) -> FrozenSet[IdPair]:
+    """The per-source register-automaton search (executable baseline).
+
+    One BFS over the register product per source node.  Superseded by the
+    mask-propagation pass of :func:`register_automaton_relation`; kept as
+    the equivalence spec and as the baseline the
+    ``bench_datarpq_kernels`` CI gate measures against.
     """
     pairs: Set[IdPair] = set()
     for source in index.nodes:

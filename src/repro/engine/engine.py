@@ -48,6 +48,7 @@ from ..regular import Regex, parse_regex, thompson
 from . import data as data_kernels
 from . import partition as partition_kernels
 from . import product
+from . import spaces
 from .cache import CacheStats, LRUCache
 from .compiled import CompiledAutomaton
 
@@ -144,6 +145,7 @@ class EvaluationEngine:
         workers: Optional[int] = None,
         shards: Optional[int] = None,
         partition: Optional["partition_kernels.GraphPartition"] = None,
+        processes: Optional[bool] = None,
     ) -> FrozenSet[NodePair]:
         """``e(G)`` through the partitioned drivers; identical answers to
         :meth:`evaluate_rpq`.
@@ -151,22 +153,15 @@ class EvaluationEngine:
         ``mode="blocks"`` splits the phase-3 source propagation across
         worker processes (source-block parallelism); ``mode="sharded"``
         runs the edge-cut scatter/gather driver, reusing *partition* when
-        one is supplied.
+        one is supplied and running shard rounds in forked processes
+        according to *processes* (see
+        :func:`~repro.engine.partition.sharded_product_relation`).
         """
-        compiled = self.compile_rpq(query)
-        index = graph.label_index()
-        if mode in {"blocks", "source-blocks"}:
-            id_pairs = partition_kernels.parallel_full_relation(
-                index, compiled, num_blocks=workers
-            )
-        elif mode == "sharded":
-            id_pairs = partition_kernels.sharded_full_relation(
-                index, compiled, partition=partition, num_shards=shards
-            )
-        else:
-            raise EvaluationError(
-                f"unknown partitioned mode {mode!r}; expected 'blocks' or 'sharded'"
-            )
+        space = spaces.NfaProductSpace(graph.label_index(), self.compile_rpq(query))
+        id_pairs = partition_kernels.partitioned_product_relation(
+            space, mode, workers=workers, num_shards=shards, partition=partition,
+            processes=processes,
+        )
         node = graph.node
         return frozenset((node(source), node(target)) for source, target in id_pairs)
 
@@ -278,6 +273,35 @@ class EvaluationEngine:
         else:
             automaton = self.compile_data_rpq(expression)
             id_pairs = data_kernels.register_automaton_relation(index, automaton, null_semantics)
+        return frozenset((node(source), node(target)) for source, target in id_pairs)
+
+    def evaluate_data_rpq_partitioned(
+        self,
+        graph: DataGraph,
+        query: DataRPQ,
+        mode: str = "blocks",
+        null_semantics: bool = False,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        partition: Optional["partition_kernels.GraphPartition"] = None,
+        processes: Optional[bool] = None,
+    ) -> FrozenSet[NodePair]:
+        """A data RPQ through the partitioned drivers; identical answers to
+        :meth:`evaluate_data_rpq`.
+
+        Both REE (translated to a register automaton) and REM queries run
+        over the :class:`~repro.engine.spaces.RegisterProductSpace`, so
+        the source-block and sharded drivers apply unchanged — register
+        valuations ride inside the configurations and cross shard
+        boundaries as ordinary frontier messages.
+        """
+        automaton = self.compile_data_rpq(query.expression)
+        space = spaces.RegisterProductSpace(graph.label_index(), automaton, null_semantics)
+        id_pairs = partition_kernels.partitioned_product_relation(
+            space, mode, workers=workers, num_shards=shards, partition=partition,
+            processes=processes,
+        )
+        node = graph.node
         return frozenset((node(source), node(target)) for source, target in id_pairs)
 
     def data_rpq_holds(

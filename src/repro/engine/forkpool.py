@@ -52,6 +52,10 @@ def run_forked(
     returned in task order.
     """
     global _STATE
+    if count == 0:
+        # ProcessPoolExecutor rejects max_workers=0; an empty fan-out
+        # needs no pool (and no lock) at all.
+        return []
     context = multiprocessing.get_context("fork")
     with _LOCK:
         _STATE = (worker, payload)

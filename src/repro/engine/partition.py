@@ -1,32 +1,42 @@
 """Partitioned evaluation: source-block parallelism and sharded scatter/gather.
 
-Two independent ways to split one ``full_relation`` pass across more
-hardware, both built from the phase kernels of :mod:`repro.engine.product`:
+Two independent ways to split one product-relation pass across more
+hardware, both built from the phase kernels of :mod:`repro.engine.product`
+and both **generic over any** :class:`~repro.engine.spaces.ProductSpace`
+— plain RPQs, register-automaton data RPQs and GXPath closures all ride
+the same drivers:
 
-* **Source-block parallelism** (:func:`parallel_full_relation`) keeps one
-  copy of the graph but splits the phase-3 bitmask propagation fixpoint —
-  which dominates full-relation evaluation — into independent blocks of
-  source nodes.  Phases 1–2 (forward reachability + backward prune) run
-  once in the caller; each worker then propagates only its block's seed
-  bits and the per-block answer pairs are unioned.  The ``"fork"``
-  backend ships the label index and compiled automaton to workers by
-  copy-on-write, which is what actually buys CPU parallelism under the
-  GIL; the ``"thread"`` backend exists for platforms without ``fork``.
+* **Source-block parallelism** (:func:`parallel_product_relation`) keeps
+  one copy of the graph but splits the phase-3 bitmask propagation
+  fixpoint — which dominates full-relation evaluation — into independent
+  blocks of source nodes.  For pruning spaces, phases 1–2 (forward
+  reachability + backward prune) run once in the caller; each worker then
+  propagates only its block's seed bits and the per-block answer pairs
+  are unioned.  The ``"fork"`` backend ships the space (graph index,
+  compiled control) to workers by copy-on-write, which is what actually
+  buys CPU parallelism under the GIL; the ``"thread"`` backend exists for
+  platforms without ``fork``.
 
 * **Sharded scatter/gather** (:class:`GraphPartition` +
-  :func:`sharded_full_relation`) is the seam toward multi-process /
-  multi-machine evaluation: an edge-cut partition assigns every node to a
-  shard, each shard holds a shard-local adjacency view
-  (:class:`ShardView`, duck-typed to the ``targets`` interface the
-  kernels need), and a driver iterates rounds of shard-local mask
-  propagation followed by cross-shard frontier exchange over the cut
-  edges until no shard learns a new source bit.  Bit positions come from
-  the *global* node ordering, so gathering is a union of the shards'
-  accepting masks.
+  :func:`sharded_product_relation`) is the seam toward multi-machine
+  evaluation: an edge-cut partition assigns every node to a shard, each
+  shard holds a shard-local adjacency view (:class:`ShardView`,
+  duck-typed to the ``targets`` interface the kernels need), and a driver
+  iterates rounds of shard-local mask propagation followed by cross-shard
+  frontier exchange over the cut edges until no shard learns a new source
+  bit.  Bit positions come from the *global* node ordering, so gathering
+  is a union of the shards' accepting masks.  When ``fork`` is available
+  the driver runs each round's active shards in **forked worker
+  processes** through the shared :mod:`~repro.engine.forkpool`; shard
+  state travels into workers by copy-on-write and only the round's
+  changed masks and outbox messages are pickled back.  The in-process loop remains as
+  the degradation path (and the right choice for small graphs, where a
+  per-round pool cannot amortise) — answers are identical either way.
 
-Both drivers return exactly the pairs of
-:func:`repro.engine.product.full_relation`; equivalence is pinned by
-``tests/engine/test_partition.py`` and the ``bench_intraquery_parallel``
+:func:`parallel_full_relation` and :func:`sharded_full_relation` keep the
+historical ``(index, automaton)`` signatures for plain RPQs.  Equivalence
+across drivers and dialects is pinned by ``tests/engine/test_partition.py``
+/ ``tests/engine/test_spaces.py``, and the ``bench_intraquery_parallel``
 CI gate keeps the parallel path from regressing below sequential.
 """
 
@@ -42,18 +52,26 @@ from ..exceptions import EvaluationError
 from .compiled import CompiledAutomaton
 from .forkpool import fork_available, run_forked
 from . import product
-from .product import Config, Pair
+from .product import Pair
+from .spaces import NfaProductSpace, ProductSpace
 
 __all__ = [
     "ShardView",
     "GraphPartition",
     "split_blocks",
+    "parallel_product_relation",
     "parallel_full_relation",
+    "sharded_product_relation",
     "sharded_full_relation",
+    "partitioned_product_relation",
 ]
 
 #: Empty adjacency used for labels a shard has no local/cut edges for.
 _EMPTY_ADJACENCY: Mapping[NodeId, Tuple[NodeId, ...]] = {}
+
+#: Below this many nodes the sharded driver's ``processes=None`` default
+#: stays in-process: a per-round fork pool cannot amortise on small work.
+PROCESS_SHARDS_MIN_NODES = 512
 
 
 # ----------------------------------------------------------------------
@@ -83,17 +101,20 @@ def split_blocks(nodes: Sequence[NodeId], num_blocks: int) -> List[Tuple[NodeId,
 
 def _block_worker(state, block_index: int) -> Set[Pair]:
     """Forked worker: one source block's relation (state arrives by fork)."""
-    index, automaton, useful, blocks = state
-    return product.source_block_relation(index, automaton, useful, blocks[block_index])
+    space, useful, blocks = state
+    return product.source_block_relation(space, useful, blocks[block_index])
 
 
-def parallel_full_relation(
-    index: LabelIndex,
-    automaton: CompiledAutomaton,
+def parallel_product_relation(
+    space: ProductSpace,
     num_blocks: Optional[int] = None,
     backend: str = "auto",
 ) -> Set[Pair]:
-    """``full_relation`` with the phase-3 fixpoint fanned out over source blocks.
+    """``product_relation`` with the phase-3 fixpoint fanned out over source blocks.
+
+    Works for any :class:`ProductSpace`: pruning spaces share the
+    forward/backward phases across all blocks; non-pruning spaces (the
+    register product, closures) hand every block an unpruned fixpoint.
 
     Parameters
     ----------
@@ -105,31 +126,43 @@ def parallel_full_relation(
     """
     if backend not in {"auto", "fork", "thread"}:
         raise EvaluationError(f"unknown intra-query backend {backend!r}")
-    nodes = index.nodes
+    nodes = space.index.nodes
     if not nodes:
         return set()
-    reachable = product.forward_expand(index, automaton, product.initial_configs(automaton, nodes))
-    useful = product.backward_prune(index, automaton, reachable)
-    if not useful:
-        return set()
+    useful: Optional[Set] = None
+    if space.prune:
+        reachable = product.forward_expand(space, product.initial_configs(space))
+        useful = product.backward_prune(space, reachable)
+        if not useful:
+            return set()
     workers = num_blocks if num_blocks is not None else min(os.cpu_count() or 1, 8)
     if workers < 1:
         raise EvaluationError(f"num_blocks must be positive, got {workers}")
     blocks = split_blocks(nodes, workers)
     if len(blocks) <= 1:
-        return product.source_block_relation(index, automaton, useful, nodes)
+        return product.source_block_relation(space, useful, nodes)
     if backend == "auto":
         backend = "fork" if fork_available() else "thread"
     if backend == "fork" and fork_available():
-        partials = run_forked(
-            (index, automaton, useful, blocks), _block_worker, len(blocks)
-        )
+        partials = run_forked((space, useful, blocks), _block_worker, len(blocks))
         return set().union(*partials)
     with ThreadPoolExecutor(max_workers=len(blocks)) as pool:
         partials = pool.map(
-            lambda block: product.source_block_relation(index, automaton, useful, block), blocks
+            lambda block: product.source_block_relation(space, useful, block), blocks
         )
         return set().union(*partials)
+
+
+def parallel_full_relation(
+    index: LabelIndex,
+    automaton: CompiledAutomaton,
+    num_blocks: Optional[int] = None,
+    backend: str = "auto",
+) -> Set[Pair]:
+    """The plain-RPQ entry point: source-block parallelism over the NFA product."""
+    return parallel_product_relation(
+        NfaProductSpace(index, automaton), num_blocks=num_blocks, backend=backend
+    )
 
 
 # ----------------------------------------------------------------------
@@ -180,12 +213,30 @@ class ShardView:
         )
 
 
+class _CutView:
+    """The cut edges of a shard, presented through the ``targets`` interface.
+
+    Handing this view to :meth:`ProductSpace.successors` makes frontier
+    exchange dialect-generic: whatever configurations the space reaches
+    over a cut edge are exactly the messages to route to the owning
+    shard, with no per-dialect exchange code.
+    """
+
+    __slots__ = ("_shard",)
+
+    def __init__(self, shard: ShardView):
+        self._shard = shard
+
+    def targets(self, label: str, source: NodeId) -> Tuple[NodeId, ...]:
+        return self._shard.cut_targets(label, source)
+
+
 class GraphPartition:
     """An edge-cut partition of a label-indexed graph into shards.
 
     Planning (this class) is separated from execution
-    (:func:`sharded_full_relation`): a partition assigns every node to a
-    shard and materialises one :class:`ShardView` per shard, with
+    (:func:`sharded_product_relation`): a partition assigns every node to
+    a shard and materialises one :class:`ShardView` per shard, with
     cross-shard edges recorded as frontier-exchange boundaries.  The
     partition is built against one :class:`LabelIndex` snapshot and
     remembers its ``version``, so stale partitions are detectable the
@@ -274,27 +325,89 @@ class GraphPartition:
 # ----------------------------------------------------------------------
 # Sharded scatter/gather driver
 # ----------------------------------------------------------------------
-def sharded_full_relation(
-    index: LabelIndex,
-    automaton: CompiledAutomaton,
+def _shard_round(
+    space: ProductSpace,
+    shard: ShardView,
+    owner_of: Dict[NodeId, int],
+    shard_masks: Dict,
+    seeds: Dict,
+) -> Tuple[Dict[int, Dict], Set]:
+    """One shard's round: local mask fixpoint, then the cut-edge frontier scan.
+
+    Mutates *shard_masks* in place and returns the outbox messages —
+    grouped by destination shard, ``{owner: {config: mask}}`` — plus the
+    set of configurations whose mask changed this round.
+    """
+    _, changed = product.propagate_masks(space, seeds, masks=shard_masks, adjacency=shard)
+    cut_view = _CutView(shard)
+    successors = space.successors
+    node_of = space.node_of
+    outboxes: Dict[int, Dict] = {}
+    for config in changed:
+        mask = shard_masks[config]
+        for successor in successors(cut_view, config):
+            owner = owner_of[node_of(successor)]
+            outbox = outboxes.setdefault(owner, {})
+            outbox[successor] = outbox.get(successor, 0) | mask
+    return outboxes, changed
+
+
+def _merge_outboxes(outboxes: Dict[int, Dict], shard_outboxes: Dict[int, Dict]) -> None:
+    """OR one shard's outbox messages into the round's routing table."""
+    for owner, messages in shard_outboxes.items():
+        outbox = outboxes.setdefault(owner, {})
+        for config, mask in messages.items():
+            outbox[config] = outbox.get(config, 0) | mask
+
+
+def _shard_round_worker(state, task_index: int):
+    """Forked worker: one active shard's round (state arrives by fork).
+
+    Returns the shard id, the masks that **changed** this round (not the
+    whole table — the parent already holds the rest) and the outboxes;
+    all three are pickled back, so configurations must be picklable
+    (node ids, automaton states, register valuations are).
+    """
+    space, shards, masks, inboxes, owner_of, active = state
+    shard_id = active[task_index]
+    shard_masks = masks[shard_id]
+    outboxes, changed = _shard_round(
+        space, shards[shard_id], owner_of, shard_masks, inboxes[shard_id]
+    )
+    return shard_id, {config: shard_masks[config] for config in changed}, outboxes
+
+
+def sharded_product_relation(
+    space: ProductSpace,
     partition: Optional[GraphPartition] = None,
     num_shards: Optional[int] = None,
+    processes: Optional[bool] = None,
+    max_workers: Optional[int] = None,
 ) -> Set[Pair]:
-    """``full_relation`` evaluated shard-by-shard with frontier exchange.
+    """``product_relation`` evaluated shard-by-shard with frontier exchange.
 
     Scatter: every shard seeds its own nodes' initial configurations with
     their global source bits.  Each round runs the shard-local mask
-    fixpoint (over intra-shard edges only), then scans the changed
-    configurations' cut edges and routes ``(config, mask)`` frontier
-    messages to the owning shards.  The driver iterates rounds until no
-    shard learns a new bit — the number of rounds is bounded by the
-    longest chain of cut edges an answer path crosses.  Gather: the union
-    of the shards' accepting-mask decodings.
+    fixpoint (over intra-shard edges only), then expands the changed
+    configurations over the cut edges and routes ``(config, mask)``
+    frontier messages to the owning shards.  The driver iterates rounds
+    until no shard learns a new bit — the number of rounds is bounded by
+    the longest chain of cut edges an answer path crosses.  Gather: the
+    union of the shards' accepting-mask decodings.
+
+    Rounds execute the active shards (those with a non-empty inbox) in
+    **forked worker processes** when *processes* allows it: ``True``
+    forks whenever the platform supports it, ``False`` never forks, and
+    ``None`` (the default) forks on graphs of at least
+    ``PROCESS_SHARDS_MIN_NODES`` nodes — below that a per-round pool
+    costs more than the round.  Without ``fork`` the driver degrades to
+    the in-process loop; the answers are identical in every mode.
 
     A *partition* may be passed in (reusing a plan across queries);
     otherwise one is built with ``num_shards`` shards (default: CPU count
     capped at 8).
     """
+    index = space.index
     nodes = index.nodes
     if not nodes:
         return set()
@@ -306,36 +419,49 @@ def sharded_full_relation(
             f"stale partition: built at graph version {partition.version}, "
             f"index is at {index.version}"
         )
-    moves = automaton.moves
     owner_of = partition.assignment
     shards = partition.shards
+    if processes is None:
+        # Auto: fork only where it can pay — a fork-capable platform, more
+        # than one core, and enough nodes to amortise the per-round pool.
+        use_processes = (
+            fork_available()
+            and (os.cpu_count() or 1) >= 2
+            and len(nodes) >= PROCESS_SHARDS_MIN_NODES
+        )
+    else:
+        use_processes = processes and fork_available()
 
-    masks: List[Dict[Config, int]] = [{} for _ in shards]
-    inboxes: List[Dict[Config, int]] = [
-        product.seed_masks(index, automaton, sources=shard.nodes) for shard in shards
+    masks: List[Dict] = [{} for _ in shards]
+    inboxes: List[Dict] = [
+        product.seed_masks(space, sources=shard.nodes) for shard in shards
     ]
     while any(inboxes):
-        outboxes: Dict[int, Dict[Config, int]] = {}
-        for shard in shards:
-            shard_id = shard.shard_id
-            seeds = inboxes[shard_id]
-            if not seeds:
-                continue
-            inboxes[shard_id] = {}
-            shard_masks = masks[shard_id]
-            _, changed = product.propagate_masks(shard, automaton, seeds, masks=shard_masks)
-            # Frontier exchange: push the changed configurations' masks
-            # across this shard's cut edges to the owners of the targets.
-            for node, state in changed:
-                mask = shard_masks[(node, state)]
-                for symbol, next_states in moves[state]:
-                    remote_targets = shard.cut_targets(symbol, node)
-                    for target in remote_targets:
-                        target_owner = owner_of[target]
-                        outbox = outboxes.setdefault(target_owner, {})
-                        for next_state in next_states:
-                            config = (target, next_state)
-                            outbox[config] = outbox.get(config, 0) | mask
+        active = tuple(shard_id for shard_id, inbox in enumerate(inboxes) if inbox)
+        outboxes: Dict[int, Dict] = {}
+        if use_processes and len(active) > 1:
+            # Scatter: fork one worker per active shard (state rides in by
+            # copy-on-write); gather each shard's changed masks + outboxes.
+            workers = min(len(active), max_workers or (os.cpu_count() or 1))
+            rounds = run_forked(
+                (space, shards, masks, inboxes, owner_of, active),
+                _shard_round_worker,
+                len(active),
+                max_workers=workers,
+            )
+            for shard_id in active:
+                inboxes[shard_id] = {}
+            for shard_id, changed_masks, shard_outboxes in rounds:
+                masks[shard_id].update(changed_masks)
+                _merge_outboxes(outboxes, shard_outboxes)
+        else:
+            for shard_id in active:
+                seeds = inboxes[shard_id]
+                inboxes[shard_id] = {}
+                shard_outboxes, _ = _shard_round(
+                    space, shards[shard_id], owner_of, masks[shard_id], seeds
+                )
+                _merge_outboxes(outboxes, shard_outboxes)
         # Route messages: only genuinely new bits become next-round seeds.
         for shard_id, messages in outboxes.items():
             shard_masks = masks[shard_id]
@@ -345,5 +471,55 @@ def sharded_full_relation(
                     inbox[config] = inbox.get(config, 0) | mask
     pairs: Set[Pair] = set()
     for shard_masks in masks:
-        pairs |= product.decode_pairs(nodes, automaton, shard_masks)
+        pairs |= product.decode_pairs(space, shard_masks)
     return pairs
+
+
+def sharded_full_relation(
+    index: LabelIndex,
+    automaton: CompiledAutomaton,
+    partition: Optional[GraphPartition] = None,
+    num_shards: Optional[int] = None,
+    processes: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+) -> Set[Pair]:
+    """The plain-RPQ entry point: the sharded driver over the NFA product."""
+    return sharded_product_relation(
+        NfaProductSpace(index, automaton),
+        partition=partition,
+        num_shards=num_shards,
+        processes=processes,
+        max_workers=max_workers,
+    )
+
+
+# ----------------------------------------------------------------------
+# Mode dispatch
+# ----------------------------------------------------------------------
+def partitioned_product_relation(
+    space: ProductSpace,
+    mode: str,
+    workers: Optional[int] = None,
+    num_shards: Optional[int] = None,
+    partition: Optional[GraphPartition] = None,
+    processes: Optional[bool] = None,
+) -> Set[Pair]:
+    """Dispatch one product space through the driver *mode* names.
+
+    The one mode→driver mapping shared by the engine's ``*_partitioned``
+    methods and the GXPath closure routing, so new driver knobs are
+    threaded through a single seam.
+    """
+    if mode in {"blocks", "source-blocks"}:
+        return parallel_product_relation(space, num_blocks=workers)
+    if mode == "sharded":
+        return sharded_product_relation(
+            space,
+            partition=partition,
+            num_shards=num_shards,
+            processes=processes,
+            max_workers=workers,
+        )
+    raise EvaluationError(
+        f"unknown partitioned mode {mode!r}; expected 'blocks' or 'sharded'"
+    )

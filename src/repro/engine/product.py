@@ -1,19 +1,23 @@
-"""Indexed product-graph reachability for RPQ evaluation.
+"""Dialect-generic phase kernels over product configuration spaces.
 
 The seed evaluator ran one BFS over the (graph × automaton) product per
 source node, re-deriving ε-closures and scanning every outgoing edge of a
 node regardless of label.  This module replaces it with a three-phase
-pass over the product that is run **once** for the whole binary relation
-``e(G)``:
+pass that is run **once** for the whole binary relation ``e(G)`` — and,
+since PR 4, the phases are generic over any
+:class:`~repro.engine.spaces.ProductSpace` (NFA product, register-
+automaton product, per-label closure), so every dialect shares one
+kernel stack:
 
 1. **Forward multi-source reachability** (:func:`forward_expand`) — one
-   BFS from *all* initial configurations ``(v, q₀)`` at once, over the
-   label-indexed adjacency (only labels the automaton can actually read
-   are followed).
+   BFS from *all* seed configurations at once, over the label-indexed
+   adjacency (only labels the control can actually read are followed).
 2. **Backward pruning from accepting states** (:func:`backward_prune`) —
    a BFS over the reversed product from every reachable accepting
    configuration; configurations that cannot reach acceptance are
-   *useless* and dropped before the expensive phase.
+   *useless* and dropped before the expensive phase.  Only spaces with
+   ``prune = True`` (the NFA product) support this; the others run
+   phase 3 unpruned.
 3. **Source-set propagation** (:func:`propagate_masks`) — a worklist
    fixpoint that annotates every useful configuration with the bitmask of
    source nodes that reach it.  Masks are Python integers, so unioning
@@ -21,7 +25,7 @@ pass over the product that is run **once** for the whole binary relation
    word-parallel big-int ORs rather than per-source set manipulation.
 
 The answer is read off the accepting configurations: ``(u, v) ∈ e(G)``
-iff bit ``u`` is set on some ``(v, q_f)``.
+iff bit ``u`` is set on some accepting configuration sitting at ``v``.
 
 Each phase is exposed as a standalone kernel so the partitioned drivers
 in :mod:`repro.engine.partition` can recompose them: the propagation
@@ -29,26 +33,30 @@ fixpoint is *linear* in its seeds (the mask reaching a configuration is
 the union of the contributions of the individual sources), so phase 3
 can be split into independent source blocks (:func:`source_block_relation`)
 and fanned out across worker pools, or run shard-locally with
-cross-shard frontier exchange.  The kernels only require the
-``targets``-style adjacency interface, which shard-local index views
-also implement.
+cross-shard frontier exchange.  The kernels take the adjacency to expand
+over as a parameter (defaulting to the space's full label index), which
+shard-local index views also implement.
 
-Single-source and single-pair questions use a direct BFS (phases 1–2
-only, with early exit), which is still automaton-compiled and
-index-driven.
+:func:`full_relation` keeps the historical ``(index, automaton)``
+signature for plain RPQs; :func:`product_relation` is the dialect-generic
+composition.  Single-source and single-pair RPQ questions use a direct
+BFS (:func:`reachable_targets` / :func:`pair_holds`, with early exit),
+which is still automaton-compiled and index-driven.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..datagraph.index import LabelIndex
 from ..datagraph.node import NodeId
 from .compiled import CompiledAutomaton
+from .spaces import NfaProductSpace, ProductSpace
 
 __all__ = [
     "full_relation",
+    "product_relation",
     "reachable_targets",
     "pair_holds",
     "witness_labels",
@@ -66,80 +74,73 @@ Pair = Tuple[NodeId, NodeId]
 
 
 # ----------------------------------------------------------------------
-# Phase kernels
+# Phase kernels (generic over a ProductSpace)
 # ----------------------------------------------------------------------
-def initial_configs(
-    automaton: CompiledAutomaton, nodes: Iterable[NodeId]
-) -> Set[Config]:
-    """The initial product configurations ``(v, q₀)`` for the given nodes."""
-    initial_states = automaton.initial
-    return {(node, state) for node in nodes for state in initial_states}
+def initial_configs(space: ProductSpace, nodes: Optional[Sequence[NodeId]] = None) -> Set:
+    """The seed configurations of the given nodes (all index nodes by default)."""
+    seeds: Set = set()
+    for node in space.index.nodes if nodes is None else nodes:
+        seeds.update(space.seed_configs(node))
+    return seeds
 
 
-def forward_expand(
-    index: LabelIndex, automaton: CompiledAutomaton, seeds: Iterable[Config]
-) -> Set[Config]:
+def forward_expand(space: ProductSpace, seeds, adjacency=None) -> Set:
     """Phase 1: forward BFS over the product from *seeds* (which are included)."""
-    moves = automaton.moves
-    targets_of = index.targets
-    reachable: Set[Config] = set(seeds)
+    if adjacency is None:
+        adjacency = space.index
+    successors = space.successors
+    reachable: Set = set(seeds)
     queue: deque = deque(reachable)
     while queue:
-        node, state = queue.popleft()
-        for symbol, next_states in moves[state]:
-            targets = targets_of(symbol, node)
-            for target in targets:
-                for next_state in next_states:
-                    config = (target, next_state)
-                    if config not in reachable:
-                        reachable.add(config)
-                        queue.append(config)
+        config = queue.popleft()
+        for successor in successors(adjacency, config):
+            if successor not in reachable:
+                reachable.add(successor)
+                queue.append(successor)
     return reachable
 
 
-def backward_prune(
-    index: LabelIndex, automaton: CompiledAutomaton, reachable: Set[Config]
-) -> Set[Config]:
-    """Phase 2: the subset of *reachable* that can still reach acceptance."""
-    accepting = automaton.accepting
-    backward_moves = automaton.backward_moves
-    sources_of = index.sources
-    useful: Set[Config] = {config for config in reachable if config[1] in accepting}
+def backward_prune(space: ProductSpace, reachable: Set, adjacency=None) -> Set:
+    """Phase 2: the subset of *reachable* that can still reach acceptance.
+
+    Requires a space with ``prune = True`` (reversible expansion); the
+    drivers skip this phase — and pass ``useful=None`` downstream — for
+    spaces that only run forward.
+    """
+    if adjacency is None:
+        adjacency = space.index
+    predecessors = space.predecessors
+    is_accepting = space.is_accepting
+    useful: Set = {config for config in reachable if is_accepting(config)}
     queue: deque = deque(useful)
     while queue:
-        node, state = queue.popleft()
-        for symbol, previous_states in backward_moves[state]:
-            sources = sources_of(symbol, node)
-            for source in sources:
-                for previous_state in previous_states:
-                    config = (source, previous_state)
-                    if config in reachable and config not in useful:
-                        useful.add(config)
-                        queue.append(config)
+        config = queue.popleft()
+        for predecessor in predecessors(adjacency, config):
+            if predecessor in reachable and predecessor not in useful:
+                useful.add(predecessor)
+                queue.append(predecessor)
     return useful
 
 
 def seed_masks(
-    index: LabelIndex,
-    automaton: CompiledAutomaton,
-    useful: Optional[Set[Config]] = None,
+    space: ProductSpace,
+    useful: Optional[Set] = None,
     sources: Optional[Sequence[NodeId]] = None,
-) -> Dict[Config, int]:
+) -> Dict:
     """Initial ``config -> source bitmask`` seeds for phase 3.
 
-    Bits are assigned under the *global* node ordering of *index*, so
-    masks produced from different source blocks (or different shards of a
-    partition) can be OR-merged directly.  With *sources* given, only
-    that block of source nodes contributes seed bits; with *useful*
-    given, seeds at pruned configurations are dropped.
+    Bits are assigned under the *global* node ordering of the space's
+    index, so masks produced from different source blocks (or different
+    shards of a partition) can be OR-merged directly.  With *sources*
+    given, only that block of source nodes contributes seed bits; with
+    *useful* given, seeds at pruned configurations are dropped.
     """
-    position = index.position
-    initial_states = automaton.initial
-    seeds: Dict[Config, int] = {}
-    for node in index.nodes if sources is None else sources:
+    position = space.index.position
+    seed_configs = space.seed_configs
+    seeds: Dict = {}
+    for node in space.index.nodes if sources is None else sources:
         bit = 1 << position[node]
-        for state in initial_states:
-            config = (node, state)
+        for config in seed_configs(node):
             if useful is not None and config not in useful:
                 continue
             seeds[config] = seeds.get(config, 0) | bit
@@ -147,31 +148,36 @@ def seed_masks(
 
 
 def propagate_masks(
-    index: LabelIndex,
-    automaton: CompiledAutomaton,
-    seeds: Dict[Config, int],
-    useful: Optional[Set[Config]] = None,
-    masks: Optional[Dict[Config, int]] = None,
-) -> Tuple[Dict[Config, int], Set[Config]]:
+    space: ProductSpace,
+    seeds: Dict,
+    useful: Optional[Set] = None,
+    masks: Optional[Dict] = None,
+    adjacency=None,
+) -> Tuple[Dict, Set]:
     """Phase 3: propagate source bitmasks to a fixpoint.
 
     Merges *seeds* into *masks* (a fresh table when ``None``) and runs
     the worklist until no mask grows.  Restricting propagation to the
-    *useful* set skips dead configurations; shard-local index views pass
-    ``useful=None`` and simply stop at their boundary (their ``targets``
-    return only local edges).
+    *useful* set skips dead configurations; shard-local adjacency views
+    pass ``useful=None`` and simply stop at their boundary (their
+    ``targets`` return only local edges).
 
     Returns the mask table and the set of configurations whose mask
     changed — the sharded driver scans the changed configurations'
     cut edges to build the next cross-shard frontier.
     """
-    moves = automaton.moves
-    targets_of = index.targets
+    if adjacency is None:
+        adjacency = space.index
+    successors = space.successors
     if masks is None:
         masks = {}
-    changed: Set[Config] = set()
+    changed: Set = set()
     pending: deque = deque()
-    enqueued: Set[Config] = set()
+    enqueued: Set = set()
+    # A configuration re-enters the worklist every time its mask grows;
+    # memoising its successor list keeps re-pops to pure mask ORs (the
+    # register product's expansion recomputes silent closures otherwise).
+    expansions: Dict = {}
     for config, mask in seeds.items():
         known = masks.get(config, 0)
         merged = known | mask
@@ -184,83 +190,95 @@ def propagate_masks(
     while pending:
         config = pending.popleft()
         enqueued.discard(config)
-        node, state = config
         mask = masks[config]
-        for symbol, next_states in moves[state]:
-            targets = targets_of(symbol, node)
-            for target in targets:
-                for next_state in next_states:
-                    successor = (target, next_state)
-                    if useful is not None and successor not in useful:
-                        continue
-                    known = masks.get(successor, 0)
-                    merged = known | mask
-                    if merged != known:
-                        masks[successor] = merged
-                        changed.add(successor)
-                        if successor not in enqueued:
-                            enqueued.add(successor)
-                            pending.append(successor)
+        expanded = expansions.get(config)
+        if expanded is None:
+            expanded = expansions[config] = tuple(successors(adjacency, config))
+        for successor in expanded:
+            if useful is not None and successor not in useful:
+                continue
+            known = masks.get(successor, 0)
+            merged = known | mask
+            if merged != known:
+                masks[successor] = merged
+                changed.add(successor)
+                if successor not in enqueued:
+                    enqueued.add(successor)
+                    pending.append(successor)
     return masks, changed
 
 
-def decode_pairs(
-    nodes: Sequence[NodeId],
-    automaton: CompiledAutomaton,
-    masks: Dict[Config, int],
-) -> Set[Pair]:
+def decode_pairs(space: ProductSpace, masks: Dict) -> Set[Pair]:
     """Read the answer relation off the accepting configurations' masks.
 
     The bit decoding mirrors ``LabelIndex.nodes_of``, inlined because
     this loop dominates the answer-materialisation cost on dense
     relations.
     """
-    accepting = automaton.accepting
+    nodes = space.index.nodes
+    is_accepting = space.is_accepting
+    node_of = space.node_of
     pairs: Set[Pair] = set()
-    for (node, state), mask in masks.items():
-        if state not in accepting:
+    for config, mask in masks.items():
+        if not is_accepting(config):
             continue
+        target = node_of(config)
         while mask:
             low = mask & -mask
-            pairs.add((nodes[low.bit_length() - 1], node))
+            pairs.add((nodes[low.bit_length() - 1], target))
             mask ^= low
     return pairs
 
 
 def source_block_relation(
-    index: LabelIndex,
-    automaton: CompiledAutomaton,
-    useful: Set[Config],
+    space: ProductSpace,
+    useful: Optional[Set],
     block: Sequence[NodeId],
 ) -> Set[Pair]:
     """The answer pairs contributed by one block of source nodes.
 
     Runs the phase-3 fixpoint with seeds restricted to *block*; because
     propagation is linear in its seeds, the union of the block relations
-    over any source partition equals :func:`full_relation`'s answer.
-    Phases 1–2 are shared: the caller computes *useful* once and hands it
-    to every block.
+    over any source partition equals :func:`product_relation`'s answer.
+    Phases 1–2 are shared: the caller computes *useful* once (``None``
+    for non-pruning spaces) and hands it to every block.
     """
-    seeds = seed_masks(index, automaton, useful=useful, sources=block)
-    masks, _ = propagate_masks(index, automaton, seeds, useful=useful)
-    return decode_pairs(index.nodes, automaton, masks)
+    seeds = seed_masks(space, useful=useful, sources=block)
+    masks, _ = propagate_masks(space, seeds, useful=useful)
+    return decode_pairs(space, masks)
 
 
 # ----------------------------------------------------------------------
-# The sequential composition
+# The sequential compositions
 # ----------------------------------------------------------------------
+def product_relation(space: ProductSpace) -> Set[Pair]:
+    """All pairs ``(u, v)`` the product space connects — any dialect.
+
+    Runs phases 1–2 only on spaces that support pruning; otherwise the
+    propagation fixpoint explores exactly the forward-reachable
+    configurations, which is what the per-source searches explored in
+    total (shared, here, across all sources at once).
+    """
+    if not space.index.nodes:
+        return set()
+    useful: Optional[Set] = None
+    if space.prune:
+        reachable = forward_expand(space, initial_configs(space))
+        useful = backward_prune(space, reachable)
+        if not useful:
+            return set()
+    seeds = seed_masks(space, useful=useful)
+    masks, _ = propagate_masks(space, seeds, useful=useful)
+    return decode_pairs(space, masks)
+
+
 def full_relation(index: LabelIndex, automaton: CompiledAutomaton) -> Set[Pair]:
-    """All pairs ``(u, v)`` connected by a path accepted by *automaton*."""
-    nodes = index.nodes
-    if not nodes:
-        return set()
-    reachable = forward_expand(index, automaton, initial_configs(automaton, nodes))
-    useful = backward_prune(index, automaton, reachable)
-    if not useful:
-        return set()
-    seeds = seed_masks(index, automaton, useful=useful)
-    masks, _ = propagate_masks(index, automaton, seeds, useful=useful)
-    return decode_pairs(nodes, automaton, masks)
+    """All pairs ``(u, v)`` connected by a path accepted by *automaton*.
+
+    The plain-RPQ entry point: :func:`product_relation` over the
+    :class:`~repro.engine.spaces.NfaProductSpace`.
+    """
+    return product_relation(NfaProductSpace(index, automaton))
 
 
 def reachable_targets(

@@ -1,0 +1,274 @@
+"""Product spaces: one configuration-space protocol for every dialect.
+
+Every query language in the paper evaluates by reachability in a product
+of the graph with some finite control — an NFA for plain RPQs, a register
+automaton for memory RPQs, a single looping state for the GXPath ``a*``
+closure.  The phase kernels in :mod:`repro.engine.product` (forward
+expansion, backward pruning, bitmask source propagation, answer
+decoding) only ever need five operations from that product, captured
+here as the **ProductSpace protocol**:
+
+``seed_configs(node)``
+    The configurations a source node *node* starts in (its "seed
+    identity"): the product states reachable before reading any edge.
+``successors(adjacency, config)``
+    One-step expansion of *config* along the edges served by
+    *adjacency* — anything with the ``targets(label, node)`` interface:
+    the full :class:`~repro.datagraph.index.LabelIndex`, a shard-local
+    :class:`~repro.engine.partition.ShardView`, or a cut-edge view.
+``predecessors(adjacency, config)``
+    One-step reverse expansion (only when :attr:`prune` is true;
+    *adjacency* must serve ``sources(label, node)``).
+``is_accepting(config)`` / ``node_of(config)``
+    The acceptance test, and the graph node a configuration sits at —
+    together they let :func:`~repro.engine.product.decode_pairs` read
+    ``(source, node_of(config))`` off every accepting mask bit.
+
+Because the kernels take the adjacency as a parameter, every space
+shards for free: the partition drivers in :mod:`repro.engine.partition`
+run the same space against shard-local views and exchange frontier
+configurations over the cut edges, whatever the dialect.
+
+Three implementations cover the paper's languages:
+
+* :class:`NfaProductSpace` — ``(node, state)`` configurations over a
+  compiled ε-free NFA; plain RPQs.  Supports backward pruning.
+* :class:`RegisterProductSpace` — ``(node, state, valuation)``
+  configurations over a register automaton; memory RPQs (REM) and, via
+  the REE→REM translation, equality RPQs.  One mask-propagation pass
+  over this space replaces the historical per-source search: sources
+  whose runs meet in the same configuration share all downstream work,
+  and the source sets ride along as word-parallel big-int ORs.
+* :class:`ClosureSpace` — bare-node configurations over one edge label;
+  the transitive-closure hot path of GXPath ``a*`` / ``a-*`` axes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..datagraph.index import LabelIndex
+from ..datagraph.node import NodeId
+from ..datapaths.conditions import EMPTY_VALUATION
+from ..datapaths.register_automata import RegisterAutomaton
+from .compiled import CompiledAutomaton
+
+__all__ = [
+    "ProductSpace",
+    "NfaProductSpace",
+    "RegisterProductSpace",
+    "ClosureSpace",
+]
+
+
+class ProductSpace:
+    """Protocol base class for (graph × control) configuration spaces.
+
+    Subclasses hold the global :class:`LabelIndex` (node ordering, data
+    values) but take the *adjacency* each expansion runs over as a call
+    parameter, so one space instance serves the sequential kernels, the
+    source-block workers and every shard of a partition.  Configurations
+    are opaque hashable values; only the space interprets them.
+
+    :attr:`prune` declares whether the space supports backward expansion
+    (:meth:`predecessors`): when true, the drivers run the
+    forward/backward phases and hand the kernels a *useful* set; when
+    false (register automata — valuations cannot be run backwards; the
+    closure space — every configuration accepts) the propagation phase
+    simply runs unpruned.
+    """
+
+    __slots__ = ()
+
+    #: Whether backward pruning is available (and worthwhile).
+    prune: bool = False
+    index: LabelIndex
+
+    def seed_configs(self, node: NodeId) -> Iterable:
+        """The configurations source *node* occupies before reading any edge."""
+        raise NotImplementedError
+
+    def successors(self, adjacency, config) -> Iterable:
+        """One-step successors of *config* along *adjacency*'s edges."""
+        raise NotImplementedError
+
+    def predecessors(self, adjacency, config) -> Iterable:
+        """One-step predecessors (``prune`` spaces only)."""
+        raise NotImplementedError
+
+    def is_accepting(self, config) -> bool:
+        """Whether *config* witnesses an answer ending at :meth:`node_of`."""
+        raise NotImplementedError
+
+    def node_of(self, config) -> NodeId:
+        """The graph node the configuration sits at."""
+        raise NotImplementedError
+
+
+class NfaProductSpace(ProductSpace):
+    """The classical (graph × NFA) product of plain RPQ evaluation.
+
+    Configurations are ``(node, state)`` pairs over a
+    :class:`~repro.engine.compiled.CompiledAutomaton`.  This is the
+    refactored form of the behaviour the kernels hard-coded before the
+    protocol existed, and the only space with backward pruning (ε-free
+    NFAs reverse trivially).
+    """
+
+    __slots__ = ("index", "automaton", "_moves", "_backward_moves", "_accepting")
+
+    prune = True
+
+    def __init__(self, index: LabelIndex, automaton: CompiledAutomaton):
+        self.index = index
+        self.automaton = automaton
+        self._moves = automaton.moves
+        self._backward_moves = automaton.backward_moves
+        self._accepting = automaton.accepting
+
+    def seed_configs(self, node: NodeId) -> List[Tuple[NodeId, int]]:
+        return [(node, state) for state in self.automaton.initial]
+
+    def successors(self, adjacency, config) -> List[Tuple[NodeId, int]]:
+        node, state = config
+        targets_of = adjacency.targets
+        out: List[Tuple[NodeId, int]] = []
+        for symbol, next_states in self._moves[state]:
+            for target in targets_of(symbol, node):
+                for next_state in next_states:
+                    out.append((target, next_state))
+        return out
+
+    def predecessors(self, adjacency, config) -> List[Tuple[NodeId, int]]:
+        node, state = config
+        sources_of = adjacency.sources
+        out: List[Tuple[NodeId, int]] = []
+        for symbol, previous_states in self._backward_moves[state]:
+            for source in sources_of(symbol, node):
+                for previous_state in previous_states:
+                    out.append((source, previous_state))
+        return out
+
+    def is_accepting(self, config) -> bool:
+        return config[1] in self._accepting
+
+    def node_of(self, config) -> NodeId:
+        return config[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NfaProductSpace {len(self.index.nodes)} nodes x {self.automaton!r}>"
+
+
+class RegisterProductSpace(ProductSpace):
+    """The (graph × register automaton) product of memory-RPQ evaluation.
+
+    Configurations are ``(node, state, valuation)`` triples: the register
+    valuation is part of the control state, so the space is as large as
+    the distinct register contents runs can accumulate.  Expansion steps
+    a letter transition across an edge and immediately closes under the
+    automaton's silent guard/store moves against the target node's data
+    value, exactly as the historical per-source search did — but driven
+    through the shared kernels, one propagation pass covers **all**
+    sources at once: runs from different sources that meet in the same
+    configuration merge their source bitmasks and share every expansion
+    after the meeting point.
+
+    Backward pruning is unsupported: guards and stores read the forward
+    direction's current data value, so the product does not reverse.
+    """
+
+    __slots__ = ("index", "automaton", "null_semantics", "_values", "_letters", "_accepting")
+
+    prune = False
+
+    def __init__(
+        self, index: LabelIndex, automaton: RegisterAutomaton, null_semantics: bool = False
+    ):
+        self.index = index
+        self.automaton = automaton
+        self.null_semantics = null_semantics
+        self._values = index.values
+        self._accepting = automaton.accepting
+        # Letter transitions grouped by source state: the only transition
+        # kind expansion consults (silent moves live in silent_closure).
+        letters: Dict[int, List[Tuple[str, int]]] = {}
+        for transition in automaton.transitions:
+            if transition.kind == "letter":
+                letters.setdefault(transition.source, []).append(
+                    (transition.symbol, transition.target)
+                )
+        self._letters = letters
+
+    def seed_configs(self, node: NodeId) -> List[Tuple[NodeId, int, object]]:
+        closure = self.automaton.silent_closure(
+            {(self.automaton.initial, EMPTY_VALUATION)},
+            self._values[node],
+            self.null_semantics,
+        )
+        return [(node, state, valuation) for state, valuation in closure]
+
+    def successors(self, adjacency, config) -> List[Tuple[NodeId, int, object]]:
+        node, state, valuation = config
+        targets_of = adjacency.targets
+        silent_closure = self.automaton.silent_closure
+        values = self._values
+        null_semantics = self.null_semantics
+        out: List[Tuple[NodeId, int, object]] = []
+        for symbol, target_state in self._letters.get(state, ()):
+            for neighbour in targets_of(symbol, node):
+                stepped = silent_closure(
+                    {(target_state, valuation)}, values[neighbour], null_semantics
+                )
+                for next_state, next_valuation in stepped:
+                    out.append((neighbour, next_state, next_valuation))
+        return out
+
+    def is_accepting(self, config) -> bool:
+        return config[1] in self._accepting
+
+    def node_of(self, config) -> NodeId:
+        return config[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RegisterProductSpace {len(self.index.nodes)} nodes x "
+            f"{self.automaton.num_states} states>"
+        )
+
+
+class ClosureSpace(ProductSpace):
+    """The degenerate product behind per-label transitive closures.
+
+    Configurations are bare node ids; expansion follows one edge label;
+    every configuration accepts.  ``product_relation`` over this space is
+    the reflexive-transitive closure ``a*`` — the hot path of GXPath
+    axis-star evaluation — computed as a single mask propagation instead
+    of one BFS per start node.  Inverse axes (``a-*``) are the transpose
+    of the forward closure, so callers evaluate forward and flip pairs.
+    """
+
+    __slots__ = ("index", "label")
+
+    prune = False
+
+    def __init__(self, index: LabelIndex, label: str):
+        self.index = index
+        self.label = label
+
+    def seed_configs(self, node: NodeId) -> Tuple[NodeId, ...]:
+        return (node,)
+
+    def successors(self, adjacency, config) -> Tuple[NodeId, ...]:
+        return adjacency.targets(self.label, config)
+
+    def predecessors(self, adjacency, config) -> Tuple[NodeId, ...]:
+        return adjacency.sources(self.label, config)
+
+    def is_accepting(self, config) -> bool:
+        return True
+
+    def node_of(self, config) -> NodeId:
+        return config
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClosureSpace {self.label!r}* over {len(self.index.nodes)} nodes>"

@@ -7,20 +7,29 @@ Given a data graph ``G = <V, E>``:
 * the semantics of a node expression φ is a set ``[[φ]]_G ⊆ V``.
 
 All cases of Figure 1 are implemented directly by set computations; the
-transitive closure ``a*`` is a per-label reachability.  The SQL-null mode
-(used when GXPath queries are posed over exchanged graphs with null
-nodes) makes the ``α=`` / ``α≠`` comparisons false when either endpoint
-carries the null value.
+transitive closure ``a*`` — the hot path on reachability-heavy
+expressions — runs through the shared product kernels of
+:mod:`repro.engine.product` over a
+:class:`~repro.engine.spaces.ClosureSpace` (one mask-propagation pass
+for the whole closure instead of one BFS per start node), so it can also
+take the partitioned drivers: the ``closure_mode`` / ``num_workers`` /
+``num_shards`` keywords of the evaluation entry points fan axis-star
+closures out over source blocks or edge-cut shards exactly like plain
+RPQs.  The SQL-null mode (used when GXPath queries are posed over
+exchanged graphs with null nodes) makes the ``α=`` / ``α≠`` comparisons
+false when either endpoint carries the null value.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, FrozenSet, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node, NodeId
 from ..datagraph.values import values_differ, values_equal
+from ..engine import partition as partition_kernels
+from ..engine import product as product_kernels
+from ..engine.spaces import ClosureSpace
 from ..exceptions import EvaluationError
 from .ast import (
     Axis,
@@ -53,10 +62,24 @@ class _Evaluator:
     or scans edges of irrelevant labels.
     """
 
-    def __init__(self, graph: DataGraph, null_semantics: bool):
+    def __init__(
+        self,
+        graph: DataGraph,
+        null_semantics: bool,
+        closure_mode: str = "off",
+        num_workers: Optional[int] = None,
+        num_shards: Optional[int] = None,
+        partition: Optional[partition_kernels.GraphPartition] = None,
+        processes: Optional[bool] = None,
+    ):
         self.graph = graph
         self.index = graph.label_index()
         self.null_semantics = null_semantics
+        self.closure_mode = closure_mode
+        self.num_workers = num_workers
+        self.num_shards = num_shards
+        self.partition = partition
+        self.processes = processes
         self._path_cache: Dict[int, FrozenSet[IdPair]] = {}
         self._node_cache: Dict[int, FrozenSet[NodeId]] = {}
 
@@ -105,19 +128,27 @@ class _Evaluator:
         raise EvaluationError(f"unknown GXPath path expression {expression!r}")  # pragma: no cover
 
     def _axis_star(self, label: str, inverse: bool) -> FrozenSet[IdPair]:
-        index = self.index
-        adjacency = index.predecessors(label) if inverse else index.successors(label)
-        pairs: Set[IdPair] = set()
-        for start in index.nodes:
-            seen = {start}
-            queue = deque((start,))
-            while queue:
-                current = queue.popleft()
-                pairs.add((start, current))
-                for neighbour in adjacency.get(current, ()):
-                    if neighbour not in seen:
-                        seen.add(neighbour)
-                        queue.append(neighbour)
+        """The reflexive-transitive closure of one axis, via the kernels.
+
+        Always computed in the forward direction over a
+        :class:`ClosureSpace` (the inverse axis closure is its transpose),
+        optionally through the partitioned drivers when the evaluator was
+        given a ``closure_mode``.
+        """
+        space = ClosureSpace(self.index, label)
+        if self.closure_mode == "off":
+            pairs = product_kernels.product_relation(space)
+        else:
+            pairs = partition_kernels.partitioned_product_relation(
+                space,
+                self.closure_mode,
+                workers=self.num_workers,
+                num_shards=self.num_shards,
+                partition=self.partition,
+                processes=self.processes,
+            )
+        if inverse:
+            return frozenset((target, source) for source, target in pairs)
         return frozenset(pairs)
 
     @staticmethod
@@ -154,20 +185,45 @@ class _Evaluator:
 
 
 def evaluate_path(
-    graph: DataGraph, expression: PathExpression, null_semantics: bool = False
+    graph: DataGraph,
+    expression: PathExpression,
+    null_semantics: bool = False,
+    *,
+    closure_mode: str = "off",
+    num_workers: Optional[int] = None,
+    num_shards: Optional[int] = None,
+    partition: Optional[partition_kernels.GraphPartition] = None,
+    processes: Optional[bool] = None,
 ) -> FrozenSet[Tuple[Node, Node]]:
-    """The binary relation ``[[α]]_G`` as pairs of nodes."""
-    evaluator = _Evaluator(graph, null_semantics)
+    """The binary relation ``[[α]]_G`` as pairs of nodes.
+
+    ``closure_mode`` (``"off"`` / ``"blocks"`` / ``"sharded"``) routes the
+    axis-star closures through the partitioned drivers; answers are
+    identical in every mode.
+    """
+    evaluator = _Evaluator(
+        graph, null_semantics, closure_mode, num_workers, num_shards, partition, processes
+    )
     return frozenset(
         (graph.node(source), graph.node(target)) for source, target in evaluator.path(expression)
     )
 
 
 def evaluate_node(
-    graph: DataGraph, expression: NodeExpression, null_semantics: bool = False
+    graph: DataGraph,
+    expression: NodeExpression,
+    null_semantics: bool = False,
+    *,
+    closure_mode: str = "off",
+    num_workers: Optional[int] = None,
+    num_shards: Optional[int] = None,
+    partition: Optional[partition_kernels.GraphPartition] = None,
+    processes: Optional[bool] = None,
 ) -> FrozenSet[Node]:
-    """The node set ``[[φ]]_G``."""
-    evaluator = _Evaluator(graph, null_semantics)
+    """The node set ``[[φ]]_G`` (``closure_mode`` as in :func:`evaluate_path`)."""
+    evaluator = _Evaluator(
+        graph, null_semantics, closure_mode, num_workers, num_shards, partition, processes
+    )
     return frozenset(graph.node(node_id) for node_id in evaluator.node(expression))
 
 

@@ -1,11 +1,14 @@
 """Intra-query execution policies and the point-workload cache.
 
-Acceptance property (ISSUE 3): a session under every ``intra_query``
-mode (off / source-block parallel / sharded) returns exactly the answers
-of the naive spec evaluators across all five dialects and random graphs.
-Only full-relation RPQs actually take the partitioned drivers — the
-other languages fall through to the sequential engine — but the
-contract is that the mode is invisible to callers in every dialect.
+Acceptance property (ISSUE 3, extended by ISSUE 4): a session under
+every ``intra_query`` mode (off / source-block parallel / sharded)
+returns exactly the answers of the naive spec evaluators across all five
+dialects and random graphs.  Since the ProductSpace refactor the modes
+are no longer RPQ-only — data RPQs ride the register product and GXPath
+expressions shard their axis-star closures — so the agreement properties
+here genuinely drive every dialect through the partitioned drivers,
+including REM register valuations crossing shard boundaries and GXPath
+``a*`` over cut edges.
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.api import ExecutionPolicy, GraphSession, Query
-from repro.datagraph import generators
+from repro.datagraph import DataGraph, generators
 from repro.exceptions import EvaluationError, UnknownNodeError
 from repro.query import (
     equality_rpq,
@@ -114,6 +117,58 @@ class TestModeAgreement:
     def test_unknown_intra_query_mode_rejected(self):
         with pytest.raises(EvaluationError):
             ExecutionPolicy(intra_query="quantum")
+
+
+class TestCrossShardBoundaries:
+    """ISSUE 4 acceptance: the sharded mode is correct even when every
+    answer path crosses shard boundaries — for register valuations and
+    for GXPath closures, not just plain RPQs."""
+
+    def chain_with_values(self, values):
+        graph = DataGraph(alphabet={"a"})
+        for position, value in enumerate(values):
+            graph.add_node(f"n{position}", value)
+        for position in range(len(values) - 1):
+            graph.add_edge(f"n{position}", "a", f"n{position + 1}")
+        return graph
+
+    def test_rem_valuations_cross_shard_boundaries(self):
+        # One node per shard: every hop of the REM walk is a cut edge and
+        # the bound register value travels in the frontier messages.
+        graph = self.chain_with_values([1, 2, 1, 3, 1, 2])
+        spec = memory_rpq("!x.(a[x!=])+")
+        expected = evaluate_data_rpq_naive(graph, spec)
+        policy = ExecutionPolicy(
+            intra_query="sharded", intra_query_threshold=1, num_shards=graph.num_nodes
+        )
+        session = GraphSession(graph, policy=policy)
+        answers = session.run(Query.data_rpq(spec.expression)).pairs()
+        assert answers == expected
+        # sanity: the relation genuinely depends on the register contents
+        ids = {(u.id, v.id) for u, v in answers}
+        assert ("n0", "n1") in ids and ("n0", "n2") not in ids
+
+    def test_gxpath_axis_star_over_cut_edges(self):
+        graph = self.chain_with_values([1] * 7)
+        plan = Query.parse("a*", "gxpath-path")
+        expected = GraphSession(graph).run(plan).rows()
+        policy = ExecutionPolicy(
+            intra_query="sharded", intra_query_threshold=1, num_shards=graph.num_nodes
+        )
+        assert GraphSession(graph, policy=policy).run(plan).rows() == expected
+
+    def test_sharded_processes_policy_agrees(self):
+        graph = generators.community_graph(3, 10, rng=8, domain_size=3)
+        plan = Query.parse("!x.((knows|bridge)[x!=])+", "rem")
+        baseline = GraphSession(graph).run(plan).pairs()
+        for processes in (False, True):
+            policy = ExecutionPolicy(
+                intra_query="sharded",
+                intra_query_threshold=1,
+                num_shards=3,
+                sharded_processes=processes,
+            )
+            assert GraphSession(graph, policy=policy).run(plan).pairs() == baseline
 
 
 class TestPointCache:

@@ -1,0 +1,161 @@
+"""Persistent point-cache snapshots (ROADMAP: caches for services that restart).
+
+``GraphSession.save_point_cache`` / ``load_point_cache`` round-trip the
+point-workload cache through JSON, keyed on
+``(graph.version, query.key, source)``; a snapshot taken at any other
+graph version is rejected, since node ids alone cannot prove the graph
+is unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import GraphSession, Query
+from repro.datagraph import generators
+from repro.exceptions import EvaluationError
+
+pytestmark = pytest.mark.filterwarnings("error::DeprecationWarning")
+
+QUERIES = ["a.(a|b)*", "b*"]
+
+
+def warm_session(graph):
+    session = GraphSession(graph)
+    for text in QUERIES:
+        for node in list(graph.node_ids)[:4]:
+            session.targets(text, node)
+    return session
+
+
+class TestSaveLoadRoundTrip:
+    def graph(self):
+        return generators.random_graph(20, 60, labels=("a", "b"), rng=31, domain_size=3)
+
+    def test_round_trip_restores_every_answer(self, tmp_path):
+        graph = self.graph()
+        session = warm_session(graph)
+        path = tmp_path / "points.json"
+        saved = session.save_point_cache(path)
+        assert saved == 8  # 2 queries x 4 sources
+
+        restored = GraphSession(graph)
+        assert restored.load_point_cache(path) == saved
+        for text in QUERIES:
+            for node in list(graph.node_ids)[:4]:
+                assert restored.targets(text, node) == session.targets(text, node)
+
+    def test_loaded_answers_are_served_without_recomputation(self, tmp_path):
+        graph = self.graph()
+        path = tmp_path / "points.json"
+        warm_session(graph).save_point_cache(path)
+
+        restored = GraphSession(graph)
+        restored.load_point_cache(path)
+        # Sabotage recomputation: a snapshot hit must not call _targets_of.
+        restored._targets_of = lambda *a, **k: pytest.fail("recomputed a snapshotted answer")
+        answers = restored.targets(QUERIES[0], "n0")
+        assert answers == GraphSession(graph).targets(QUERIES[0], "n0")
+
+    def test_snapshot_from_a_different_version_is_rejected(self, tmp_path):
+        graph = self.graph()
+        path = tmp_path / "points.json"
+        warm_session(graph).save_point_cache(path)
+        graph.add_node("fresh", 1)  # bumps the version
+        with pytest.raises(EvaluationError, match="version"):
+            GraphSession(graph).load_point_cache(path)
+
+    def test_snapshot_from_a_different_graph_with_equal_version_is_rejected(self, tmp_path):
+        # Two graphs built with the same number of mutations share a
+        # version counter; the content fingerprint must tell them apart.
+        def build(last_target):
+            from repro.datagraph import DataGraph
+
+            graph = DataGraph(alphabet={"a"})
+            for name in ("n0", "n1", "n2"):
+                graph.add_node(name, 1)
+            graph.add_edge("n0", "a", last_target)
+            return graph
+
+        first, second = build("n1"), build("n2")
+        assert first.version == second.version
+        session = GraphSession(first)
+        session.targets("a", "n0")
+        path = tmp_path / "points.json"
+        session.save_point_cache(path)
+        with pytest.raises(EvaluationError, match="fingerprint"):
+            GraphSession(second).load_point_cache(path)
+
+    def test_non_scalar_node_ids_round_trip(self, tmp_path):
+        # NodeId is only required to be hashable: tuple ids must survive
+        # the JSON round trip (stored as reprs, resolved on load).
+        from repro.datagraph import DataGraph
+
+        graph = DataGraph(alphabet={"a"})
+        for shard in range(3):
+            graph.add_node(("shard", shard), shard)
+        graph.add_edge(("shard", 0), "a", ("shard", 1))
+        graph.add_edge(("shard", 1), "a", ("shard", 2))
+        session = GraphSession(graph)
+        expected = session.targets("a.a", ("shard", 0))
+        assert {node.id for node in expected} == {("shard", 2)}
+        path = tmp_path / "points.json"
+        session.save_point_cache(path)
+
+        restored = GraphSession(graph)
+        restored.load_point_cache(path)
+        restored._targets_of = lambda *a, **k: pytest.fail("recomputed a snapshotted answer")
+        assert restored.targets("a.a", ("shard", 0)) == expected
+
+    def test_non_snapshot_payload_is_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"something": "else"}), encoding="utf-8")
+        with pytest.raises(EvaluationError, match="not a point-cache snapshot"):
+            GraphSession(self.graph()).load_point_cache(path)
+
+    def test_stale_lru_entries_are_not_saved(self, tmp_path):
+        graph = generators.chain(3, labels=("a",))
+        session = GraphSession(graph)
+        session.targets("a.a", "n0")
+        graph.add_node("extra", 7)  # the cached entry is now a stale version
+        session.targets("a.a", "n1")
+        path = tmp_path / "points.json"
+        assert session.save_point_cache(path) == 1  # only the current-version entry
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["graph_version"] == graph.version
+        assert len(payload["entries"]) == 1
+
+    def test_save_merges_a_previously_loaded_snapshot(self, tmp_path):
+        graph = self.graph()
+        first = tmp_path / "first.json"
+        warm_session(graph).save_point_cache(first)
+
+        session = GraphSession(graph)
+        session.load_point_cache(first)
+        session.targets("(a|b)*", "n5")  # one genuinely new answer
+        second = tmp_path / "second.json"
+        assert session.save_point_cache(second) == 9
+
+    def test_mutation_after_load_invalidates_the_snapshot(self, tmp_path):
+        graph = generators.chain(2, labels=("a",))
+        session = GraphSession(graph)
+        assert {node.id for node in session.targets("a.a", "n0")} == {"n2"}
+        path = tmp_path / "points.json"
+        session.save_point_cache(path)
+
+        restored = GraphSession(graph)
+        restored.load_point_cache(path)
+        graph.remove_edge("n1", "a", "n2")
+        assert restored.targets("a.a", "n0") == frozenset()
+
+    def test_clear_cache_drops_the_loaded_snapshot(self, tmp_path):
+        graph = self.graph()
+        path = tmp_path / "points.json"
+        warm_session(graph).save_point_cache(path)
+        session = GraphSession(graph)
+        session.load_point_cache(path)
+        session.clear_cache()
+        assert session._point_snapshot == {}
+        assert session.save_point_cache(tmp_path / "empty.json") == 0

@@ -1,0 +1,99 @@
+"""Direct coverage for the shared fork-pool helper.
+
+:mod:`repro.engine.forkpool` backs every process fan-out in the project
+(batch executor, source-block driver, sharded shard rounds), so its edge
+cases — worker exceptions, platforms without ``fork``, empty fan-outs —
+are pinned here rather than discovered through the drivers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagraph import generators
+from repro.engine import default_engine, forkpool, partition
+from repro.engine.forkpool import fork_available, run_forked
+
+
+def _double(payload, index):
+    return payload * index
+
+
+def _explode(payload, index):
+    if index == 1:
+        raise ValueError(f"worker {index} exploded on purpose")
+    return index
+
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="platform has no fork")
+
+
+class TestRunForked:
+    @needs_fork
+    def test_results_come_back_in_task_order(self):
+        assert run_forked(3, _double, 4) == [0, 3, 6, 9]
+
+    @needs_fork
+    def test_worker_exception_propagates_to_the_caller(self):
+        with pytest.raises(ValueError, match="exploded on purpose"):
+            run_forked(None, _explode, 3)
+
+    @needs_fork
+    def test_state_is_cleared_even_after_a_worker_failure(self):
+        with pytest.raises(ValueError):
+            run_forked(None, _explode, 3)
+        assert forkpool._STATE is None
+
+    def test_empty_task_list_short_circuits(self):
+        # No pool (ProcessPoolExecutor would reject max_workers=0) and no
+        # fork needed: an empty fan-out must work on every platform.
+        assert run_forked(None, _explode, 0) == []
+
+    @needs_fork
+    def test_max_workers_bound_is_honoured(self):
+        assert run_forked(2, _double, 5, max_workers=2) == [0, 2, 4, 6, 8]
+
+
+class TestForkUnavailableFallbacks:
+    """Callers must degrade — with identical answers — when fork is absent."""
+
+    def _relation(self):
+        graph = generators.random_graph(20, 50, labels=("a", "b"), rng=11)
+        index = graph.label_index()
+        automaton = default_engine().compile_rpq("a.(a|b)*")
+        return index, automaton
+
+    def test_parallel_driver_auto_backend_degrades_to_threads(self, monkeypatch):
+        index, automaton = self._relation()
+        expected = partition.product.full_relation(index, automaton)
+        monkeypatch.setattr(partition, "fork_available", lambda: False)
+        monkeypatch.setattr(
+            partition, "run_forked", lambda *a, **k: pytest.fail("forked despite no fork")
+        )
+        assert partition.parallel_full_relation(index, automaton, num_blocks=3) == expected
+
+    def test_sharded_driver_processes_degrade_to_in_process_rounds(self, monkeypatch):
+        index, automaton = self._relation()
+        expected = partition.product.full_relation(index, automaton)
+        monkeypatch.setattr(partition, "fork_available", lambda: False)
+        monkeypatch.setattr(
+            partition, "run_forked", lambda *a, **k: pytest.fail("forked despite no fork")
+        )
+        assert (
+            partition.sharded_full_relation(index, automaton, num_shards=3, processes=True)
+            == expected
+        )
+
+    def test_batch_executor_process_backend_degrades_to_threads(self, monkeypatch):
+        from repro.api import GraphSession, Query, executors
+
+        graph = generators.random_graph(15, 40, labels=("a", "b"), rng=3)
+        expected = GraphSession(graph).run("a.(a|b)*").pairs()
+        monkeypatch.setattr(executors, "fork_available", lambda: False)
+        monkeypatch.setattr(
+            executors, "run_forked", lambda *a, **k: pytest.fail("forked despite no fork")
+        )
+        pool = executors.ParallelExecutor(max_workers=2, backend="process")
+        session = GraphSession(graph)
+        results = session.run_many([Query.rpq("a.(a|b)*"), Query.rpq("b*")], executor=pool)
+        assert results[0].pairs() == expected

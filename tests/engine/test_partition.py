@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 from repro.datagraph import DataGraph, generators
 from repro.engine import (
     GraphPartition,
+    NfaProductSpace,
     default_engine,
     parallel_full_relation,
     sharded_full_relation,
@@ -73,25 +74,23 @@ class TestKernels:
     def test_source_blocks_union_to_the_full_relation(self):
         graph = generators.random_graph(25, 60, labels=("a", "b"), rng=7)
         index = graph.label_index()
-        automaton = compile_query("a.(a|b)*")
-        reachable = product.forward_expand(
-            index, automaton, product.initial_configs(automaton, index.nodes)
-        )
-        useful = product.backward_prune(index, automaton, reachable)
+        space = NfaProductSpace(index, compile_query("a.(a|b)*"))
+        reachable = product.forward_expand(space, product.initial_configs(space))
+        useful = product.backward_prune(space, reachable)
         union = set()
         for block in split_blocks(index.nodes, 4):
-            union |= product.source_block_relation(index, automaton, useful, block)
-        assert union == product.full_relation(index, automaton)
+            union |= product.source_block_relation(space, useful, block)
+        assert union == product.product_relation(space)
 
     def test_propagate_masks_reports_changed_configs(self):
         graph = generators.chain(3, labels=("a",))
         index = graph.label_index()
-        automaton = compile_query("a*")
-        seeds = product.seed_masks(index, automaton, sources=("n0",))
-        masks, changed = product.propagate_masks(index, automaton, seeds)
+        space = NfaProductSpace(index, compile_query("a*"))
+        seeds = product.seed_masks(space, sources=("n0",))
+        masks, changed = product.propagate_masks(space, seeds)
         assert changed == set(masks)
         # a second propagation from the same seeds is a fixpoint: no change
-        _, changed_again = product.propagate_masks(index, automaton, seeds, masks=masks)
+        _, changed_again = product.propagate_masks(space, seeds, masks=masks)
         assert changed_again == set()
 
 

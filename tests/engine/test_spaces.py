@@ -1,0 +1,233 @@
+"""The ProductSpace protocol: every dialect through one kernel stack.
+
+Acceptance property (ISSUE 4): the generic phase kernels and both
+partition drivers must agree with the dialect's executable spec for
+every space — the NFA product (plain RPQs), the register product
+(REE/REM data RPQs, including valuations crossing shard boundaries) and
+the closure space (GXPath ``a*``, including closures over cut edges).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagraph import DataGraph, generators
+from repro.datapaths import compile_rem, parse_ree, parse_rem, ree_to_rem
+from repro.engine import (
+    ClosureSpace,
+    GraphPartition,
+    NfaProductSpace,
+    RegisterProductSpace,
+    default_engine,
+    parallel_product_relation,
+    sharded_product_relation,
+)
+from repro.engine import product
+from repro.engine.data import (
+    register_automaton_relation,
+    register_automaton_relation_per_source,
+)
+
+REM_POOL = [
+    "!x.((a|b)[x!=])+",
+    "!x.(a|b)+[x=]",
+    "(a|b)*",
+    "!x.(a.(b[x=]|a))+",
+]
+
+REE_POOL = [
+    "(a|b)* . ((a|b)+)= . (a|b)*",
+    "((a|b)+)!=",
+]
+
+graphs = st.builds(
+    lambda size, edges, seed: generators.random_graph(
+        size, edges, labels=("a", "b"), rng=seed, domain_size=3
+    ),
+    size=st.integers(min_value=1, max_value=18),
+    edges=st.integers(min_value=0, max_value=50),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+def rem_space(index, text, null_semantics=False):
+    return RegisterProductSpace(index, compile_rem(parse_rem(text)), null_semantics)
+
+
+def naive_closure(index, label, inverse=False):
+    """Per-start BFS closure — the executable spec `_axis_star` used to be."""
+    adjacency = index.predecessors(label) if inverse else index.successors(label)
+    pairs = set()
+    for start in index.nodes:
+        seen = {start}
+        queue = deque((start,))
+        while queue:
+            current = queue.popleft()
+            pairs.add((start, current))
+            for neighbour in adjacency.get(current, ()):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# The register product space vs the per-source spec
+# ----------------------------------------------------------------------
+class TestRegisterProductSpace:
+    @settings(max_examples=25, deadline=None)
+    @given(graph=graphs, text=st.sampled_from(REM_POOL), nulls=st.booleans())
+    def test_mask_kernel_equals_per_source_search(self, graph, text, nulls):
+        index = graph.label_index()
+        automaton = compile_rem(parse_rem(text))
+        assert register_automaton_relation(
+            index, automaton, nulls
+        ) == register_automaton_relation_per_source(index, automaton, nulls)
+
+    @settings(max_examples=15, deadline=None)
+    @given(graph=graphs, text=st.sampled_from(REE_POOL))
+    def test_translated_ree_agrees_too(self, graph, text):
+        index = graph.label_index()
+        automaton = compile_rem(ree_to_rem(parse_ree(text)))
+        assert register_automaton_relation(
+            index, automaton
+        ) == register_automaton_relation_per_source(index, automaton)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        graph=graphs,
+        text=st.sampled_from(REM_POOL),
+        num_shards=st.integers(min_value=1, max_value=5),
+        strategy=st.sampled_from(["contiguous", "hash"]),
+    )
+    def test_sharded_driver_agrees_on_the_register_space(
+        self, graph, text, num_shards, strategy
+    ):
+        index = graph.label_index()
+        space = rem_space(index, text)
+        partition = GraphPartition.build(index, num_shards, strategy)
+        expected = set(register_automaton_relation_per_source(index, space.automaton))
+        assert sharded_product_relation(space, partition=partition) == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        graph=graphs,
+        text=st.sampled_from(REM_POOL),
+        num_blocks=st.integers(min_value=1, max_value=4),
+    )
+    def test_block_driver_agrees_on_the_register_space(self, graph, text, num_blocks):
+        index = graph.label_index()
+        space = rem_space(index, text)
+        expected = set(register_automaton_relation_per_source(index, space.automaton))
+        assert (
+            parallel_product_relation(space, num_blocks=num_blocks, backend="thread")
+            == expected
+        )
+
+    def test_valuations_cross_shard_boundaries(self):
+        """A chain split into single-node shards: the bound register value
+        must travel with the frontier messages through every cut edge."""
+        graph = DataGraph(alphabet={"a"})
+        values = [1, 2, 1, 3, 1, 2]
+        for position, value in enumerate(values):
+            graph.add_node(f"n{position}", value)
+        for position in range(len(values) - 1):
+            graph.add_edge(f"n{position}", "a", f"n{position + 1}")
+        index = graph.label_index()
+        space = rem_space(index, "!x.(a[x!=])+")
+        partition = GraphPartition.build(index, len(index.nodes))
+        assert all(len(shard.nodes) == 1 for shard in partition.shards)
+        expected = set(
+            register_automaton_relation_per_source(index, space.automaton)
+        )
+        # sanity: the expected relation really does depend on the register
+        assert ("n0", "n1") in expected and ("n0", "n2") not in expected
+        assert sharded_product_relation(space, partition=partition) == expected
+
+    def test_forked_shard_rounds_agree_with_in_process(self):
+        graph = generators.community_graph(3, 8, rng=5, domain_size=3)
+        index = graph.label_index()
+        space = rem_space(index, "!x.((knows|bridge)[x!=])+")
+        partition = GraphPartition.build(index, 3)
+        in_process = sharded_product_relation(space, partition=partition, processes=False)
+        forked = sharded_product_relation(space, partition=partition, processes=True)
+        assert forked == in_process
+
+
+# ----------------------------------------------------------------------
+# The closure space vs the per-start BFS spec
+# ----------------------------------------------------------------------
+class TestClosureSpace:
+    @settings(max_examples=25, deadline=None)
+    @given(graph=graphs, label=st.sampled_from(["a", "b"]))
+    def test_closure_equals_per_start_bfs(self, graph, label):
+        index = graph.label_index()
+        space = ClosureSpace(index, label)
+        assert product.product_relation(space) == naive_closure(index, label)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        graph=graphs,
+        label=st.sampled_from(["a", "b"]),
+        num_shards=st.integers(min_value=1, max_value=5),
+    )
+    def test_sharded_closure_agrees(self, graph, label, num_shards):
+        index = graph.label_index()
+        space = ClosureSpace(index, label)
+        assert sharded_product_relation(space, num_shards=num_shards) == naive_closure(
+            index, label
+        )
+
+    def test_closure_over_cut_edges_only(self):
+        """A pure chain with one node per shard: every closure step is a
+        cut edge, so the whole relation is built by frontier exchange."""
+        graph = generators.chain(7, labels=("a",))
+        index = graph.label_index()
+        space = ClosureSpace(index, "a")
+        partition = GraphPartition.build(index, len(index.nodes))
+        assert partition.cut_edge_count == 7  # chain(7) has 8 nodes, 7 edges
+        assert sharded_product_relation(space, partition=partition) == naive_closure(
+            index, "a"
+        )
+
+    def test_inverse_closure_is_the_transpose(self):
+        graph = generators.random_graph(12, 30, labels=("a",), rng=9)
+        index = graph.label_index()
+        forward = product.product_relation(ClosureSpace(index, "a"))
+        assert {(v, u) for u, v in forward} == naive_closure(index, "a", inverse=True)
+
+
+# ----------------------------------------------------------------------
+# The NFA space through the generic composition
+# ----------------------------------------------------------------------
+class TestNfaSpaceGenericComposition:
+    @settings(max_examples=20, deadline=None)
+    @given(graph=graphs, text=st.sampled_from(["a", "(a|b)*", "a.(a|b)*.b"]))
+    def test_product_relation_matches_full_relation(self, graph, text):
+        index = graph.label_index()
+        automaton = default_engine().compile_rpq(text)
+        space = NfaProductSpace(index, automaton)
+        assert product.product_relation(space) == product.full_relation(index, automaton)
+
+    def test_empty_graph_is_empty_for_every_space(self):
+        index = DataGraph(alphabet={"a"}).label_index()
+        automaton = default_engine().compile_rpq("a")
+        rem = compile_rem(parse_rem("!x.(a[x!=])+"))
+        for space in (
+            NfaProductSpace(index, automaton),
+            RegisterProductSpace(index, rem),
+            ClosureSpace(index, "a"),
+        ):
+            assert product.product_relation(space) == set()
+            assert sharded_product_relation(space, num_shards=3) == set()
+            assert parallel_product_relation(space, backend="thread") == set()
+
+    def test_rejects_unknown_backend_before_running(self):
+        index = generators.chain(2).label_index()
+        space = ClosureSpace(index, "a")
+        with pytest.raises(Exception):
+            parallel_product_relation(space, backend="gpu")

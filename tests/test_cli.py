@@ -77,6 +77,44 @@ class TestInfoAndEvaluate:
         error = capsys.readouterr().err
         assert "--workers must be positive" in error and "error" in error
 
+    @pytest.mark.parametrize("mode", ["blocks", "sharded"])
+    def test_intra_query_modes_agree(self, graph_file, capsys, mode):
+        """--intra-query selects the driver (and implies the policy) for
+        every dialect, sequential answers either way."""
+        for flag, text in (("--rpq", "r.r"), ("--rem", "!x.(r[x!=])+"), ("--gxpath-path", "r*")):
+            assert main(["evaluate", str(graph_file), flag, text]) == 0
+            expected = capsys.readouterr().out
+            assert main([
+                "evaluate", str(graph_file), flag, text,
+                "--intra-query", mode, "--num-shards", "2",
+            ]) == 0
+            assert capsys.readouterr().out == expected
+
+    def test_intra_query_threshold_is_threaded_through(self, graph_file, capsys):
+        # A threshold above the graph size keeps evaluation sequential but
+        # must still be accepted and produce the same answers.
+        assert main(["evaluate", str(graph_file), "--rpq", "r.r"]) == 0
+        expected = capsys.readouterr().out
+        assert main([
+            "evaluate", str(graph_file), "--rpq", "r.r", "--policy", "intra-query",
+            "--intra-query-threshold", "100",
+        ]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_intra_query_flags_require_the_intra_query_policy(self, graph_file, capsys):
+        assert main([
+            "evaluate", str(graph_file), "--rpq", "r", "--policy", "thread",
+            "--num-shards", "2",
+        ]) == 1
+        assert "--num-shards" in capsys.readouterr().err
+
+    def test_rejects_bad_shard_counts(self, graph_file, capsys):
+        assert main([
+            "evaluate", str(graph_file), "--rpq", "r", "--intra-query", "sharded",
+            "--num-shards", "0",
+        ]) == 1
+        assert "--num-shards must be positive" in capsys.readouterr().err
+
 
 class TestCertainAndExchange:
     def test_certain_answers(self, graph_file, mapping_file, capsys):
