@@ -1,0 +1,91 @@
+"""Benchmark the CRPQ planner against the retired nested-loop join.
+
+The workload is a small batch of random chain CRPQs from
+:func:`repro.workloads.random_crpq` — the same generator the planner's
+property tests draw from — over the multi-community graph: each query
+anchors on the selective ``bridge`` atom and continues through closure
+atoms whose full relations are large.  The naive evaluator
+(:func:`repro.query.crpq.evaluate_crpq_naive`, the executable spec)
+materialises every atom relation and joins tuple by tuple; the planner
+(:func:`repro.planner.plan_crpq` → :func:`repro.planner.execute_plan`)
+starts from the cheapest atom and evaluates the closure atoms only from
+the bindings that survive (seeded kernels + hash joins).
+
+Both must return identical answers; CI compares the means from
+BENCH_pr.json and fails when the planner's speedup over the naive join
+drops below 2× (see the bench-smoke gate in ci.yml).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import default_engine
+from repro.planner import execute_plan, plan_crpq
+from repro.query.crpq import evaluate_crpq_naive
+from repro.workloads import multi_community_scenario, random_crpq
+
+NUM_COMMUNITIES = 8
+COMMUNITY_SIZE = 40
+#: Chain CRPQs anchored on the thin bridge relation; the closure-heavy
+#: tails are where join order and seeding pay.
+QUERY_SEEDS = (1, 2, 3)
+
+
+@pytest.fixture(scope="module")
+def community_graph():
+    graph = multi_community_scenario(NUM_COMMUNITIES, COMMUNITY_SIZE, rng=17).source
+    graph.label_index()  # both paths share one prebuilt index
+    return graph
+
+
+@pytest.fixture(scope="module")
+def crpq_workload():
+    return tuple(
+        random_crpq(
+            ("knows", "bridge"),
+            shape="chain",
+            num_atoms=3,
+            closure_prob=0.6,
+            first_atom="bridge",
+            rng=seed,
+        )
+        for seed in QUERY_SEEDS
+    )
+
+
+@pytest.fixture(scope="module")
+def expected_answers(community_graph, crpq_workload):
+    engine = default_engine()
+    # Evaluating once also warms the compiled-automaton caches, so both
+    # timed paths start from the same engine state.
+    return tuple(
+        evaluate_crpq_naive(community_graph, query, engine=engine) for query in crpq_workload
+    )
+
+
+def bench_crpq_naive_nested_loop(benchmark, community_graph, crpq_workload, expected_answers):
+    engine = default_engine()
+
+    def run():
+        return tuple(
+            evaluate_crpq_naive(community_graph, query, engine=engine)
+            for query in crpq_workload
+        )
+
+    answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert answers == expected_answers
+
+
+def bench_crpq_planner_hash_join(benchmark, community_graph, crpq_workload, expected_answers):
+    engine = default_engine()
+    index = community_graph.label_index()
+
+    def run():
+        return tuple(
+            execute_plan(plan_crpq(query, index), community_graph, engine=engine)
+            for query in crpq_workload
+        )
+
+    answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert answers == expected_answers

@@ -93,6 +93,7 @@ from .query import (
     data_path_query,
     equality_rpq,
     evaluate_crpq,
+    parse_crpq,
     evaluate_data_rpq,
     evaluate_rpq,
     memory_rpq,
@@ -145,6 +146,7 @@ __all__ = [
     "evaluate_rpq",
     "evaluate_data_rpq",
     "evaluate_crpq",
+    "parse_crpq",
     "evaluate_gxpath_node",
     "evaluate_gxpath_path",
     # mappings and certain answers

@@ -31,7 +31,7 @@ from ..datapaths import RegexWithEquality, RegexWithMemory, parse_ree, parse_rem
 from ..exceptions import EvaluationError, ParseError, UnsupportedQueryError
 from ..gxpath.ast import NodeExpression, PathExpression
 from ..gxpath.parser import parse_gxpath_node, parse_gxpath_path
-from ..query.crpq import Atom, ConjunctiveRPQ
+from ..query.crpq import Atom, ConjunctiveRPQ, parse_crpq
 from ..query.data_rpq import DataRPQ
 from ..query.rpq import RPQ
 from ..regular import Regex, parse_regex
@@ -61,7 +61,7 @@ QueryPlan = Union[RPQ, DataRPQ, ConjunctiveRPQ, NodeExpression, PathExpression]
 QueryLike = Union["Query", QueryPlan, Regex, RegexWithEquality, RegexWithMemory, str]
 
 #: Textual dialects understood by :meth:`Query.parse`.
-DIALECTS = ("rpq", "ree", "rem", "gxpath-node", "gxpath-path")
+DIALECTS = ("rpq", "ree", "rem", "crpq", "gxpath-node", "gxpath-path")
 
 
 @dataclass(frozen=True)
@@ -190,7 +190,9 @@ class Query:
 
         Supported dialects: ``"rpq"`` (plain regular expressions),
         ``"ree"`` (regular expressions with equality), ``"rem"`` (regular
-        expressions with memory), ``"gxpath-node"`` and ``"gxpath-path"``.
+        expressions with memory), ``"crpq"`` (conjunctions, e.g.
+        ``"x,y :- (x, a.b, z), (z, ree:(c)=, y)"``), ``"gxpath-node"``
+        and ``"gxpath-path"``.
         """
         if dialect == "rpq":
             return cls.rpq(text)
@@ -198,6 +200,8 @@ class Query:
             return cls.data_rpq(parse_ree(text))
         if dialect == "rem":
             return cls.data_rpq(parse_rem(text))
+        if dialect == "crpq":
+            return cls(QueryKind.CRPQ, parse_crpq(text))
         if dialect == "gxpath-node":
             return cls.gxpath(text, kind="node")
         if dialect == "gxpath-path":
@@ -258,6 +262,40 @@ class Query:
 
     def __str__(self) -> str:
         return f"{self.kind.value}:{self.plan}"
+
+    def explain(self, graph: Optional["DataGraph"] = None) -> str:
+        """A human-readable account of how this query will be evaluated.
+
+        For CRPQs this is the planner's chosen plan — join order,
+        seeded scans, hash joins and cardinality estimates — costed
+        against *graph*'s label-index statistics when a graph is given
+        (without one, estimates collapse and the plan follows the
+        written atom order).  The other kinds have a fixed execution
+        strategy and explain to a one-line description.  Sessions expose
+        the same text (with plan caching) via
+        :meth:`~repro.api.session.GraphSession.explain`; the CLI prints
+        it under ``--explain``.
+        """
+        kind = self.kind
+        if kind is QueryKind.CRPQ:
+            from ..planner import plan_crpq
+
+            index = graph.label_index() if graph is not None else None
+            return plan_crpq(self.plan, index).explain()
+        if kind is QueryKind.RPQ:
+            return (
+                "rpq: compiled ε-free NFA × graph product; full-relation phases "
+                "forward-expand → backward-prune → mask-propagate → decode"
+            )
+        if kind is QueryKind.DATA_RPQ:
+            return (
+                "data_rpq: register-automaton × graph product, one full-relation "
+                "mask pass (REE expressions translate to REM first)"
+            )
+        return (
+            f"{kind.value}: recursive GXPath evaluation over the label index; "
+            "axis closures (a*) route through the ClosureSpace kernels"
+        )
 
     # ------------------------------------------------------------------
     # Execution seam (driven by GraphSession / executors)

@@ -105,6 +105,11 @@ class GraphSession:
         # The sharded mode's edge-cut plan, reused across queries until
         # the graph version (or the shard count) moves on.
         self._partition: Optional[GraphPartition] = None
+        # CRPQ logical plans, cached alongside the versioned result
+        # cache and keyed the same way ((graph.version, query.key)):
+        # replanning is cheap but not free, and a stable plan object
+        # also keeps `explain` output consistent with what actually ran.
+        self._crpq_plans: LRUCache = LRUCache(self.policy.result_cache_size)
         # Point answers restored from a persistent snapshot
         # (load_point_cache): string key -> target node ids.  Consulted
         # on point-cache misses while the graph stays at the snapshot's
@@ -268,7 +273,7 @@ class GraphSession:
                 return frozenset(node(target) for target in ids)
         return self._targets_of(plan, source, null_semantics)
 
-    def save_point_cache(self, path: Union[str, Path]) -> int:
+    def save_point_cache(self, path: Union[str, Path], max_entries: Optional[int] = None) -> int:
         """Write the point-workload cache to *path* as a JSON snapshot.
 
         Entries are keyed on ``(graph.version, query.key, source)``; only
@@ -280,25 +285,40 @@ class GraphSession:
         strings (ids are only required to be hashable, not JSON-native)
         and resolved against the live graph on load.  Returns the number
         of entries written.
+
+        With *max_entries* given the snapshot is **compacted**: only the
+        most-recently-used entries are kept, in LRU order — loaded
+        snapshot entries that have not been touched this session rank
+        oldest, live cache entries rank by the point cache's own
+        recency.  Compacted snapshots load like any other; lookups the
+        compaction dropped are simply recomputed on demand.
         """
+        if max_entries is not None and max_entries < 0:
+            raise EvaluationError(f"max_entries must be non-negative, got {max_entries}")
         version = self.graph.version
+        # Ordered oldest-first so compaction can trim from the front.
         entries: Dict[str, List[str]] = {}
         if self._point_snapshot and self._point_snapshot_version == version:
             entries.update(
                 {key: [repr(target) for target in ids] for key, ids in self._point_snapshot.items()}
             )
-        for key, answer in self._points.items():
+        for key, answer in self._points.items():  # LRU first, MRU last
             entry_version, plan_key, source, null_semantics = key
             if entry_version != version:
                 continue  # stale LRU leftovers from before a mutation
-            entries[self._snapshot_key(plan_key, source, null_semantics)] = sorted(
-                repr(node.id) for node in answer
-            )
+            snapshot_key = self._snapshot_key(plan_key, source, null_semantics)
+            entries.pop(snapshot_key, None)  # re-rank by live recency
+            entries[snapshot_key] = sorted(repr(node.id) for node in answer)
+        compacted = max_entries is not None and len(entries) > max_entries
+        if compacted:
+            keep = list(entries)[len(entries) - max_entries :]
+            entries = {key: entries[key] for key in keep}
         payload = {
             "format": "repro-point-cache/1",
             "graph_version": version,
             "graph_name": self.graph.name,
             "graph_fingerprint": self._graph_fingerprint(),
+            "compacted": compacted,
             "entries": entries,
         }
         Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
@@ -312,8 +332,10 @@ class GraphSession:
         version, or on a different graph that happens to share the
         version count, is rejected with an :class:`EvaluationError`.
         Loaded answers satisfy subsequent :meth:`targets` calls without
-        recomputation until the graph mutates.  Returns the number of
-        entries restored.
+        recomputation until the graph mutates.  Compacted snapshots
+        (``save_point_cache(..., max_entries=...)``) load the same way —
+        they just carry fewer entries, and dropped lookups recompute.
+        Returns the number of entries restored.
         """
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
         if not isinstance(payload, dict) or payload.get("format") != "repro-point-cache/1":
@@ -357,21 +379,63 @@ class GraphSession:
             key, lambda: self._evaluate_plan(plan, null_semantics)
         )
 
+    def _crpq_plan(self, plan: Query):
+        """The cached planner output for a CRPQ plan at the current version."""
+        from ..planner import plan_crpq
+
+        key = (self.graph.version, plan.key)
+        return self._crpq_plans.get_or_build(
+            key, lambda: plan_crpq(plan.plan, self.graph.label_index())
+        )
+
+    def explain(self, query: QueryLike) -> str:
+        """The execution plan of *query* on this session's graph.
+
+        For CRPQs this is the planner's cost-ordered join plan — the
+        exact (cached) plan object :meth:`run` executes at the current
+        graph version; other kinds describe their fixed strategy.  See
+        :meth:`repro.api.query.Query.explain`.
+        """
+        plan = Query.of(query)
+        if plan.kind is QueryKind.CRPQ:
+            return self._crpq_plan(plan).explain()
+        return plan.explain(self.graph)
+
     def _evaluate_plan(self, plan: Query, null_semantics: bool) -> frozenset:
         """Evaluate one plan, honouring the policy's intra-query mode.
 
-        Large full-relation queries are dispatched through the
-        partitioned drivers of :mod:`repro.engine.partition`: plain RPQs
-        over the NFA product, data RPQs (REE/REM) over the register
-        product, and GXPath expressions route their axis-star closures
-        through the drivers.  Every other plan (and every graph below
-        the threshold) takes the sequential engine.  The answers are
-        identical either way, so they share one cache entry and the
-        switch is invisible to callers.
+        CRPQs always take the planner (parse → plan → execute, with the
+        plan cached per graph version); when the intra-query mode is on
+        and the graph is big enough, each atom scan additionally runs
+        through the partitioned drivers.  Large full-relation queries of
+        the other kinds are dispatched through the same drivers of
+        :mod:`repro.engine.partition`: plain RPQs over the NFA product,
+        data RPQs (REE/REM) over the register product, and GXPath
+        expressions route their axis-star closures through the drivers.
+        Every other plan (and every graph below the threshold) takes the
+        sequential engine.  The answers are identical either way, so
+        they share one cache entry and the switch is invisible to
+        callers.
         """
         policy = self.policy
         mode = policy.intra_query
-        if mode != "off" and self.graph.num_nodes >= policy.intra_query_threshold:
+        intra_query = mode != "off" and self.graph.num_nodes >= policy.intra_query_threshold
+        if plan.kind is QueryKind.CRPQ:
+            from ..planner import execute_plan
+
+            atom_mode = mode if intra_query else "off"
+            return execute_plan(
+                self._crpq_plan(plan),
+                self.graph,
+                engine=self.engine,
+                null_semantics=null_semantics,
+                mode=atom_mode,
+                workers=policy.max_workers,
+                shards=policy.num_shards,
+                partition=self._shard_partition() if atom_mode == "sharded" else None,
+                processes=policy.sharded_processes,
+            )
+        if intra_query:
             partition = self._shard_partition() if mode == "sharded" else None
             if plan.kind is QueryKind.RPQ:
                 return self.engine.evaluate_rpq_partitioned(
@@ -443,9 +507,11 @@ class GraphSession:
 
     def clear_cache(self) -> None:
         """Drop all cached answer sets, including any loaded point-cache
-        snapshot (compiled automata stay in the engine)."""
+        snapshot and cached CRPQ plans (compiled automata stay in the
+        engine)."""
         self._results.clear()
         self._points.clear()
+        self._crpq_plans.clear()
         self._point_snapshot = {}
         self._point_snapshot_version = None
 

@@ -12,6 +12,7 @@ makes the common reproduction tasks scriptable without writing Python:
     python -m repro info graph.json
     python -m repro evaluate graph.json --rpq "knows.knows"
     python -m repro evaluate graph.json --gxpath-node "<a.[<b>]>" --json
+    python -m repro evaluate graph.json --crpq "x,y :- (x, knows, z), (z, knows, y)" --explain
     python -m repro certain graph.json mapping.json --ree "(knows)=" --method auto
     python -m repro exchange graph.json mapping.json --policy nulls -o target.json
     python -m repro experiment E5
@@ -39,6 +40,7 @@ _QUERY_FLAGS = (
     ("rpq", "rpq", "a plain regular path query, e.g. 'knows.knows'"),
     ("ree", "ree", "an equality RPQ, e.g. '(knows)='"),
     ("rem", "rem", "a memory RPQ, e.g. '!x.(knows[x!=])+'"),
+    ("crpq", "crpq", "a conjunctive RPQ, e.g. 'x,y :- (x, knows, z), (z, knows, y)'"),
     ("gxpath_node", "gxpath-node", "a GXPath node expression, e.g. '<a.[<b>]>'"),
     ("gxpath_path", "gxpath-path", "a GXPath path expression, e.g. 'a-* . (b)!='"),
 )
@@ -110,7 +112,7 @@ def _print_answers(answers) -> None:
 def _add_query_arguments(parser: argparse.ArgumentParser, navigational_only: bool = False) -> None:
     group = parser.add_mutually_exclusive_group(required=True)
     for attribute, dialect, help_text in _QUERY_FLAGS:
-        if navigational_only and dialect.startswith("gxpath"):
+        if navigational_only and (dialect.startswith("gxpath") or dialect == "crpq"):
             continue
         group.add_argument(f"--{dialect}", dest=attribute, help=help_text)
 
@@ -129,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("graph", help="path to a graph JSON file")
     evaluate.add_argument(
         "--json", action="store_true", help="print the result as a JSON document"
+    )
+    evaluate.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the execution plan instead of evaluating (for --crpq: the "
+        "planner's cost-ordered join plan with seeded scans and estimates)",
     )
     evaluate.add_argument(
         "--policy",
@@ -217,7 +225,13 @@ def _dispatch(arguments: argparse.Namespace) -> int:
     if arguments.command == "evaluate":
         graph = _load_graph(arguments.graph)
         query = _parse_query(arguments)
-        result = GraphSession(graph, policy=_execution_policy(arguments)).run(query)
+        session = GraphSession(graph, policy=_execution_policy(arguments))
+        if arguments.explain:
+            if arguments.json:
+                raise ReproError("--explain prints a plan, not answers; drop --json")
+            print(session.explain(query))
+            return 0
+        result = session.run(query)
         if arguments.json:
             print(result.to_json(indent=2))
         else:

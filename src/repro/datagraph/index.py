@@ -98,6 +98,11 @@ class LabelIndex:
         """Labels that actually carry at least one edge."""
         return frozenset(self._succ)
 
+    def edge_count(self, label: str) -> int:
+        """Number of edges carrying *label* — the base statistic of the
+        CRPQ planner's cardinality estimates."""
+        return sum(len(targets) for targets in self._succ.get(label, _EMPTY_ADJACENCY).values())
+
     # ------------------------------------------------------------------
     def mask_of(self, node_ids: Iterable[NodeId]) -> int:
         """Bitmask of the given node ids under this index's node ordering."""

@@ -304,6 +304,81 @@ class EvaluationEngine:
         node = graph.node
         return frozenset((node(source), node(target)) for source, target in id_pairs)
 
+    # ------------------------------------------------------------------
+    # Seeded (semijoin) atom evaluation — the CRPQ planner's kernel seam
+    # ------------------------------------------------------------------
+    def space_for_atom(
+        self, graph: DataGraph, query, null_semantics: bool = False
+    ) -> spaces.ProductSpace:
+        """The :class:`~repro.engine.spaces.ProductSpace` of one CRPQ atom.
+
+        *query* is an RPQ or data-RPQ wrapper (or a bare regex / REE /
+        REM expression): data expressions compile to the register
+        product, everything else to the NFA product.  The distinction is
+        structural — on the expression type, not the wrapper — so this
+        module still never imports :mod:`repro.query` at runtime.
+        """
+        index = graph.label_index()
+        expression = getattr(query, "expression", query)
+        if isinstance(expression, (RegexWithEquality, RegexWithMemory)):
+            automaton = self.compile_data_rpq(expression)
+            return spaces.RegisterProductSpace(index, automaton, null_semantics)
+        return spaces.NfaProductSpace(index, self.compile_rpq(query))
+
+    def evaluate_atom_ids(
+        self,
+        graph: DataGraph,
+        query,
+        sources: Optional[Iterable[NodeId]] = None,
+        targets: Optional[Iterable[NodeId]] = None,
+        null_semantics: bool = False,
+        mode: str = "off",
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        partition: Optional["partition_kernels.GraphPartition"] = None,
+        processes: Optional[bool] = None,
+    ) -> FrozenSet[Tuple[NodeId, NodeId]]:
+        """One CRPQ atom's relation as raw id pairs, optionally seeded.
+
+        This is the semijoin entry point the planner's scans call:
+        *sources* / *targets* restrict the relation to the node sets
+        already bound by earlier joins (``None`` means unrestricted), so
+        a later atom is evaluated only from the bindings that can still
+        contribute to the join.  ``mode`` picks the kernel driver —
+        ``"off"`` runs the sequential phases, ``"blocks"`` /
+        ``"sharded"`` reuse the intra-query drivers of
+        :mod:`repro.engine.partition`, seeded the same way.  Answers are
+        identical in every mode.
+        """
+        space = self.space_for_atom(graph, query, null_semantics)
+        index = space.index
+        if sources is not None:
+            # Deterministic seed order (and block splits) regardless of
+            # the set iteration order the bindings arrived in; ids the
+            # index does not know contribute nothing and are dropped.
+            position = index.position
+            sources = tuple(
+                sorted((node for node in set(sources) if node in position), key=position.__getitem__)
+            )
+        if targets is not None and not isinstance(targets, set):
+            targets = set(targets)
+        if mode == "off":
+            return frozenset(
+                product.seeded_product_relation(space, sources=sources, targets=targets)
+            )
+        return frozenset(
+            partition_kernels.partitioned_product_relation(
+                space,
+                mode,
+                workers=workers,
+                num_shards=shards,
+                partition=partition,
+                processes=processes,
+                sources=sources,
+                targets=targets,
+            )
+        )
+
     def data_rpq_holds(
         self,
         graph: DataGraph,

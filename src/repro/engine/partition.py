@@ -33,6 +33,11 @@ the same drivers:
   the degradation path (and the right choice for small graphs, where a
   per-round pool cannot amortise) — answers are identical either way.
 
+Both drivers also run **seeded** (``sources`` / ``targets`` restricted)
+evaluation — see :func:`repro.engine.product.seeded_product_relation` —
+which is how the CRPQ planner's per-atom semijoin scans inherit
+intra-query parallelism without any planner-specific driver code.
+
 :func:`parallel_full_relation` and :func:`sharded_full_relation` keep the
 historical ``(index, automaton)`` signatures for plain RPQs.  Equivalence
 across drivers and dialects is pinned by ``tests/engine/test_partition.py``
@@ -101,20 +106,26 @@ def split_blocks(nodes: Sequence[NodeId], num_blocks: int) -> List[Tuple[NodeId,
 
 def _block_worker(state, block_index: int) -> Set[Pair]:
     """Forked worker: one source block's relation (state arrives by fork)."""
-    space, useful, blocks = state
-    return product.source_block_relation(space, useful, blocks[block_index])
+    space, useful, blocks, targets = state
+    return product.source_block_relation(space, useful, blocks[block_index], targets=targets)
 
 
 def parallel_product_relation(
     space: ProductSpace,
     num_blocks: Optional[int] = None,
     backend: str = "auto",
+    sources: Optional[Sequence[NodeId]] = None,
+    targets: Optional[Set[NodeId]] = None,
 ) -> Set[Pair]:
     """``product_relation`` with the phase-3 fixpoint fanned out over source blocks.
 
     Works for any :class:`ProductSpace`: pruning spaces share the
     forward/backward phases across all blocks; non-pruning spaces (the
     register product, closures) hand every block an unpruned fixpoint.
+    With *sources* / *targets* given this is the driver-parallel form of
+    :func:`~repro.engine.product.seeded_product_relation`: the blocks are
+    cut from the bound source set only, so a CRPQ seeded scan fans its
+    semijoin out over the same worker pool as a full relation.
 
     Parameters
     ----------
@@ -123,16 +134,23 @@ def parallel_product_relation(
         capped at 8.
     backend:
         ``"fork"``, ``"thread"``, or ``"auto"`` (fork when available).
+    sources / targets:
+        Optional endpoint restrictions (seeded evaluation); ``None``
+        means unrestricted.
     """
     if backend not in {"auto", "fork", "thread"}:
         raise EvaluationError(f"unknown intra-query backend {backend!r}")
-    nodes = space.index.nodes
+    nodes = space.index.nodes if sources is None else tuple(sources)
     if not nodes:
         return set()
+    if targets is not None:
+        if not targets:
+            return set()
+        targets = set(targets)
     useful: Optional[Set] = None
     if space.prune:
-        reachable = product.forward_expand(space, product.initial_configs(space))
-        useful = product.backward_prune(space, reachable)
+        reachable = product.forward_expand(space, product.initial_configs(space, sources))
+        useful = product.backward_prune(space, reachable, targets=targets)
         if not useful:
             return set()
     workers = num_blocks if num_blocks is not None else min(os.cpu_count() or 1, 8)
@@ -140,15 +158,16 @@ def parallel_product_relation(
         raise EvaluationError(f"num_blocks must be positive, got {workers}")
     blocks = split_blocks(nodes, workers)
     if len(blocks) <= 1:
-        return product.source_block_relation(space, useful, nodes)
+        return product.source_block_relation(space, useful, nodes, targets=targets)
     if backend == "auto":
         backend = "fork" if fork_available() else "thread"
     if backend == "fork" and fork_available():
-        partials = run_forked((space, useful, blocks), _block_worker, len(blocks))
+        partials = run_forked((space, useful, blocks, targets), _block_worker, len(blocks))
         return set().union(*partials)
     with ThreadPoolExecutor(max_workers=len(blocks)) as pool:
         partials = pool.map(
-            lambda block: product.source_block_relation(space, useful, block), blocks
+            lambda block: product.source_block_relation(space, useful, block, targets=targets),
+            blocks,
         )
         return set().union(*partials)
 
@@ -383,6 +402,8 @@ def sharded_product_relation(
     num_shards: Optional[int] = None,
     processes: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    sources: Optional[Sequence[NodeId]] = None,
+    targets: Optional[Set[NodeId]] = None,
 ) -> Set[Pair]:
     """``product_relation`` evaluated shard-by-shard with frontier exchange.
 
@@ -406,11 +427,24 @@ def sharded_product_relation(
     A *partition* may be passed in (reusing a plan across queries);
     otherwise one is built with ``num_shards`` shards (default: CPU count
     capped at 8).
+
+    With *sources* / *targets* given the driver runs the seeded
+    (semijoin) form: each shard seeds only its locally owned bound
+    sources, and accepting masks are decoded against the target
+    restriction — the sharded counterpart of
+    :func:`~repro.engine.product.seeded_product_relation`.
     """
     index = space.index
     nodes = index.nodes
     if not nodes:
         return set()
+    if sources is not None and not sources:
+        return set()
+    if targets is not None:
+        if not targets:
+            return set()
+        targets = set(targets)
+    source_set = None if sources is None else set(sources)
     if partition is None:
         shards_wanted = num_shards if num_shards is not None else min(os.cpu_count() or 1, 8)
         partition = GraphPartition.build(index, max(1, shards_wanted))
@@ -434,7 +468,13 @@ def sharded_product_relation(
 
     masks: List[Dict] = [{} for _ in shards]
     inboxes: List[Dict] = [
-        product.seed_masks(space, sources=shard.nodes) for shard in shards
+        product.seed_masks(
+            space,
+            sources=shard.nodes
+            if source_set is None
+            else tuple(node for node in shard.nodes if node in source_set),
+        )
+        for shard in shards
     ]
     while any(inboxes):
         active = tuple(shard_id for shard_id, inbox in enumerate(inboxes) if inbox)
@@ -471,7 +511,7 @@ def sharded_product_relation(
                     inbox[config] = inbox.get(config, 0) | mask
     pairs: Set[Pair] = set()
     for shard_masks in masks:
-        pairs |= product.decode_pairs(space, shard_masks)
+        pairs |= product.decode_pairs(space, shard_masks, targets=targets)
     return pairs
 
 
@@ -503,15 +543,20 @@ def partitioned_product_relation(
     num_shards: Optional[int] = None,
     partition: Optional[GraphPartition] = None,
     processes: Optional[bool] = None,
+    sources: Optional[Sequence[NodeId]] = None,
+    targets: Optional[Set[NodeId]] = None,
 ) -> Set[Pair]:
     """Dispatch one product space through the driver *mode* names.
 
     The one mode→driver mapping shared by the engine's ``*_partitioned``
-    methods and the GXPath closure routing, so new driver knobs are
-    threaded through a single seam.
+    methods, the GXPath closure routing and the CRPQ planner's per-atom
+    seeded scans, so new driver knobs are threaded through a single
+    seam.  *sources* / *targets* select seeded (semijoin) evaluation.
     """
     if mode in {"blocks", "source-blocks"}:
-        return parallel_product_relation(space, num_blocks=workers)
+        return parallel_product_relation(
+            space, num_blocks=workers, sources=sources, targets=targets
+        )
     if mode == "sharded":
         return sharded_product_relation(
             space,
@@ -519,6 +564,8 @@ def partitioned_product_relation(
             num_shards=num_shards,
             processes=processes,
             max_workers=workers,
+            sources=sources,
+            targets=targets,
         )
     raise EvaluationError(
         f"unknown partitioned mode {mode!r}; expected 'blocks' or 'sharded'"

@@ -42,6 +42,17 @@ signature for plain RPQs; :func:`product_relation` is the dialect-generic
 composition.  Single-source and single-pair RPQ questions use a direct
 BFS (:func:`reachable_targets` / :func:`pair_holds`, with early exit),
 which is still automaton-compiled and index-driven.
+
+**Seeded evaluation** (:func:`seeded_product_relation`) is the semijoin
+contract the CRPQ planner relies on: the same phases, but seeded only
+from a restricted set of source nodes and/or pruned to a restricted set
+of target nodes, so a later join atom explores only the part of the
+product the already-bound variables can reach.  Restricting *sources*
+shrinks phase 1 and the seed bits of phase 3; restricting *targets*
+shrinks the accepting set phase 2 prunes back from (and, for
+non-pruning spaces, the accepting configurations phase 4 decodes).
+``seeded_product_relation(space)`` with no restriction *is*
+:func:`product_relation`.
 """
 
 from __future__ import annotations
@@ -57,6 +68,7 @@ from .spaces import NfaProductSpace, ProductSpace
 __all__ = [
     "full_relation",
     "product_relation",
+    "seeded_product_relation",
     "reachable_targets",
     "pair_holds",
     "witness_labels",
@@ -100,18 +112,27 @@ def forward_expand(space: ProductSpace, seeds, adjacency=None) -> Set:
     return reachable
 
 
-def backward_prune(space: ProductSpace, reachable: Set, adjacency=None) -> Set:
+def backward_prune(
+    space: ProductSpace, reachable: Set, adjacency=None, targets: Optional[Set[NodeId]] = None
+) -> Set:
     """Phase 2: the subset of *reachable* that can still reach acceptance.
 
     Requires a space with ``prune = True`` (reversible expansion); the
     drivers skip this phase — and pass ``useful=None`` downstream — for
-    spaces that only run forward.
+    spaces that only run forward.  With *targets* given, only acceptance
+    at one of those nodes counts (the seeded-scan restriction), so every
+    configuration that merely accepts elsewhere is pruned too.
     """
     if adjacency is None:
         adjacency = space.index
     predecessors = space.predecessors
     is_accepting = space.is_accepting
-    useful: Set = {config for config in reachable if is_accepting(config)}
+    node_of = space.node_of
+    useful: Set = {
+        config
+        for config in reachable
+        if is_accepting(config) and (targets is None or node_of(config) in targets)
+    }
     queue: deque = deque(useful)
     while queue:
         config = queue.popleft()
@@ -208,12 +229,16 @@ def propagate_masks(
     return masks, changed
 
 
-def decode_pairs(space: ProductSpace, masks: Dict) -> Set[Pair]:
+def decode_pairs(
+    space: ProductSpace, masks: Dict, targets: Optional[Set[NodeId]] = None
+) -> Set[Pair]:
     """Read the answer relation off the accepting configurations' masks.
 
     The bit decoding mirrors ``LabelIndex.nodes_of``, inlined because
     this loop dominates the answer-materialisation cost on dense
-    relations.
+    relations.  With *targets* given, only accepting configurations at
+    those nodes are decoded — how non-pruning spaces honour a seeded
+    scan's target restriction.
     """
     nodes = space.index.nodes
     is_accepting = space.is_accepting
@@ -223,6 +248,8 @@ def decode_pairs(space: ProductSpace, masks: Dict) -> Set[Pair]:
         if not is_accepting(config):
             continue
         target = node_of(config)
+        if targets is not None and target not in targets:
+            continue
         while mask:
             low = mask & -mask
             pairs.add((nodes[low.bit_length() - 1], target))
@@ -234,6 +261,7 @@ def source_block_relation(
     space: ProductSpace,
     useful: Optional[Set],
     block: Sequence[NodeId],
+    targets: Optional[Set[NodeId]] = None,
 ) -> Set[Pair]:
     """The answer pairs contributed by one block of source nodes.
 
@@ -241,11 +269,13 @@ def source_block_relation(
     propagation is linear in its seeds, the union of the block relations
     over any source partition equals :func:`product_relation`'s answer.
     Phases 1–2 are shared: the caller computes *useful* once (``None``
-    for non-pruning spaces) and hands it to every block.
+    for non-pruning spaces) and hands it to every block.  A seeded
+    scan's *targets* restriction is applied at decode time (pruning
+    spaces already folded it into *useful*).
     """
     seeds = seed_masks(space, useful=useful, sources=block)
     masks, _ = propagate_masks(space, seeds, useful=useful)
-    return decode_pairs(space, masks)
+    return decode_pairs(space, masks, targets=targets)
 
 
 # ----------------------------------------------------------------------
@@ -259,17 +289,39 @@ def product_relation(space: ProductSpace) -> Set[Pair]:
     configurations, which is what the per-source searches explored in
     total (shared, here, across all sources at once).
     """
+    return seeded_product_relation(space)
+
+
+def seeded_product_relation(
+    space: ProductSpace,
+    sources: Optional[Sequence[NodeId]] = None,
+    targets: Optional[Set[NodeId]] = None,
+) -> Set[Pair]:
+    """The pairs of :func:`product_relation` restricted to bound endpoints.
+
+    The semijoin kernel behind the CRPQ planner's seeded scans: with
+    *sources* given, only those nodes are seeded, so phase 1 explores
+    just the product reachable from the bound left-hand values and phase
+    3 propagates only their bits; with *targets* given, pruning spaces
+    restrict the phase-2 accepting set to those nodes and non-pruning
+    spaces filter at decode time.  Equivalent to (but much cheaper than)
+    ``{(u, v) ∈ product_relation(space) | u ∈ sources, v ∈ targets}``.
+    """
     if not space.index.nodes:
+        return set()
+    if sources is not None and not sources:
+        return set()
+    if targets is not None and not targets:
         return set()
     useful: Optional[Set] = None
     if space.prune:
-        reachable = forward_expand(space, initial_configs(space))
-        useful = backward_prune(space, reachable)
+        reachable = forward_expand(space, initial_configs(space, sources))
+        useful = backward_prune(space, reachable, targets=targets)
         if not useful:
             return set()
-    seeds = seed_masks(space, useful=useful)
+    seeds = seed_masks(space, useful=useful, sources=sources)
     masks, _ = propagate_masks(space, seeds, useful=useful)
-    return decode_pairs(space, masks)
+    return decode_pairs(space, masks, targets=targets)
 
 
 def full_relation(index: LabelIndex, automaton: CompiledAutomaton) -> Set[Pair]:

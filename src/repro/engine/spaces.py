@@ -29,6 +29,13 @@ shards for free: the partition drivers in :mod:`repro.engine.partition`
 run the same space against shard-local views and exchange frontier
 configurations over the cut edges, whatever the dialect.
 
+The same five operations also give every space **seeded** evaluation
+(:func:`~repro.engine.product.seeded_product_relation`, the CRPQ
+planner's semijoin contract) for free: restricting the nodes handed to
+``seed_configs`` restricts the sources a relation is computed from, and
+restricting which accepting configurations count (by ``node_of``)
+restricts the targets — no space needs seeding-specific code.
+
 Three implementations cover the paper's languages:
 
 * :class:`NfaProductSpace` — ``(node, state)`` configurations over a

@@ -1,0 +1,50 @@
+"""Query planning for conjunctive (data) RPQs.
+
+The planner sits between the unified :class:`repro.api.Query` IR and
+the engine kernels, turning a CRPQ's atom conjunction into an explicit
+logical plan — cost-ordered scans, semijoin-seeded scans and hash joins
+— instead of the retired nested-loop join
+(:func:`repro.query.crpq.evaluate_crpq_naive`, kept as the executable
+specification).
+
+* :mod:`repro.planner.logical` — the plan IR (``AtomScan``,
+  ``SeededScan``, ``HashJoin``, ``Filter``, ``Project``) and the
+  ``render_plan`` explain text;
+* :mod:`repro.planner.cost` — cardinality estimates from label-index
+  edge counts;
+* :mod:`repro.planner.planner` — :func:`plan_crpq`, the greedy
+  cost-ordered join-order search producing a cacheable
+  :class:`CrpqPlan`;
+* :mod:`repro.planner.execute` — :func:`execute_plan`, hash-join
+  execution with semijoin pushdown into the seeded engine kernels
+  (:func:`repro.engine.product.seeded_product_relation`) and the
+  intra-query drivers.
+"""
+
+from .cost import atom_estimate, regex_estimate
+from .execute import execute_plan
+from .logical import (
+    AtomScan,
+    Filter,
+    HashJoin,
+    PlanNode,
+    Project,
+    SeededScan,
+    render_plan,
+)
+from .planner import CrpqPlan, plan_crpq
+
+__all__ = [
+    "AtomScan",
+    "SeededScan",
+    "HashJoin",
+    "Filter",
+    "Project",
+    "PlanNode",
+    "render_plan",
+    "atom_estimate",
+    "regex_estimate",
+    "CrpqPlan",
+    "plan_crpq",
+    "execute_plan",
+]

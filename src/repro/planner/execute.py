@@ -1,0 +1,207 @@
+"""Execution of logical CRPQ plans against a graph and an engine.
+
+Relations flow between operators as ``(columns, rows)`` pairs in raw
+node-id space — :class:`~repro.datagraph.node.Node` objects are only
+materialised once, by the final projection.  Scans call
+:meth:`repro.engine.engine.EvaluationEngine.evaluate_atom_ids`, which is
+where the *mode* knob (``"off"`` / ``"blocks"`` / ``"sharded"``) routes
+each atom through the sequential kernels or the intra-query drivers of
+:mod:`repro.engine.partition` — a CRPQ plan inherits intra-query
+parallelism per atom, under the same policy thresholds as every other
+dialect.
+
+Hash joins build their table on the smaller input and probe with the
+larger one; seeded scans receive the distinct surviving values of their
+seed variables from the join's left side, so each engine call explores
+only the part of the product that can still contribute (semijoin
+reduction).  An empty intermediate relation short-circuits the rest of
+the plan.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.node import Node, NodeId
+from ..engine.engine import EvaluationEngine, default_engine
+from ..engine.partition import GraphPartition
+from ..exceptions import EvaluationError
+from ..query.data_rpq import DataRPQ
+from .logical import AtomScan, Filter, HashJoin, PlanOp, Project, SeededScan
+from .planner import CrpqPlan
+
+__all__ = ["execute_plan"]
+
+#: An intermediate relation: ordered column names and id-tuple rows.
+#: Rows are never mutated in place — operators build fresh sets — so
+#: scans can hand the engine's frozenset through without copying.
+Relation = Tuple[Tuple[str, ...], AbstractSet[Tuple[NodeId, ...]]]
+
+
+class _Context:
+    """Everything one plan execution needs, bundled for the recursion."""
+
+    __slots__ = (
+        "graph", "engine", "null_semantics", "mode", "workers", "shards",
+        "partition", "processes",
+    )
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        engine: EvaluationEngine,
+        null_semantics: bool,
+        mode: str,
+        workers: Optional[int],
+        shards: Optional[int],
+        partition: Optional[GraphPartition],
+        processes: Optional[bool],
+    ):
+        self.graph = graph
+        self.engine = engine
+        self.null_semantics = null_semantics
+        self.mode = mode
+        self.workers = workers
+        self.shards = shards
+        self.partition = partition
+        self.processes = processes
+
+    def scan(
+        self,
+        node: "AtomScan | SeededScan",
+        sources: Optional[Set[NodeId]],
+        targets: Optional[Set[NodeId]],
+    ) -> Relation:
+        atom = node.atom
+        null_semantics = self.null_semantics if isinstance(atom.query, DataRPQ) else False
+        pairs = self.engine.evaluate_atom_ids(
+            self.graph,
+            atom.query,
+            sources=sources,
+            targets=targets,
+            null_semantics=null_semantics,
+            mode=self.mode,
+            workers=self.workers,
+            shards=self.shards,
+            partition=self.partition,
+            processes=self.processes,
+        )
+        return node.columns, pairs
+
+
+def _column_values(relation: Relation, column: str) -> Set[NodeId]:
+    columns, rows = relation
+    position = columns.index(column)
+    return {row[position] for row in rows}
+
+
+def _evaluate(
+    node: PlanOp, context: _Context, bindings: Optional[Dict[str, Set[NodeId]]] = None
+) -> Relation:
+    if isinstance(node, AtomScan):
+        return context.scan(node, None, None)
+    if isinstance(node, SeededScan):
+        bindings = bindings or {}
+        sources = bindings.get(node.seed_sources) if node.seed_sources is not None else None
+        targets = bindings.get(node.seed_targets) if node.seed_targets is not None else None
+        return context.scan(node, sources, targets)
+    if isinstance(node, Filter):
+        columns, rows = _evaluate(node.child, context, bindings)
+        left = columns.index(node.left)
+        right = columns.index(node.right)
+        keep = tuple(i for i in range(len(columns)) if i != right)
+        return (
+            tuple(columns[i] for i in keep),
+            {tuple(row[i] for i in keep) for row in rows if row[left] == row[right]},
+        )
+    if isinstance(node, HashJoin):
+        return _hash_join(node, context)
+    if isinstance(node, Project):
+        columns, rows = _evaluate(node.child, context)
+        if not node.head:
+            return (), ({()} if rows else set())
+        positions = tuple(columns.index(variable) for variable in node.head)
+        return node.head, {tuple(row[i] for i in positions) for row in rows}
+    raise EvaluationError(f"unknown plan operator {node!r}")  # pragma: no cover - defensive
+
+
+def _hash_join(node: HashJoin, context: _Context) -> Relation:
+    left_columns, left_rows = _evaluate(node.left, context)
+    out_columns = node.columns
+    if not left_rows:
+        return out_columns, set()
+
+    # Semijoin pushdown: hand the surviving bindings of the seed
+    # variables to the right-hand scan (possibly under a Filter).
+    scan = node.right.child if isinstance(node.right, Filter) else node.right
+    bindings: Dict[str, Set[NodeId]] = {}
+    if isinstance(scan, SeededScan):
+        left_relation = (left_columns, left_rows)
+        for variable in {scan.seed_sources, scan.seed_targets} - {None}:
+            bindings[variable] = _column_values(left_relation, variable)
+    right_columns, right_rows = _evaluate(node.right, context, bindings)
+    if not right_rows:
+        return out_columns, set()
+
+    right_only = tuple(
+        columns_index
+        for columns_index, column in enumerate(right_columns)
+        if column not in left_columns
+    )
+    if not node.keys:  # cartesian component
+        rows = {
+            left + tuple(right[i] for i in right_only)
+            for left in left_rows
+            for right in right_rows
+        }
+        return out_columns, rows
+
+    left_key = tuple(left_columns.index(k) for k in node.keys)
+    right_key = tuple(right_columns.index(k) for k in node.keys)
+
+    # Build on the smaller side, probe with the larger one.
+    rows: Set[Tuple[NodeId, ...]] = set()
+    if len(left_rows) <= len(right_rows):
+        table: Dict[Tuple[NodeId, ...], List[Tuple[NodeId, ...]]] = {}
+        for row in left_rows:
+            table.setdefault(tuple(row[i] for i in left_key), []).append(row)
+        for right in right_rows:
+            for left in table.get(tuple(right[i] for i in right_key), ()):
+                rows.add(left + tuple(right[i] for i in right_only))
+    else:
+        table = {}
+        for row in right_rows:
+            table.setdefault(tuple(row[i] for i in right_key), []).append(row)
+        for left in left_rows:
+            for right in table.get(tuple(left[i] for i in left_key), ()):
+                rows.add(left + tuple(right[i] for i in right_only))
+    return out_columns, rows
+
+
+def execute_plan(
+    plan: CrpqPlan,
+    graph: DataGraph,
+    engine: Optional[EvaluationEngine] = None,
+    null_semantics: bool = False,
+    mode: str = "off",
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    partition: Optional[GraphPartition] = None,
+    processes: Optional[bool] = None,
+) -> FrozenSet[Tuple[Node, ...]]:
+    """Evaluate a planned CRPQ on *graph*, returning head-variable tuples.
+
+    The answer shape matches the historical evaluators: a frozenset of
+    node tuples, ``{()}`` / ``frozenset()`` for Boolean queries.  *mode*
+    and the driver knobs are forwarded to every atom scan; ``"off"``
+    (the default) runs the sequential seeded kernels.
+    """
+    if engine is None:
+        engine = default_engine()
+    context = _Context(
+        graph, engine, null_semantics, mode, workers, shards, partition, processes
+    )
+    _, rows = _evaluate(plan.root, context)
+    node_of = graph.node
+    return frozenset(tuple(node_of(value) for value in row) for row in rows)

@@ -1,0 +1,145 @@
+"""Cost-ordered planning of conjunctive (data) RPQs.
+
+:func:`plan_crpq` turns a :class:`~repro.query.crpq.ConjunctiveRPQ` into
+a left-deep tree of the logical operators in
+:mod:`repro.planner.logical`, greedily ordered by the cardinality
+estimates of :mod:`repro.planner.cost`:
+
+1. start from the atom with the smallest estimated relation;
+2. repeatedly pick, among the atoms sharing a variable with the plan so
+   far (ties broken by estimate, then by atom position), the cheapest
+   one, scan it **seeded** by the bound variables (semijoin pushdown
+   into the engine kernels) and hash-join it on the shared variables;
+3. when no remaining atom is connected — the query has a cartesian
+   component — fall back to the globally cheapest remaining atom and
+   join with an empty key set;
+4. project onto the head.
+
+Self-loop atoms ``(x, e, x)`` scan into a primed column and are wrapped
+in a ``Filter(x = x′)``, which is both how the planner expresses the
+equality and the structural fix for the historical bug where the naive
+join admitted pairs with ``source != target``.
+
+The resulting :class:`CrpqPlan` is immutable and hashable; sessions
+cache one per ``(graph.version, query.key)`` next to the versioned
+result cache, so replanning costs nothing until the graph (and with it
+the statistics) moves on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..datagraph.index import LabelIndex
+from ..query.crpq import Atom, ConjunctiveRPQ
+from .cost import atom_estimate
+from .logical import (
+    AtomScan,
+    Filter,
+    HashJoin,
+    PlanOp,
+    Project,
+    SeededScan,
+    loop_column,
+    render_plan,
+)
+
+__all__ = ["CrpqPlan", "plan_crpq"]
+
+
+@dataclass(frozen=True)
+class CrpqPlan:
+    """A planned CRPQ: the operator tree plus how it was chosen.
+
+    ``atom_order`` records the join order as indexes into
+    ``query.atoms``; ``stats_version`` is the label-index version the
+    estimates were read from (``None`` when planned without a graph), so
+    a cached plan is exactly as stale as the index it was costed on.
+    """
+
+    query: ConjunctiveRPQ
+    root: PlanOp
+    atom_order: Tuple[int, ...]
+    stats_version: Optional[int]
+
+    def explain(self) -> str:
+        """The human-readable plan tree (``Query.explain()`` / ``--explain``)."""
+        head = ", ".join(self.query.head)
+        order = " → ".join(f"#{index}" for index in self.atom_order)
+        header = (
+            f"CRPQ plan: head=({head}) atoms={len(self.query.atoms)} "
+            f"join order: {order}"
+        )
+        return header + "\n" + render_plan(self.root)
+
+
+def _scan(
+    atom: Atom, index: int, estimate: float, bound: Set[str]
+) -> PlanOp:
+    """The scan operator for one atom given the variables already bound.
+
+    Unbound atoms become full :class:`AtomScan`\\ s; atoms with a bound
+    source and/or target become :class:`SeededScan`\\ s so the engine
+    evaluates them only from the surviving bindings.  Self-loop atoms
+    are wrapped in the equality :class:`Filter` (and, when bound, seed
+    both sides from the same variable).
+    """
+    self_loop = atom.source == atom.target
+    seed_sources = atom.source if atom.source in bound else None
+    seed_targets = (atom.target if atom.target in bound else None) if not self_loop else seed_sources
+    if seed_sources is None and seed_targets is None:
+        scan: PlanOp = AtomScan(atom, index, estimate)
+    else:
+        scan = SeededScan(atom, index, estimate, seed_sources, seed_targets)
+    if self_loop:
+        return Filter(scan, atom.source, loop_column(atom.source))
+    return scan
+
+
+def plan_crpq(query: ConjunctiveRPQ, index: Optional[LabelIndex] = None) -> CrpqPlan:
+    """Plan *query* against the statistics of *index*.
+
+    Without an index (no graph at hand — e.g. ``Query.explain()`` before
+    execution) all estimates collapse to 1.0 and the plan follows the
+    query's written atom order; the operator structure (seeded scans,
+    hash joins, filters, projection) is the same either way.
+    """
+    atoms = query.atoms
+    estimates = [atom_estimate(atom, index) for atom in atoms]
+    remaining = list(range(len(atoms)))
+
+    # 1. The cheapest atom opens the plan.
+    first = min(remaining, key=lambda i: (estimates[i], i))
+    remaining.remove(first)
+    order: List[int] = [first]
+    bound: Set[str] = set()
+    root = _scan(atoms[first], first, estimates[first], bound)
+    bound.update({atoms[first].source, atoms[first].target})
+
+    # 2./3. Greedily extend: connected-and-cheapest, else cheapest.
+    while remaining:
+        connected = [
+            i for i in remaining if atoms[i].source in bound or atoms[i].target in bound
+        ]
+        pool = connected if connected else remaining
+        chosen = min(pool, key=lambda i: (estimates[i], i))
+        remaining.remove(chosen)
+        order.append(chosen)
+        atom = atoms[chosen]
+        scan = _scan(atom, chosen, estimates[chosen], bound)
+        keys = tuple(
+            variable
+            for variable in dict.fromkeys((atom.source, atom.target))
+            if variable in bound
+        )
+        root = HashJoin(root, scan, keys)
+        bound.update({atom.source, atom.target})
+
+    root = Project(root, tuple(query.head))
+    return CrpqPlan(
+        query=query,
+        root=root,
+        atom_order=tuple(order),
+        stats_version=index.version if index is not None else None,
+    )

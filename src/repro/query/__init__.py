@@ -7,7 +7,14 @@ product (memory RPQs), conjunctive combinations of both, and the
 homomorphism-preservation checks used by Propositions 2 and 6.
 """
 
-from .crpq import Atom, ConjunctiveRPQ, evaluate_crpq, evaluate_crpq_with_engine
+from .crpq import (
+    Atom,
+    ConjunctiveRPQ,
+    evaluate_crpq,
+    evaluate_crpq_naive,
+    evaluate_crpq_with_engine,
+    parse_crpq,
+)
 from .data_rpq import DataRPQ, data_path_query, data_rpq, equality_rpq, memory_rpq
 from .data_rpq_eval import (
     data_rpq_holds,
@@ -51,7 +58,9 @@ __all__ = [
     "data_rpq_holds",
     "Atom",
     "ConjunctiveRPQ",
+    "parse_crpq",
     "evaluate_crpq",
+    "evaluate_crpq_naive",
     "evaluate_crpq_with_engine",
     "is_preserved_on",
     "violates_homomorphism_preservation",

@@ -7,10 +7,15 @@ output variables::
 
     Q(x, y)  :-  (x, e1, z), (z, e2, y), (y, e3, x)
 
-This module implements CRPQs whose atoms may be plain RPQs or data RPQs,
-evaluated by a straightforward join over the atom relations.  They are
-used by the workloads (conjunctive patterns over exchanged graphs) and by
-tests exercising closure under homomorphisms for conjunctive queries.
+This module implements CRPQs whose atoms may be plain RPQs or data RPQs.
+Production evaluation routes through :mod:`repro.planner` (cost-ordered
+hash joins over seeded engine kernels); the historical tuple-at-a-time
+nested-loop join is retired to :func:`evaluate_crpq_naive`, the
+executable specification the planner is equivalence-tested against.
+:func:`parse_crpq` supplies the textual syntax used by
+``Query.parse(..., dialect="crpq")`` and the CLI's ``--crpq`` flag::
+
+    x, y :- (x, knows.knows, z), (z, rem:!r.(bridge[r=])+, y)
 """
 
 from __future__ import annotations
@@ -21,14 +26,21 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple, Union
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node
-from ..exceptions import EvaluationError
+from ..exceptions import EvaluationError, ParseError
 from .data_rpq import DataRPQ
 from .rpq import RPQ
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.engine import EvaluationEngine
 
-__all__ = ["Atom", "ConjunctiveRPQ", "evaluate_crpq", "evaluate_crpq_with_engine"]
+__all__ = [
+    "Atom",
+    "ConjunctiveRPQ",
+    "parse_crpq",
+    "evaluate_crpq",
+    "evaluate_crpq_naive",
+    "evaluate_crpq_with_engine",
+]
 
 QueryLike = Union[RPQ, DataRPQ]
 
@@ -40,6 +52,9 @@ class Atom:
     source: str
     query: QueryLike
     target: str
+
+    def __str__(self) -> str:
+        return f"({self.source}, {self.query.expression}, {self.target})"
 
 
 @dataclass(frozen=True)
@@ -82,6 +97,115 @@ class ConjunctiveRPQ:
         """Whether the query has no output variables."""
         return not self.head
 
+    def __str__(self) -> str:
+        """The textual form :func:`parse_crpq` reads (modulo expression
+        pretty-printing)."""
+        atoms = ", ".join(str(atom) for atom in self.atoms)
+        return f"{', '.join(self.head)} :- {atoms}"
+
+
+def _parse_atom_query(text: str) -> QueryLike:
+    """Parse one atom's query part, honouring an optional dialect prefix."""
+    from ..datapaths import parse_ree, parse_rem
+    from ..regular import parse_regex
+
+    stripped = text.strip()
+    for prefix, parse, wrap in (
+        ("rpq:", parse_regex, RPQ),
+        ("ree:", parse_ree, DataRPQ),
+        ("rem:", parse_rem, DataRPQ),
+    ):
+        if stripped.startswith(prefix):
+            return wrap(parse(stripped[len(prefix):].strip()))
+    for parse, wrap in ((parse_regex, RPQ), (parse_ree, DataRPQ), (parse_rem, DataRPQ)):
+        try:
+            return wrap(parse(stripped))
+        except ParseError:
+            continue
+    raise ParseError(
+        f"cannot parse atom query {stripped!r} as RPQ, REE or REM "
+        "(pin the dialect with an 'rpq:'/'ree:'/'rem:' prefix)"
+    )
+
+
+def _split_top_level(text: str) -> List[str]:
+    """Split on commas not nested inside parentheses or brackets."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in text:
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced parentheses in {text!r}")
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise ParseError(f"unbalanced parentheses in {text!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_head(text: str) -> Tuple[str, ...]:
+    """The head variables of the textual form: ``x, y`` / ``Q(x, y)`` / empty."""
+    stripped = text.strip()
+    if not stripped or stripped == "()":
+        return ()
+    if stripped.endswith(")") and "(" in stripped:
+        stripped = stripped[stripped.index("(") + 1 : -1].strip()
+        if not stripped:
+            return ()
+    variables = tuple(part.strip() for part in stripped.split(","))
+    if any(not variable.isidentifier() for variable in variables):
+        raise ParseError(f"malformed CRPQ head {text.strip()!r}")
+    return variables
+
+
+def parse_crpq(text: str) -> ConjunctiveRPQ:
+    """Parse the textual CRPQ syntax into a :class:`ConjunctiveRPQ`.
+
+    The grammar mirrors the paper's rule notation::
+
+        head :- (x, query, y), (y, query, z), ...
+
+    where *head* is a comma-separated variable list — optionally written
+    ``Q(x, y)`` — or empty / ``()`` for a Boolean query, and each atom's
+    query part is RPQ text by default, or REE / REM text behind an
+    explicit ``ree:`` / ``rem:`` prefix (unprefixed text is tried in
+    that order).  ``<-`` is accepted in place of ``:-``.
+    """
+    for separator in (":-", "<-"):
+        if separator in text:
+            head_text, _, body = text.partition(separator)
+            break
+    else:
+        raise ParseError(f"a CRPQ needs a ':-' between head and atoms: {text!r}")
+    head = _parse_head(head_text)
+    atoms: List[Atom] = []
+    for part in _split_top_level(body):
+        stripped = part.strip()
+        if not stripped:
+            continue
+        if not (stripped.startswith("(") and stripped.endswith(")")):
+            raise ParseError(f"malformed CRPQ atom {stripped!r}; expected '(x, query, y)'")
+        pieces = _split_top_level(stripped[1:-1])
+        if len(pieces) != 3:
+            raise ParseError(
+                f"malformed CRPQ atom {stripped!r}; expected three comma-separated parts"
+            )
+        source, query_text, target = (piece.strip() for piece in pieces)
+        if not source.isidentifier() or not target.isidentifier():
+            raise ParseError(f"malformed CRPQ atom variables in {stripped!r}")
+        atoms.append(Atom(source, _parse_atom_query(query_text), target))
+    if not atoms:
+        raise ParseError(f"a CRPQ needs at least one atom: {text!r}")
+    return ConjunctiveRPQ(head, tuple(atoms))
+
 
 def evaluate_crpq(
     graph: DataGraph, query: ConjunctiveRPQ, null_semantics: bool = False
@@ -103,19 +227,21 @@ def evaluate_crpq(
     return session_for(graph).run(Query.crpq(query), null_semantics=null_semantics).rows()
 
 
-def evaluate_crpq_with_engine(
+def evaluate_crpq_naive(
     graph: DataGraph,
     query: ConjunctiveRPQ,
     null_semantics: bool = False,
     engine: Optional["EvaluationEngine"] = None,
 ) -> FrozenSet[Tuple[Node, ...]]:
-    """Join the atom relations of a conjunctive (data) RPQ through *engine*.
+    """The retired nested-loop join, kept as the executable specification.
 
-    Returns the set of tuples of nodes for the head variables; a Boolean
-    query returns ``{()}`` when satisfied and ``frozenset()`` otherwise.
-    This is the internal evaluator behind the CRPQ kind of the unified
-    :class:`repro.api.Query` IR; *engine* defaults to the process-wide
-    shared engine.
+    Materialises every atom's full relation, then joins tuple by tuple
+    over partial variable assignments.  Quadratically slower than the
+    planner path on anything non-trivial — its only job is to pin the
+    semantics the planner's equivalence tests check against.  Self-loop
+    atoms ``(x, e, x)`` admit only pairs with ``source == target``
+    (historically the target assignment silently overwrote the source,
+    admitting arbitrary pairs).
     """
     if engine is None:
         from ..engine import default_engine
@@ -152,9 +278,12 @@ def evaluate_crpq_with_engine(
         bound_vars.update({atom.source, atom.target})
 
     for atom, relation in ordered:
+        self_loop = atom.source == atom.target
         next_assignments: List[Dict[str, Node]] = []
         for assignment in assignments:
             for source, target in relation:
+                if self_loop and source != target:
+                    continue
                 if atom.source in assignment and assignment[atom.source] != source:
                     continue
                 if atom.target in assignment and assignment[atom.target] != target:
@@ -171,3 +300,27 @@ def evaluate_crpq_with_engine(
     for assignment in assignments:
         results.add(tuple(assignment[variable] for variable in query.head))
     return frozenset(results)
+
+
+def evaluate_crpq_with_engine(
+    graph: DataGraph,
+    query: ConjunctiveRPQ,
+    null_semantics: bool = False,
+    engine: Optional["EvaluationEngine"] = None,
+) -> FrozenSet[Tuple[Node, ...]]:
+    """Evaluate a conjunctive (data) RPQ through the query planner.
+
+    Returns the set of tuples of nodes for the head variables; a Boolean
+    query returns ``{()}`` when satisfied and ``frozenset()`` otherwise.
+    This is the internal evaluator behind the CRPQ kind of the unified
+    :class:`repro.api.Query` IR; *engine* defaults to the process-wide
+    shared engine.  Since the planner landed this plans against the
+    graph's label-index statistics and executes cost-ordered hash joins
+    with semijoin-seeded kernels (see :mod:`repro.planner`); sessions
+    additionally cache the plan — use
+    :meth:`repro.api.GraphSession.run` for that.
+    """
+    from ..planner import execute_plan, plan_crpq
+
+    plan = plan_crpq(query, graph.label_index())
+    return execute_plan(plan, graph, engine=engine, null_semantics=null_semantics)

@@ -1,7 +1,9 @@
 """Workloads: scenario bundles and random sweeps for experiments and examples."""
 
 from .random_workloads import (
+    CRPQ_SHAPES,
     RandomWorkload,
+    random_crpq,
     random_equality_query,
     random_relational_mapping,
     workload_sweep,
@@ -23,5 +25,7 @@ __all__ = [
     "RandomWorkload",
     "random_relational_mapping",
     "random_equality_query",
+    "random_crpq",
+    "CRPQ_SHAPES",
     "workload_sweep",
 ]

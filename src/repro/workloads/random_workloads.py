@@ -17,10 +17,21 @@ from ..core.gsm import GraphSchemaMapping, MappingRule
 from ..datagraph import generators
 from ..datagraph.graph import DataGraph
 from ..exceptions import WorkloadError
+from ..query.crpq import Atom, ConjunctiveRPQ
 from ..query.data_rpq import DataRPQ, equality_rpq
-from ..query.rpq import atomic_rpq, word_rpq
+from ..query.rpq import RPQ, atomic_rpq, rpq, word_rpq
 
-__all__ = ["RandomWorkload", "random_relational_mapping", "random_equality_query", "workload_sweep"]
+__all__ = [
+    "RandomWorkload",
+    "random_relational_mapping",
+    "random_equality_query",
+    "random_crpq",
+    "CRPQ_SHAPES",
+    "workload_sweep",
+]
+
+#: Shapes :func:`random_crpq` can draw.
+CRPQ_SHAPES = ("chain", "star", "cycle", "disjoint")
 
 
 @dataclass(frozen=True)
@@ -90,6 +101,119 @@ def random_equality_query(
     if test == "plain":
         return equality_rpq(body)
     raise WorkloadError(f"unknown query shape {test!r}")
+
+
+def _random_atom_rpq(
+    labels: Sequence[str],
+    generator: random.Random,
+    data_atom_prob: float,
+    closure_prob: float,
+) -> RPQ | DataRPQ:
+    """One random atom query: a small RPQ, closure RPQ or equality RPQ."""
+
+    def pick() -> str:
+        return labels[generator.randrange(len(labels))]
+
+    roll = generator.random()
+    if roll < data_atom_prob:
+        word = ".".join(pick() for _ in range(generator.randint(1, 2)))
+        test = "=" if generator.random() < 0.5 else "!="
+        return equality_rpq(f"({word}){test}")
+    if roll < data_atom_prob + closure_prob:
+        if len(labels) >= 2 and generator.random() < 0.5:
+            first, second = generator.sample(list(labels), 2)
+            return rpq(f"({first}|{second})*")
+        return rpq(f"({pick()})+")
+    shape = generator.randrange(3)
+    if shape == 0:
+        return rpq(pick())
+    if shape == 1:
+        return rpq(f"{pick()}.{pick()}")
+    if len(labels) >= 2:
+        first, second = generator.sample(list(labels), 2)
+        return rpq(f"{first}|{second}")
+    return rpq(pick())
+
+
+def random_crpq(
+    labels: Sequence[str],
+    shape: str = "chain",
+    num_atoms: int = 3,
+    head_arity: int = 2,
+    data_atom_prob: float = 0.0,
+    closure_prob: float = 0.0,
+    self_loop_prob: float = 0.0,
+    first_atom: Optional[str] = None,
+    rng: Optional[int | random.Random] = None,
+) -> ConjunctiveRPQ:
+    """A random conjunctive (data) RPQ over the given label alphabet.
+
+    The one workload source shared by the planner benchmarks and the
+    planner↔naive property tests.  ``shape`` fixes the variable
+    structure:
+
+    * ``"chain"`` — ``(x0, e, x1), (x1, e, x2), ...``;
+    * ``"star"`` — atoms fan out of a shared centre, leaves drawn with
+      replacement (so repeated variables occur);
+    * ``"cycle"`` — a chain whose last atom closes back on ``x0``;
+    * ``"disjoint"`` — two unconnected chains (a cartesian-product
+      component for the planner to bridge).
+
+    Atom queries are small random RPQs; ``data_atom_prob`` swaps atoms
+    for equality RPQs, ``closure_prob`` for Kleene-closure RPQs (the
+    expensive relations that make join order matter).
+    ``self_loop_prob`` appends self-loop atoms ``(v, e, v)`` on already
+    mentioned variables.  ``first_atom`` pins atom #0's query text (the
+    benchmark uses a selective label so plans have an anchor).  The head
+    takes the first ``head_arity`` variables in order of first mention;
+    0 gives a Boolean query.  Deterministic in *rng*.
+    """
+    if not labels:
+        raise WorkloadError("random_crpq needs a non-empty label alphabet")
+    if shape not in CRPQ_SHAPES:
+        raise WorkloadError(f"unknown CRPQ shape {shape!r}; expected one of {CRPQ_SHAPES}")
+    if num_atoms < 1:
+        raise WorkloadError("random_crpq needs at least one atom")
+    generator = _rng(rng)
+
+    def query() -> RPQ | DataRPQ:
+        return _random_atom_rpq(labels, generator, data_atom_prob, closure_prob)
+
+    atoms: List[Atom] = []
+    if shape == "chain":
+        for position in range(num_atoms):
+            atoms.append(Atom(f"x{position}", query(), f"x{position + 1}"))
+    elif shape == "cycle":
+        for position in range(num_atoms - 1):
+            atoms.append(Atom(f"x{position}", query(), f"x{position + 1}"))
+        atoms.append(Atom(f"x{max(0, num_atoms - 1)}", query(), "x0"))
+    elif shape == "star":
+        for _ in range(num_atoms):
+            leaf = generator.randint(1, max(1, num_atoms - 1))
+            atoms.append(Atom("x0", query(), f"x{leaf}"))
+    else:  # disjoint: two chains with separate variable namespaces
+        first_chain = max(1, num_atoms // 2)
+        for position in range(first_chain):
+            atoms.append(Atom(f"x{position}", query(), f"x{position + 1}"))
+        for position in range(num_atoms - first_chain):
+            atoms.append(Atom(f"y{position}", query(), f"y{position + 1}"))
+    if first_atom is not None:
+        atoms[0] = Atom(atoms[0].source, rpq(first_atom), atoms[0].target)
+    mentioned: List[str] = []
+    for atom in atoms:
+        for variable in (atom.source, atom.target):
+            if variable not in mentioned:
+                mentioned.append(variable)
+    if shape == "disjoint" and "y0" in mentioned:
+        # A head spanning both chains, so the projection actually crosses
+        # the cartesian component.
+        mentioned.remove("y0")
+        mentioned.insert(1, "y0")
+    for variable in list(mentioned):
+        if generator.random() < self_loop_prob:
+            atoms.append(Atom(variable, query(), variable))
+    head = tuple(mentioned[: max(0, head_arity)])
+    return ConjunctiveRPQ(head, tuple(atoms))
 
 
 def workload_sweep(

@@ -159,3 +159,80 @@ class TestSaveLoadRoundTrip:
         session.clear_cache()
         assert session._point_snapshot == {}
         assert session.save_point_cache(tmp_path / "empty.json") == 0
+
+
+class TestSnapshotCompaction:
+    """``save_point_cache(path, max_entries=...)`` keeps the MRU entries only."""
+
+    def graph(self):
+        return generators.random_graph(20, 60, labels=("a", "b"), rng=31, domain_size=3)
+
+    def test_compaction_keeps_the_most_recently_used_entries(self, tmp_path):
+        graph = self.graph()
+        session = GraphSession(graph)
+        nodes = list(graph.node_ids)[:6]
+        for node in nodes:
+            session.targets("a.(a|b)*", node)
+        for node in nodes[:2]:  # refresh two entries: they must survive
+            session.targets("a.(a|b)*", node)
+        path = tmp_path / "compacted.json"
+        assert session.save_point_cache(path, max_entries=2) == 2
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["compacted"] is True
+        kept = set(payload["entries"])
+        for node in nodes[:2]:
+            assert any(f"source={node!r}" in key for key in kept), (node, kept)
+
+    def test_compacted_snapshot_loads_and_misses_recompute(self, tmp_path):
+        graph = self.graph()
+        session = warm_session(graph)  # 2 queries x 4 sources
+        expected = {
+            (text, node): session.targets(text, node)
+            for text in QUERIES
+            for node in list(graph.node_ids)[:4]
+        }
+        path = tmp_path / "compacted.json"
+        assert session.save_point_cache(path, max_entries=3) == 3
+
+        restored = GraphSession(graph)
+        assert restored.load_point_cache(path) == 3
+        # Every lookup still answers correctly — dropped entries recompute.
+        for (text, node), answer in expected.items():
+            assert restored.targets(text, node) == answer
+
+    def test_uncompacted_save_is_marked_and_unbounded(self, tmp_path):
+        graph = self.graph()
+        session = warm_session(graph)
+        path = tmp_path / "full.json"
+        saved = session.save_point_cache(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["compacted"] is False
+        assert len(payload["entries"]) == saved == 8
+
+    def test_max_entries_larger_than_cache_keeps_everything(self, tmp_path):
+        graph = self.graph()
+        session = warm_session(graph)
+        path = tmp_path / "roomy.json"
+        assert session.save_point_cache(path, max_entries=100) == 8
+        assert json.loads(path.read_text(encoding="utf-8"))["compacted"] is False
+
+    def test_zero_keeps_nothing_and_negative_is_rejected(self, tmp_path):
+        graph = self.graph()
+        session = warm_session(graph)
+        assert session.save_point_cache(tmp_path / "zero.json", max_entries=0) == 0
+        with pytest.raises(EvaluationError, match="max_entries"):
+            session.save_point_cache(tmp_path / "bad.json", max_entries=-1)
+
+    def test_loaded_snapshot_entries_rank_older_than_live_ones(self, tmp_path):
+        graph = self.graph()
+        first = tmp_path / "first.json"
+        warm_session(graph).save_point_cache(first)
+
+        session = GraphSession(graph)
+        session.load_point_cache(first)
+        fresh = list(graph.node_ids)[10]
+        session.targets("b*", fresh)  # the only live (most recent) entry
+        second = tmp_path / "second.json"
+        assert session.save_point_cache(second, max_entries=1) == 1
+        (key,) = json.loads(second.read_text(encoding="utf-8"))["entries"].keys()
+        assert f"source={fresh!r}" in key

@@ -32,6 +32,34 @@ class TestConjunctiveRPQ:
         assert query.arity == 2
         assert not query.is_boolean()
 
+    def test_self_loop_atom_only_matches_loops(self, toy_graph):
+        """Regression: ``Atom(x, e, x)`` used to admit pairs with
+        ``source != target`` (the target assignment silently overwrote
+        the source)."""
+        from repro.query import evaluate_crpq_naive
+
+        toy_graph.add_edge("carol", "knows", "carol")
+        query = ConjunctiveRPQ(head=("x",), atoms=(Atom("x", rpq("knows"), "x"),))
+        naive = {row[0].id for row in evaluate_crpq_naive(toy_graph, query)}
+        assert naive == {"carol"}
+        planned = {row[0].id for row in evaluate_crpq(toy_graph, query)}
+        assert planned == {"carol"}
+
+    def test_self_loop_atom_with_bound_variable(self, toy_graph):
+        from repro.query import evaluate_crpq_naive
+
+        toy_graph.add_edge("bob", "knows", "bob")
+        query = ConjunctiveRPQ(
+            head=("x", "y"),
+            atoms=(
+                Atom("x", rpq("knows"), "y"),
+                Atom("y", rpq("knows"), "y"),
+            ),
+        )
+        expected = {("alice", "bob"), ("bob", "bob")}
+        assert {(a.id, b.id) for a, b in evaluate_crpq_naive(toy_graph, query)} == expected
+        assert {(a.id, b.id) for a, b in evaluate_crpq(toy_graph, query)} == expected
+
     def test_two_atom_join(self, toy_graph):
         # people who know someone working at the same institution as alice
         query = ConjunctiveRPQ(

@@ -59,6 +59,49 @@ class TestInfoAndEvaluate:
     def test_missing_file(self, capsys):
         assert main(["info", "no-such-file.json"]) == 1
 
+    def test_evaluate_crpq(self, graph_file, capsys):
+        assert main([
+            "evaluate", str(graph_file), "--crpq", "x, z :- (x, r, y), (y, r, z)",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "a (v1)  ->  c (v2)" in output
+        assert "1 answer(s)" in output
+
+    def test_evaluate_crpq_json(self, graph_file, capsys):
+        assert main([
+            "evaluate", str(graph_file), "--crpq", ":- (x, r.r, y)", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "crpq" and payload["count"] == 1
+
+    def test_explain_prints_the_join_plan_instead_of_answers(self, graph_file, capsys):
+        assert main([
+            "evaluate", str(graph_file), "--crpq", "x, z :- (x, r+, y), (y, r, z)",
+            "--explain",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "join order:" in output
+        assert "HashJoin" in output and "SeededScan" in output
+        assert "answer(s)" not in output
+
+    def test_explain_other_dialects(self, graph_file, capsys):
+        assert main(["evaluate", str(graph_file), "--rpq", "r.r", "--explain"]) == 0
+        assert "NFA" in capsys.readouterr().out
+
+    def test_explain_rejects_json(self, graph_file, capsys):
+        assert main([
+            "evaluate", str(graph_file), "--crpq", ":- (x, r, y)", "--explain", "--json",
+        ]) == 1
+        assert "drop --json" in capsys.readouterr().err
+
+    def test_crpq_parse_error_is_reported(self, graph_file, capsys):
+        assert main(["evaluate", str(graph_file), "--crpq", "x, z (x, r, y)"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_certain_has_no_crpq_flag(self, graph_file, mapping_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["certain", str(graph_file), str(mapping_file), "--crpq", ":- (x, t, y)"])
+
     @pytest.mark.parametrize("policy", ["sequential", "thread", "process", "intra-query"])
     def test_evaluate_policies_agree(self, graph_file, capsys, policy):
         """Every --policy returns the sequential answers (possibly reordered pools)."""

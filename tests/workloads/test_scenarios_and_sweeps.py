@@ -7,9 +7,11 @@ import pytest
 from repro.core import is_solution, universal_solution
 from repro.exceptions import WorkloadError
 from repro.workloads import (
+    CRPQ_SHAPES,
     movie_catalog_scenario,
     multi_community_scenario,
     provenance_scenario,
+    random_crpq,
     random_equality_query,
     random_relational_mapping,
     social_network_scenario,
@@ -99,6 +101,48 @@ class TestRandomWorkloads:
             assert left.name == right.name
             assert str(left.query) == str(right.query)
             assert left.parameters["nodes"] == right.parameters["nodes"]
+
+    @pytest.mark.parametrize("shape", CRPQ_SHAPES)
+    def test_random_crpq_shapes_are_well_formed(self, shape):
+        query = random_crpq(
+            ("a", "b"), shape=shape, num_atoms=4, head_arity=2,
+            data_atom_prob=0.3, closure_prob=0.3, self_loop_prob=0.5, rng=5,
+        )
+        assert len(query.atoms) >= 4  # self-loops only ever add atoms
+        assert len(query.head) <= 2
+        assert set(query.head) <= query.variables()
+        for atom in query.atoms:
+            labels = (
+                atom.query.labels() if hasattr(atom.query, "labels") else atom.query.letters()
+            )
+            assert labels <= {"a", "b"}
+
+    def test_random_crpq_shapes_have_their_structure(self):
+        chain = random_crpq(("a",), shape="chain", num_atoms=3, rng=1)
+        assert [(atom.source, atom.target) for atom in chain.atoms] == [
+            ("x0", "x1"), ("x1", "x2"), ("x2", "x3"),
+        ]
+        cycle = random_crpq(("a",), shape="cycle", num_atoms=3, rng=1)
+        assert cycle.atoms[-1].target == "x0"
+        star = random_crpq(("a",), shape="star", num_atoms=4, rng=1)
+        assert all(atom.source == "x0" for atom in star.atoms)
+        disjoint = random_crpq(("a",), shape="disjoint", num_atoms=4, head_arity=2, rng=1)
+        assert disjoint.head == ("x0", "y0")
+        variables = disjoint.variables()
+        assert any(v.startswith("y") for v in variables)
+
+    def test_random_crpq_options(self):
+        boolean = random_crpq(("a",), head_arity=0, rng=2)
+        assert boolean.is_boolean()
+        pinned = random_crpq(("a", "b"), first_atom="b", rng=2)
+        assert str(pinned.atoms[0].query.expression) == "b"
+        assert random_crpq(("a", "b"), rng=9) == random_crpq(("a", "b"), rng=9)
+        with pytest.raises(WorkloadError):
+            random_crpq((), rng=1)
+        with pytest.raises(WorkloadError):
+            random_crpq(("a",), shape="bogus")
+        with pytest.raises(WorkloadError):
+            random_crpq(("a",), num_atoms=0)
 
     def test_workload_pieces_fit_together(self):
         for workload in workload_sweep([5], seed=3, query_test="unequal"):
