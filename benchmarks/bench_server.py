@@ -1,0 +1,147 @@
+"""Benchmark the query daemon: concurrent clients vs sequential in-process.
+
+The workload is mixed serving traffic over a 360-node community graph —
+point lookups (``targets``) for RPQ, REE and REM queries plus one
+selective CRPQ run — split over eight concurrent clients, the
+concurrency level the acceptance criteria name.  The REM point query
+dominates: answering it means materialising the full register-automaton
+product relation (then filtering to the source), which is exactly the
+work the daemon hands to its persistent shard-worker pool, while the
+answer itself is a handful of nodes — compute-bound traffic with cheap
+wire frames, the serving sweet spot.
+
+The baseline pushes the identical request list through local
+:class:`GraphSession` objects, one request at a time — one fresh session
+per simulated client, mirroring the daemon's per-connection isolation
+(sharing one session would let the baseline answer most traffic from its
+result cache, a sharing the server deliberately does not do across
+clients).  CI gates the daemon's concurrent throughput at ≥1× the
+sequential baseline on multi-core runners, where the forked workers give
+the pool real parallelism; on a single core the pool's IPC rounds are
+pure overhead, so the gate only bounds that overhead (see ci.yml).
+
+Both sides answer every request and are checked against precomputed
+expected answers, so the benchmark cannot quietly win by dropping work.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import GraphSession, Query, connect
+from repro.datagraph import generators
+from repro.server import ReproServer, ServerConfig
+
+NUM_CLIENTS = 8
+
+#: (kind, dialect, text) — the per-client request mix.
+TRAFFIC = [
+    ("targets", "rem", "!x.((a|b)[x!=])+"),
+    ("targets", "rpq", "a.(b|c)+"),
+    ("targets", "ree", "((a|c))="),
+    ("targets", "rpq", "(a|b)*"),
+    ("run", "crpq", "x,y :- (x, a, z), (z, c, y)"),
+    ("targets", "rem", "!x.((a|b)[x!=])+"),  # second source, same relation
+]
+
+
+@pytest.fixture(scope="module")
+def server_graph():
+    return generators.community_graph(
+        3, 120, intra_edges_per_node=3, bridges_per_community=4,
+        labels=("a", "b"), bridge_label="c", rng=17, domain_size=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def requests(server_graph):
+    """The concrete request list of one client (shared by all of them)."""
+    sources = sorted(server_graph.node_ids, key=repr)
+    built = []
+    for position, (kind, dialect, text) in enumerate(TRAFFIC):
+        query = Query.parse(text, dialect=dialect)
+        if kind == "targets":
+            built.append(("targets", query, sources[position]))
+        else:
+            built.append(("run", query, None))
+    return built
+
+
+@pytest.fixture(scope="module")
+def expected(server_graph, requests):
+    session = GraphSession(server_graph)
+    answers = {}
+    for kind, query, source in requests:
+        if kind == "targets":
+            answers[(kind, query.key, source)] = session.targets(query, source)
+        else:
+            answers[(kind, query.key, None)] = session.run(query).rows()
+    return answers
+
+
+def _drive_session(session, requests, expected):
+    """Issue every request on *session* and verify the answers."""
+    for kind, query, source in requests:
+        if kind == "targets":
+            assert session.targets(query, source) == expected[(kind, query.key, source)]
+        else:
+            assert session.run(query).rows() == expected[(kind, query.key, None)]
+
+
+def bench_server_sequential_baseline(benchmark, server_graph, requests, expected):
+    """All clients' traffic through local sessions, back to back."""
+
+    def sequential():
+        for _ in range(NUM_CLIENTS):
+            _drive_session(GraphSession(server_graph), requests, expected)
+
+    benchmark.pedantic(sequential, rounds=1, iterations=1)
+
+
+def bench_server_concurrent_throughput(benchmark, server_graph, requests, expected):
+    """The same traffic as eight concurrent clients of one daemon.
+
+    ``pool_min_nodes=0`` forces the shard-worker pool on — the bench
+    graph is sized for the CI smoke budget, below the production
+    threshold that exists for exactly the single-core overhead this
+    gate's relaxation acknowledges.  Server start-up (worker fork
+    included) happens outside the timer — a daemon forks once per graph,
+    not once per batch — but connection setup is timed: clients pay it.
+    """
+    server = ReproServer(
+        server_graph,
+        ServerConfig(max_inflight=NUM_CLIENTS, num_workers=2, num_shards=4, pool_min_nodes=0),
+    )
+    address = server.start()
+    # Warm the pool fork outside the timer (first query forks workers).
+    with connect(address) as warmup:
+        warmup.targets(requests[0][1], requests[0][2])
+
+    def concurrent():
+        failures = []
+
+        def client():
+            try:
+                with connect(address) as session:
+                    _drive_session(session, requests, expected)
+            except Exception as error:  # noqa: BLE001 - surfaced via the assert
+                failures.append(repr(error))
+
+        threads = [threading.Thread(target=client) for _ in range(NUM_CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+
+    try:
+        benchmark.pedantic(concurrent, rounds=1, iterations=1)
+        metrics = server.metrics.snapshot()
+        # The run must actually have been served concurrently and report
+        # a latency distribution — the metrics side of the acceptance.
+        assert metrics["counters"]["queries_total"] >= NUM_CLIENTS * len(TRAFFIC)
+        assert metrics["latency"]["p95_ms"] is not None
+    finally:
+        server.shutdown()

@@ -17,17 +17,31 @@ an :class:`ExecutionPolicy`:
     session.run(Query.gxpath("<a.[<b>]>")).nodes()
 
     batch = [Query.rpq(text) for text in workload]
-    parallel = GraphSession(graph, policy=ExecutionPolicy(executor="process"))
+    parallel = GraphSession(graph, policy=ExecutionPolicy.preset("parallel"))
     results = parallel.run_many(batch)          # worker-pool fan-out
 
 Sessions memoise answers keyed on the graph's mutation counter
 (``graph.version``), so results are never stale and mutations never need
 explicit invalidation.  The deprecated module-level ``evaluate_*``
 functions delegate to per-graph default sessions (:func:`session_for`).
+
+The same surface is served remotely: :func:`connect` dials a
+``repro serve`` daemon and returns a :class:`RemoteSession` — the other
+implementation of :class:`SessionProtocol`, so library code written
+against the protocol runs unchanged in-process or against a server:
+
+.. code-block:: python
+
+    from repro.api import connect
+
+    with connect(("127.0.0.1", 7464)) as session:
+        session.run("knows.knows").count()
 """
 
-from .executors import ExecutionPolicy, ParallelExecutor, SequentialExecutor
+from .executors import POLICY_PRESETS, ExecutionPolicy, ParallelExecutor, SequentialExecutor
+from .protocol import SessionProtocol
 from .query import Query, QueryKind, QueryLike
+from .remote import QueryTimeoutError, RemoteSession, ServerBusyError, connect
 from .result import Result
 from .session import GraphSession, session_for
 
@@ -36,9 +50,15 @@ __all__ = [
     "QueryKind",
     "QueryLike",
     "Result",
+    "SessionProtocol",
     "GraphSession",
+    "RemoteSession",
+    "connect",
+    "ServerBusyError",
+    "QueryTimeoutError",
     "session_for",
     "ExecutionPolicy",
+    "POLICY_PRESETS",
     "SequentialExecutor",
     "ParallelExecutor",
 ]

@@ -27,6 +27,7 @@ versioned result cache behaves.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -42,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "ExecutionPolicy",
+    "POLICY_PRESETS",
     "SequentialExecutor",
     "ParallelExecutor",
 ]
@@ -147,10 +149,50 @@ class ParallelExecutor:
 #: Valid ``ExecutionPolicy.intra_query`` modes.
 INTRA_QUERY_MODES = ("off", "blocks", "sharded")
 
+#: Sentinel distinguishing "caller never passed this kwarg" from any
+#: real value, so only explicit use of the deprecated knobs warns.
+_UNSET = object()
 
-@dataclass(frozen=True)
+#: The named policy presets of :meth:`ExecutionPolicy.preset`.  Each
+#: entry overrides the dataclass defaults; everything unnamed keeps the
+#: default value.
+POLICY_PRESETS = {
+    # Sequential evaluation, full caching — single queries, small
+    # graphs, notebooks.  Equivalent to the historical no-args policy.
+    "local": {},
+    # Saturate one machine: batches fork worker processes, single
+    # full-relation queries fan their phase-3 propagation out over
+    # source blocks (the configuration the CI bench gates pin ≥1×).
+    "parallel": {"executor": "process", "intra_query": "blocks"},
+    # The repro-serve daemon's shape: single queries route through the
+    # edge-cut sharded driver so the server's persistent shard-worker
+    # pool (or, standalone, a per-query pool) carries them; batches stay
+    # sequential because the daemon already multiplexes clients.
+    "server": {"intra_query": "sharded", "sharded_processes": True},
+}
+
+_DEPRECATED_KNOBS = ("intra_query", "intra_query_threshold", "num_shards", "sharded_processes")
+
+
+@dataclass(frozen=True, init=False)
 class ExecutionPolicy:
     """How a :class:`GraphSession` executes and caches queries.
+
+    Build policies through :meth:`auto` or :meth:`preset` — the named
+    shapes (``"local"``, ``"parallel"``, ``"server"``) bundle the
+    partitioning knobs that are easy to mis-combine by hand, and
+    keyword overrides stay available for the rare cases that need
+    them::
+
+        ExecutionPolicy.auto()                      # pick for this host
+        ExecutionPolicy.preset("parallel")          # batch + intra-query fan-out
+        ExecutionPolicy.preset("server", num_shards=4)
+
+    Passing the partitioning knobs (``intra_query``,
+    ``intra_query_threshold``, ``num_shards``, ``sharded_processes``)
+    directly to the constructor is **deprecated** and warns; the
+    remaining constructor arguments (``executor``, ``max_workers`` and
+    the cache sizing) stay first-class.
 
     Attributes
     ----------
@@ -182,10 +224,10 @@ class ExecutionPolicy:
         Shard count for ``intra_query="sharded"`` (default: CPU count
         capped at 8).
     sharded_processes:
-        Whether the sharded driver runs its shard rounds in forked
-        worker processes: ``True`` forks whenever the platform supports
-        it, ``False`` keeps the in-process loop, ``None`` (default)
-        forks on graphs large enough to amortise the per-round pool.
+        Whether the sharded driver forks its per-invocation worker
+        pool: ``True`` forks whenever the platform supports it,
+        ``False`` keeps the in-process loop, ``None`` (default) forks
+        on graphs large enough to amortise the pool.
     point_cache_size:
         LRU bound on the session's single-source (point-workload) cache
         of :meth:`GraphSession.targets` answers.
@@ -201,13 +243,100 @@ class ExecutionPolicy:
     sharded_processes: Optional[bool] = None
     point_cache_size: int = 1024
 
-    def __post_init__(self):
+    def __init__(
+        self,
+        executor: str = "sequential",
+        max_workers: Optional[int] = None,
+        cache_results: bool = True,
+        result_cache_size: int = 1024,
+        intra_query=_UNSET,
+        intra_query_threshold=_UNSET,
+        num_shards=_UNSET,
+        sharded_processes=_UNSET,
+        point_cache_size: int = 1024,
+    ):
+        passed = {
+            "intra_query": intra_query,
+            "intra_query_threshold": intra_query_threshold,
+            "num_shards": num_shards,
+            "sharded_processes": sharded_processes,
+        }
+        deprecated = sorted(name for name, value in passed.items() if value is not _UNSET)
+        if deprecated:
+            import warnings
+
+            warnings.warn(
+                f"passing {', '.join(deprecated)} to ExecutionPolicy() is deprecated; "
+                "use ExecutionPolicy.preset('local'/'parallel'/'server', ...) or "
+                "ExecutionPolicy.auto() instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        defaults = _POLICY_DEFAULTS
+        self._assign(
+            executor=executor,
+            max_workers=max_workers,
+            cache_results=cache_results,
+            result_cache_size=result_cache_size,
+            point_cache_size=point_cache_size,
+            **{
+                name: (value if value is not _UNSET else defaults[name])
+                for name, value in passed.items()
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _assign(self, **fields) -> None:
+        """Set every dataclass field (the class is frozen) and validate."""
+        for name, value in fields.items():
+            object.__setattr__(self, name, value)
         if self.intra_query not in INTRA_QUERY_MODES:
             raise EvaluationError(
                 f"unknown intra_query mode {self.intra_query!r}; "
                 f"expected one of {', '.join(INTRA_QUERY_MODES)}"
             )
 
+    @classmethod
+    def _build(cls, **fields) -> "ExecutionPolicy":
+        """Construct without the deprecation shim (presets, internal callers)."""
+        unknown = sorted(set(fields) - set(_POLICY_DEFAULTS))
+        if unknown:
+            raise EvaluationError(
+                f"unknown ExecutionPolicy field(s): {', '.join(unknown)}"
+            )
+        policy = object.__new__(cls)
+        policy._assign(**{**_POLICY_DEFAULTS, **fields})
+        return policy
+
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "ExecutionPolicy":
+        """A named policy shape, optionally adjusted with field overrides.
+
+        ``"local"`` — sequential, fully cached (the default policy).
+        ``"parallel"`` — process-pool batches plus source-block
+        intra-query fan-out.  ``"server"`` — the serving shape: sharded
+        intra-query evaluation over a persistent worker pool.  Overrides
+        are ordinary field values and do **not** warn — this is the
+        supported spelling for expert knob access.
+        """
+        base = POLICY_PRESETS.get(name)
+        if base is None:
+            raise EvaluationError(
+                f"unknown policy preset {name!r}; "
+                f"expected one of {', '.join(sorted(POLICY_PRESETS))}"
+            )
+        return cls._build(**{**base, **overrides})
+
+    @classmethod
+    def auto(cls, **overrides) -> "ExecutionPolicy":
+        """Pick a preset for this host: ``"parallel"`` where forked worker
+        pools can pay (POSIX fork, multiple cores), else ``"local"``."""
+        name = "parallel" if fork_available() and (os.cpu_count() or 1) >= 2 else "local"
+        return cls.preset(name, **overrides)
+
+    # ------------------------------------------------------------------
     def build_executor(self):
         """Instantiate the executor this policy names."""
         if self.executor == "sequential":
@@ -217,3 +346,9 @@ class ExecutionPolicy:
         raise EvaluationError(
             f"unknown executor {self.executor!r}; expected 'sequential', 'thread' or 'process'"
         )
+
+
+#: The dataclass defaults, used by both construction paths.
+_POLICY_DEFAULTS = {
+    field.name: field.default for field in dataclasses.fields(ExecutionPolicy)
+}

@@ -1,0 +1,94 @@
+"""The session protocol: one execution surface, local or remote.
+
+:class:`SessionProtocol` is the abstract surface shared by
+:class:`~repro.api.session.GraphSession` (in-process evaluation) and
+:class:`~repro.api.remote.RemoteSession` (evaluation inside a
+:mod:`repro.server` daemon).  Client code written against this protocol
+is agnostic to where the work happens::
+
+    def audit(session: SessionProtocol) -> int:
+        return session.run("knows.knows").count()
+
+    audit(GraphSession(graph))          # local
+    audit(connect("127.0.0.1:7687"))    # remote
+
+The contract mirrors the session semantics established in PRs 1–5:
+``run``/``run_many`` return lazy, shape-normalising
+:class:`~repro.api.result.Result` objects; ``targets`` answers
+single-source (point) workloads; ``explain`` describes the plan that
+would run; ``stats`` reports cache behaviour; ``save_point_cache``
+persists the point-workload cache as a snapshot file (written client
+side for remote sessions).  Sessions are context managers — ``close``
+releases whatever the implementation holds (a no-op locally, the socket
+remotely).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import TYPE_CHECKING, FrozenSet, List, Mapping, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datagraph.node import Node, NodeId
+    from ..engine.cache import CacheStats
+    from .query import QueryLike
+    from .result import Result
+
+__all__ = ["SessionProtocol"]
+
+
+class SessionProtocol(ABC):
+    """Abstract base of every query-session implementation."""
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def run(self, query: "QueryLike", null_semantics: bool = False) -> "Result":
+        """Evaluate one query, returning a :class:`~repro.api.result.Result`."""
+
+    @abstractmethod
+    def run_many(
+        self, queries: Sequence["QueryLike"], null_semantics: bool = False
+    ) -> List["Result"]:
+        """Evaluate a batch of queries, one result per query, in order."""
+
+    @abstractmethod
+    def targets(
+        self, query: "QueryLike", source: "NodeId", null_semantics: bool = False
+    ) -> FrozenSet["Node"]:
+        """All nodes ``v`` with ``(source, v)`` in a binary query's answers."""
+
+    def holds(self, query: "QueryLike", *nodes: object, null_semantics: bool = False) -> bool:
+        """Membership shortcut; implementations may answer from point caches."""
+        return self.run(query, null_semantics=null_semantics).holds(*nodes)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def explain(self, query: "QueryLike") -> str:
+        """The execution plan of *query* on this session's graph."""
+
+    @abstractmethod
+    def stats(self) -> Mapping[str, "CacheStats"]:
+        """Cache snapshots (result / point caches plus engine caches)."""
+
+    # ------------------------------------------------------------------
+    # Persistence and lifecycle
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def save_point_cache(
+        self, path: Union[str, Path], max_entries: Optional[int] = None
+    ) -> int:
+        """Write the point-workload cache to *path*; returns the entry count."""
+
+    def close(self) -> None:
+        """Release whatever the session holds (idempotent; no-op by default)."""
+
+    def __enter__(self) -> "SessionProtocol":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -52,13 +52,21 @@ class Result:
     not constructed directly by users.
     """
 
-    __slots__ = ("query", "graph", "_materialise", "_answers")
+    __slots__ = ("query", "graph", "_materialise", "_answers", "_by_id")
 
-    def __init__(self, query: Query, graph: "DataGraph", materialise: Callable[[], frozenset]):
+    def __init__(
+        self,
+        query: Query,
+        graph: Optional["DataGraph"],
+        materialise: Callable[[], frozenset],
+    ):
         self.query = query
         self.graph = graph
         self._materialise = materialise
         self._answers: Optional[frozenset] = None
+        # Lazily-built id → Node table for graph-less (remote) results,
+        # so .holds() can resolve bare node ids without a graph.
+        self._by_id: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Materialisation
@@ -116,12 +124,31 @@ class Result:
             raise EvaluationError(
                 f"{self.query} has arity {self.query.arity}, got {len(nodes)} argument(s)"
             )
-        resolved = tuple(
-            node if isinstance(node, Node) else self.graph.node(node) for node in nodes
-        )
+        resolved = []
+        for node in nodes:
+            node = node if isinstance(node, Node) else self._resolve_id(node)
+            if node is None:
+                return False  # id appears in no answer: not a member
+            resolved.append(node)
         if self.query.kind is QueryKind.GXPATH_NODE:
             return resolved[0] in self._force()
-        return resolved in self._force()
+        return tuple(resolved) in self._force()
+
+    def _resolve_id(self, node_id: object) -> Optional[Node]:
+        """A bare id as a :class:`Node` — via the graph when the result has
+        one, else against the answers themselves (remote results carry no
+        graph; an id no answer mentions resolves to ``None``, which can
+        only mean non-membership)."""
+        if self.graph is not None:
+            return self.graph.node(node_id)
+        by_id = self._by_id
+        if by_id is None:
+            by_id = {}
+            for row in self.rows():
+                for node in row:
+                    by_id[node.id] = node
+            self._by_id = by_id
+        return by_id.get(node_id)
 
     def count(self) -> int:
         """Number of answers."""

@@ -40,7 +40,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node, NodeId
@@ -49,17 +49,28 @@ from ..engine.engine import EvaluationEngine, default_engine
 from ..engine.partition import GraphPartition
 from ..exceptions import EvaluationError
 from .executors import ExecutionPolicy, SequentialExecutor
+from .protocol import SessionProtocol
 from .query import Query, QueryKind, QueryLike
 from .result import Result
 
 __all__ = ["GraphSession", "session_for"]
 
+#: A server-provided hook evaluating one full-relation plan over a
+#: persistent shard-worker pool: ``(plan, null_semantics) -> answers``,
+#: or ``None`` to decline (pool busy / unsupported kind), in which case
+#: the session falls back to its own drivers.
+ShardRunner = Callable[[Query, bool], Optional[frozenset]]
+
 #: Shared default policy: sequential execution, 1024-entry result cache.
 _DEFAULT_POLICY = ExecutionPolicy()
 
 
-class GraphSession:
+class GraphSession(SessionProtocol):
     """Uniform, cached execution of queries over one data graph.
+
+    The in-process implementation of
+    :class:`~repro.api.protocol.SessionProtocol` (its remote twin is
+    :class:`~repro.api.remote.RemoteSession`).
 
     Parameters
     ----------
@@ -73,6 +84,13 @@ class GraphSession:
     policy:
         The :class:`~repro.api.executors.ExecutionPolicy`; defaults to
         sequential execution with a 1024-entry result cache.
+    shard_runner:
+        Server hook: when set and the policy's intra-query mode is
+        ``"sharded"``, eligible full-relation plans are offered to this
+        callable first — the :mod:`repro.server` daemon passes its
+        persistent shard-worker pool here so sessions share one pool
+        instead of forking their own.  A ``None`` return falls back to
+        the session's own drivers; answers are identical either way.
 
     Examples
     --------
@@ -91,10 +109,12 @@ class GraphSession:
         graph: DataGraph,
         engine: Optional[EvaluationEngine] = None,
         policy: Optional[ExecutionPolicy] = None,
+        shard_runner: Optional[ShardRunner] = None,
     ):
         self.graph = graph
         self.engine = engine if engine is not None else default_engine()
         self.policy = policy if policy is not None else _DEFAULT_POLICY
+        self.shard_runner = shard_runner
         self._executor = self.policy.build_executor()
         self._results: LRUCache[frozenset] = LRUCache(self.policy.result_cache_size)
         # Point-workload cache: single-source answers keyed on
@@ -293,6 +313,18 @@ class GraphSession:
         recency.  Compacted snapshots load like any other; lookups the
         compaction dropped are simply recomputed on demand.
         """
+        payload = self.point_cache_payload(max_entries=max_entries)
+        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        return len(payload["entries"])
+
+    def point_cache_payload(self, max_entries: Optional[int] = None) -> Dict:
+        """The point-cache snapshot as a JSON-compatible dictionary.
+
+        This is :meth:`save_point_cache` without the file write — the
+        server's ``point_cache`` operation ships this payload over the
+        wire so a :class:`~repro.api.remote.RemoteSession` can write the
+        snapshot client-side.
+        """
         if max_entries is not None and max_entries < 0:
             raise EvaluationError(f"max_entries must be non-negative, got {max_entries}")
         version = self.graph.version
@@ -313,7 +345,7 @@ class GraphSession:
         if compacted:
             keep = list(entries)[len(entries) - max_entries :]
             entries = {key: entries[key] for key in keep}
-        payload = {
+        return {
             "format": "repro-point-cache/1",
             "graph_version": version,
             "graph_name": self.graph.name,
@@ -321,8 +353,6 @@ class GraphSession:
             "compacted": compacted,
             "entries": entries,
         }
-        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
-        return len(entries)
 
     def load_point_cache(self, path: Union[str, Path]) -> int:
         """Restore a :meth:`save_point_cache` snapshot from *path*.
@@ -436,6 +466,17 @@ class GraphSession:
                 processes=policy.sharded_processes,
             )
         if intra_query:
+            if (
+                mode == "sharded"
+                and self.shard_runner is not None
+                and plan.kind in (QueryKind.RPQ, QueryKind.DATA_RPQ)
+            ):
+                # Offer the plan to the server's persistent worker pool
+                # first; a None return (pool busy, pool gone) falls
+                # through to the session's own sharded driver.
+                answer = self.shard_runner(plan, null_semantics)
+                if answer is not None:
+                    return answer
             partition = self._shard_partition() if mode == "sharded" else None
             if plan.kind is QueryKind.RPQ:
                 return self.engine.evaluate_rpq_partitioned(

@@ -16,6 +16,8 @@ makes the common reproduction tasks scriptable without writing Python:
     python -m repro certain graph.json mapping.json --ree "(knows)=" --method auto
     python -m repro exchange graph.json mapping.json --policy nulls -o target.json
     python -m repro experiment E5
+    python -m repro serve graph.json --port 7464
+    python -m repro evaluate --server 127.0.0.1:7464 --rpq "knows.knows"
 """
 
 from __future__ import annotations
@@ -88,7 +90,8 @@ def _execution_policy(arguments: argparse.Namespace) -> ExecutionPolicy:
         # --intra-query implies the intra-query policy; the default
         # threshold of 0 means the explicit request runs the partitioned
         # driver regardless of graph size.
-        return ExecutionPolicy(
+        return ExecutionPolicy.preset(
+            "local",
             intra_query=intra_query or "blocks",
             intra_query_threshold=threshold if threshold is not None else 0,
             max_workers=workers,
@@ -100,6 +103,17 @@ def _execution_policy(arguments: argparse.Namespace) -> ExecutionPolicy:
             "or an --intra-query mode"
         )
     return ExecutionPolicy(executor=policy, max_workers=workers)
+
+
+def _parse_address(text: str):
+    """A ``--server`` address: ``host:port`` for TCP, anything else a path."""
+    if ":" in text and "/" not in text:
+        host, _, port = text.rpartition(":")
+        try:
+            return (host or "127.0.0.1", int(port))
+        except ValueError:
+            raise ReproError(f"malformed server address {text!r}; expected host:port") from None
+    return text
 
 
 def _print_answers(answers) -> None:
@@ -128,7 +142,27 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("graph", help="path to a graph JSON file")
 
     evaluate = commands.add_parser("evaluate", help="evaluate a query on a data graph")
-    evaluate.add_argument("graph", help="path to a graph JSON file")
+    evaluate.add_argument(
+        "graph",
+        nargs="?",
+        default=None,
+        help="path to a graph JSON file (optional with --server: the daemon's "
+        "graph is used, or replaced when a file is also given)",
+    )
+    evaluate.add_argument(
+        "--server",
+        default=None,
+        metavar="ADDR",
+        help="run the query on a ``repro serve`` daemon instead of in-process; "
+        "ADDR is host:port for TCP or a Unix-socket path",
+    )
+    evaluate.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query deadline, enforced server-side (needs --server)",
+    )
     evaluate.add_argument(
         "--json", action="store_true", help="print the result as a JSON document"
     )
@@ -200,6 +234,46 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = commands.add_parser("experiment", help="run one of the reproduction experiments")
     experiment.add_argument("name", help="experiment name, e.g. E5 (see DESIGN.md)")
 
+    serve = commands.add_parser(
+        "serve", help="run the query daemon: one graph, many concurrent clients"
+    )
+    serve.add_argument("graph", help="path to the graph JSON file to serve")
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=7464, help="TCP bind port; 0 picks one (default: 7464)"
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve on a Unix-domain socket at PATH instead of TCP",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard-worker processes in the persistent pool (default: CPU count, capped at 8)",
+    )
+    serve.add_argument(
+        "--num-shards", type=int, default=None, metavar="N",
+        help="edge-cut shards the pool partitions the graph into (default: worker count)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="queries evaluated concurrently (default: 8)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="admission queue beyond the in-flight limit; excess requests "
+        "get an immediate busy error (default: 16)",
+    )
+    serve.add_argument(
+        "--query-timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-query deadline; also caps client-requested deadlines "
+        "(default: none)",
+    )
+    serve.add_argument(
+        "--pool-min-nodes", type=int, default=None, metavar="N",
+        help="smallest graph served through the shard-worker pool; smaller "
+        "graphs run in-process (default: the engine's forking threshold)",
+    )
+
     return parser
 
 
@@ -223,6 +297,12 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         return 0
 
     if arguments.command == "evaluate":
+        if arguments.server is not None:
+            return _evaluate_remote(arguments)
+        if arguments.timeout is not None:
+            raise ReproError("--timeout is enforced server-side; it needs --server")
+        if arguments.graph is None:
+            raise ReproError("evaluate needs a graph JSON file (or --server ADDR)")
         graph = _load_graph(arguments.graph)
         query = _parse_query(arguments)
         session = GraphSession(graph, policy=_execution_policy(arguments))
@@ -272,7 +352,67 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         print(result.to_table())
         return 0
 
+    if arguments.command == "serve":
+        return _serve(arguments)
+
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover
+
+
+def _evaluate_remote(arguments: argparse.Namespace) -> int:
+    """The evaluate sub-command's client mode: query a running daemon."""
+    from .api import connect
+
+    address = _parse_address(arguments.server)
+    query = _parse_query(arguments)
+    with connect(address, timeout=arguments.timeout) as session:
+        if arguments.graph is not None:
+            loaded = session.load_graph(
+                json.loads(Path(arguments.graph).read_text(encoding="utf-8"))
+            )
+            print(
+                f"loaded {loaded['num_nodes']} nodes / {loaded['num_edges']} edges "
+                f"onto {arguments.server}",
+                file=sys.stderr,
+            )
+        if arguments.explain:
+            if arguments.json:
+                raise ReproError("--explain prints a plan, not answers; drop --json")
+            print(session.explain(query))
+            return 0
+        result = session.run(query)
+        if arguments.json:
+            print(result.to_json(indent=2))
+        else:
+            _print_answers(result.rows())
+    return 0
+
+
+def _serve(arguments: argparse.Namespace) -> int:
+    """The serve sub-command: load the graph, run the daemon until ^C."""
+    from .server import ReproServer, ServerConfig
+
+    graph = _load_graph(arguments.graph)
+    config = ServerConfig(
+        host=arguments.host,
+        port=arguments.port,
+        path=arguments.socket,
+        max_inflight=arguments.max_inflight,
+        queue_depth=arguments.queue_depth,
+        query_timeout=arguments.query_timeout,
+        num_workers=arguments.workers,
+        num_shards=arguments.num_shards,
+        pool_min_nodes=arguments.pool_min_nodes,
+    )
+    server = ReproServer(graph, config)
+    address = server.start()
+    where = address if isinstance(address, str) else "{}:{}".format(*address)
+    print(
+        f"serving {graph.name or arguments.graph} "
+        f"({graph.num_nodes} nodes / {graph.num_edges} edges) on {where}",
+        file=sys.stderr,
+    )
+    server.serve_forever()
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,12 +26,15 @@ the same drivers:
   frontier exchange over the cut edges until no shard learns a new source
   bit.  Bit positions come from the *global* node ordering, so gathering
   is a union of the shards' accepting masks.  When ``fork`` is available
-  the driver runs each round's active shards in **forked worker
-  processes** through the shared :mod:`~repro.engine.forkpool`; shard
-  state travels into workers by copy-on-write and only the round's
-  changed masks and outbox messages are pickled back.  The in-process loop remains as
-  the degradation path (and the right choice for small graphs, where a
-  per-round pool cannot amortise) — answers are identical either way.
+  the driver forks **one persistent worker pool per invocation** through
+  the shared :class:`~repro.engine.forkpool.ForkPool`: shards are
+  assigned to workers round-robin, each worker keeps its shards' mask
+  tables in its own process across frontier rounds, and only the round's
+  inbox/outbox messages are pickled either way (the final decode happens
+  worker-side too, so the full mask tables never cross the pipe).  The
+  in-process loop remains as the degradation path (and the right choice
+  for small graphs, where even a one-time pool cannot amortise) —
+  answers are identical either way.
 
 Both drivers also run **seeded** (``sources`` / ``targets`` restricted)
 evaluation — see :func:`repro.engine.product.seeded_product_relation` —
@@ -55,7 +58,7 @@ from ..datagraph.index import LabelIndex
 from ..datagraph.node import NodeId
 from ..exceptions import EvaluationError
 from .compiled import CompiledAutomaton
-from .forkpool import fork_available, run_forked
+from .forkpool import ForkPool, fork_available, run_forked
 from . import product
 from .product import Pair
 from .spaces import NfaProductSpace, ProductSpace
@@ -75,7 +78,8 @@ __all__ = [
 _EMPTY_ADJACENCY: Mapping[NodeId, Tuple[NodeId, ...]] = {}
 
 #: Below this many nodes the sharded driver's ``processes=None`` default
-#: stays in-process: a per-round fork pool cannot amortise on small work.
+#: stays in-process: forking even one worker pool cannot amortise on
+#: small work.
 PROCESS_SHARDS_MIN_NODES = 512
 
 
@@ -379,21 +383,73 @@ def _merge_outboxes(outboxes: Dict[int, Dict], shard_outboxes: Dict[int, Dict]) 
             outbox[config] = outbox.get(config, 0) | mask
 
 
-def _shard_round_worker(state, task_index: int):
-    """Forked worker: one active shard's round (state arrives by fork).
+#: Per-shard mask tables of a pooled worker, ``{shard_id: {config: mask}}``.
+#: Only ever populated inside forked :class:`ForkPool` children — each
+#: worker process owns the tables of the shards assigned to it and keeps
+#: them across frontier rounds; the parent's copy stays empty.
+_POOL_MASKS: Dict[int, Dict] = {}
 
-    Returns the shard id, the masks that **changed** this round (not the
-    whole table — the parent already holds the rest) and the outboxes;
-    all three are pickled back, so configurations must be picklable
-    (node ids, automaton states, register valuations are).
+
+def _pool_shard_worker(payload, index: int, message):
+    """Persistent pooled worker: rounds for this worker's shards, then decode.
+
+    ``("round", {shard_id: inbox})`` runs one frontier round for every
+    addressed shard against the mask tables kept in :data:`_POOL_MASKS`
+    and returns the merged outboxes.  ``("decode", targets)`` gathers the
+    accepting pairs of every shard this worker owns — so the (large)
+    mask tables never cross the pipe, only messages and answers do.
     """
-    space, shards, masks, inboxes, owner_of, active = state
-    shard_id = active[task_index]
-    shard_masks = masks[shard_id]
-    outboxes, changed = _shard_round(
-        space, shards[shard_id], owner_of, shard_masks, inboxes[shard_id]
-    )
-    return shard_id, {config: shard_masks[config] for config in changed}, outboxes
+    space, shards, owner_of = payload
+    kind, body = message
+    if kind == "round":
+        outboxes: Dict[int, Dict] = {}
+        for shard_id, inbox in body.items():
+            shard_masks = _POOL_MASKS.setdefault(shard_id, {})
+            shard_outboxes, _ = _shard_round(
+                space, shards[shard_id], owner_of, shard_masks, inbox
+            )
+            _merge_outboxes(outboxes, shard_outboxes)
+        return outboxes
+    if kind == "decode":
+        pairs: Set[Pair] = set()
+        for shard_masks in _POOL_MASKS.values():
+            pairs |= product.decode_pairs(space, shard_masks, targets=body)
+        return pairs
+    raise EvaluationError(f"unknown shard-pool message kind {kind!r}")
+
+
+def _pooled_sharded_relation(
+    space: ProductSpace,
+    shards: Tuple[ShardView, ...],
+    owner_of: Dict[NodeId, int],
+    inboxes: List[Dict],
+    targets: Optional[Set[NodeId]],
+    max_workers: Optional[int],
+) -> Set[Pair]:
+    """Drive the sharded fixpoint over one persistent worker pool.
+
+    Workers are forked **once** per invocation (not once per round, as
+    the driver historically did); shard *s* lives in worker ``s % W`` for
+    the pool's whole life, so its mask table stays put and only frontier
+    messages travel.  The parent routes outbox messages without a
+    dedup filter — it no longer holds the masks — which is safe because
+    :func:`~repro.engine.product.propagate_masks` drops already-known
+    bits, so a stale message produces an empty round, not extra work.
+    """
+    workers = min(len(shards), max_workers or (os.cpu_count() or 1))
+    pending = {shard_id: inbox for shard_id, inbox in enumerate(inboxes) if inbox}
+    with ForkPool((space, shards, owner_of), _pool_shard_worker, workers) as pool:
+        while pending:
+            tasks: Dict[int, Dict[int, Dict]] = {}
+            for shard_id, inbox in pending.items():
+                tasks.setdefault(shard_id % workers, {})[shard_id] = inbox
+            replies = pool.run({w: ("round", body) for w, body in tasks.items()})
+            outboxes: Dict[int, Dict] = {}
+            for shard_outboxes in replies.values():
+                _merge_outboxes(outboxes, shard_outboxes)
+            pending = {sid: messages for sid, messages in outboxes.items() if messages}
+        partials = pool.broadcast(("decode", targets))
+    return set().union(set(), *partials)
 
 
 def sharded_product_relation(
@@ -416,13 +472,15 @@ def sharded_product_relation(
     the longest chain of cut edges an answer path crosses.  Gather: the
     union of the shards' accepting-mask decodings.
 
-    Rounds execute the active shards (those with a non-empty inbox) in
-    **forked worker processes** when *processes* allows it: ``True``
-    forks whenever the platform supports it, ``False`` never forks, and
-    ``None`` (the default) forks on graphs of at least
-    ``PROCESS_SHARDS_MIN_NODES`` nodes — below that a per-round pool
-    costs more than the round.  Without ``fork`` the driver degrades to
-    the in-process loop; the answers are identical in every mode.
+    When *processes* allows it the driver forks **one persistent worker
+    pool** for the whole invocation: ``True`` forks whenever the
+    platform supports it, ``False`` never forks, and ``None`` (the
+    default) forks on graphs of at least ``PROCESS_SHARDS_MIN_NODES``
+    nodes — below that even a one-time pool costs more than the query.
+    Each worker keeps its shards' mask tables in-process across rounds
+    and decodes its own answers, so only frontier messages and final
+    pairs are pickled.  Without ``fork`` the driver degrades to the
+    in-process loop; the answers are identical in every mode.
 
     A *partition* may be passed in (reusing a plan across queries);
     otherwise one is built with ``num_shards`` shards (default: CPU count
@@ -466,7 +524,6 @@ def sharded_product_relation(
     else:
         use_processes = processes and fork_available()
 
-    masks: List[Dict] = [{} for _ in shards]
     inboxes: List[Dict] = [
         product.seed_masks(
             space,
@@ -476,32 +533,19 @@ def sharded_product_relation(
         )
         for shard in shards
     ]
+    if use_processes and len(shards) > 1 and any(inboxes):
+        return _pooled_sharded_relation(space, shards, owner_of, inboxes, targets, max_workers)
+    masks: List[Dict] = [{} for _ in shards]
     while any(inboxes):
         active = tuple(shard_id for shard_id, inbox in enumerate(inboxes) if inbox)
         outboxes: Dict[int, Dict] = {}
-        if use_processes and len(active) > 1:
-            # Scatter: fork one worker per active shard (state rides in by
-            # copy-on-write); gather each shard's changed masks + outboxes.
-            workers = min(len(active), max_workers or (os.cpu_count() or 1))
-            rounds = run_forked(
-                (space, shards, masks, inboxes, owner_of, active),
-                _shard_round_worker,
-                len(active),
-                max_workers=workers,
+        for shard_id in active:
+            seeds = inboxes[shard_id]
+            inboxes[shard_id] = {}
+            shard_outboxes, _ = _shard_round(
+                space, shards[shard_id], owner_of, masks[shard_id], seeds
             )
-            for shard_id in active:
-                inboxes[shard_id] = {}
-            for shard_id, changed_masks, shard_outboxes in rounds:
-                masks[shard_id].update(changed_masks)
-                _merge_outboxes(outboxes, shard_outboxes)
-        else:
-            for shard_id in active:
-                seeds = inboxes[shard_id]
-                inboxes[shard_id] = {}
-                shard_outboxes, _ = _shard_round(
-                    space, shards[shard_id], owner_of, masks[shard_id], seeds
-                )
-                _merge_outboxes(outboxes, shard_outboxes)
+            _merge_outboxes(outboxes, shard_outboxes)
         # Route messages: only genuinely new bits become next-round seeds.
         for shard_id, messages in outboxes.items():
             shard_masks = masks[shard_id]

@@ -1,0 +1,616 @@
+"""The query daemon: one graph, many clients, one persistent worker pool.
+
+:class:`ReproServer` owns a :class:`~repro.datagraph.graph.DataGraph`, a
+:class:`~repro.server.workers.ShardWorkerPool` and a listening socket
+(TCP or Unix-domain, per :class:`ServerConfig`), and serves the
+length-prefixed JSON frames of :mod:`repro.server.protocol` to any
+number of concurrent clients:
+
+========== =========================================================
+op          semantics
+========== =========================================================
+ping        liveness check
+load_graph  replace the served graph (invalidates pool + sessions)
+mutate      apply add/remove/set actions to the live graph
+run         evaluate one query (admission control + timeout apply)
+run_many    evaluate a batch of queries
+targets     single-source answers of a binary query
+explain     the execution plan as text
+stats       the client session's + worker pool's cache counters
+point_cache the session's point-cache snapshot payload
+metrics     server-wide counters, latency histogram, utilization
+========== =========================================================
+
+**Process model.**  The accept loop hands each connection to its own
+thread, which reads frames serially and answers in order.  Query
+operations (``run`` / ``run_many`` / ``targets``) are executed on a
+bounded :class:`~concurrent.futures.ThreadPoolExecutor` —
+``max_inflight`` workers plus a ``queue_depth``-bounded admission queue;
+a client whose request finds both full gets an immediate ``busy`` error
+(backpressure) instead of an unbounded wait.  Each query gets a
+deadline: when ``future.result`` times out the daemon sets the query's
+cancel event — the shard-worker pool aborts at the next frontier-round
+boundary — and answers a ``timeout`` error.  (A query that fell back to
+in-process evaluation cannot be interrupted mid-kernel; it finishes on
+its executor thread and the answer is discarded.)
+
+**Isolation.**  Every connection gets its own
+:class:`~repro.api.session.GraphSession` over the shared graph, so
+result caches, point caches and loaded snapshots are per-client; the
+compiled-automaton engine and the shard-worker pool are shared, which is
+the point of the daemon.  Sessions reach the pool through the
+``shard_runner`` seam — when the pool is busy the session transparently
+falls back to its own in-process drivers, so answers never depend on
+pool availability.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..api.executors import ExecutionPolicy
+from ..api.query import Query
+from ..api.session import GraphSession
+from ..api import wire
+from ..datagraph.graph import DataGraph
+from ..datagraph.serialization import graph_from_dict, graph_to_dict
+from ..exceptions import (
+    EvaluationError,
+    GraphError,
+    ParseError,
+    ReproError,
+    SerializationError,
+    UnknownNodeError,
+)
+from .metrics import ServerMetrics, cache_stats_view
+from .protocol import MAX_FRAME_BYTES, ProtocolError, error_payload, recv_frame, send_frame
+from .workers import QueryCancelled, ShardWorkerPool
+
+__all__ = ["ServerConfig", "ReproServer"]
+
+#: Wire error-type tags by exception class (first match wins).
+_ERROR_TYPES = (
+    (QueryCancelled, "cancelled"),
+    (ProtocolError, "protocol"),
+    (ParseError, "parse"),
+    (UnknownNodeError, "unknown_node"),
+    (GraphError, "graph"),
+    (SerializationError, "serialization"),
+    (EvaluationError, "evaluation"),
+    (ReproError, "error"),
+)
+
+
+def _error_type(error: BaseException) -> str:
+    for cls, tag in _ERROR_TYPES:
+        if isinstance(error, cls):
+            return tag
+    return "internal"
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Daemon tuning knobs; every field has a serviceable default.
+
+    ``path`` selects a Unix-domain socket and wins over ``host:port``;
+    ``port=0`` binds an ephemeral TCP port (read it back from
+    :attr:`ReproServer.address`).  ``query_timeout`` is the default
+    per-query deadline in seconds (``None``: no deadline); a request may
+    pass its own ``timeout``, capped by this value when both are set.
+    ``pool_min_nodes`` gates the shard-worker pool: graphs below it are
+    served in-process per connection (forked product-BFS only pays for
+    itself on large graphs — same wisdom as
+    :data:`~repro.engine.partition.PROCESS_SHARDS_MIN_NODES`, the
+    default); ``0`` forces the pool on for any graph.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    path: Optional[str] = None
+    max_inflight: int = 8
+    queue_depth: int = 16
+    query_timeout: Optional[float] = None
+    num_workers: Optional[int] = None
+    num_shards: Optional[int] = None
+    pool_min_nodes: Optional[int] = None
+    max_frame_bytes: int = MAX_FRAME_BYTES
+
+    def __post_init__(self):
+        if self.max_inflight < 1:
+            raise EvaluationError(f"max_inflight must be positive, got {self.max_inflight}")
+        if self.queue_depth < 0:
+            raise EvaluationError(f"queue_depth must be non-negative, got {self.queue_depth}")
+        if self.query_timeout is not None and self.query_timeout <= 0:
+            raise EvaluationError(f"query_timeout must be positive, got {self.query_timeout}")
+        if self.pool_min_nodes is not None and self.pool_min_nodes < 0:
+            raise EvaluationError(
+                f"pool_min_nodes must be non-negative, got {self.pool_min_nodes}"
+            )
+
+
+class _Connection:
+    """Per-client state: the socket, its session, a write lock."""
+
+    def __init__(self, sock: socket.socket, peer: str):
+        self.sock = sock
+        self.peer = peer
+        self.session: Optional[GraphSession] = None
+        self.generation = -1
+        self.write_lock = threading.Lock()
+
+
+class ReproServer:
+    """A daemon serving one graph to many concurrent clients.
+
+    >>> server = ReproServer(graph)           # doctest: +SKIP
+    >>> server.start()                        # doctest: +SKIP
+    >>> host, port = server.address           # doctest: +SKIP
+    ... # clients connect via repro.api.connect((host, port))
+    >>> server.shutdown()                     # doctest: +SKIP
+    """
+
+    def __init__(self, graph: Optional[DataGraph] = None, config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        self.metrics = ServerMetrics()
+        self._graph = graph
+        self._generation = 0
+        self._graph_lock = threading.Lock()
+        self._pool: Optional[ShardWorkerPool] = None
+        if graph is not None:
+            self._pool = self._build_pool(graph)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_inflight, thread_name_prefix="repro-query"
+        )
+        # Admission: max_inflight running + queue_depth waiting; a request
+        # that cannot take a slot without blocking is rejected outright.
+        self._slots = threading.BoundedSemaphore(
+            self.config.max_inflight + self.config.queue_depth
+        )
+        self._cancel_local = threading.local()
+        self._connections: Dict[int, _Connection] = {}
+        self._connections_lock = threading.Lock()
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Union[Tuple[str, int], str]:
+        """Bind, start the accept loop, return the bound address."""
+        if self._listener is not None:
+            raise EvaluationError("server already started")
+        if self.config.path is not None:
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            with contextlib.suppress(FileNotFoundError):
+                import os
+
+                os.unlink(self.config.path)
+            listener.bind(self.config.path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.config.host, self.config.port))
+        listener.listen(64)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    @property
+    def address(self) -> Union[Tuple[str, int], str]:
+        """The bound address: ``(host, port)`` for TCP, the path for Unix."""
+        if self._listener is None:
+            raise EvaluationError("server not started")
+        if self.config.path is not None:
+            return self.config.path
+        host, port = self._listener.getsockname()[:2]
+        return (host, port)
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` (for the CLI's ``serve`` command)."""
+        if self._listener is None:
+            self.start()
+        try:
+            while not self._stopping.wait(0.2):
+                pass
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop accepting, drop every connection, reap the worker pool."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            with contextlib.suppress(OSError):
+                listener.close()
+        with self._connections_lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for connection in connections:
+            with contextlib.suppress(OSError):
+                connection.sock.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                connection.sock.close()
+        self._executor.shutdown(wait=False)
+        if self._pool is not None:
+            self._pool.close()
+        if self.config.path is not None:
+            with contextlib.suppress(OSError):
+                import os
+
+                os.unlink(self.config.path)
+
+    def __enter__(self) -> "ReproServer":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Graph + session plumbing
+    # ------------------------------------------------------------------
+    def _build_pool(self, graph: DataGraph) -> Optional[ShardWorkerPool]:
+        """A worker pool for *graph*, or ``None`` when it would not pay."""
+        floor = self.config.pool_min_nodes
+        if floor is None:
+            from ..engine.partition import PROCESS_SHARDS_MIN_NODES
+
+            floor = PROCESS_SHARDS_MIN_NODES
+        if graph.num_nodes < floor:
+            return None
+        return ShardWorkerPool(
+            graph, num_workers=self.config.num_workers, num_shards=self.config.num_shards
+        )
+
+    def _install_graph(self, graph: DataGraph) -> None:
+        """Swap the served graph: new pool, new client-session generation."""
+        with self._graph_lock:
+            old_pool = self._pool
+            self._graph = graph
+            self._pool = self._build_pool(graph)
+            self._generation += 1
+        if old_pool is not None:
+            old_pool.close()
+
+    def _session_for(self, connection: _Connection) -> GraphSession:
+        """The connection's isolated session over the current graph."""
+        with self._graph_lock:
+            graph, generation, pool = self._graph, self._generation, self._pool
+        if graph is None:
+            raise EvaluationError("no graph loaded; send load_graph first")
+        if connection.session is None or connection.generation != generation:
+            runner = self._make_shard_runner(pool)
+            if runner is not None:
+                # threshold 0: offer every eligible plan to the pool;
+                # sharded_processes False keeps the busy-pool fallback
+                # in-process instead of forking a throwaway pool per query.
+                policy = ExecutionPolicy.preset(
+                    "server", intra_query_threshold=0, sharded_processes=False
+                )
+            else:
+                # No pool (small graph, or no fork): plain local execution
+                # beats the sharded drivers' bookkeeping.
+                policy = ExecutionPolicy.auto()
+            connection.session = GraphSession(graph, policy=policy, shard_runner=runner)
+            connection.generation = generation
+        return connection.session
+
+    def _make_shard_runner(self, pool: Optional[ShardWorkerPool]):
+        """The session→pool seam, with per-query cancel + busy accounting."""
+        if pool is None or not pool.available:
+            return None
+
+        def runner(plan: Query, null_semantics: bool):
+            cancel = getattr(self._cancel_local, "event", None)
+            started = time.monotonic()
+            answer = pool.evaluate(plan, null_semantics, cancel=cancel)
+            if answer is None:
+                self.metrics.increment("pool_fallbacks")
+            else:
+                self.metrics.record_pool_busy(time.monotonic() - started)
+            return answer
+
+        return runner
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while listener is not None and not self._stopping.is_set():
+            try:
+                sock, addr = listener.accept()
+            except OSError:
+                break  # listener closed by shutdown
+            connection = _Connection(sock, str(addr))
+            with self._connections_lock:
+                self._connections[id(connection)] = connection
+            self.metrics.increment("connections_total")
+            self.metrics.increment("connections_active")
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name=f"repro-client-{addr}",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, connection: _Connection) -> None:
+        sock = connection.sock
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = recv_frame(sock, self.config.max_frame_bytes)
+                except ProtocolError as error:
+                    # The stream is unparseable past a bad frame: answer
+                    # once (best effort) and drop the connection.
+                    self.metrics.increment("protocol_errors")
+                    with contextlib.suppress(OSError, ProtocolError):
+                        self._reply(connection, error_payload(None, "protocol", str(error)))
+                    break
+                if request is None:
+                    break  # clean EOF
+                if not isinstance(request, dict):
+                    self.metrics.increment("protocol_errors")
+                    with contextlib.suppress(OSError, ProtocolError):
+                        self._reply(
+                            connection,
+                            error_payload(None, "protocol", "request frame must be an object"),
+                        )
+                    break
+                response = self._handle_request(connection, request)
+                try:
+                    self._reply(connection, response)
+                except (OSError, ProtocolError):
+                    self.metrics.increment("disconnects_mid_query")
+                    break
+        finally:
+            with self._connections_lock:
+                self._connections.pop(id(connection), None)
+            self.metrics.increment("connections_active", -1)
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    def _reply(self, connection: _Connection, payload: Dict[str, Any]) -> None:
+        with connection.write_lock:
+            send_frame(connection.sock, payload, self.config.max_frame_bytes)
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def _handle_request(self, connection: _Connection, request: Dict[str, Any]) -> Dict[str, Any]:
+        rid = request.get("id")
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"id": rid, "ok": True, "pong": True}
+            if op == "load_graph":
+                return self._op_load_graph(rid, request)
+            if op == "mutate":
+                return self._op_mutate(rid, request)
+            if op in ("run", "run_many", "targets"):
+                return self._op_query(connection, rid, op, request)
+            if op == "explain":
+                session = self._session_for(connection)
+                query = wire.decode_query(request.get("query"))
+                return {"id": rid, "ok": True, "text": session.explain(query)}
+            if op == "stats":
+                return self._op_stats(connection, rid)
+            if op == "point_cache":
+                session = self._session_for(connection)
+                payload = session.point_cache_payload(max_entries=request.get("max_entries"))
+                return {"id": rid, "ok": True, "payload": payload}
+            if op == "metrics":
+                return self._op_metrics(connection, rid)
+            return error_payload(rid, "protocol", f"unknown operation {op!r}")
+        except ReproError as error:
+            return error_payload(rid, _error_type(error), str(error))
+        except Exception as error:  # noqa: BLE001 - a bug must not kill the connection
+            return error_payload(rid, "internal", f"{type(error).__name__}: {error}")
+
+    def _op_load_graph(self, rid, request: Dict[str, Any]) -> Dict[str, Any]:
+        payload = request.get("graph")
+        if not isinstance(payload, dict):
+            raise SerializationError("load_graph needs a graph document")
+        graph = graph_from_dict(payload)
+        self._install_graph(graph)
+        return {
+            "id": rid,
+            "ok": True,
+            "name": graph.name,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "version": graph.version,
+        }
+
+    def _op_mutate(self, rid, request: Dict[str, Any]) -> Dict[str, Any]:
+        actions = request.get("actions")
+        if not isinstance(actions, list):
+            raise SerializationError("mutate needs a list of actions")
+        with self._graph_lock:
+            graph = self._graph
+        if graph is None:
+            raise EvaluationError("no graph loaded; send load_graph first")
+        applied = 0
+        for action in actions:
+            if not isinstance(action, list) or not action:
+                raise SerializationError(f"malformed mutate action {action!r}")
+            verb, *args = action
+            if verb == "add_node" and len(args) == 2:
+                graph.add_node(wire.decode_value(args[0]), wire.decode_value(args[1]))
+            elif verb == "add_edge" and len(args) == 3:
+                graph.add_edge(wire.decode_value(args[0]), str(args[1]), wire.decode_value(args[2]))
+            elif verb == "remove_node" and len(args) == 1:
+                graph.remove_node(wire.decode_value(args[0]))
+            elif verb == "remove_edge" and len(args) == 3:
+                graph.remove_edge(
+                    wire.decode_value(args[0]), str(args[1]), wire.decode_value(args[2])
+                )
+            elif verb == "set_value" and len(args) == 2:
+                graph.set_value(wire.decode_value(args[0]), wire.decode_value(args[1]))
+            else:
+                raise SerializationError(f"malformed mutate action {action!r}")
+            applied += 1
+        # The next pool evaluate sees the version bump and respawns; the
+        # epoch broadcast inside sync() fails any in-flight worker state.
+        return {
+            "id": rid,
+            "ok": True,
+            "applied": applied,
+            "version": graph.version,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+        }
+
+    # ------------------------------------------------------------------
+    def _op_query(
+        self, connection: _Connection, rid, op: str, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        session = self._session_for(connection)
+        null_semantics = bool(request.get("null_semantics", False))
+        timeout = self._effective_timeout(request.get("timeout"))
+
+        if op == "run":
+            query = wire.decode_query(request.get("query"))
+
+            def job():
+                result = session.run(query, null_semantics=null_semantics)
+                return {"answers": wire.encode_answers(query, result._force())}
+
+        elif op == "run_many":
+            documents = request.get("queries")
+            if not isinstance(documents, list):
+                raise SerializationError("run_many needs a list of queries")
+            queries = [wire.decode_query(document) for document in documents]
+
+            def job():
+                results = session.run_many(queries, null_semantics=null_semantics)
+                return {
+                    "answers": [
+                        wire.encode_answers(query, result._force())
+                        for query, result in zip(queries, results)
+                    ]
+                }
+
+        else:  # targets
+            query = wire.decode_query(request.get("query"))
+            source = wire.decode_value(request.get("source"))
+
+            def job():
+                nodes = session.targets(query, source, null_semantics=null_semantics)
+                return {"nodes": wire.encode_nodes(nodes)}
+
+        return self._admit(rid, job, timeout)
+
+    def _effective_timeout(self, requested) -> Optional[float]:
+        configured = self.config.query_timeout
+        if requested is None:
+            return configured
+        try:
+            requested = float(requested)
+        except (TypeError, ValueError):
+            raise SerializationError(f"malformed timeout {requested!r}") from None
+        if requested <= 0:
+            raise SerializationError(f"timeout must be positive, got {requested}")
+        return min(requested, configured) if configured is not None else requested
+
+    def _admit(self, rid, job, timeout: Optional[float]) -> Dict[str, Any]:
+        """Run *job* under admission control and the query deadline."""
+        if not self._slots.acquire(blocking=False):
+            self.metrics.increment("queries_rejected")
+            return error_payload(
+                rid,
+                "busy",
+                f"server at capacity ({self.config.max_inflight} in flight, "
+                f"{self.config.queue_depth} queued); retry later",
+            )
+        cancel = threading.Event()
+        started = time.monotonic()
+
+        def guarded():
+            self._cancel_local.event = cancel
+            try:
+                return job()
+            finally:
+                self._cancel_local.event = None
+                self._slots.release()
+
+        try:
+            future = self._executor.submit(guarded)
+        except RuntimeError:  # executor shut down
+            self._slots.release()
+            return error_payload(rid, "error", "server is shutting down")
+        try:
+            payload = future.result(timeout=timeout)
+        except FutureTimeout:
+            cancel.set()
+            future.add_done_callback(lambda f: f.exception())  # discard the late answer
+            self.metrics.increment("queries_timed_out")
+            self.metrics.record_query(time.monotonic() - started, failed=True)
+            return error_payload(
+                rid, "timeout", f"query exceeded its {timeout:g}s deadline and was cancelled"
+            )
+        except QueryCancelled as error:
+            self.metrics.record_query(time.monotonic() - started, failed=True)
+            return error_payload(rid, "cancelled", str(error))
+        except ReproError as error:
+            self.metrics.record_query(time.monotonic() - started, failed=True)
+            return error_payload(rid, _error_type(error), str(error))
+        except Exception as error:  # noqa: BLE001
+            self.metrics.record_query(time.monotonic() - started, failed=True)
+            return error_payload(rid, "internal", f"{type(error).__name__}: {error}")
+        elapsed = time.monotonic() - started
+        self.metrics.record_query(elapsed)
+        return {"id": rid, "ok": True, "elapsed_ms": elapsed * 1000.0, **payload}
+
+    # ------------------------------------------------------------------
+    def _op_stats(self, connection: _Connection, rid) -> Dict[str, Any]:
+        session = self._session_for(connection)
+        pool = self._pool
+        worker_caches = pool.stats() if pool is not None else None
+        return {
+            "id": rid,
+            "ok": True,
+            "caches": cache_stats_view(session.stats()),
+            "worker_caches": worker_caches,
+        }
+
+    def _op_metrics(self, connection: _Connection, rid) -> Dict[str, Any]:
+        pool = self._pool
+        caches: Dict[str, Any] = {}
+        if connection.session is not None:
+            caches["session"] = cache_stats_view(connection.session.stats())
+        if pool is not None:
+            caches["workers"] = pool.stats()  # None while the pool is busy
+        snapshot = self.metrics.snapshot(cache_stats=caches)
+        if pool is not None:
+            snapshot["worker_pool"]["pids"] = list(pool.worker_pids())
+            snapshot["worker_pool"]["respawns"] = pool.respawns
+            snapshot["worker_pool"]["epoch"] = pool.epoch
+        return {"id": rid, "ok": True, "metrics": snapshot}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "stopped" if self._stopping.is_set() else (
+            "listening" if self._listener is not None else "idle"
+        )
+        return f"<ReproServer {state} generation={self._generation}>"
+
+
+def graph_document(graph: DataGraph) -> Dict[str, Any]:
+    """The ``load_graph`` request body for *graph* (client-side helper)."""
+    return graph_to_dict(graph, strict=False)

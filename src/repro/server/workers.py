@@ -1,0 +1,334 @@
+"""The daemon's persistent shard-worker pool.
+
+One :class:`ShardWorkerPool` owns a :class:`~repro.engine.forkpool.ForkPool`
+whose workers hold the graph snapshot, an edge-cut
+:class:`~repro.engine.partition.GraphPartition` and — crucially — their
+shards' **mask tables and compiled-automaton caches across queries**.
+Where the library's sharded driver forks one pool per drive invocation,
+the daemon's pool forks once and answers every subsequent full-relation
+RPQ / data-RPQ without re-forking (pinned by the worker-PID tests).
+
+Per-query protocol (parent ↔ workers, over the fork-pool pipes):
+
+``("query", (qid, query, null_semantics))``
+    Each worker compiles the query through its own process-wide engine
+    (so automaton caches warm up worker-side and stay warm), seeds the
+    shards it owns (``shard_id % num_workers == worker_index``) and runs
+    the first local fixpoint round; the reply is the round's outboxes,
+    keyed by destination shard.
+``("round", (qid, {shard_id: inbox}))``
+    One frontier-exchange round for the given shards; same reply shape.
+``("decode", qid)``
+    The worker decodes its accepting masks to id pairs and **drops** the
+    query's state; the parent unions the partial answers.
+``("drop", qid)``
+    Discard the query's state without decoding (cancellation path).
+``("epoch", version)``
+    Graph-version bump: drop *all* per-query state and record the new
+    epoch.  The parent then respawns the pool — forked children hold a
+    copy-on-write snapshot of the graph, so no message can refresh their
+    adjacency; the epoch broadcast exists to fail any in-flight query
+    state deterministically before the stale processes are reaped.
+``("stats", None)``
+    The worker's engine cache counters (JSON-compatible view).
+
+Only frontier messages, decoded id pairs and cache counters cross the
+pipes; mask tables and compiled automata never leave the workers.
+
+Concurrency: the pool is a single-admission resource guarded by a
+non-blocking lock.  :meth:`ShardWorkerPool.evaluate` returns ``None``
+when the pool is busy (or the platform cannot fork), and the calling
+session falls back to its own in-process drivers — the daemon's
+admission executor above this keeps overall concurrency bounded.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.node import Node
+from ..engine import default_engine
+from ..engine import product
+from ..engine.forkpool import ForkPool, fork_available
+from ..engine.partition import GraphPartition, _merge_outboxes, _shard_round
+from ..exceptions import EvaluationError, ReproError
+from .metrics import cache_stats_view
+
+__all__ = ["ShardWorkerPool", "QueryCancelled"]
+
+
+class QueryCancelled(ReproError):
+    """Raised by :meth:`ShardWorkerPool.evaluate` when its cancel event fires."""
+
+
+# ----------------------------------------------------------------------
+# Worker side (runs in forked children; globals are per-process)
+# ----------------------------------------------------------------------
+#: Per-query worker state: ``{qid: {"space": ProductSpace, "masks": {sid: {...}}}}``.
+_QUERIES: Dict[int, Dict] = {}
+#: The graph version this worker believes it is serving.
+_EPOCH: Optional[int] = None
+
+
+def _shard_worker_main(payload, index: int, message):
+    """Message loop body for one pooled shard worker."""
+    global _EPOCH
+    graph, partition, num_workers = payload
+    shards = partition.shards
+    owner_of = partition.assignment
+    if _EPOCH is None:
+        _EPOCH = graph.version
+    kind, body = message
+
+    if kind == "query":
+        qid, query, null_semantics = body
+        space = default_engine().space_for_atom(graph, query.plan, null_semantics)
+        masks: Dict[int, Dict] = {}
+        _QUERIES[qid] = {"space": space, "masks": masks}
+        outboxes: Dict[int, Dict] = {}
+        for shard_id in range(index, len(shards), num_workers):
+            shard = shards[shard_id]
+            seeds = product.seed_masks(space, sources=shard.nodes)
+            if not seeds:
+                continue
+            shard_outboxes, _ = _shard_round(
+                space, shard, owner_of, masks.setdefault(shard_id, {}), seeds
+            )
+            _merge_outboxes(outboxes, shard_outboxes)
+        return outboxes
+
+    if kind == "round":
+        qid, inboxes = body
+        state = _QUERIES.get(qid)
+        if state is None:
+            raise EvaluationError(
+                f"shard worker {index} has no state for query {qid} "
+                "(epoch invalidation or a dropped query?)"
+            )
+        space, masks = state["space"], state["masks"]
+        outboxes = {}
+        for shard_id, inbox in inboxes.items():
+            shard_outboxes, _ = _shard_round(
+                space, shards[shard_id], owner_of, masks.setdefault(shard_id, {}), inbox
+            )
+            _merge_outboxes(outboxes, shard_outboxes)
+        return outboxes
+
+    if kind == "decode":
+        state = _QUERIES.pop(body, None)
+        if state is None:
+            return set()
+        pairs: Set[Tuple] = set()
+        for shard_masks in state["masks"].values():
+            pairs |= product.decode_pairs(state["space"], shard_masks)
+        return pairs
+
+    if kind == "drop":
+        return _QUERIES.pop(body, None) is not None
+
+    if kind == "epoch":
+        dropped = len(_QUERIES)
+        _QUERIES.clear()
+        _EPOCH = body
+        return dropped
+
+    if kind == "stats":
+        return cache_stats_view(default_engine().stats())
+
+    if kind == "state":
+        return (_EPOCH, sorted(_QUERIES))
+
+    raise EvaluationError(f"unknown shard-worker message kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ShardWorkerPool:
+    """A persistent, graph-version-aware pool of forked shard workers.
+
+    The pool forks lazily on the first :meth:`evaluate` and keeps its
+    workers alive until :meth:`close` or a graph mutation.  Mutations
+    are detected by comparing ``graph.version`` against the epoch the
+    pool was forked at: a mismatch broadcasts an ``epoch`` message (so
+    workers drop any per-query state) and respawns the pool from the
+    parent's current graph — ``respawns`` counts these.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        num_workers: Optional[int] = None,
+        num_shards: Optional[int] = None,
+    ):
+        self.graph = graph
+        self.num_workers = max(1, num_workers or min(os.cpu_count() or 1, 8))
+        self.num_shards = max(self.num_workers, num_shards or self.num_workers)
+        self.respawns = 0
+        self._pool: Optional[ForkPool] = None
+        self._epoch: Optional[int] = None
+        self._lock = threading.Lock()
+        self._qids = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """Whether this platform can run the pool at all."""
+        return fork_available()
+
+    @property
+    def epoch(self) -> Optional[int]:
+        """The graph version the current workers were forked at."""
+        return self._epoch
+
+    def worker_pids(self) -> Tuple[int, ...]:
+        """PIDs of the live workers (empty before the first evaluate)."""
+        pool = self._pool
+        return pool.pids() if pool is not None and not pool.closed else ()
+
+    # ------------------------------------------------------------------
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.close()
+            except Exception:  # pragma: no cover - already-dead workers
+                pass
+            self._pool = None
+
+    def _sync(self) -> ForkPool:
+        """Respawn the pool when the graph moved past the workers' epoch.
+
+        Called with the admission lock held.  The epoch broadcast tells
+        the stale workers to drop per-query state before they are
+        reaped; the respawn is what actually refreshes their
+        copy-on-write graph snapshot.
+        """
+        if self._closed:
+            raise EvaluationError("shard-worker pool is closed")
+        version = self.graph.version
+        pool = self._pool
+        if pool is not None and self._epoch != version:
+            try:
+                pool.broadcast(("epoch", version))
+            except EvaluationError:  # pragma: no cover - workers already dead
+                pass
+            self._discard_pool()
+            pool = None
+            self.respawns += 1
+        if pool is None:
+            partition = GraphPartition.build(self.graph.label_index(), self.num_shards)
+            pool = ForkPool(
+                (self.graph, partition, self.num_workers),
+                _shard_worker_main,
+                self.num_workers,
+            )
+            self._pool = pool
+            self._epoch = version
+        return pool
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        query,
+        null_semantics: bool = False,
+        cancel: Optional[threading.Event] = None,
+    ) -> Optional[FrozenSet[Tuple[Node, Node]]]:
+        """One full-relation query through the persistent workers.
+
+        Returns the answer as ``(source, target)`` node pairs, or
+        ``None`` when the pool cannot take the query right now (busy, or
+        no ``fork`` on this platform) — the caller then evaluates
+        in-process.  *cancel* is checked at every round boundary; a set
+        event drops the query's worker state and raises
+        :class:`QueryCancelled`.
+        """
+        if not fork_available():
+            return None
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            pool = self._sync()
+            qid = next(self._qids)
+            try:
+                replies = pool.run(
+                    {w: ("query", (qid, query, null_semantics)) for w in range(self.num_workers)}
+                )
+                pending: Dict[int, Dict] = {}
+                for outboxes in replies.values():
+                    _merge_outboxes(pending, outboxes)
+                pending = {sid: box for sid, box in pending.items() if box}
+                while pending:
+                    if cancel is not None and cancel.is_set():
+                        pool.broadcast(("drop", qid))
+                        raise QueryCancelled("query cancelled between frontier rounds")
+                    tasks: Dict[int, Dict[int, Dict]] = {}
+                    for shard_id, inbox in pending.items():
+                        tasks.setdefault(shard_id % self.num_workers, {})[shard_id] = inbox
+                    replies = pool.run(
+                        {worker: ("round", (qid, body)) for worker, body in tasks.items()}
+                    )
+                    pending = {}
+                    for outboxes in replies.values():
+                        _merge_outboxes(pending, outboxes)
+                    pending = {sid: box for sid, box in pending.items() if box}
+                if cancel is not None and cancel.is_set():
+                    pool.broadcast(("drop", qid))
+                    raise QueryCancelled("query cancelled before decode")
+                partials = pool.broadcast(("decode", qid))
+            except QueryCancelled:
+                raise
+            except EvaluationError:
+                # A worker died mid-query: the pool is unusable; drop it
+                # so the next evaluate respawns a fresh one.
+                self._discard_pool()
+                raise
+            node = self.graph.node
+            return frozenset(
+                (node(source), node(target))
+                for source, target in set().union(set(), *partials)
+            )
+        finally:
+            self._lock.release()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Optional[Dict]:
+        """Aggregated worker engine-cache counters, or ``None`` when busy."""
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            pool = self._pool
+            if pool is None or pool.closed:
+                return {}
+            from .metrics import merge_cache_views
+
+            return merge_cache_views(pool.broadcast(("stats", None)))
+        except EvaluationError:  # pragma: no cover - workers died
+            self._discard_pool()
+            return {}
+        finally:
+            self._lock.release()
+
+    def close(self) -> None:
+        """Reap the workers; the pool rejects further evaluates."""
+        with self._lock:
+            self._closed = True
+            self._discard_pool()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("idle" if self._pool is None else "forked")
+        return (
+            f"<ShardWorkerPool {state}: {self.num_workers} workers, "
+            f"{self.num_shards} shards, epoch {self._epoch}, "
+            f"{self.respawns} respawns>"
+        )

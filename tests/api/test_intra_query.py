@@ -42,8 +42,8 @@ DIALECT_TEXTS = {
 #: Threshold 1 so even tiny random graphs take the partitioned drivers.
 MODES = [
     ExecutionPolicy(),
-    ExecutionPolicy(intra_query="blocks", intra_query_threshold=1, max_workers=2),
-    ExecutionPolicy(intra_query="sharded", intra_query_threshold=1, num_shards=3),
+    ExecutionPolicy.preset("local", intra_query="blocks", intra_query_threshold=1, max_workers=2),
+    ExecutionPolicy.preset("local", intra_query="sharded", intra_query_threshold=1, num_shards=3),
 ]
 
 graphs = st.builds(
@@ -99,7 +99,7 @@ class TestModeAgreement:
 
     def test_threshold_keeps_small_graphs_sequential(self):
         graph = generators.random_graph(10, 20, labels=("a", "b"), rng=4)
-        high = GraphSession(graph, policy=ExecutionPolicy(intra_query="sharded"))
+        high = GraphSession(graph, policy=ExecutionPolicy.preset("server"))
         low = GraphSession(graph)
         # below the default threshold of 64 nodes both run sequentially
         assert graph.num_nodes < high.policy.intra_query_threshold
@@ -108,7 +108,8 @@ class TestModeAgreement:
     def test_partitioned_answers_share_the_result_cache(self):
         graph = generators.random_graph(80, 200, labels=("a", "b"), rng=9)
         session = GraphSession(
-            graph, policy=ExecutionPolicy(intra_query="sharded", intra_query_threshold=1)
+            graph,
+            policy=ExecutionPolicy.preset("local", intra_query="sharded", intra_query_threshold=1),
         )
         first = session.run("a.(a|b)*.b").pairs()
         assert session.run("a.(a|b)*.b").pairs() == first
@@ -116,7 +117,7 @@ class TestModeAgreement:
 
     def test_unknown_intra_query_mode_rejected(self):
         with pytest.raises(EvaluationError):
-            ExecutionPolicy(intra_query="quantum")
+            ExecutionPolicy.preset("local", intra_query="quantum")
 
 
 class TestCrossShardBoundaries:
@@ -138,8 +139,8 @@ class TestCrossShardBoundaries:
         graph = self.chain_with_values([1, 2, 1, 3, 1, 2])
         spec = memory_rpq("!x.(a[x!=])+")
         expected = evaluate_data_rpq_naive(graph, spec)
-        policy = ExecutionPolicy(
-            intra_query="sharded", intra_query_threshold=1, num_shards=graph.num_nodes
+        policy = ExecutionPolicy.preset(
+            "local", intra_query="sharded", intra_query_threshold=1, num_shards=graph.num_nodes
         )
         session = GraphSession(graph, policy=policy)
         answers = session.run(Query.data_rpq(spec.expression)).pairs()
@@ -152,8 +153,8 @@ class TestCrossShardBoundaries:
         graph = self.chain_with_values([1] * 7)
         plan = Query.parse("a*", "gxpath-path")
         expected = GraphSession(graph).run(plan).rows()
-        policy = ExecutionPolicy(
-            intra_query="sharded", intra_query_threshold=1, num_shards=graph.num_nodes
+        policy = ExecutionPolicy.preset(
+            "local", intra_query="sharded", intra_query_threshold=1, num_shards=graph.num_nodes
         )
         assert GraphSession(graph, policy=policy).run(plan).rows() == expected
 
@@ -162,8 +163,8 @@ class TestCrossShardBoundaries:
         plan = Query.parse("!x.((knows|bridge)[x!=])+", "rem")
         baseline = GraphSession(graph).run(plan).pairs()
         for processes in (False, True):
-            policy = ExecutionPolicy(
-                intra_query="sharded",
+            policy = ExecutionPolicy.preset(
+                "server",
                 intra_query_threshold=1,
                 num_shards=3,
                 sharded_processes=processes,

@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import pytest
 
+import os
+
 from repro.datagraph import generators
 from repro.engine import default_engine, forkpool, partition
-from repro.engine.forkpool import fork_available, run_forked
+from repro.engine.forkpool import ForkPool, fork_available, run_forked
+from repro.exceptions import EvaluationError
 
 
 def _double(payload, index):
@@ -23,6 +26,18 @@ def _explode(payload, index):
     if index == 1:
         raise ValueError(f"worker {index} exploded on purpose")
     return index
+
+
+#: Per-process accumulator used to prove pooled workers keep state
+#: between message rounds (each forked child owns a private copy).
+_TALLY = []
+
+
+def _pool_tally(payload, index, message):
+    if message == "explode":
+        raise ValueError(f"pool worker {index} exploded on purpose")
+    _TALLY.append(message)
+    return (os.getpid(), payload + sum(_TALLY))
 
 
 needs_fork = pytest.mark.skipif(not fork_available(), reason="platform has no fork")
@@ -52,6 +67,68 @@ class TestRunForked:
     @needs_fork
     def test_max_workers_bound_is_honoured(self):
         assert run_forked(2, _double, 5, max_workers=2) == [0, 2, 4, 6, 8]
+
+
+class TestForkPool:
+    """The persistent pool: one fork, many message rounds, state kept."""
+
+    @needs_fork
+    def test_workers_persist_and_keep_state_across_rounds(self):
+        with ForkPool(10, _pool_tally, 2) as pool:
+            first = pool.run({0: 1, 1: 2})
+            second = pool.run({0: 3, 1: 4})
+        # Same worker process answered both rounds...
+        assert first[0][0] == second[0][0]
+        assert first[1][0] == second[1][0]
+        # ...and the second answer includes state from the first round.
+        assert first[0][1] == 11 and second[0][1] == 14  # 10+1, then 10+1+3
+        assert first[1][1] == 12 and second[1][1] == 16  # 10+2, then 10+2+4
+        # The parent's copy of the accumulator is untouched.
+        assert _TALLY == []
+
+    @needs_fork
+    def test_pids_are_stable_and_distinct_from_the_parent(self):
+        with ForkPool(0, _pool_tally, 3) as pool:
+            pids = pool.pids()
+            assert len(set(pids)) == 3 and os.getpid() not in pids
+            replies = pool.broadcast(5)
+            assert sorted(pid for pid, _ in replies) == sorted(pids)
+            assert pool.pids() == pids
+
+    @needs_fork
+    def test_run_addresses_only_the_given_workers(self):
+        with ForkPool(0, _pool_tally, 3) as pool:
+            replies = pool.run({1: 7})
+            assert set(replies) == {1}
+            assert replies[1][1] == 7
+
+    @needs_fork
+    def test_worker_exception_reraises_and_pool_stays_usable(self):
+        with ForkPool(0, _pool_tally, 2) as pool:
+            with pytest.raises(ValueError, match="exploded on purpose"):
+                pool.run({0: 1, 1: "explode"})
+            # The failed round drained both pipes; the pool still answers.
+            assert pool.run({1: 2})[1][1] == 2
+
+    @needs_fork
+    def test_close_is_idempotent_and_reaps_workers(self):
+        pool = ForkPool(0, _pool_tally, 2)
+        procs = list(pool._procs)
+        pool.close()
+        pool.close()
+        assert pool.closed and all(not proc.is_alive() for proc in procs)
+        with pytest.raises(EvaluationError, match="closed"):
+            pool.run({0: 1})
+
+    @needs_fork
+    def test_rejects_empty_pools(self):
+        with pytest.raises(EvaluationError, match="at least one worker"):
+            ForkPool(0, _pool_tally, 0)
+
+    @needs_fork
+    def test_fork_state_global_is_cleared_after_the_fork_moment(self):
+        with ForkPool(0, _pool_tally, 1):
+            assert forkpool._STATE is None
 
 
 class TestForkUnavailableFallbacks:

@@ -119,7 +119,9 @@ class TestIntraQueryModesAgree:
             )
         )
         sequential = GraphSession(graph).run(query).rows()
-        policy = ExecutionPolicy(intra_query=mode, intra_query_threshold=0, num_shards=3)
+        policy = ExecutionPolicy.preset(
+            "local", intra_query=mode, intra_query_threshold=0, num_shards=3
+        )
         assert GraphSession(graph, policy=policy).run(query).rows() == sequential
 
     def test_sharded_processes_toggle(self):
@@ -129,8 +131,8 @@ class TestIntraQueryModesAgree:
         )
         sequential = GraphSession(graph).run(query).rows()
         for processes in (False, True):
-            policy = ExecutionPolicy(
-                intra_query="sharded",
+            policy = ExecutionPolicy.preset(
+                "server",
                 intra_query_threshold=0,
                 num_shards=2,
                 sharded_processes=processes,

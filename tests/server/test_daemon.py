@@ -1,0 +1,382 @@
+"""Daemon integration tests: concurrency, isolation, failure injection.
+
+Everything here drives a real :class:`ReproServer` over real sockets via
+:func:`repro.api.connect` (or a raw socket for frame-corruption tests) —
+no transport mocking — so the tests pin exactly what the acceptance
+criteria name: concurrent clients with correct results, per-query
+timeouts, mid-query disconnects, admission backpressure, worker-pool
+persistence and epoch invalidation, and the metrics report.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    GraphSession,
+    Query,
+    QueryTimeoutError,
+    ServerBusyError,
+    connect,
+)
+from repro.datagraph import GraphBuilder, generators
+from repro.engine.forkpool import fork_available
+from repro.exceptions import UnknownNodeError
+from repro.server import ReproServer, ServerConfig
+from repro.server import daemon as daemon_module
+from repro.server.protocol import recv_frame, send_frame
+
+QUERIES = [
+    ("a.(b|c)+", "rpq"),
+    ("((a|c))=", "ree"),
+    ("!x.((a|b)[x!=])+", "rem"),
+    ("x,y :- (x, a+, z), (z, b|c, y)", "crpq"),
+    ("<a.[<b>]>", "gxpath-node"),
+]
+
+
+def make_graph():
+    return generators.community_graph(
+        3, 30, intra_edges_per_node=3, bridges_per_community=3,
+        labels=("a", "b"), bridge_label="c", rng=5, domain_size=4,
+    )
+
+
+@pytest.fixture
+def served():
+    """A running server over a fresh graph; yields ``(graph, address)``."""
+    graph = make_graph()
+    # pool_min_nodes=0 forces the worker pool on for this small test
+    # graph (production default only pools graphs worth forking for).
+    server = ReproServer(
+        graph, ServerConfig(max_inflight=8, num_workers=2, num_shards=4, pool_min_nodes=0)
+    )
+    address = server.start()
+    yield graph, address, server
+    server.shutdown()
+
+
+class TestBasicOperations:
+    def test_every_dialect_matches_local_evaluation(self, served):
+        graph, address, _ = served
+        local = GraphSession(graph)
+        with connect(address) as session:
+            for text, dialect in QUERIES:
+                query = Query.parse(text, dialect=dialect)
+                assert session.run(query).rows() == local.run(query).rows(), text
+
+    def test_run_many_and_targets(self, served):
+        graph, address, _ = served
+        local = GraphSession(graph)
+        queries = [Query.parse(text, dialect=dialect) for text, dialect in QUERIES[:3]]
+        with connect(address) as session:
+            remote = session.run_many(queries)
+            expected = local.run_many(queries)
+            assert [r.rows() for r in remote] == [r.rows() for r in expected]
+            source = next(iter(graph.node_ids))
+            assert session.targets("a", source) == local.targets("a", source)
+
+    def test_remote_result_holds_without_a_graph(self, served):
+        graph, address, _ = served
+        with connect(address) as session:
+            result = session.run("a")
+            assert result.graph is None
+            pair = next(iter(result.pairs()))
+            assert result.holds(pair[0].id, pair[1].id)
+            assert not result.holds("no-such-node", pair[1].id)
+
+    def test_explain_ping_and_errors(self, served):
+        _, address, _ = served
+        with connect(address) as session:
+            assert session.ping()
+            assert "NFA" in session.explain("a.b")
+            # Server-side errors come back typed and leave the
+            # connection serving.
+            with pytest.raises(UnknownNodeError):
+                session.targets("a", "no-such-node")
+            assert session.ping()
+
+    def test_session_protocol_holds_shortcut(self, served):
+        graph, address, _ = served
+        with connect(address) as session:
+            pair = next(iter(GraphSession(graph).run("a").pairs()))
+            assert session.holds("a", pair[0], pair[1])
+
+
+class TestConcurrentClients:
+    def test_eight_concurrent_clients_get_correct_results(self, served):
+        graph, address, _ = served
+        local = GraphSession(graph)
+        expected = {
+            text: local.run(Query.parse(text, dialect=dialect)).rows()
+            for text, dialect in QUERIES
+        }
+        failures = []
+        barrier = threading.Barrier(8)
+
+        def client(index):
+            text, dialect = QUERIES[index % len(QUERIES)]
+            try:
+                with connect(address) as session:
+                    barrier.wait(timeout=10)
+                    for _ in range(3):
+                        rows = session.run(Query.parse(text, dialect=dialect)).rows()
+                        if rows != expected[text]:
+                            failures.append((index, text, "wrong answers"))
+            except Exception as error:  # noqa: BLE001 - collected for the assert
+                failures.append((index, text, repr(error)))
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures, failures
+
+    def test_sessions_are_isolated_per_connection(self, served):
+        _, address, _ = served
+        with connect(address) as first, connect(address) as second:
+            first.run("a.b")
+            first.run("a.b")  # second run: a server-side cache hit
+            assert first.stats()["results"].hits >= 1
+            # The other connection's session saw none of that traffic.
+            assert second.stats()["results"].hits == 0
+            assert second.stats()["results"].size == 0
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs os.fork")
+class TestWorkerPoolThroughTheDaemon:
+    def test_workers_persist_across_queries_and_clients(self, served):
+        _, address, _ = served
+        with connect(address) as session:
+            session.run("a.(b|c)+")
+            pids = session.metrics()["worker_pool"]["pids"]
+            assert pids, "the first full-relation query must fork the pool"
+            session.run("(a|b)+")
+        with connect(address) as session:
+            session.run("a.(b|c)+")
+            after = session.metrics()["worker_pool"]
+            assert after["pids"] == pids  # same processes: no re-fork
+            assert after["respawns"] == 0
+
+    def test_mutation_invalidates_workers_and_answers_stay_correct(self, served):
+        graph, address, _ = served
+        query = Query.parse("a.(b|c)+")
+        with connect(address) as session:
+            before = session.run(query).rows()
+            assert before == GraphSession(graph).run(query).rows()
+            anchor = next(iter(graph.node_ids))
+            session.mutate([["add_node", "daemon-new", 7],
+                           ["add_edge", "daemon-new", "a", anchor]])
+            after = session.run(query).rows()
+            assert after == GraphSession(graph).run(query).rows()
+            metrics = session.metrics()["worker_pool"]
+            assert metrics["respawns"] == 1
+            assert metrics["epoch"] == graph.version
+
+
+class TestProtocolAbuse:
+    def test_malformed_frame_gets_error_then_disconnect(self, served):
+        _, address, server = served
+        sock = socket.create_connection(address)
+        try:
+            sock.sendall(struct.pack(">I", 5) + b"nope!")
+            response = recv_frame(sock)
+            assert response["ok"] is False
+            assert response["error"]["type"] == "protocol"
+            assert recv_frame(sock) is None  # server dropped the stream
+        finally:
+            sock.close()
+        assert server.metrics.counters["protocol_errors"] == 1
+
+    def test_oversized_frame_is_rejected(self, served):
+        _, address, server = served
+        sock = socket.create_connection(address)
+        try:
+            sock.sendall(struct.pack(">I", server.config.max_frame_bytes + 1))
+            response = recv_frame(sock)
+            assert response["error"]["type"] == "protocol"
+        finally:
+            sock.close()
+
+    def test_non_object_request_rejected(self, served):
+        _, address, _ = served
+        sock = socket.create_connection(address)
+        try:
+            send_frame(sock, [1, 2, 3])
+            assert recv_frame(sock)["error"]["type"] == "protocol"
+        finally:
+            sock.close()
+
+    def test_unknown_op_keeps_the_connection(self, served):
+        _, address, _ = served
+        sock = socket.create_connection(address)
+        try:
+            send_frame(sock, {"id": 1, "op": "explode"})
+            assert recv_frame(sock)["error"]["type"] == "protocol"
+            send_frame(sock, {"id": 2, "op": "ping"})
+            assert recv_frame(sock)["pong"] is True  # still serving
+        finally:
+            sock.close()
+
+    def test_mid_query_disconnect_leaves_the_server_healthy(self, served):
+        graph, address, _ = served
+        doomed = socket.create_connection(address)
+        send_frame(
+            doomed,
+            {"id": 1, "op": "run",
+             "query": {"kind": "rpq", "plan": {"%": "RPQ", "f": {"expression": {
+                 "%": "Plus", "f": {"inner": {"%": "Union", "f": {
+                     "left": {"%": "Letter", "f": {"label": "a"}},
+                     "right": {"%": "Letter", "f": {"label": "b"}}}}}}}}}},
+        )
+        doomed.close()  # walk away mid-query
+        time.sleep(0.2)
+        with connect(address) as session:
+            assert session.run("a").rows() == GraphSession(graph).run("a").rows()
+
+
+class _SlowSession(GraphSession):
+    """A session whose runs block long enough to hold an executor slot."""
+
+    delay = 1.0
+
+    def run(self, query, null_semantics=False):
+        time.sleep(self.delay)
+        return super().run(query, null_semantics=null_semantics)
+
+
+class TestAdmissionAndTimeouts:
+    def test_query_timeout_is_enforced_and_reported(self, served, monkeypatch):
+        _, address, server = served
+        monkeypatch.setattr(daemon_module, "GraphSession", _SlowSession)
+        with connect(address) as session:
+            started = time.monotonic()
+            with pytest.raises(QueryTimeoutError, match="deadline"):
+                session.run("a", timeout=0.05)
+            assert time.monotonic() - started < _SlowSession.delay
+            metrics = session.metrics()
+            assert metrics["counters"]["queries_timed_out"] == 1
+        assert server.metrics.counters["queries_timed_out"] == 1
+
+    def test_server_config_caps_client_timeouts(self, monkeypatch):
+        graph = make_graph()
+        server = ReproServer(graph, ServerConfig(query_timeout=0.05, num_workers=1))
+        address = server.start()
+        monkeypatch.setattr(daemon_module, "GraphSession", _SlowSession)
+        try:
+            with connect(address) as session:
+                started = time.monotonic()
+                with pytest.raises(QueryTimeoutError):
+                    # Ask for a generous deadline; the server's cap wins.
+                    session.run("a", timeout=60.0)
+                assert time.monotonic() - started < _SlowSession.delay
+        finally:
+            server.shutdown()
+
+    def test_backpressure_rejects_excess_queries(self, monkeypatch):
+        graph = make_graph()
+        server = ReproServer(
+            graph, ServerConfig(max_inflight=1, queue_depth=0, num_workers=1)
+        )
+        address = server.start()
+        monkeypatch.setattr(daemon_module, "GraphSession", _SlowSession)
+        try:
+            blocker = connect(address)
+            errors = []
+
+            def long_query():
+                try:
+                    blocker.run("a")
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+            thread = threading.Thread(target=long_query)
+            thread.start()
+            time.sleep(0.2)  # let the slow query take the only slot
+            with connect(address) as session:
+                with pytest.raises(ServerBusyError, match="capacity"):
+                    session.run("b")
+            thread.join(timeout=30)
+            blocker.close()
+            assert not errors
+            assert server.metrics.counters["queries_rejected"] == 1
+        finally:
+            server.shutdown()
+
+    def test_server_still_works_after_a_timeout(self, served, monkeypatch):
+        graph, address, _ = served
+        monkeypatch.setattr(daemon_module, "GraphSession", _SlowSession)
+        monkeypatch.setattr(_SlowSession, "delay", 0.4)
+        with connect(address) as session:
+            with pytest.raises(QueryTimeoutError):
+                session.run("a", timeout=0.05)
+        time.sleep(0.5)  # let the abandoned query drain its slot
+        monkeypatch.undo()
+        with connect(address) as session:
+            assert session.run("a").rows() == GraphSession(graph).run("a").rows()
+
+
+class TestMetricsAndManagement:
+    def test_metrics_report_counters_latency_and_utilization(self, served):
+        _, address, _ = served
+        with connect(address) as session:
+            for _ in range(4):
+                session.run("a.b")
+            metrics = session.metrics()
+        counters = metrics["counters"]
+        assert counters["queries_total"] >= 4
+        assert counters["connections_total"] >= 1
+        latency = metrics["latency"]
+        assert latency["count"] >= 4
+        assert latency["p95_ms"] is not None and latency["p95_ms"] >= 0
+        assert 0.0 <= metrics["worker_pool"]["utilization"] <= 1.0
+        assert metrics["uptime_seconds"] > 0
+
+    def test_load_graph_swaps_the_served_graph(self, served):
+        _, address, _ = served
+        replacement = (
+            GraphBuilder(name="tiny").node("x", 1).node("y", 2)
+            .edge("x", "r", "y").build()
+        )
+        with connect(address) as session:
+            loaded = session.load_graph(replacement)
+            assert loaded["num_nodes"] == 2 and loaded["name"] == "tiny"
+            result = session.run("r")
+            assert {(a.id, b.id) for a, b in result.pairs()} == {("x", "y")}
+
+    def test_remote_point_cache_snapshot_loads_locally(self, served, tmp_path):
+        graph, address, _ = served
+        source = next(iter(graph.node_ids))
+        path = tmp_path / "points.json"
+        with connect(address) as session:
+            remote_targets = session.targets("a", source)
+            assert session.save_point_cache(path) >= 1
+        local = GraphSession(graph)
+        assert local.load_point_cache(path) >= 1
+        assert local.targets("a", source) == remote_targets
+
+    def test_no_graph_loaded_is_a_clean_error(self):
+        server = ReproServer()
+        address = server.start()
+        try:
+            with connect(address) as session:
+                assert session.ping()  # ping needs no graph
+                with pytest.raises(Exception, match="no graph loaded"):
+                    session.run("a")
+        finally:
+            server.shutdown()
+
+    def test_shutdown_disconnects_clients(self, served):
+        _, address, server = served
+        session = connect(address)
+        assert session.ping()
+        server.shutdown()
+        with pytest.raises(Exception):
+            session.run("a")
+        session.close()

@@ -1,0 +1,123 @@
+"""Frame-level protocol tests: framing, limits, truncation, bad JSON."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    error_payload,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    """A connected socket pair; both ends closed afterwards."""
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        left, right = pair
+        payload = {"id": 7, "op": "run", "nested": [1, {"x": None}], "flag": True}
+        send_frame(left, payload)
+        assert recv_frame(right) == payload
+
+    def test_multiple_frames_stay_separate(self, pair):
+        left, right = pair
+        for index in range(5):
+            send_frame(left, {"seq": index})
+        for index in range(5):
+            assert recv_frame(right) == {"seq": index}
+
+    def test_empty_object_and_large_payload(self, pair):
+        left, right = pair
+        send_frame(left, {})
+        big = {"rows": [[i, f"node-{i}"] for i in range(5000)]}
+        writer = threading.Thread(target=send_frame, args=(left, big))
+        writer.start()
+        assert recv_frame(right) == {}
+        assert recv_frame(right) == big
+        writer.join()
+
+    def test_clean_eof_returns_none(self, pair):
+        left, right = pair
+        left.close()
+        assert recv_frame(right) is None
+
+
+class TestLimits:
+    def test_oversized_send_rejected_locally(self, pair):
+        left, _ = pair
+        with pytest.raises(ProtocolError, match="exceeds"):
+            send_frame(left, {"blob": "x" * 64}, max_bytes=32)
+
+    def test_oversized_declared_length_rejected(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="limit"):
+            recv_frame(right)
+
+    def test_receiver_honours_its_own_limit(self, pair):
+        left, right = pair
+        send_frame(left, {"blob": "y" * 256})
+        with pytest.raises(ProtocolError, match="limit"):
+            recv_frame(right, max_bytes=64)
+
+    def test_unserialisable_payload_rejected(self, pair):
+        left, _ = pair
+        with pytest.raises(ProtocolError, match="JSON"):
+            send_frame(left, {"bad": object()})
+
+
+class TestCorruption:
+    def test_disconnect_mid_header(self, pair):
+        left, right = pair
+        left.sendall(b"\x00\x00")  # half a length prefix
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_disconnect_mid_body(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", 100) + b'{"partial": tru')
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_invalid_json_body(self, pair):
+        left, right = pair
+        body = b"this is not json"
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            recv_frame(right)
+
+    def test_invalid_utf8_body(self, pair):
+        left, right = pair
+        body = b"\xff\xfe\xfd"
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+
+class TestErrorPayload:
+    def test_shape(self):
+        payload = error_payload(42, "timeout", "too slow")
+        assert payload == {
+            "id": 42,
+            "ok": False,
+            "error": {"type": "timeout", "message": "too slow"},
+        }
+
+    def test_none_id_for_unparseable_requests(self):
+        assert error_payload(None, "protocol", "bad frame")["id"] is None

@@ -1,0 +1,150 @@
+"""The persistent shard-worker pool: correctness, reuse, epochs, cancel.
+
+These tests fork real worker processes, so they are skipped wholesale on
+platforms without ``fork`` (the pool itself degrades to ``None`` returns
+there, which ``test_unavailable_platform``-style behaviour in the daemon
+covers via the session fallback).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import GraphSession, Query
+from repro.datagraph import GraphBuilder, generators
+from repro.engine.forkpool import fork_available
+from repro.exceptions import EvaluationError
+from repro.server.workers import QueryCancelled, ShardWorkerPool
+
+pytestmark = pytest.mark.skipif(not fork_available(), reason="needs os.fork")
+
+QUERIES = [
+    Query.parse("a.(b|c)+"),
+    Query.parse("(a|b)*"),
+    Query.parse("((a|c))=", dialect="ree"),
+    Query.parse("!x.((a|b)[x!=])+", dialect="rem"),
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.community_graph(
+        3, 40, intra_edges_per_node=3, bridges_per_community=4,
+        labels=("a", "b"), bridge_label="c", rng=11, domain_size=4,
+    )
+
+
+@pytest.fixture
+def pool(graph):
+    with ShardWorkerPool(graph, num_workers=2, num_shards=4) as pool:
+        yield pool
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("query", QUERIES, ids=[str(q.plan) for q in QUERIES])
+    def test_matches_local_session(self, pool, graph, query):
+        expected = GraphSession(graph).run(query).pairs()
+        assert pool.evaluate(query) == expected
+
+    def test_null_semantics_travels_to_workers(self, pool, graph):
+        query = Query.parse("((a|b|c)+)=", dialect="ree")
+        for null_semantics in (False, True):
+            expected = GraphSession(graph).run(query, null_semantics=null_semantics).pairs()
+            assert pool.evaluate(query, null_semantics=null_semantics) == expected
+
+    def test_empty_relation(self, pool):
+        assert pool.evaluate(Query.parse("nolabel")) == frozenset()
+
+
+class TestPersistence:
+    def test_second_query_reuses_the_same_workers(self, pool):
+        assert pool.worker_pids() == ()  # lazy: no fork before first use
+        pool.evaluate(QUERIES[0])
+        pids = pool.worker_pids()
+        assert len(pids) == 2 and len(set(pids)) == 2
+        pool.evaluate(QUERIES[2])
+        pool.evaluate(QUERIES[0])
+        assert pool.worker_pids() == pids  # no re-fork between queries
+        assert pool.respawns == 0
+
+    def test_worker_caches_accumulate_across_queries(self, pool):
+        pool.evaluate(QUERIES[0])
+        first = pool.stats()
+        pool.evaluate(QUERIES[0])  # same automaton: a worker-side cache hit
+        second = pool.stats()
+        assert second["automata"]["hits"] > first["automata"]["hits"]
+
+
+class TestEpochInvalidation:
+    def test_mutation_respawns_the_pool(self, graph):
+        with ShardWorkerPool(graph, num_workers=2, num_shards=4) as pool:
+            query = QUERIES[0]
+            before = pool.evaluate(query)
+            assert before == GraphSession(graph).run(query).pairs()
+            old_pids = pool.worker_pids()
+            graph.add_node("fresh-node", 99)
+            graph.add_edge("fresh-node", "a", next(iter(graph.node_ids)))
+            try:
+                after = pool.evaluate(query)
+                assert after == GraphSession(graph).run(query).pairs()
+                assert pool.respawns == 1
+                assert pool.epoch == graph.version
+                assert pool.worker_pids() != old_pids
+            finally:
+                graph.remove_node("fresh-node")
+
+    def test_epoch_message_clears_worker_query_state(self, graph):
+        with ShardWorkerPool(graph, num_workers=2, num_shards=4) as pool:
+            pool.evaluate(QUERIES[0])
+            fork_pool = pool._pool
+            # Plant per-query state worker-side, then send the epoch
+            # broadcast the parent uses before a respawn: every worker
+            # must report the planted state dropped.
+            fork_pool.run({0: ("query", (999, QUERIES[0], False))})
+            epochs_before = fork_pool.broadcast(("state", None))
+            assert 999 in epochs_before[0][1]
+            dropped = fork_pool.broadcast(("epoch", graph.version + 1))
+            assert dropped[0] == 1  # worker 0 held the planted query
+            epochs_after = fork_pool.broadcast(("state", None))
+            assert all(state[0] == graph.version + 1 for state in epochs_after)
+            assert all(state[1] == [] for state in epochs_after)
+
+
+class TestAdmission:
+    def test_busy_pool_declines_instead_of_blocking(self, pool):
+        pool.evaluate(QUERIES[0])  # fork the workers first
+        acquired = pool._lock.acquire(blocking=False)
+        assert acquired
+        try:
+            assert pool.evaluate(QUERIES[0]) is None  # busy: caller falls back
+        finally:
+            pool._lock.release()
+        assert pool.evaluate(QUERIES[0]) is not None  # usable again
+
+    def test_cancel_aborts_between_rounds(self):
+        # A long chain split across shards needs many frontier rounds, so
+        # a pre-set cancel event is seen at the first round boundary.
+        builder = GraphBuilder(name="long-chain")
+        for i in range(64):
+            builder.node(i, i)
+        for i in range(63):
+            builder.edge(i, "a", i + 1)
+        chain = builder.build()
+        with ShardWorkerPool(chain, num_workers=2, num_shards=8) as pool:
+            cancel = threading.Event()
+            cancel.set()
+            with pytest.raises(QueryCancelled):
+                pool.evaluate(Query.parse("a+"), cancel=cancel)
+            # The cancelled query's state is dropped and the pool reusable.
+            expected = GraphSession(chain).run("a+").pairs()
+            assert pool.evaluate(Query.parse("a+")) == expected
+
+    def test_closed_pool_rejects_evaluates(self, graph):
+        pool = ShardWorkerPool(graph, num_workers=2)
+        pool.evaluate(QUERIES[0])
+        pool.close()
+        with pytest.raises(EvaluationError, match="closed"):
+            pool.evaluate(QUERIES[0])
+        assert pool.worker_pids() == ()
