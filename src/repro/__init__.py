@@ -78,6 +78,7 @@ from .datagraph import (
     graph_to_dict,
     graph_to_json,
 )
+from .deltas import DeltaJournal, GraphDelta, MutationBatch
 from .engine import EvaluationEngine, default_engine
 from .gxpath import (
     evaluate_gxpath_node,
@@ -117,6 +118,10 @@ __all__ = [
     "graph_from_dict",
     "graph_to_json",
     "graph_from_json",
+    # incremental maintenance (repro.deltas)
+    "GraphDelta",
+    "MutationBatch",
+    "DeltaJournal",
     # unified execution API (repro.api)
     "Query",
     "QueryKind",

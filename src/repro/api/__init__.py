@@ -41,7 +41,13 @@ against the protocol runs unchanged in-process or against a server:
 from .executors import POLICY_PRESETS, ExecutionPolicy, ParallelExecutor, SequentialExecutor
 from .protocol import SessionProtocol
 from .query import Query, QueryKind, QueryLike
-from .remote import QueryTimeoutError, RemoteSession, ServerBusyError, connect
+from .remote import (
+    QueryTimeoutError,
+    RemoteSession,
+    ServerBusyError,
+    ServerShuttingDownError,
+    connect,
+)
 from .result import Result
 from .session import GraphSession, session_for
 
@@ -56,6 +62,7 @@ __all__ = [
     "connect",
     "ServerBusyError",
     "QueryTimeoutError",
+    "ServerShuttingDownError",
     "session_for",
     "ExecutionPolicy",
     "POLICY_PRESETS",

@@ -231,6 +231,12 @@ class ExecutionPolicy:
     point_cache_size:
         LRU bound on the session's single-source (point-workload) cache
         of :meth:`GraphSession.targets` answers.
+    delta_repair:
+        Whether the session repairs cached full-relation answers across
+        insert-only journaled deltas (seeded re-expansion unioned into
+        the cached answer) instead of recomputing from scratch after
+        every mutation.  Answers are identical either way; disable to
+        force the full-recompute executable spec.
     """
 
     executor: str = "sequential"
@@ -242,6 +248,7 @@ class ExecutionPolicy:
     num_shards: Optional[int] = None
     sharded_processes: Optional[bool] = None
     point_cache_size: int = 1024
+    delta_repair: bool = True
 
     def __init__(
         self,
@@ -254,6 +261,7 @@ class ExecutionPolicy:
         num_shards=_UNSET,
         sharded_processes=_UNSET,
         point_cache_size: int = 1024,
+        delta_repair: bool = True,
     ):
         passed = {
             "intra_query": intra_query,
@@ -279,6 +287,7 @@ class ExecutionPolicy:
             cache_results=cache_results,
             result_cache_size=result_cache_size,
             point_cache_size=point_cache_size,
+            delta_repair=delta_repair,
             **{
                 name: (value if value is not _UNSET else defaults[name])
                 for name, value in passed.items()

@@ -25,7 +25,10 @@ tagged error frames and re-raise here as the matching
 :class:`~repro.exceptions.ReproError` subclass; ``busy`` (admission
 backpressure) and ``timeout`` (query deadline) raise
 :class:`ServerBusyError` / :class:`QueryTimeoutError` so callers can
-retry deliberately.
+retry deliberately.  A draining server answers ``shutting_down`` —
+raised here as :class:`ServerShuttingDownError`, both for rejected new
+requests and for the unsolicited farewell frame a graceful shutdown
+sends instead of hard-closing the socket.
 """
 
 from __future__ import annotations
@@ -52,7 +55,13 @@ from .protocol import SessionProtocol
 from .query import Query, QueryLike
 from .result import Result
 
-__all__ = ["connect", "RemoteSession", "ServerBusyError", "QueryTimeoutError"]
+__all__ = [
+    "connect",
+    "RemoteSession",
+    "ServerBusyError",
+    "QueryTimeoutError",
+    "ServerShuttingDownError",
+]
 
 Address = Union[str, Tuple[str, int]]
 
@@ -65,11 +74,16 @@ class QueryTimeoutError(EvaluationError):
     """The query exceeded its server-side deadline and was cancelled."""
 
 
+class ServerShuttingDownError(EvaluationError):
+    """The server is draining for shutdown and takes no new work."""
+
+
 #: Exceptions re-raised from wire error tags (the daemon's inverse map).
 _ERROR_CLASSES = {
     "busy": ServerBusyError,
     "timeout": QueryTimeoutError,
     "cancelled": QueryTimeoutError,
+    "shutting_down": ServerShuttingDownError,
     "parse": ParseError,
     "unknown_node": UnknownNodeError,
     "graph": GraphError,
@@ -144,6 +158,12 @@ class RemoteSession(SessionProtocol):
             raise EvaluationError("server closed the connection")
         if not isinstance(response, dict):
             raise ProtocolError(f"malformed response frame {response!r}")
+        if response.get("shutting_down") and response.get("id") != rid:
+            # The unsolicited farewell frame of a graceful shutdown,
+            # arriving in place of (or ahead of) our reply.
+            self.close()
+            message = (response.get("error") or {}).get("message", "server is shutting down")
+            raise ServerShuttingDownError(message)
         if response.get("ok"):
             return response
         error = response.get("error") or {}
@@ -283,7 +303,12 @@ class RemoteSession(SessionProtocol):
             else:
                 raise SerializationError(f"unknown mutate action {verb!r}")
         response = self._call("mutate", actions=encoded)
-        return {key: response[key] for key in ("applied", "version", "num_nodes", "num_edges")}
+        summary = {
+            key: response[key] for key in ("applied", "version", "num_nodes", "num_edges")
+        }
+        if "delta" in response:
+            summary["delta"] = response["delta"]
+        return summary
 
     def metrics(self) -> Dict[str, Any]:
         """The server's metrics snapshot (counters, latency, utilization)."""

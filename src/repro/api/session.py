@@ -39,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections import deque
 from pathlib import Path
 from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -110,11 +111,16 @@ class GraphSession(SessionProtocol):
         engine: Optional[EvaluationEngine] = None,
         policy: Optional[ExecutionPolicy] = None,
         shard_runner: Optional[ShardRunner] = None,
+        repair_listener: Optional[Callable[[str], None]] = None,
     ):
         self.graph = graph
         self.engine = engine if engine is not None else default_engine()
         self.policy = policy if policy is not None else _DEFAULT_POLICY
         self.shard_runner = shard_runner
+        # Observer hook for the delta-repair path: called with "repair"
+        # or "recompute" whenever a cached answer survives (or fails to
+        # survive) a mutation; the server wires its metrics counters here.
+        self.repair_listener = repair_listener
         self._executor = self.policy.build_executor()
         self._results: LRUCache[frozenset] = LRUCache(self.policy.result_cache_size)
         # Point-workload cache: single-source answers keyed on
@@ -136,6 +142,13 @@ class GraphSession(SessionProtocol):
         # version, so a restarted service resumes warm.
         self._point_snapshot: Dict[str, Tuple[NodeId, ...]] = {}
         self._point_snapshot_version: Optional[int] = None
+        # Delta-repair lineage: the last graph version each (plan, null)
+        # pair was answered at, so a later miss can locate its
+        # previous-version cache entry and try to repair it across the
+        # journaled deltas instead of recomputing.
+        self._result_history: Dict[Tuple, int] = {}
+        self._maintenance = {"repairs": 0, "recomputes": 0}
+        self._lineage: deque = deque(maxlen=32)
 
     # ------------------------------------------------------------------
     # Execution
@@ -177,6 +190,11 @@ class GraphSession(SessionProtocol):
                 continue
             if caching and key in self._results:
                 answers[key] = self._results.get_or_build(key, lambda: None)  # recorded hit
+                continue
+            repaired = self._repaired_answer(plan, null_semantics, version) if caching else None
+            if repaired is not None:
+                self._result_history[(plan.key, null_semantics)] = version
+                answers[key] = self._results.get_or_build(key, lambda r=repaired: r)
             else:
                 answers[key] = None  # placeholder: scheduled for the executor
                 misses.append(plan)
@@ -194,6 +212,7 @@ class GraphSession(SessionProtocol):
                 key = (version, plan.key, null_semantics)
                 if caching:
                     answer = self._results.get_or_build(key, lambda answer=answer: answer)
+                    self._result_history[(plan.key, null_semantics)] = version
                 answers[key] = answer
 
         results: List[Result] = []
@@ -262,7 +281,7 @@ class GraphSession(SessionProtocol):
         kind_value, plan = plan_key
         return f"{kind_value}:{plan}|source={source!r}|null={null_semantics}"
 
-    def _graph_fingerprint(self) -> str:
+    def _graph_fingerprint(self, exclude=None) -> str:
         """A content digest of the session graph (nodes, values, edges).
 
         The version counter alone cannot distinguish two different graphs
@@ -270,14 +289,28 @@ class GraphSession(SessionProtocol):
         snapshots carry this digest too.  Node ids and values are
         rendered with ``repr`` — every id the graph accepts is hashable
         and therefore ``repr``-able.
+
+        With *exclude* (an insert-only :class:`GraphDelta`), the nodes
+        and edges that delta added are skipped, reproducing the digest of
+        the delta's **base** graph — which is how a snapshot taken before
+        a journaled insert is verified against the current graph.
         """
         graph = self.graph
+        skip_nodes = frozenset()
+        skip_edges = frozenset()
+        if exclude is not None:
+            skip_nodes = frozenset(node_id for node_id, _value in exclude.added_nodes)
+            skip_edges = frozenset(exclude.added_edges)
         digest = hashlib.sha256()
         for node in sorted(graph.nodes, key=lambda node: repr(node.id)):
+            if node.id in skip_nodes:
+                continue
             digest.update(f"n:{node.id!r}={node.value!r};".encode("utf-8"))
         for source, label, target in sorted(
             graph.edges, key=lambda edge: (repr(edge[0].id), edge[1], repr(edge[2].id))
         ):
+            if (source.id, label, target.id) in skip_edges:
+                continue
             digest.update(f"e:{source.id!r}-{label}->{target.id!r};".encode("utf-8"))
         return digest.hexdigest()
 
@@ -357,12 +390,17 @@ class GraphSession(SessionProtocol):
     def load_point_cache(self, path: Union[str, Path]) -> int:
         """Restore a :meth:`save_point_cache` snapshot from *path*.
 
-        The snapshot must match the session graph's **current** version
-        *and* content fingerprint — a snapshot taken at any other
-        version, or on a different graph that happens to share the
-        version count, is rejected with an :class:`EvaluationError`.
-        Loaded answers satisfy subsequent :meth:`targets` calls without
-        recomputation until the graph mutates.  Compacted snapshots
+        The snapshot must describe the session graph: either its
+        **current** version (exact match, every entry restored), or an
+        **earlier** version reachable through the graph journal's
+        insert-only deltas — in which case the snapshot is *repaired* on
+        load: entries whose source could reach any touched node (and so
+        might have gained targets) are dropped, the rest remain valid
+        and are restored.  Any other version mismatch, a lineage with
+        removals, or a content-fingerprint mismatch is rejected with an
+        :class:`EvaluationError`.  Loaded answers satisfy subsequent
+        :meth:`targets` calls without recomputation until the graph
+        mutates again.  Compacted snapshots
         (``save_point_cache(..., max_entries=...)``) load the same way —
         they just carry fewer entries, and dropped lookups recompute.
         Returns the number of entries restored.
@@ -371,13 +409,22 @@ class GraphSession(SessionProtocol):
         if not isinstance(payload, dict) or payload.get("format") != "repro-point-cache/1":
             raise EvaluationError(f"{path} is not a point-cache snapshot")
         version = payload.get("graph_version")
-        if version != self.graph.version:
-            raise EvaluationError(
-                f"point-cache snapshot was taken at graph version {version}, "
-                f"but the session graph is at version {self.graph.version}"
+        current = self.graph.version
+        delta = None
+        if version != current:
+            delta = (
+                self.graph.journal.composed(version, current)
+                if isinstance(version, int)
+                else None
             )
+            if delta is None or not delta.insert_only:
+                raise EvaluationError(
+                    f"point-cache snapshot was taken at graph version {version}, "
+                    f"but the session graph is at version {current} and the "
+                    f"journal holds no insert-only delta chain between them"
+                )
         fingerprint = payload.get("graph_fingerprint")
-        if fingerprint != self._graph_fingerprint():
+        if fingerprint != self._graph_fingerprint(exclude=delta):
             raise EvaluationError(
                 "point-cache snapshot was taken on a different graph "
                 "(content fingerprint mismatch)"
@@ -394,9 +441,44 @@ class GraphSession(SessionProtocol):
             raise EvaluationError(
                 f"point-cache snapshot names a node id {error.args[0]} the graph lacks"
             ) from None
+        if delta is not None:
+            entries = self._surviving_point_entries(entries, delta)
         self._point_snapshot = entries
-        self._point_snapshot_version = version
+        self._point_snapshot_version = current
         return len(self._point_snapshot)
+
+    def _surviving_point_entries(
+        self, entries: Dict[str, Tuple[NodeId, ...]], delta
+    ) -> Dict[str, Tuple[NodeId, ...]]:
+        """The snapshot entries still exact after an insert-only *delta*.
+
+        A point answer ``targets(source)`` can only grow if a witness
+        path from *source* traverses added structure, i.e. if *source*
+        can reach a touched node — so entries whose source lies outside
+        the backward closure of the touched nodes are provably unchanged.
+        The check is fail-safe: entries of non-monotone kinds, or whose
+        key cannot be parsed back to a known node id, are dropped (they
+        recompute on demand rather than risk serving a stale answer).
+        """
+        from ..deltas.repair import REPAIRABLE_KINDS, backward_touched_closure
+
+        index = self.graph.label_index()
+        stale = backward_touched_closure(index, delta.touched_nodes)
+        stale_reprs = {repr(node_id) for node_id in stale}
+        known_reprs = {repr(node_id) for node_id in self.graph.node_ids}
+        survivors: Dict[str, Tuple[NodeId, ...]] = {}
+        for key, ids in entries.items():
+            kind = key.split(":", 1)[0]
+            if kind not in REPAIRABLE_KINDS:
+                continue
+            head, separator, _null = key.rpartition("|null=")
+            if not separator or "|source=" not in head:
+                continue
+            source_repr = head.rsplit("|source=", 1)[1]
+            if source_repr not in known_reprs or source_repr in stale_reprs:
+                continue
+            survivors[key] = ids
+        return survivors
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -404,10 +486,80 @@ class GraphSession(SessionProtocol):
     def _answers(self, plan: Query, null_semantics: bool) -> frozenset:
         if not self.policy.cache_results:
             return self._evaluate_plan(plan, null_semantics)
-        key = (self.graph.version, plan.key, null_semantics)
-        return self._results.get_or_build(
-            key, lambda: self._evaluate_plan(plan, null_semantics)
+        version = self.graph.version
+        key = (version, plan.key, null_semantics)
+        if key in self._results:
+            return self._results.get_or_build(key, frozenset)  # recorded hit
+        answer = self._repaired_answer(plan, null_semantics, version)
+        if answer is None:
+            answer = self._evaluate_plan(plan, null_semantics)
+        self._result_history[(plan.key, null_semantics)] = version
+        return self._results.get_or_build(key, lambda: answer)
+
+    def _repaired_answer(
+        self, plan: Query, null_semantics: bool, version: int
+    ) -> Optional[frozenset]:
+        """Repair the previous version's cached answer across journaled
+        deltas, or ``None`` when the session must evaluate afresh.
+
+        Repair applies when (a) the policy enables it, (b) this plan was
+        answered at an earlier version whose entry is still in the LRU,
+        (c) the journal holds an unbroken delta chain from that version
+        to the current one, and (d) the composed delta is insert-only on
+        a per-source-monotone dialect with a small touched closure
+        (:func:`repro.deltas.repair.repair_full_relation`).  Failures of
+        (d) with a known lineage count as recomputes; the listener and
+        counters let servers report repair effectiveness.
+        """
+        if not self.policy.delta_repair:
+            return None
+        history_key = (plan.key, null_semantics)
+        previous = self._result_history.get(history_key)
+        if previous is None or previous >= version:
+            return None
+        cached = self._results.peek((previous, plan.key, null_semantics))
+        if cached is None:
+            return None
+        composed = self.graph.journal.composed(previous, version)
+        if composed is None:
+            # Broken lineage: a single-op mutation or journal eviction.
+            self._record_maintenance("recompute")
+            return None
+        from ..deltas.repair import repair_full_relation
+
+        repaired = repair_full_relation(
+            self.engine, self.graph, plan, null_semantics, cached, composed
         )
+        if repaired is None:
+            self._record_maintenance("recompute")
+            return None
+        self._record_maintenance("repair")
+        kind_value, plan_text = plan.key
+        self._lineage.append(
+            {
+                "plan": f"{kind_value}:{plan_text}",
+                "base_version": previous,
+                "new_version": version,
+                "delta_digest": composed.digest,
+                "delta_size": composed.size,
+            }
+        )
+        return repaired
+
+    def _record_maintenance(self, event: str) -> None:
+        self._maintenance["repairs" if event == "repair" else "recomputes"] += 1
+        listener = self.repair_listener
+        if listener is not None:
+            listener(event)
+
+    def maintenance_stats(self) -> Dict:
+        """Delta-repair effectiveness: repair/recompute counts and the
+        most recent repair lineages ``(base → new, delta digest)``."""
+        return {
+            "repairs": self._maintenance["repairs"],
+            "recomputes": self._maintenance["recomputes"],
+            "lineage": list(self._lineage),
+        }
 
     def _crpq_plan(self, plan: Query):
         """The cached planner output for a CRPQ plan at the current version."""
@@ -555,6 +707,7 @@ class GraphSession(SessionProtocol):
         self._crpq_plans.clear()
         self._point_snapshot = {}
         self._point_snapshot_version = None
+        self._result_history.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         snapshot = self._results.stats()

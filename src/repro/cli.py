@@ -23,7 +23,9 @@ makes the common reproduction tasks scriptable without writing Python:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import signal
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -273,6 +275,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="smallest graph served through the shard-worker pool; smaller "
         "graphs run in-process (default: the engine's forking threshold)",
     )
+    serve.add_argument(
+        "--drain-grace", type=float, default=5.0, metavar="SECONDS",
+        help="graceful-shutdown drain window: in-flight queries get this long "
+        "to finish before clients are told shutting_down (default: 5)",
+    )
 
     return parser
 
@@ -402,8 +409,15 @@ def _serve(arguments: argparse.Namespace) -> int:
         num_workers=arguments.workers,
         num_shards=arguments.num_shards,
         pool_min_nodes=arguments.pool_min_nodes,
+        drain_grace=arguments.drain_grace,
     )
     server = ReproServer(graph, config)
+    # Install the graceful-drain handler before the listener accepts its
+    # first connection: busy connection threads can starve the main
+    # thread long enough that a SIGTERM arriving before serve_forever()
+    # would otherwise hit the interpreter's default (abrupt) handler.
+    with contextlib.suppress(ValueError):
+        signal.signal(signal.SIGTERM, lambda *_: server.request_stop())
     address = server.start()
     where = address if isinstance(address, str) else "{}:{}".format(*address)
     print(

@@ -30,11 +30,14 @@ from typing import (
     Tuple,
 )
 
-from ..exceptions import DuplicateNodeError, InvalidEdgeError, UnknownNodeError
+from ..exceptions import DuplicateNodeError, GraphError, InvalidEdgeError, UnknownNodeError
 from .node import Node, NodeId
 from .values import NULL, DataValue, is_null
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..deltas.batch import MutationBatch
+    from ..deltas.delta import GraphDelta, _NetChanges
+    from ..deltas.journal import DeltaJournal
     from .index import LabelIndex
 
 __all__ = ["Edge", "DataGraph"]
@@ -78,6 +81,8 @@ class DataGraph:
         "_edge_count",
         "_version",
         "_index",
+        "_journal",
+        "_batch",
         "_api_session",
         "name",
         "__weakref__",
@@ -93,13 +98,135 @@ class DataGraph:
         self._edge_count = 0
         self._version = 0
         self._index: Optional["LabelIndex"] = None
+        self._journal: Optional["DeltaJournal"] = None
+        self._batch: Optional["MutationBatch"] = None
         self._api_session = None
         self.name = name
 
-    def _mutated(self) -> None:
-        """Record a structural change, invalidating any cached label index."""
+    def _mutated(self, event: Optional[Tuple] = None) -> None:
+        """Record a structural change.
+
+        Outside a batch this bumps the version and invalidates any cached
+        label index, exactly as every single-op mutator always has.
+        Inside a batch the change event is recorded instead; the version
+        moves once at commit and the index is patched or invalidated then.
+        """
+        batch = self._batch
+        if batch is not None and event is not None:
+            batch._record(event)
+            return
         self._version += 1
         self._index = None
+
+    # ------------------------------------------------------------------
+    # Batch mutation: deltas, journal, atomic commit
+    # ------------------------------------------------------------------
+    def batch(self) -> "MutationBatch":
+        """A context manager committing many mutations as one delta.
+
+        ``with graph.batch() as b: b.add_edge(...)`` bumps the version
+        once, patches the cached label index in place when possible, and
+        records the net :class:`~repro.deltas.delta.GraphDelta` in the
+        graph's journal (see :attr:`journal`).  Mutations may equally be
+        made on the graph itself while the batch is open.  If the block
+        raises, all recorded changes are rolled back.
+        """
+        from ..deltas.batch import MutationBatch
+
+        return MutationBatch(self)
+
+    def apply(self, delta: "GraphDelta") -> "GraphDelta":
+        """Apply a delta as one batch and return the committed net delta.
+
+        If the delta declares a ``base_version`` it must match the
+        graph's current version; a declared ``new_version`` is adopted as
+        the post-commit version (shard workers replay composed journal
+        deltas this way to stay in step with the parent's counter).
+        """
+        if delta.base_version is not None and delta.base_version != self._version:
+            raise GraphError(
+                f"delta was recorded against version {delta.base_version}, "
+                f"but the graph is at version {self._version}"
+            )
+        with self.batch() as batch:
+            batch._target_version = delta.new_version
+            for source, label, target in delta.removed_edges:
+                self.remove_edge(source, label, target)
+            for node_id, _value in delta.removed_nodes:
+                self.remove_node(node_id)
+            for node_id, value in delta.added_nodes:
+                self.add_node(node_id, value)
+            for node_id, _old, new in delta.value_changes:
+                self.set_value(node_id, new)
+            for source, label, target in delta.added_edges:
+                self.add_edge(source, label, target)
+            if delta.added_labels:
+                self.declare_labels(delta.added_labels)
+        return batch.delta
+
+    @property
+    def journal(self) -> "DeltaJournal":
+        """The bounded journal of committed batch deltas (built lazily).
+
+        Only *batch* commits are journaled; single-op mutators bump the
+        version without an entry, which downstream consumers observe as
+        a broken lineage and answer with a full recompute.
+        """
+        journal = self._journal
+        if journal is None:
+            from ..deltas.journal import DeltaJournal
+
+            journal = DeltaJournal()
+            self._journal = journal
+        return journal
+
+    def _commit_batch(
+        self, net: "_NetChanges", target_version: Optional[int] = None
+    ) -> "GraphDelta":
+        """Commit a batch's net changes: one version bump, patched index."""
+        base = self._version
+        if net.is_empty:
+            return net.to_delta(base, base)
+        new = base + 1 if target_version is None else target_version
+        if new <= base:
+            raise GraphError(
+                f"batch target version {new} must exceed the base version {base}"
+            )
+        delta = net.to_delta(base, new)
+        self._version = new
+        index = self._index
+        self._index = None
+        if index is not None and index.version == base:
+            from .index import LabelIndex
+
+            # None (unpatchable, e.g. node removals) leaves the index to
+            # rebuild lazily on next access.
+            self._index = LabelIndex.patched(index, delta)
+        self.journal.record(delta)
+        return delta
+
+    def _rollback_batch(self, net: "_NetChanges") -> None:
+        """Undo a failed batch's net changes; the version never moved."""
+        for source, label, target in net.edges_added:
+            targets = self._succ.get(label, {}).get(source)
+            if targets is not None and target in targets:
+                targets.discard(target)
+                self._pred[label][target].discard(source)
+                self._edge_count -= 1
+        for node_id in net.nodes_added:
+            self._nodes.pop(node_id, None)
+        for node_id, (old, _new) in net.value_changes.items():
+            node = self._nodes.get(node_id)
+            if node is not None:
+                self._nodes[node_id] = node.with_value(old)
+        for node_id, value in net.nodes_removed.items():
+            self._nodes[node_id] = Node(node_id, value)
+        for source, label, target in net.edges_removed:
+            self._succ[label][source].add(target)
+            self._pred[label][target].add(source)
+            self._edge_count += 1
+        for label in net.labels_added:
+            self._alphabet.discard(label)
 
     @property
     def version(self) -> int:
@@ -116,13 +243,20 @@ class DataGraph:
 
         Built lazily on first use and cached until the next mutation; see
         :class:`repro.datagraph.index.LabelIndex`.
+
+        While a mutation batch is open, a previously cached index keeps
+        serving the consistent pre-batch snapshot; if none is cached, a
+        throwaway index over the live (partially mutated) structure is
+        built but *not* cached, so the commit-time patch always starts
+        from a true base-version snapshot.
         """
         index = self._index
         if index is None or index.version != self._version:
             from .index import LabelIndex
 
             index = LabelIndex(self)
-            self._index = index
+            if self._batch is None:
+                self._index = index
         return index
 
     # ------------------------------------------------------------------
@@ -147,7 +281,7 @@ class DataGraph:
             )
         node = Node(node_id, value)
         self._nodes[node_id] = node
-        self._mutated()
+        self._mutated(("node+", node_id, node.value))
         return node
 
     def add_node_object(self, node: Node) -> Node:
@@ -162,7 +296,8 @@ class DataGraph:
         UnknownNodeError
             If the node id is not present.
         """
-        if node_id not in self._nodes:
+        node = self._nodes.get(node_id)
+        if node is None:
             raise UnknownNodeError(f"unknown node id {node_id!r}")
         for label in list(self._alphabet):
             for target in list(self._succ[label].get(node_id, ())):
@@ -170,7 +305,7 @@ class DataGraph:
             for source in list(self._pred[label].get(node_id, ())):
                 self.remove_edge(source, label, node_id)
         del self._nodes[node_id]
-        self._mutated()
+        self._mutated(("node-", node_id, node.value))
 
     def has_node(self, node_id: NodeId) -> bool:
         """Whether a node with the given id exists."""
@@ -202,7 +337,7 @@ class DataGraph:
         old = self.node(node_id)
         new = old.with_value(value)
         self._nodes[node_id] = new
-        self._mutated()
+        self._mutated(("value", node_id, old.value, new.value))
         return new
 
     @property
@@ -246,12 +381,12 @@ class DataGraph:
         dst = self.node(target)
         if label not in self._alphabet:
             self._alphabet.add(label)
-            self._mutated()
+            self._mutated(("label+", label))
         if target not in self._succ[label][source]:
             self._succ[label][source].add(target)
             self._pred[label][target].add(source)
             self._edge_count += 1
-            self._mutated()
+            self._mutated(("edge+", source, label, target))
         return (src, label, dst)
 
     def add_path(self, node_ids: Iterable[NodeId], labels: Iterable[str]) -> None:
@@ -274,7 +409,7 @@ class DataGraph:
             self._succ[label][source].discard(target)
             self._pred[label][target].discard(source)
             self._edge_count -= 1
-            self._mutated()
+            self._mutated(("edge-", source, label, target))
 
     def has_edge(self, source: NodeId, label: str, target: NodeId) -> bool:
         """Whether the edge ``(source, label, target)`` is present."""
@@ -354,7 +489,7 @@ class DataGraph:
                 raise InvalidEdgeError(f"edge label must be a non-empty string, got {label!r}")
             if label not in self._alphabet:
                 self._alphabet.add(label)
-                self._mutated()
+                self._mutated(("label+", label))
 
     @property
     def num_nodes(self) -> int:

@@ -19,12 +19,24 @@ serving wrong adjacency.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from .node import NodeId
 from .values import DataValue
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..deltas.delta import GraphDelta
     from .graph import DataGraph
 
 __all__ = ["LabelIndex"]
@@ -70,6 +82,94 @@ class LabelIndex:
                 self._succ[label] = forward
             if backward:
                 self._pred[label] = backward
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def patched(cls, base: "LabelIndex", delta: "GraphDelta") -> Optional["LabelIndex"]:
+        """A new index equal to *base* with *delta* applied, or ``None``.
+
+        Copy-on-write incremental maintenance: the dense node ordering is
+        extended (never reshuffled), only the adjacency maps of labels the
+        delta touches are copied, and within those only the touched rows
+        are rebuilt — so a small delta patches in time proportional to the
+        touched labels, not the graph.  Node removals would perturb the
+        dense ordering every bitmask in flight depends on, so they return
+        ``None`` and the caller rebuilds from the graph.
+        """
+        if delta.removed_nodes:
+            return None
+        index = cls.__new__(cls)
+        index.version = delta.new_version if delta.new_version is not None else base.version
+        if delta.added_nodes:
+            index.nodes = base.nodes + tuple(node_id for node_id, _value in delta.added_nodes)
+            position = dict(base.position)
+            for offset, (node_id, _value) in enumerate(delta.added_nodes, start=len(base.nodes)):
+                position[node_id] = offset
+            index.position = position
+            values = dict(base.values)
+            values.update(delta.added_nodes)
+        else:
+            index.nodes = base.nodes
+            index.position = base.position
+            values = base.values
+        if delta.value_changes:
+            if values is base.values:
+                values = dict(base.values)
+            for node_id, _old, new in delta.value_changes:
+                values[node_id] = new
+        index.values = values
+        index.labels = base.labels | frozenset(delta.added_labels) | delta.touched_labels
+
+        added_forward: Dict[Tuple[str, NodeId], List[NodeId]] = {}
+        added_backward: Dict[Tuple[str, NodeId], List[NodeId]] = {}
+        removed_forward: Dict[Tuple[str, NodeId], Set[NodeId]] = {}
+        removed_backward: Dict[Tuple[str, NodeId], Set[NodeId]] = {}
+        for source, label, target in delta.added_edges:
+            added_forward.setdefault((label, source), []).append(target)
+            added_backward.setdefault((label, target), []).append(source)
+        for source, label, target in delta.removed_edges:
+            removed_forward.setdefault((label, source), set()).add(target)
+            removed_backward.setdefault((label, target), set()).add(source)
+
+        index._succ = cls._patched_table(base._succ, delta.touched_labels, added_forward, removed_forward)
+        index._pred = cls._patched_table(base._pred, delta.touched_labels, added_backward, removed_backward)
+        return index
+
+    @staticmethod
+    def _patched_table(
+        base_table: Dict[str, Dict[NodeId, Tuple[NodeId, ...]]],
+        touched_labels: Iterable[str],
+        added: Dict[Tuple[str, NodeId], List[NodeId]],
+        removed: Dict[Tuple[str, NodeId], Set[NodeId]],
+    ) -> Dict[str, Dict[NodeId, Tuple[NodeId, ...]]]:
+        table = dict(base_table)
+        touched_rows: Dict[str, Set[NodeId]] = {}
+        for label, node_id in added:
+            touched_rows.setdefault(label, set()).add(node_id)
+        for label, node_id in removed:
+            touched_rows.setdefault(label, set()).add(node_id)
+        for label in touched_labels:
+            rows = touched_rows.get(label)
+            if not rows:
+                continue
+            adjacency = dict(table.get(label, ()))
+            for node_id in rows:
+                existing = adjacency.get(node_id, ())
+                dropped = removed.get((label, node_id), ())
+                if dropped:
+                    existing = tuple(other for other in existing if other not in dropped)
+                appended = added.get((label, node_id), ())
+                if appended:
+                    existing = existing + tuple(appended)
+                if existing:
+                    adjacency[node_id] = existing
+                else:
+                    adjacency.pop(node_id, None)
+            if adjacency:
+                table[label] = adjacency
+            else:
+                table.pop(label, None)
+        return table
 
     # ------------------------------------------------------------------
     def successors(self, label: str) -> Mapping[NodeId, Tuple[NodeId, ...]]:

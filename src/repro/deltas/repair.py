@@ -1,0 +1,129 @@
+"""Delta-driven repair of cached full-relation results.
+
+For an **insert-only** delta on a reachability-shaped dialect, the new
+answer is a superset of the cached one, and every *new* pair's witness
+path must traverse at least one added edge or added node.  That means
+every new pair's source lies in the **backward closure** of the touched
+nodes — following predecessor edges on the *new* index, restricted to
+the labels the query's automaton can actually read.  Re-running the
+product kernels seeded only from that closure (linear in the closure,
+not the graph) and unioning into the cached answer reproduces the fresh
+evaluation bit for bit.
+
+The repair declines (returns ``None``) whenever the argument does not
+hold or would not pay off: removals or value changes (non-monotone),
+dialects whose semantics are not per-source monotone under edge
+insertion (GXPath negation/inverses, CRPQ's existential side atoms), or
+a touched closure so large that seeding it approaches a full recompute.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Optional, Set
+
+from ..datagraph.index import LabelIndex
+from ..datagraph.node import NodeId
+from ..engine.product import seeded_product_relation
+from .delta import GraphDelta
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datagraph.graph import DataGraph
+    from ..engine.engine import EvaluationEngine
+
+__all__ = ["backward_touched_closure", "repair_full_relation", "REPAIRABLE_KINDS"]
+
+#: Query kinds whose full relation is per-source monotone under inserts.
+REPAIRABLE_KINDS = frozenset({"rpq", "data_rpq"})
+
+#: Above this fraction of seeded nodes a repair stops being cheaper than
+#: a full recompute (the seeded kernels would re-explore most of the
+#: product anyway), so the session falls back.
+DEFAULT_MAX_SEED_FRACTION = 0.5
+
+
+def automaton_labels(space) -> Optional[FrozenSet[str]]:
+    """The edge labels the space's automaton can read, if discoverable.
+
+    ``None`` means "unknown — treat every label as readable", which only
+    widens the backward closure (still sound, just less selective).
+    """
+    automaton = getattr(space, "automaton", None)
+    if automaton is not None:
+        symbols = getattr(automaton, "symbols", None)
+        if symbols is not None:
+            return frozenset(symbols)
+        labels = getattr(automaton, "labels", None)
+        if callable(labels):
+            return frozenset(labels())
+    label = getattr(space, "label", None)
+    if isinstance(label, str):
+        return frozenset({label})
+    return None
+
+
+def backward_touched_closure(
+    index: LabelIndex,
+    touched: Iterable[NodeId],
+    labels: Optional[Iterable[str]] = None,
+) -> Set[NodeId]:
+    """Nodes that can reach a touched node over edges with the given labels.
+
+    Computed on the (already patched) *new* index so that edges added by
+    the delta are themselves followed backwards.  The touched nodes are
+    included; ids unknown to the index are ignored.
+    """
+    position = index.position
+    seen = {node_id for node_id in touched if node_id in position}
+    if not seen:
+        return seen
+    relevant = index.labels if labels is None else frozenset(labels) & index.labels
+    predecessor_maps = [index.predecessors(label) for label in relevant]
+    predecessor_maps = [table for table in predecessor_maps if table]
+    frontier = list(seen)
+    while frontier:
+        node = frontier.pop()
+        for table in predecessor_maps:
+            for source in table.get(node, ()):
+                if source not in seen:
+                    seen.add(source)
+                    frontier.append(source)
+    return seen
+
+
+def repair_full_relation(
+    engine: "EvaluationEngine",
+    graph: "DataGraph",
+    plan,
+    null_semantics: bool,
+    cached_rows,
+    delta: GraphDelta,
+    max_seed_fraction: float = DEFAULT_MAX_SEED_FRACTION,
+):
+    """Union the delta's new pairs into a cached full-relation answer.
+
+    *plan* is a ``QueryPlan`` (``plan.kind`` / ``plan.plan``) and
+    *cached_rows* the frozenset of ``(Node, Node)`` rows cached for the
+    delta's base version.  Returns the repaired frozenset, or ``None``
+    when the delta is not repairable and the caller must recompute.
+    """
+    kind = getattr(plan.kind, "value", plan.kind)
+    if kind not in REPAIRABLE_KINDS:
+        return None
+    if not delta.insert_only:
+        return None
+    if delta.is_empty:
+        return frozenset(cached_rows)
+    index = graph.label_index()
+    space = engine.space_for_atom(graph, plan.plan, null_semantics)
+    seeds = backward_touched_closure(index, delta.touched_nodes, automaton_labels(space))
+    if not seeds:
+        return frozenset(cached_rows)
+    total = len(index.nodes)
+    if total and len(seeds) > max_seed_fraction * total:
+        return None
+    ordered = sorted(seeds, key=index.position.__getitem__)
+    new_pairs = seeded_product_relation(space, sources=ordered)
+    node = graph.node
+    repaired = set(cached_rows)
+    repaired.update((node(source), node(target)) for source, target in new_pairs)
+    return frozenset(repaired)

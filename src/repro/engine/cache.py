@@ -75,6 +75,15 @@ class LRUCache(Generic[V]):
         entries.move_to_end(key)
         return value
 
+    def peek(self, key: Hashable, default=None):
+        """The cached value for *key* without touching recency or counters.
+
+        The repair path inspects *previous-version* entries this way:
+        a stale entry consulted as repair input should neither count as
+        a hit nor be promoted over entries still serving live lookups.
+        """
+        return self._entries.get(key, default)
+
     def items(self):
         """A snapshot of ``(key, value)`` pairs, least-recently-used first.
 

@@ -11,7 +11,7 @@ op          semantics
 ========== =========================================================
 ping        liveness check
 load_graph  replace the served graph (invalidates pool + sessions)
-mutate      apply add/remove/set actions to the live graph
+mutate      apply add/remove/set actions as one batch delta
 run         evaluate one query (admission control + timeout apply)
 run_many    evaluate a batch of queries
 targets     single-source answers of a binary query
@@ -47,6 +47,7 @@ pool availability.
 from __future__ import annotations
 
 import contextlib
+import signal
 import socket
 import threading
 import time
@@ -108,6 +109,10 @@ class ServerConfig:
     itself on large graphs — same wisdom as
     :data:`~repro.engine.partition.PROCESS_SHARDS_MIN_NODES`, the
     default); ``0`` forces the pool on for any graph.
+    ``drain_grace`` bounds the graceful-shutdown drain: in-flight
+    queries get up to this many seconds to finish (each still capped by
+    its own deadline) before remaining connections are told
+    ``shutting_down`` and closed.
     """
 
     host: str = "127.0.0.1"
@@ -120,6 +125,7 @@ class ServerConfig:
     num_shards: Optional[int] = None
     pool_min_nodes: Optional[int] = None
     max_frame_bytes: int = MAX_FRAME_BYTES
+    drain_grace: float = 5.0
 
     def __post_init__(self):
         if self.max_inflight < 1:
@@ -132,6 +138,8 @@ class ServerConfig:
             raise EvaluationError(
                 f"pool_min_nodes must be non-negative, got {self.pool_min_nodes}"
             )
+        if self.drain_grace < 0:
+            raise EvaluationError(f"drain_grace must be non-negative, got {self.drain_grace}")
 
 
 class _Connection:
@@ -178,6 +186,12 @@ class ReproServer:
         self._connections: Dict[int, _Connection] = {}
         self._connections_lock = threading.Lock()
         self._stopping = threading.Event()
+        self._draining = threading.Event()
+        self._stop_requested = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_done = False
+        self._requests_active = 0
+        self._requests_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -215,31 +229,80 @@ class ReproServer:
         host, port = self._listener.getsockname()[:2]
         return (host, port)
 
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to drain and return.
+
+        Signal- and thread-safe (it only sets an event), so it can be
+        installed as a signal handler *before* :meth:`start` — closing
+        the window where a busy accept loop holds the GIL and a signal
+        would still hit the interpreter's default handler.
+        """
+        self._stop_requested.set()
+
     def serve_forever(self) -> None:
-        """Block until :meth:`shutdown` (for the CLI's ``serve`` command)."""
+        """Block until :meth:`shutdown` or ``SIGTERM`` (for the CLI's ``serve``).
+
+        ``SIGTERM`` triggers the same graceful drain as
+        :meth:`shutdown`: in-flight queries finish within
+        ``drain_grace`` seconds, then clients get a ``shutting_down``
+        frame instead of a hard close.  The handler is only installed
+        when running on the main thread (``signal`` refuses elsewhere);
+        it is installed before the listener starts so there is no
+        accepting-but-not-yet-graceful window.
+        """
+        previous = None
+        try:
+            previous = signal.signal(signal.SIGTERM, lambda *_: self.request_stop())
+        except ValueError:  # not the main thread; rely on shutdown()
+            previous = None
         if self._listener is None:
             self.start()
         try:
-            while not self._stopping.wait(0.2):
+            while not self._stopping.is_set() and not self._stop_requested.wait(0.2):
                 pass
         except KeyboardInterrupt:  # pragma: no cover - interactive only
             pass
         finally:
             self.shutdown()
+            if previous is not None:
+                with contextlib.suppress(ValueError):
+                    signal.signal(signal.SIGTERM, previous)
 
     def shutdown(self) -> None:
-        """Stop accepting, drop every connection, reap the worker pool."""
-        if self._stopping.is_set():
-            return
-        self._stopping.set()
+        """Drain in-flight queries, notify clients, reap the worker pool.
+
+        New query operations are rejected with a ``shutting_down`` error
+        the moment shutdown begins; requests already executing get up to
+        ``drain_grace`` seconds (each still bounded by its own per-query
+        deadline) to answer.  Surviving connections are then sent one
+        unsolicited ``shutting_down`` frame — remote clients surface it
+        as :class:`~repro.api.remote.ServerShuttingDownError` instead of
+        a bare connection reset — before the sockets close.
+        """
+        with self._shutdown_lock:
+            if self._shutdown_done:
+                return
+            self._shutdown_done = True
+        self._draining.set()
         listener, self._listener = self._listener, None
         if listener is not None:
             with contextlib.suppress(OSError):
                 listener.close()
+        deadline = time.monotonic() + self.config.drain_grace
+        while time.monotonic() < deadline:
+            with self._requests_lock:
+                if self._requests_active == 0:
+                    break
+            time.sleep(0.02)
+        self._stopping.set()
         with self._connections_lock:
             connections = list(self._connections.values())
             self._connections.clear()
+        farewell = error_payload(None, "shutting_down", "server is shutting down")
+        farewell["shutting_down"] = True
         for connection in connections:
+            with contextlib.suppress(OSError, ProtocolError):
+                self._reply(connection, farewell)
             with contextlib.suppress(OSError):
                 connection.sock.shutdown(socket.SHUT_RDWR)
             with contextlib.suppress(OSError):
@@ -306,9 +369,21 @@ class ReproServer:
                 # No pool (small graph, or no fork): plain local execution
                 # beats the sharded drivers' bookkeeping.
                 policy = ExecutionPolicy.auto()
-            connection.session = GraphSession(graph, policy=policy, shard_runner=runner)
+            connection.session = GraphSession(
+                graph,
+                policy=policy,
+                shard_runner=runner,
+                repair_listener=self._record_repair,
+            )
             connection.generation = generation
         return connection.session
+
+    def _record_repair(self, event: str) -> None:
+        """Session maintenance callback: count repairs vs recomputes."""
+        if event == "repair":
+            self.metrics.increment("result_repairs")
+        else:
+            self.metrics.increment("result_recomputes")
 
     def _make_shard_runner(self, pool: Optional[ShardWorkerPool]):
         """The session→pool seam, with per-query cancel + busy accounting."""
@@ -373,12 +448,18 @@ class ReproServer:
                             error_payload(None, "protocol", "request frame must be an object"),
                         )
                     break
-                response = self._handle_request(connection, request)
+                with self._requests_lock:
+                    self._requests_active += 1
                 try:
-                    self._reply(connection, response)
-                except (OSError, ProtocolError):
-                    self.metrics.increment("disconnects_mid_query")
-                    break
+                    response = self._handle_request(connection, request)
+                    try:
+                        self._reply(connection, response)
+                    except (OSError, ProtocolError):
+                        self.metrics.increment("disconnects_mid_query")
+                        break
+                finally:
+                    with self._requests_lock:
+                        self._requests_active -= 1
         finally:
             with self._connections_lock:
                 self._connections.pop(id(connection), None)
@@ -396,6 +477,10 @@ class ReproServer:
     def _handle_request(self, connection: _Connection, request: Dict[str, Any]) -> Dict[str, Any]:
         rid = request.get("id")
         op = request.get("op")
+        if self._draining.is_set() and op in ("run", "run_many", "targets", "mutate", "load_graph"):
+            return error_payload(
+                rid, "shutting_down", "server is draining; no new work accepted"
+            )
         try:
             if op == "ping":
                 return {"id": rid, "ok": True, "pong": True}
@@ -447,28 +532,35 @@ class ReproServer:
         if graph is None:
             raise EvaluationError("no graph loaded; send load_graph first")
         applied = 0
-        for action in actions:
-            if not isinstance(action, list) or not action:
-                raise SerializationError(f"malformed mutate action {action!r}")
-            verb, *args = action
-            if verb == "add_node" and len(args) == 2:
-                graph.add_node(wire.decode_value(args[0]), wire.decode_value(args[1]))
-            elif verb == "add_edge" and len(args) == 3:
-                graph.add_edge(wire.decode_value(args[0]), str(args[1]), wire.decode_value(args[2]))
-            elif verb == "remove_node" and len(args) == 1:
-                graph.remove_node(wire.decode_value(args[0]))
-            elif verb == "remove_edge" and len(args) == 3:
-                graph.remove_edge(
-                    wire.decode_value(args[0]), str(args[1]), wire.decode_value(args[2])
-                )
-            elif verb == "set_value" and len(args) == 2:
-                graph.set_value(wire.decode_value(args[0]), wire.decode_value(args[1]))
-            else:
-                raise SerializationError(f"malformed mutate action {action!r}")
-            applied += 1
-        # The next pool evaluate sees the version bump and respawns; the
-        # epoch broadcast inside sync() fails any in-flight worker state.
-        return {
+        # One batch = one version bump + one journaled delta, so the next
+        # pool evaluate can patch the live workers in place (insert-only
+        # deltas) instead of respawning, and warm session caches can
+        # repair their cached answers instead of recomputing.
+        with graph.batch() as batch:
+            for action in actions:
+                if not isinstance(action, list) or not action:
+                    raise SerializationError(f"malformed mutate action {action!r}")
+                verb, *args = action
+                if verb == "add_node" and len(args) == 2:
+                    batch.add_node(wire.decode_value(args[0]), wire.decode_value(args[1]))
+                elif verb == "add_edge" and len(args) == 3:
+                    batch.add_edge(
+                        wire.decode_value(args[0]), str(args[1]), wire.decode_value(args[2])
+                    )
+                elif verb == "remove_node" and len(args) == 1:
+                    batch.remove_node(wire.decode_value(args[0]))
+                elif verb == "remove_edge" and len(args) == 3:
+                    batch.remove_edge(
+                        wire.decode_value(args[0]), str(args[1]), wire.decode_value(args[2])
+                    )
+                elif verb == "set_value" and len(args) == 2:
+                    batch.set_value(wire.decode_value(args[0]), wire.decode_value(args[1]))
+                else:
+                    raise SerializationError(f"malformed mutate action {action!r}")
+                applied += 1
+        self.metrics.increment("mutations_total")
+        delta = batch.delta
+        response = {
             "id": rid,
             "ok": True,
             "applied": applied,
@@ -476,6 +568,15 @@ class ReproServer:
             "num_nodes": graph.num_nodes,
             "num_edges": graph.num_edges,
         }
+        if delta is not None:
+            response["delta"] = {
+                "base_version": delta.base_version,
+                "new_version": delta.new_version,
+                "digest": delta.digest,
+                "summary": delta.summary(),
+                "insert_only": delta.insert_only,
+            }
+        return response
 
     # ------------------------------------------------------------------
     def _op_query(
@@ -544,9 +645,11 @@ class ReproServer:
 
         def guarded():
             self._cancel_local.event = cancel
+            self.metrics.query_started()
             try:
                 return job()
             finally:
+                self.metrics.query_finished()
                 self._cancel_local.event = None
                 self._slots.release()
 
@@ -601,6 +704,7 @@ class ReproServer:
         if pool is not None:
             snapshot["worker_pool"]["pids"] = list(pool.worker_pids())
             snapshot["worker_pool"]["respawns"] = pool.respawns
+            snapshot["worker_pool"]["patched_epochs"] = pool.patched_epochs
             snapshot["worker_pool"]["epoch"] = pool.epoch
         return {"id": rid, "ok": True, "metrics": snapshot}
 

@@ -109,6 +109,9 @@ class ServerMetrics:
             "pool_queries": 0,
             "pool_fallbacks": 0,
             "pool_respawns": 0,
+            "mutations_total": 0,
+            "result_repairs": 0,
+            "result_recomputes": 0,
         }
         self._pool_busy_seconds = 0.0
         self._inflight = 0

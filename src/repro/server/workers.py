@@ -23,10 +23,19 @@ Per-query protocol (parent ↔ workers, over the fork-pool pipes):
     query's state; the parent unions the partial answers.
 ``("drop", qid)``
     Discard the query's state without decoding (cancellation path).
+``("delta", graph_delta)``
+    Graph-version bump **with** the journaled
+    :class:`~repro.deltas.delta.GraphDelta` connecting the workers' epoch
+    to the new version: each worker drops per-query state, applies the
+    delta to its copy-on-write graph snapshot, and patches its partition
+    in place (:meth:`GraphPartition.apply_delta`) — the workers survive
+    the mutation with their compiled-automaton caches warm and their
+    PIDs unchanged.  Only deltas without node removals patch this way.
 ``("epoch", version)``
-    Graph-version bump: drop *all* per-query state and record the new
-    epoch.  The parent then respawns the pool — forked children hold a
-    copy-on-write snapshot of the graph, so no message can refresh their
+    Graph-version bump *without* a usable delta (node removals, a broken
+    journal chain, or a legacy caller): drop *all* per-query state and
+    record the new epoch.  The parent then respawns the pool — without a
+    delta, no message can refresh the children's copy-on-write
     adjacency; the epoch broadcast exists to fail any in-flight query
     state deterministically before the stale processes are reaped.
 ``("stats", None)``
@@ -130,6 +139,14 @@ def _shard_worker_main(payload, index: int, message):
     if kind == "drop":
         return _QUERIES.pop(body, None) is not None
 
+    if kind == "delta":
+        dropped = len(_QUERIES)
+        _QUERIES.clear()
+        graph.apply(body)
+        partition.apply_delta(body)
+        _EPOCH = graph.version
+        return dropped
+
     if kind == "epoch":
         dropped = len(_QUERIES)
         _QUERIES.clear()
@@ -154,9 +171,15 @@ class ShardWorkerPool:
     The pool forks lazily on the first :meth:`evaluate` and keeps its
     workers alive until :meth:`close` or a graph mutation.  Mutations
     are detected by comparing ``graph.version`` against the epoch the
-    pool was forked at: a mismatch broadcasts an ``epoch`` message (so
-    workers drop any per-query state) and respawns the pool from the
-    parent's current graph — ``respawns`` counts these.
+    pool was forked at.  When the graph's delta journal holds a
+    contiguous, removal-free :class:`~repro.deltas.delta.GraphDelta`
+    chain between the two versions, the composed delta is broadcast and
+    the workers patch their graph snapshots and shard partitions in
+    place — no respawn, PIDs stay stable, automaton caches stay warm
+    (``patched_epochs`` counts these).  Otherwise the pool falls back to
+    the epoch broadcast (so workers drop any per-query state) and
+    respawns from the parent's current graph — ``respawns`` counts
+    those.
     """
 
     def __init__(
@@ -169,6 +192,7 @@ class ShardWorkerPool:
         self.num_workers = max(1, num_workers or min(os.cpu_count() or 1, 8))
         self.num_shards = max(self.num_workers, num_shards or self.num_workers)
         self.respawns = 0
+        self.patched_epochs = 0
         self._pool: Optional[ForkPool] = None
         self._epoch: Optional[int] = None
         self._lock = threading.Lock()
@@ -201,25 +225,39 @@ class ShardWorkerPool:
             self._pool = None
 
     def _sync(self) -> ForkPool:
-        """Respawn the pool when the graph moved past the workers' epoch.
+        """Patch or respawn the pool when the graph moved past the workers' epoch.
 
-        Called with the admission lock held.  The epoch broadcast tells
-        the stale workers to drop per-query state before they are
-        reaped; the respawn is what actually refreshes their
-        copy-on-write graph snapshot.
+        Called with the admission lock held.  A journaled, removal-free
+        delta chain lets the live workers patch in place; without one,
+        the epoch broadcast tells the stale workers to drop per-query
+        state before they are reaped, and the respawn is what actually
+        refreshes their copy-on-write graph snapshot.
         """
         if self._closed:
             raise EvaluationError("shard-worker pool is closed")
         version = self.graph.version
         pool = self._pool
         if pool is not None and self._epoch != version:
-            try:
-                pool.broadcast(("epoch", version))
-            except EvaluationError:  # pragma: no cover - workers already dead
-                pass
-            self._discard_pool()
-            pool = None
-            self.respawns += 1
+            patch = self.graph.journal.composed(self._epoch, version)
+            if patch is not None and not patch.removed_nodes:
+                try:
+                    pool.broadcast(("delta", patch))
+                except EvaluationError:  # pragma: no cover - workers died
+                    self._discard_pool()
+                    pool = None
+                    self.respawns += 1
+                else:
+                    self._epoch = version
+                    self.patched_epochs += 1
+                    return pool
+            else:
+                try:
+                    pool.broadcast(("epoch", version))
+                except EvaluationError:  # pragma: no cover - workers already dead
+                    pass
+                self._discard_pool()
+                pool = None
+                self.respawns += 1
         if pool is None:
             partition = GraphPartition.build(self.graph.label_index(), self.num_shards)
             pool = ForkPool(
@@ -330,5 +368,5 @@ class ShardWorkerPool:
         return (
             f"<ShardWorkerPool {state}: {self.num_workers} workers, "
             f"{self.num_shards} shards, epoch {self._epoch}, "
-            f"{self.respawns} respawns>"
+            f"{self.respawns} respawns, {self.patched_epochs} patched>"
         )

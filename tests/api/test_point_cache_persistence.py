@@ -223,6 +223,115 @@ class TestSnapshotCompaction:
         with pytest.raises(EvaluationError, match="max_entries"):
             session.save_point_cache(tmp_path / "bad.json", max_entries=-1)
 
+class TestSnapshotSurvivesInsertOnlyDeltas:
+    """A snapshot from an earlier version loads across journaled
+    insert-only deltas: entries provably unaffected survive, the rest
+    are dropped and recompute on demand."""
+
+    def two_chains(self):
+        from repro.datagraph import DataGraph
+
+        graph = DataGraph(alphabet={"a"})
+        for prefix in ("n", "m"):
+            for i in range(3):
+                graph.add_node(f"{prefix}{i}", i)
+            for i in range(2):
+                graph.add_edge(f"{prefix}{i}", "a", f"{prefix}{i+1}")
+        return graph
+
+    def test_entries_outside_the_touched_closure_survive(self, tmp_path):
+        graph = self.two_chains()
+        session = GraphSession(graph)
+        session.targets("a.a", "n0")
+        session.targets("a.a", "m0")
+        path = tmp_path / "points.json"
+        assert session.save_point_cache(path) == 2
+
+        with graph.batch() as batch:  # touches the m-chain only
+            batch.add_node("m3", 3)
+            batch.add_edge("m2", "a", "m3")
+
+        restored = GraphSession(graph)
+        assert restored.load_point_cache(path) == 1  # the n-chain entry
+        restored._targets_of = lambda *a, **k: pytest.fail("recomputed a surviving answer")
+        assert {node.id for node in restored.targets("a.a", "n0")} == {"n2"}
+
+    def test_dropped_entries_recompute_to_the_fresh_answer(self, tmp_path):
+        graph = self.two_chains()
+        session = GraphSession(graph)
+        assert {node.id for node in session.targets("a.a", "m0")} == {"m2"}
+        path = tmp_path / "points.json"
+        session.save_point_cache(path)
+
+        with graph.batch() as batch:
+            batch.add_node("m3", 3)
+            batch.add_edge("m2", "a", "m3")
+            batch.add_edge("m0", "a", "m2")  # the shortcut makes m3 an a.a target
+
+        restored = GraphSession(graph)
+        restored.load_point_cache(path)
+        assert {node.id for node in restored.targets("a.a", "m0")} == {"m2", "m3"}
+
+    def test_survival_composes_across_consecutive_batches(self, tmp_path):
+        graph = self.two_chains()
+        session = GraphSession(graph)
+        session.targets("a.a", "n0")
+        path = tmp_path / "points.json"
+        session.save_point_cache(path)
+
+        with graph.batch() as batch:
+            batch.add_node("m3", 3)
+        with graph.batch() as batch:
+            batch.add_edge("m2", "a", "m3")
+
+        restored = GraphSession(graph)
+        assert restored.load_point_cache(path) == 1
+        restored._targets_of = lambda *a, **k: pytest.fail("recomputed a surviving answer")
+        assert {node.id for node in restored.targets("a.a", "n0")} == {"n2"}
+
+    def test_removal_lineage_is_rejected(self, tmp_path):
+        graph = self.two_chains()
+        session = GraphSession(graph)
+        session.targets("a.a", "n0")
+        path = tmp_path / "points.json"
+        session.save_point_cache(path)
+        with graph.batch() as batch:
+            batch.remove_edge("m1", "a", "m2")
+        with pytest.raises(EvaluationError, match="no insert-only delta chain"):
+            GraphSession(graph).load_point_cache(path)
+
+    def test_journal_gap_is_rejected(self, tmp_path):
+        graph = self.two_chains()
+        session = GraphSession(graph)
+        session.targets("a.a", "n0")
+        path = tmp_path / "points.json"
+        session.save_point_cache(path)
+        graph.add_node("gap", 9)  # single-op mutator: no journal entry
+        with pytest.raises(EvaluationError, match="no insert-only delta chain"):
+            GraphSession(graph).load_point_cache(path)
+
+    def test_non_monotone_kinds_never_survive_a_delta(self, tmp_path):
+        # GXPath point answers can shrink under insertion (negation),
+        # so the survival filter drops them regardless of the closure.
+        graph = self.two_chains()
+        session = GraphSession(graph)
+        session.targets(Query.parse("a.a", dialect="gxpath-path"), "n0")
+        path = tmp_path / "points.json"
+        assert session.save_point_cache(path) == 1
+        with graph.batch() as batch:  # far from the n-chain
+            batch.add_node("m3", 3)
+            batch.add_edge("m2", "a", "m3")
+        restored = GraphSession(graph)
+        assert restored.load_point_cache(path) == 0
+        assert {node.id for node in restored.targets(
+            Query.parse("a.a", dialect="gxpath-path"), "n0"
+        )} == {"n2"}
+
+
+class TestSnapshotCompactionOrdering:
+    def graph(self):
+        return generators.random_graph(20, 60, labels=("a", "b"), rng=31, domain_size=3)
+
     def test_loaded_snapshot_entries_rank_older_than_live_ones(self, tmp_path):
         graph = self.graph()
         first = tmp_path / "first.json"

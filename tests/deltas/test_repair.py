@@ -1,0 +1,243 @@
+"""Delta-driven repair of cached answers: repaired ≡ fresh, always.
+
+The contract under test is acceptance-level: after an insert-only batch
+on a warm session, the served answer must be bit-identical to a fresh
+evaluation — whether the session repaired the cached relation or fell
+back to a recompute.  The maintenance counters then distinguish the two
+paths, so each test pins *which* path produced the (always-correct)
+answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExecutionPolicy, GraphSession, Query
+from repro.datagraph import DataGraph
+from repro.engine.partition import GraphPartition
+from repro.exceptions import EvaluationError
+
+CHAINS = 10
+CHAIN_LENGTH = 12
+
+DIALECT_QUERIES = {
+    "rpq": Query.parse("(a|b)+"),
+    "ree": Query.parse("((a|b)+)=", dialect="ree"),
+    "rem": Query.parse("!x.((a|b)[x!=])+", dialect="rem"),
+    "crpq": Query.parse("x, y :- (x, a, z), (z, b, y)", dialect="crpq"),
+    "gxpath-node": Query.parse("<a.b>", dialect="gxpath-node"),
+    "gxpath-path": Query.parse("a.b", dialect="gxpath-path"),
+}
+
+#: Kinds whose full relation the session can repair in place; the rest
+#: must recompute (their semantics are not per-source monotone).
+REPAIRING = {"rpq", "ree", "rem"}
+
+
+def chain_graph() -> DataGraph:
+    """Disjoint a/b-alternating chains: closures stay chain-local, so a
+    small batch touches a small backward closure."""
+    graph = DataGraph(name="repair-chains")
+    for c in range(CHAINS):
+        for i in range(CHAIN_LENGTH):
+            graph.add_node(f"k{c}n{i}", i % 3)
+        for i in range(CHAIN_LENGTH - 1):
+            graph.add_edge(f"k{c}n{i}", "ab"[i % 2], f"k{c}n{i+1}")
+    return graph
+
+
+def fresh_rows(graph: DataGraph, query: Query, null_semantics: bool = False):
+    policy = ExecutionPolicy(cache_results=False)
+    return GraphSession(graph, policy=policy).run(query, null_semantics).rows()
+
+
+def shortcut_batch(graph: DataGraph) -> None:
+    """A small insert-only batch: one new node and two shortcut edges
+    inside chain 0."""
+    with graph.batch() as batch:
+        batch.add_node("fresh", 1)
+        batch.add_edge("k0n3", "a", "fresh")
+        batch.add_edge("fresh", "b", "k0n8")
+
+
+class TestRepairedEqualsFresh:
+    @pytest.mark.parametrize("dialect", sorted(DIALECT_QUERIES))
+    def test_every_dialect_serves_the_fresh_answer_after_a_batch(self, dialect):
+        graph = chain_graph()
+        query = DIALECT_QUERIES[dialect]
+        session = GraphSession(graph)
+        session.run(query).rows()  # warm: populate the result cache
+        shortcut_batch(graph)
+        served = session.run(query).rows()
+        assert served == fresh_rows(graph, query)
+        stats = session.maintenance_stats()
+        if dialect in REPAIRING:
+            assert stats["repairs"] == 1 and stats["recomputes"] == 0
+        else:
+            assert stats["repairs"] == 0 and stats["recomputes"] == 1
+
+    def test_null_semantics_repairs_independently(self):
+        graph = chain_graph()
+        query = DIALECT_QUERIES["ree"]
+        session = GraphSession(graph)
+        session.run(query, null_semantics=True).rows()
+        shortcut_batch(graph)
+        served = session.run(query, null_semantics=True).rows()
+        assert served == fresh_rows(graph, query, null_semantics=True)
+        assert session.maintenance_stats()["repairs"] == 1
+
+    def test_removal_batch_falls_back_to_recompute(self):
+        graph = chain_graph()
+        query = DIALECT_QUERIES["rpq"]
+        session = GraphSession(graph)
+        session.run(query).rows()
+        with graph.batch() as batch:
+            batch.remove_edge("k0n5", "b", "k0n6")
+        served = session.run(query).rows()
+        assert served == fresh_rows(graph, query)
+        stats = session.maintenance_stats()
+        assert stats["repairs"] == 0 and stats["recomputes"] == 1
+
+    def test_value_change_batch_falls_back_to_recompute(self):
+        graph = chain_graph()
+        query = DIALECT_QUERIES["rem"]
+        session = GraphSession(graph)
+        session.run(query).rows()
+        with graph.batch() as batch:
+            batch.set_value("k0n4", 99)
+        served = session.run(query).rows()
+        assert served == fresh_rows(graph, query)
+        assert session.maintenance_stats()["recomputes"] == 1
+
+    def test_single_op_mutation_breaks_the_lineage(self):
+        graph = chain_graph()
+        query = DIALECT_QUERIES["rpq"]
+        session = GraphSession(graph)
+        session.run(query).rows()
+        graph.add_edge("k0n0", "a", "k0n2")  # bypasses the batch journal
+        served = session.run(query).rows()
+        assert served == fresh_rows(graph, query)
+        stats = session.maintenance_stats()
+        assert stats["repairs"] == 0 and stats["recomputes"] == 1
+
+    def test_wide_delta_exceeds_the_seed_fraction_and_recomputes(self):
+        graph = chain_graph()
+        query = DIALECT_QUERIES["rpq"]
+        session = GraphSession(graph)
+        session.run(query).rows()
+        # Touch the tail of every chain: the backward closure is the
+        # whole graph, so seeding it would cost a full recompute anyway.
+        with graph.batch() as batch:
+            for c in range(CHAINS):
+                batch.add_edge(f"k{c}n0", "a", f"k{c}n{CHAIN_LENGTH - 1}")
+        served = session.run(query).rows()
+        assert served == fresh_rows(graph, query)
+        stats = session.maintenance_stats()
+        assert stats["repairs"] == 0 and stats["recomputes"] == 1
+
+    def test_policy_can_disable_repair(self):
+        graph = chain_graph()
+        query = DIALECT_QUERIES["rpq"]
+        session = GraphSession(graph, policy=ExecutionPolicy(delta_repair=False))
+        session.run(query).rows()
+        shortcut_batch(graph)
+        served = session.run(query).rows()
+        assert served == fresh_rows(graph, query)
+        stats = session.maintenance_stats()
+        assert stats["repairs"] == 0 and stats["recomputes"] == 0
+        assert stats["lineage"] == []
+
+    def test_consecutive_batches_repair_across_the_composed_delta(self):
+        graph = chain_graph()
+        query = DIALECT_QUERIES["rpq"]
+        session = GraphSession(graph)
+        base = graph.version
+        session.run(query).rows()
+        with graph.batch() as batch:
+            batch.add_edge("k1n0", "a", "k1n5")
+        with graph.batch() as batch:
+            batch.add_edge("k1n5", "b", "k1n9")
+        served = session.run(query).rows()
+        assert served == fresh_rows(graph, query)
+        stats = session.maintenance_stats()
+        assert stats["repairs"] == 1
+        lineage = stats["lineage"][-1]
+        assert lineage["base_version"] == base
+        assert lineage["new_version"] == graph.version
+        assert lineage["delta_size"] == 2
+
+    def test_run_many_repairs_warm_plans(self):
+        graph = chain_graph()
+        queries = [DIALECT_QUERIES["rpq"], DIALECT_QUERIES["ree"]]
+        session = GraphSession(graph)
+        session.run_many(queries)  # eager: warms both entries
+        shortcut_batch(graph)
+        results = session.run_many(queries)
+        for query, result in zip(queries, results):
+            assert result.rows() == fresh_rows(graph, query)
+        stats = session.maintenance_stats()
+        assert stats["repairs"] == 2 and stats["recomputes"] == 0
+
+    def test_lineage_records_plan_and_digest(self):
+        graph = chain_graph()
+        query = DIALECT_QUERIES["rpq"]
+        session = GraphSession(graph)
+        session.run(query).rows()
+        shortcut_batch(graph)
+        delta = graph.journal.deltas()[-1]
+        session.run(query).rows()
+        (entry,) = session.maintenance_stats()["lineage"]
+        assert entry["plan"].startswith("rpq:")
+        assert entry["delta_digest"] == delta.digest
+        assert entry["delta_size"] == delta.size
+
+
+class TestPartitionPatching:
+    def _partition_edges(self, partition: GraphPartition):
+        edges = set()
+        for shard in partition.shards:
+            for table in (shard._succ, shard._cut):
+                for label, by_source in table.items():
+                    for source, targets in by_source.items():
+                        for target in targets:
+                            edges.add((source, label, target))
+        return edges
+
+    def test_patched_partition_matches_a_rebuild(self):
+        graph = chain_graph()
+        partition = GraphPartition.build(graph.label_index(), num_shards=3)
+        with graph.batch() as batch:
+            batch.add_node("px", 2)
+            batch.add_edge("px", "a", "k2n0")
+            batch.add_edge("k2n11", "b", "px")
+            batch.remove_edge("k2n0", "a", "k2n1")
+        partition.apply_delta(batch.delta)
+        assert partition.version == graph.version
+        assert set(partition.assignment) == set(graph.node_ids)
+        shard_nodes = [node for shard in partition.shards for node in shard.nodes]
+        assert sorted(shard_nodes, key=repr) == sorted(graph.node_ids, key=repr)
+        assert self._partition_edges(partition) == {
+            (source.id, label, target.id) for source, label, target in graph.edges
+        }
+
+    def test_every_process_computes_the_same_assignment(self):
+        # Round-robin placement is deterministic in the delta's node
+        # order — the property that lets pool parent and forked workers
+        # patch their own copies without exchanging assignments.
+        graph = chain_graph()
+        one = GraphPartition.build(graph.label_index(), num_shards=4)
+        two = GraphPartition.build(graph.label_index(), num_shards=4)
+        with graph.batch() as batch:
+            for i in range(5):
+                batch.add_node(f"rr{i}", i)
+        one.apply_delta(batch.delta)
+        two.apply_delta(batch.delta)
+        assert one.assignment == two.assignment
+
+    def test_node_removal_refuses_to_patch(self):
+        graph = chain_graph()
+        partition = GraphPartition.build(graph.label_index(), num_shards=3)
+        with graph.batch() as batch:
+            batch.remove_node("k0n11")
+        with pytest.raises(EvaluationError, match="node removals"):
+            partition.apply_delta(batch.delta)

@@ -10,6 +10,8 @@ persistence and epoch invalidation, and the metrics report.
 
 from __future__ import annotations
 
+import os
+import signal
 import socket
 import struct
 import threading
@@ -22,11 +24,12 @@ from repro.api import (
     Query,
     QueryTimeoutError,
     ServerBusyError,
+    ServerShuttingDownError,
     connect,
 )
 from repro.datagraph import GraphBuilder, generators
 from repro.engine.forkpool import fork_available
-from repro.exceptions import UnknownNodeError
+from repro.exceptions import EvaluationError, UnknownNodeError
 from repro.server import ReproServer, ServerConfig
 from repro.server import daemon as daemon_module
 from repro.server.protocol import recv_frame, send_frame
@@ -164,20 +167,148 @@ class TestWorkerPoolThroughTheDaemon:
             assert after["pids"] == pids  # same processes: no re-fork
             assert after["respawns"] == 0
 
-    def test_mutation_invalidates_workers_and_answers_stay_correct(self, served):
+    def test_insert_only_mutation_patches_workers_in_place(self, served):
         graph, address, _ = served
         query = Query.parse("a.(b|c)+")
         with connect(address) as session:
             before = session.run(query).rows()
             assert before == GraphSession(graph).run(query).rows()
+            pids = session.metrics()["worker_pool"]["pids"]
+            assert pids
             anchor = next(iter(graph.node_ids))
-            session.mutate([["add_node", "daemon-new", 7],
-                           ["add_edge", "daemon-new", "a", anchor]])
+            reply = session.mutate([["add_node", "daemon-new", 7],
+                                   ["add_edge", "daemon-new", "a", anchor]])
+            assert reply["version"] == graph.version
+            assert reply["delta"]["insert_only"] is True
+            assert reply["delta"]["summary"]["nodes_added"] == 1
+            assert reply["delta"]["summary"]["edges_added"] == 1
+            after = session.run(query).rows()
+            assert after == GraphSession(graph).run(query).rows()
+            # A cache-miss query forces the pool to sync with the new
+            # version: the journaled insert-only delta patches the live
+            # workers instead of respawning them.
+            assert session.run("(b|c).a").rows() == GraphSession(graph).run("(b|c).a").rows()
+            metrics = session.metrics()["worker_pool"]
+            assert metrics["pids"] == pids, "workers must survive an insert-only mutate"
+            assert metrics["respawns"] == 0
+            assert metrics["patched_epochs"] >= 1
+            assert metrics["epoch"] == graph.version
+
+    def test_removal_mutation_still_respawns_the_workers(self, served):
+        graph, address, _ = served
+        query = Query.parse("a.(b|c)+")
+        with connect(address) as session:
+            session.run(query)
+            pids = session.metrics()["worker_pool"]["pids"]
+            victim = next(iter(graph.node_ids))
+            reply = session.mutate([["remove_node", victim]])
+            assert reply["delta"]["insert_only"] is False
+            assert reply["delta"]["summary"]["nodes_removed"] == 1
             after = session.run(query).rows()
             assert after == GraphSession(graph).run(query).rows()
             metrics = session.metrics()["worker_pool"]
+            assert metrics["pids"] != pids  # removals cannot patch in place
             assert metrics["respawns"] == 1
             assert metrics["epoch"] == graph.version
+
+
+class TestGracefulDrain:
+    def test_shutdown_sends_farewell_instead_of_hard_close(self):
+        graph = make_graph()
+        server = ReproServer(graph, ServerConfig(num_workers=1, drain_grace=1.0))
+        address = server.start()
+        session = connect(address)
+        assert session.ping()
+        server.shutdown()
+        # The next call sees either the unsolicited shutting_down frame
+        # or (if the farewell raced the close) a typed connection error —
+        # never a bare socket exception.
+        with pytest.raises(Exception) as excinfo:
+            session.ping()
+        assert isinstance(excinfo.value, (ServerShuttingDownError, EvaluationError))
+        session.close()
+
+    def test_drain_lets_inflight_queries_finish(self, monkeypatch):
+        graph = make_graph()
+        server = ReproServer(graph, ServerConfig(num_workers=1, drain_grace=5.0))
+        address = server.start()
+        monkeypatch.setattr(daemon_module, "GraphSession", _SlowSession)
+        monkeypatch.setattr(_SlowSession, "delay", 0.6)
+        outcome = {}
+        client = connect(address)
+
+        def slow_query():
+            try:
+                outcome["rows"] = client.run("a").rows()
+            except Exception as error:  # noqa: BLE001 - collected for the assert
+                outcome["error"] = error
+
+        thread = threading.Thread(target=slow_query)
+        thread.start()
+        time.sleep(0.2)  # let the slow query start executing
+        started = time.monotonic()
+        server.shutdown()  # must wait for the in-flight query, not cut it
+        drained = time.monotonic() - started
+        thread.join(timeout=10)
+        client.close()
+        assert "error" not in outcome, outcome.get("error")
+        assert outcome["rows"] == GraphSession(graph).run("a").rows()
+        assert drained >= 0.2  # shutdown actually waited for the drain
+
+    def test_draining_server_rejects_new_work_with_shutting_down(self, monkeypatch):
+        graph = make_graph()
+        server = ReproServer(graph, ServerConfig(num_workers=1, drain_grace=5.0))
+        address = server.start()
+        monkeypatch.setattr(daemon_module, "GraphSession", _SlowSession)
+        monkeypatch.setattr(_SlowSession, "delay", 0.8)
+        blocker = connect(address)
+        rejected = {}
+        thread = threading.Thread(target=lambda: blocker.run("a"))
+        thread.start()
+        time.sleep(0.2)  # the slow query is now in flight
+
+        def second_client():
+            try:
+                with connect(address) as session:
+                    session.run("b")
+            except Exception as error:  # noqa: BLE001
+                rejected["error"] = error
+
+        shutdown_thread = threading.Thread(target=server.shutdown)
+        shutdown_thread.start()
+        time.sleep(0.2)  # draining is set; the slow query still runs
+        probe = threading.Thread(target=second_client)
+        probe.start()
+        probe.join(timeout=10)
+        shutdown_thread.join(timeout=10)
+        thread.join(timeout=10)
+        blocker.close()
+        assert isinstance(rejected.get("error"), ServerShuttingDownError), rejected
+
+    def test_sigterm_triggers_graceful_shutdown(self):
+        graph = make_graph()
+        server = ReproServer(graph, ServerConfig(num_workers=1, drain_grace=0.5))
+        server.start()
+        timer = threading.Timer(0.2, os.kill, (os.getpid(), signal.SIGTERM))
+        timer.start()
+        server.serve_forever()  # returns once SIGTERM drains the server
+        assert server._stopping.is_set()
+
+    def test_request_stop_unblocks_serve_forever(self):
+        # The public seam the CLI hangs its early SIGTERM handler on:
+        # safe to call from any thread (or signal context) and before
+        # start(), so there is no accepting-but-not-yet-graceful window.
+        graph = make_graph()
+        server = ReproServer(graph, ServerConfig(num_workers=1, drain_grace=0.5))
+        server.start()
+        timer = threading.Timer(0.2, server.request_stop)
+        timer.start()
+        server.serve_forever()
+        assert server._stopping.is_set()
+
+    def test_drain_grace_must_be_non_negative(self):
+        with pytest.raises(EvaluationError, match="drain_grace"):
+            ServerConfig(drain_grace=-1.0)
 
 
 class TestProtocolAbuse:

@@ -112,6 +112,82 @@ class TestEpochInvalidation:
             assert all(state[1] == [] for state in epochs_after)
 
 
+class TestDeltaPatching:
+    def test_insert_only_batch_patches_workers_in_place(self, graph):
+        with ShardWorkerPool(graph, num_workers=2, num_shards=4) as pool:
+            query = QUERIES[0]
+            before = pool.evaluate(query)
+            assert before == GraphSession(graph).run(query).pairs()
+            old_pids = pool.worker_pids()
+            with graph.batch() as batch:
+                batch.add_node("patched-node", 99)
+                batch.add_edge("patched-node", "a", next(iter(graph.node_ids)))
+            try:
+                after = pool.evaluate(query)
+                assert after == GraphSession(graph).run(query).pairs()
+                assert pool.worker_pids() == old_pids  # PID-stable
+                assert pool.respawns == 0
+                assert pool.patched_epochs == 1
+                assert pool.epoch == graph.version
+            finally:
+                graph.remove_node("patched-node")
+
+    def test_patched_workers_keep_their_automaton_caches(self, graph):
+        with ShardWorkerPool(graph, num_workers=2, num_shards=4) as pool:
+            query = QUERIES[1]
+            pool.evaluate(query)
+            warm = pool.stats()
+            anchor = next(iter(graph.node_ids))
+            with graph.batch() as batch:
+                batch.add_edge(anchor, "b", anchor)
+            try:
+                pool.evaluate(query)  # patched epoch: same processes, warm caches
+                assert pool.patched_epochs == 1
+                after = pool.stats()
+                assert after["automata"]["hits"] > warm["automata"]["hits"]
+            finally:
+                graph.remove_edge(anchor, "b", anchor)
+
+    def test_removal_batch_falls_back_to_respawn(self, graph):
+        with ShardWorkerPool(graph, num_workers=2, num_shards=4) as pool:
+            query = QUERIES[0]
+            pool.evaluate(query)
+            old_pids = pool.worker_pids()
+            graph.add_node("doomed-node", 1)
+            pool.evaluate(query)
+            assert pool.worker_pids() != old_pids  # single-op mutate: journal gap
+            patched_pids = pool.worker_pids()
+            with graph.batch() as batch:
+                batch.remove_node("doomed-node")
+            after = pool.evaluate(query)
+            assert after == GraphSession(graph).run(query).pairs()
+            assert pool.worker_pids() != patched_pids
+            assert pool.patched_epochs == 0
+            assert pool.respawns == 2
+
+    def test_consecutive_batches_compose_into_one_patch(self, graph):
+        with ShardWorkerPool(graph, num_workers=2, num_shards=4) as pool:
+            query = QUERIES[0]
+            pool.evaluate(query)
+            pids = pool.worker_pids()
+            anchor = next(iter(graph.node_ids))
+            with graph.batch() as batch:
+                batch.add_node("compose-1", 5)
+                batch.add_edge("compose-1", "a", anchor)
+            with graph.batch() as batch:
+                batch.add_node("compose-2", 6)
+                batch.add_edge("compose-2", "b", "compose-1")
+            try:
+                after = pool.evaluate(query)  # two journaled deltas, one broadcast
+                assert after == GraphSession(graph).run(query).pairs()
+                assert pool.worker_pids() == pids
+                assert pool.patched_epochs == 1
+                assert pool.epoch == graph.version
+            finally:
+                graph.remove_node("compose-1")
+                graph.remove_node("compose-2")
+
+
 class TestAdmission:
     def test_busy_pool_declines_instead_of_blocking(self, pool):
         pool.evaluate(QUERIES[0])  # fork the workers first
