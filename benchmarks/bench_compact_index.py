@@ -1,0 +1,163 @@
+"""Benchmark the compact CSR backend against the dict kernels.
+
+Three comparisons on multi-community scenario graphs:
+
+* **Full-relation RPQ** (gated) — ``(knows|bridge)*.bridge`` through
+  the engine seam (:meth:`evaluate_atom_ids`) with ``backend="compact"``
+  vs ``backend="dict"``.  The int-id kernels walk ``array('q')`` CSR
+  rows and propagate bitset frontiers instead of hashing
+  ``(NodeId, state)`` tuples, so CI gates the ratio at >= 2x (see the
+  compact backend gate).  The query ends in the sparse ``bridge`` label
+  on purpose: traversal covers the whole product space while the answer
+  set stays modest, so the timer sees kernel work, not the identical
+  final ``set``-of-pairs materialisation both backends share.  The
+  ratio is a constant-factor claim about the kernels and holds on any
+  core count.
+* **Data-RPQ mask pass** — the REM register kernel over CSR rows vs the
+  dict mask pass, through full sessions.  Register configurations keep
+  hashed valuation tuples either way, so the CSR win is smaller;
+  reported for the trajectory, not gated.
+* **Shard-worker memory** — a mixed workload (one dense plain RPQ, one
+  data-RPQ) through a :class:`~repro.server.workers.ShardWorkerPool`
+  with and without the shared-memory CSR segment.  Each bench records
+  the mean per-worker private footprint (``Private_Clean +
+  Private_Dirty`` from ``smaps_rollup``, in kB) in ``extra_info``: the
+  shared pool's workers read one mapped CSR copy and keep int-keyed
+  mask state, the plain pool's workers dirty their inherited dict
+  indexes and hash tuple configurations, so their private columns come
+  out measurably heavier.  CI checks the shared column stays below the
+  plain one.
+
+Correctness is asserted *after* the timed region — holding a second
+large answer set alive while timing would poison the measurement with
+gen-2 GC passes over the first one.  Each bench warms the index its
+backend reads and runs ``gc.collect()`` before timing, so the timer
+sees kernel work, not allocator debt from earlier benchmarks.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.api import GraphSession, Query
+from repro.api.executors import ExecutionPolicy
+from repro.datagraph import DataGraph
+from repro.engine import default_engine
+from repro.engine.forkpool import fork_available
+from repro.query import rpq
+from repro.server.workers import ShardWorkerPool
+from repro.workloads import multi_community_scenario
+
+#: Dense reachability with a sparse final label: the closure touches
+#: every community through the bridge cut, the answer stays small.
+RPQ_QUERY = "(knows|bridge)*.bridge"
+#: The register kernel's workload: remember one value, then differ.
+REM_QUERY = "!x.((knows|bridge)[x!=])+"
+
+
+def _scenario_graph(num_communities: int, community_size: int) -> DataGraph:
+    return multi_community_scenario(
+        num_communities=num_communities, community_size=community_size, rng=5
+    ).source
+
+
+def _warm(graph: DataGraph, backend: str) -> None:
+    """Build the index the backend reads outside the timed region."""
+    graph.label_index()
+    if backend == "compact":
+        graph.compact_index()
+    gc.collect()
+
+
+# ----------------------------------------------------------------------
+# Full-relation RPQ through the engine seam: the gated pair
+# ----------------------------------------------------------------------
+def _bench_rpq_full_relation(benchmark, backend: str):
+    graph = _scenario_graph(16, 80)
+    engine = default_engine()
+    query = rpq(RPQ_QUERY)
+    _warm(graph, backend)
+    pairs = benchmark.pedantic(
+        lambda: engine.evaluate_atom_ids(graph, query, backend=backend),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["num_pairs"] = len(pairs)
+    if backend == "compact":
+        assert pairs == engine.evaluate_atom_ids(graph, query, backend="dict")
+
+
+def bench_compact_rpq_full_relation(benchmark):
+    _bench_rpq_full_relation(benchmark, "compact")
+
+
+def bench_dict_rpq_full_relation(benchmark):
+    _bench_rpq_full_relation(benchmark, "dict")
+
+
+# ----------------------------------------------------------------------
+# Data-RPQ register mask pass (informational)
+# ----------------------------------------------------------------------
+def _bench_datarpq_mask_pass(benchmark, backend: str):
+    graph = _scenario_graph(6, 50)
+    query = Query.parse(REM_QUERY, dialect="rem")
+    session = GraphSession(
+        graph, policy=ExecutionPolicy(cache_results=False, backend=backend)
+    )
+    _warm(graph, backend)
+    pairs = benchmark.pedantic(lambda: session.run(query).pairs(), rounds=1, iterations=1)
+    if backend == "compact":
+        dict_session = GraphSession(
+            graph, policy=ExecutionPolicy(cache_results=False, backend="dict")
+        )
+        assert pairs == dict_session.run(query).pairs()
+
+
+def bench_compact_datarpq_mask_pass(benchmark):
+    _bench_datarpq_mask_pass(benchmark, "compact")
+
+
+def bench_dict_datarpq_mask_pass(benchmark):
+    _bench_datarpq_mask_pass(benchmark, "dict")
+
+
+# ----------------------------------------------------------------------
+# Shard-worker pools: one shared CSR copy vs per-worker indexes
+# ----------------------------------------------------------------------
+#: The pools' mixed workload: a dense plain RPQ (timed; runs on the
+#: shared CSR when available) and one data-RPQ (untimed; always the
+#: dict path, identical state in both pools) before the memory probe.
+POOL_RPQ = "knows.(knows|bridge)*"
+POOL_REM = "!x.(knows[x=])+"
+
+
+def _bench_pool(benchmark, use_shared_csr: bool):
+    if not fork_available():
+        pytest.skip("shard-worker pools need os.fork")
+    graph = multi_community_scenario(num_communities=8, community_size=40, rng=7).source
+    query = Query.parse(POOL_RPQ)
+    gc.collect()
+    with ShardWorkerPool(
+        graph, num_workers=4, num_shards=8, use_shared_csr=use_shared_csr
+    ) as pool:
+        pairs = benchmark.pedantic(lambda: pool.evaluate(query), rounds=1, iterations=1)
+        pool.evaluate(Query.parse(POOL_REM, dialect="rem"))
+        memory = pool.worker_memory() or {}
+        if memory:
+            per_worker = sum(memory.values()) / len(memory)
+            benchmark.extra_info["per_worker_private_kb"] = round(per_worker, 1)
+        benchmark.extra_info["shared_segment"] = pool.shared_segment or ""
+    expected = GraphSession(
+        graph, policy=ExecutionPolicy(cache_results=False, backend="dict")
+    ).run(POOL_RPQ).pairs()
+    assert pairs == expected
+
+
+def bench_worker_pool_shared_csr(benchmark):
+    _bench_pool(benchmark, use_shared_csr=True)
+
+
+def bench_worker_pool_private_indexes(benchmark):
+    _bench_pool(benchmark, use_shared_csr=False)

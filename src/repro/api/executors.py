@@ -44,15 +44,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ExecutionPolicy",
     "POLICY_PRESETS",
+    "STORAGE_BACKENDS",
     "SequentialExecutor",
     "ParallelExecutor",
 ]
 
 
 class SequentialExecutor:
-    """Evaluate a batch in order on the calling thread."""
+    """Evaluate a batch in order on the calling thread.
+
+    *storage_backend* picks the label-index representation each query
+    evaluates over (``"auto"`` / ``"compact"`` / ``"dict"``, see
+    :attr:`ExecutionPolicy.backend`); it rides on the executor — rather
+    than the ``execute_batch`` signature — so custom executor classes
+    keep working unchanged.
+    """
 
     name = "sequential"
+    #: Class-level default so subclasses with their own ``__init__``
+    #: (which may never call ``super().__init__``) still resolve a backend.
+    storage_backend = "auto"
+
+    def __init__(self, storage_backend: str = "auto"):
+        self.storage_backend = storage_backend
 
     def execute_batch(
         self,
@@ -62,7 +76,11 @@ class SequentialExecutor:
         null_semantics: bool = False,
     ) -> List[frozenset]:
         """One answer set per query, in query order."""
-        return [query._evaluate(engine, graph, null_semantics) for query in queries]
+        backend = self.storage_backend
+        return [
+            query._evaluate(engine, graph, null_semantics, backend=backend)
+            for query in queries
+        ]
 
     def __repr__(self) -> str:
         return "SequentialExecutor()"
@@ -75,8 +93,8 @@ def _fork_worker(batch, index: int) -> frozenset:
     """Forked worker: one query of the batch (which arrives by copy-on-write
     through :func:`repro.engine.forkpool.run_forked`, fork being the only way
     to ship an unpicklable DataGraph to workers)."""
-    engine, graph, queries, null_semantics = batch
-    return queries[index]._evaluate(engine, graph, null_semantics)
+    engine, graph, queries, null_semantics, backend = batch
+    return queries[index]._evaluate(engine, graph, null_semantics, backend=backend)
 
 
 class ParallelExecutor:
@@ -94,13 +112,21 @@ class ParallelExecutor:
         the way back.
     """
 
-    def __init__(self, max_workers: Optional[int] = None, backend: str = "thread"):
+    storage_backend = "auto"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        backend: str = "thread",
+        storage_backend: str = "auto",
+    ):
         if backend not in {"thread", "process"}:
             raise EvaluationError(f"unknown parallel backend {backend!r}")
         if max_workers is not None and max_workers < 1:
             raise EvaluationError(f"max_workers must be positive, got {max_workers}")
         self.max_workers = max_workers
         self.backend = backend
+        self.storage_backend = storage_backend
 
     @property
     def name(self) -> str:
@@ -118,17 +144,26 @@ class ParallelExecutor:
         null_semantics: bool = False,
     ) -> List[frozenset]:
         """One answer set per query, in query order."""
+        backend = self.storage_backend
         if len(queries) <= 1:
-            return SequentialExecutor().execute_batch(engine, graph, queries, null_semantics)
+            return SequentialExecutor(backend).execute_batch(
+                engine, graph, queries, null_semantics
+            )
         # Compile every automaton and build the label index *before*
         # fanning out: the engine's LRU caches are not thread-safe for
-        # concurrent builds, and forked workers inherit the warm caches.
+        # concurrent builds, and forked workers inherit the warm caches
+        # (including the CSR twin when the storage backend resolves
+        # compact for this graph).
         graph.label_index()
+        from ..engine.compact import resolve_backend
+
+        if resolve_backend(backend, graph.num_nodes):
+            graph.compact_index()
         for query in queries:
             query._warm(engine)
         if self.backend == "process" and fork_available():
             return run_forked(
-                (engine, graph, tuple(queries), null_semantics),
+                (engine, graph, tuple(queries), null_semantics, backend),
                 _fork_worker,
                 len(queries),
                 max_workers=self._workers_for(len(queries)),
@@ -136,7 +171,12 @@ class ParallelExecutor:
         workers = self._workers_for(len(queries))
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(
-                pool.map(lambda query: query._evaluate(engine, graph, null_semantics), queries)
+                pool.map(
+                    lambda query: query._evaluate(
+                        engine, graph, null_semantics, backend=backend
+                    ),
+                    queries,
+                )
             )
 
     def __repr__(self) -> str:
@@ -148,6 +188,10 @@ class ParallelExecutor:
 # ----------------------------------------------------------------------
 #: Valid ``ExecutionPolicy.intra_query`` modes.
 INTRA_QUERY_MODES = ("off", "blocks", "sharded")
+
+#: Valid ``ExecutionPolicy.backend`` values (the label-index storage
+#: representation queries evaluate over).
+STORAGE_BACKENDS = ("auto", "compact", "dict")
 
 #: Sentinel distinguishing "caller never passed this kwarg" from any
 #: real value, so only explicit use of the deprecated knobs warns.
@@ -199,6 +243,14 @@ class ExecutionPolicy:
     executor:
         ``"sequential"``, ``"thread"`` or ``"process"`` — the executor
         ``run_many`` batches are handed to.
+    backend:
+        The storage backend queries evaluate over: ``"dict"`` keeps the
+        hash-table :class:`~repro.datagraph.index.LabelIndex` kernels,
+        ``"compact"`` forces the int-id CSR kernels over the graph's
+        :class:`~repro.datagraph.compact.CompactLabelIndex`, and
+        ``"auto"`` (the default) picks compact on graphs large enough
+        for the array kernels to pay.  Answers are bit-identical in
+        every mode; only the representation the kernels walk changes.
     max_workers:
         Worker-pool bound for the parallel executors and for the
         intra-query source-block fan-out.
@@ -240,6 +292,7 @@ class ExecutionPolicy:
     """
 
     executor: str = "sequential"
+    backend: str = "auto"
     max_workers: Optional[int] = None
     cache_results: bool = True
     result_cache_size: int = 1024
@@ -262,6 +315,7 @@ class ExecutionPolicy:
         sharded_processes=_UNSET,
         point_cache_size: int = 1024,
         delta_repair: bool = True,
+        backend: str = "auto",
     ):
         passed = {
             "intra_query": intra_query,
@@ -283,6 +337,7 @@ class ExecutionPolicy:
         defaults = _POLICY_DEFAULTS
         self._assign(
             executor=executor,
+            backend=backend,
             max_workers=max_workers,
             cache_results=cache_results,
             result_cache_size=result_cache_size,
@@ -305,6 +360,11 @@ class ExecutionPolicy:
             raise EvaluationError(
                 f"unknown intra_query mode {self.intra_query!r}; "
                 f"expected one of {', '.join(INTRA_QUERY_MODES)}"
+            )
+        if self.backend not in STORAGE_BACKENDS:
+            raise EvaluationError(
+                f"unknown storage backend {self.backend!r}; "
+                f"expected one of {', '.join(STORAGE_BACKENDS)}"
             )
 
     @classmethod
@@ -349,9 +409,13 @@ class ExecutionPolicy:
     def build_executor(self):
         """Instantiate the executor this policy names."""
         if self.executor == "sequential":
-            return SequentialExecutor()
+            return SequentialExecutor(storage_backend=self.backend)
         if self.executor in {"thread", "process"}:
-            return ParallelExecutor(max_workers=self.max_workers, backend=self.executor)
+            return ParallelExecutor(
+                max_workers=self.max_workers,
+                backend=self.executor,
+                storage_backend=self.backend,
+            )
         raise EvaluationError(
             f"unknown executor {self.executor!r}; expected 'sequential', 'thread' or 'process'"
         )

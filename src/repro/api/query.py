@@ -300,31 +300,50 @@ class Query:
     # ------------------------------------------------------------------
     # Execution seam (driven by GraphSession / executors)
     # ------------------------------------------------------------------
-    def _evaluate(self, engine: "EvaluationEngine", graph: "DataGraph", null_semantics: bool):
+    def _evaluate(
+        self,
+        engine: "EvaluationEngine",
+        graph: "DataGraph",
+        null_semantics: bool,
+        backend: str = "auto",
+    ):
         """Evaluate the plan on *graph* through *engine*.
 
         Returns the raw answer set in the plan's natural shape: a
         frozenset of node pairs for binary queries, of nodes for GXPath
         node expressions, and of head tuples for CRPQs.  The
         :class:`~repro.api.result.Result` wrapper normalises access.
+        *backend* picks the storage representation the kernels walk
+        (``"auto"`` / ``"compact"`` / ``"dict"``); answers are
+        bit-identical in every mode.
         """
         kind = self.kind
         if kind is QueryKind.RPQ:
-            return engine.evaluate_rpq(graph, self.plan)
+            return engine.evaluate_rpq(graph, self.plan, backend=backend)
         if kind is QueryKind.DATA_RPQ:
-            return engine.evaluate_data_rpq(graph, self.plan, null_semantics=null_semantics)
+            return engine.evaluate_data_rpq(
+                graph, self.plan, null_semantics=null_semantics, backend=backend
+            )
         if kind is QueryKind.CRPQ:
             from ..query.crpq import evaluate_crpq_with_engine
 
             return evaluate_crpq_with_engine(
-                graph, self.plan, null_semantics=null_semantics, engine=engine
+                graph,
+                self.plan,
+                null_semantics=null_semantics,
+                engine=engine,
+                backend=backend,
             )
         from ..gxpath import evaluation as gxpath_evaluation
 
         if kind is QueryKind.GXPATH_NODE:
-            return gxpath_evaluation.evaluate_node(graph, self.plan, null_semantics)
+            return gxpath_evaluation.evaluate_node(
+                graph, self.plan, null_semantics, backend=backend
+            )
         if kind is QueryKind.GXPATH_PATH:
-            return gxpath_evaluation.evaluate_path(graph, self.plan, null_semantics)
+            return gxpath_evaluation.evaluate_path(
+                graph, self.plan, null_semantics, backend=backend
+            )
         raise EvaluationError(f"unknown query kind {kind!r}")  # pragma: no cover - defensive
 
     def _warm(self, engine: "EvaluationEngine") -> None:

@@ -147,7 +147,12 @@ class GraphSession(SessionProtocol):
         # previous-version cache entry and try to repair it across the
         # journaled deltas instead of recomputing.
         self._result_history: Dict[Tuple, int] = {}
-        self._maintenance = {"repairs": 0, "recomputes": 0}
+        # Plan-retention lineage: the graph version each CRPQ plan key
+        # was last planned (or retained) at, so a plan-cache miss after
+        # a delta can look up its previous-version plan and keep it when
+        # the delta touched none of the plan's labels.
+        self._crpq_plan_history: Dict[str, int] = {}
+        self._maintenance = {"repairs": 0, "recomputes": 0, "plans_retained": 0}
         self._lineage: deque = deque(maxlen=32)
 
     # ------------------------------------------------------------------
@@ -558,17 +563,55 @@ class GraphSession(SessionProtocol):
         return {
             "repairs": self._maintenance["repairs"],
             "recomputes": self._maintenance["recomputes"],
+            "plans_retained": self._maintenance["plans_retained"],
             "lineage": list(self._lineage),
         }
 
     def _crpq_plan(self, plan: Query):
-        """The cached planner output for a CRPQ plan at the current version."""
+        """The cached planner output for a CRPQ plan at the current version.
+
+        Plan-cache entries are version-keyed, so a graph mutation is an
+        implicit miss — but a logical plan only depends on the statistics
+        of the labels it scans.  On a miss at the current version, when
+        the journal holds a delta chain from the version this query was
+        last planned at and that composed delta **touches none of the
+        plan's labels**, the previous plan is retained under the new
+        version instead of replanning (counted by ``plans_retained`` in
+        :meth:`maintenance_stats`).  An insert-only delta on label ``a``
+        therefore no longer evicts the plans of queries that never scan
+        ``a``.
+        """
         from ..planner import plan_crpq
 
-        key = (self.graph.version, plan.key)
-        return self._crpq_plans.get_or_build(
+        version = self.graph.version
+        key = (version, plan.key)
+        if key not in self._crpq_plans:
+            retained = self._retained_plan(plan, version)
+            if retained is not None:
+                self._crpq_plan_history[plan.key] = version
+                return self._crpq_plans.get_or_build(key, lambda: retained)
+        planned = self._crpq_plans.get_or_build(
             key, lambda: plan_crpq(plan.plan, self.graph.label_index())
         )
+        self._crpq_plan_history[plan.key] = version
+        return planned
+
+    def _retained_plan(self, plan: Query, version: int):
+        """The previous version's plan when the deltas since cannot have
+        changed it, else ``None``."""
+        previous = self._crpq_plan_history.get(plan.key)
+        if previous is None or previous == version:
+            return None
+        cached = self._crpq_plans.peek((previous, plan.key))
+        if cached is None:
+            return None
+        composed = self.graph.journal.composed(previous, version)
+        if composed is None:
+            return None
+        if not composed.touched_labels.isdisjoint(plan.labels()):
+            return None
+        self._maintenance["plans_retained"] += 1
+        return cached
 
     def explain(self, query: QueryLike) -> str:
         """The execution plan of *query* on this session's graph.
@@ -616,6 +659,7 @@ class GraphSession(SessionProtocol):
                 shards=policy.num_shards,
                 partition=self._shard_partition() if atom_mode == "sharded" else None,
                 processes=policy.sharded_processes,
+                backend=policy.backend,
             )
         if intra_query:
             if (
@@ -667,6 +711,13 @@ class GraphSession(SessionProtocol):
                     partition=partition,
                     processes=policy.sharded_processes,
                 )
+        if policy.backend != "auto":
+            # Only pass the knob when it deviates from the default, so
+            # Query subclasses (and tests) overriding the historical
+            # 4-argument ``_evaluate`` keep working under default policies.
+            return plan._evaluate(
+                self.engine, self.graph, null_semantics, backend=policy.backend
+            )
         return plan._evaluate(self.engine, self.graph, null_semantics)
 
     def _shard_partition(self) -> GraphPartition:
@@ -687,7 +738,9 @@ class GraphSession(SessionProtocol):
             relation = self._results.get_or_build(full_key, lambda: frozenset())
             return frozenset(target for start, target in relation if start.id == source)
         if plan.kind is QueryKind.RPQ:
-            return self.engine.evaluate_rpq_from(self.graph, plan.plan, source)
+            return self.engine.evaluate_rpq_from(
+                self.graph, plan.plan, source, backend=self.policy.backend
+            )
         answers = self._answers(plan, null_semantics)
         return frozenset(target for start, target in answers if start.id == source)
 
@@ -708,6 +761,7 @@ class GraphSession(SessionProtocol):
         self._point_snapshot = {}
         self._point_snapshot_version = None
         self._result_history.clear()
+        self._crpq_plan_history.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         snapshot = self._results.stats()

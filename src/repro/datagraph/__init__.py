@@ -7,6 +7,7 @@ generators and (de)serialisation.
 """
 
 from .builder import GraphBuilder, chain_graph, cycle_graph, graph_from_edges
+from .compact import CompactLabelIndex, SharedCompactIndex
 from .graph import DataGraph, Edge
 from .index import LabelIndex
 from .morphisms import (
@@ -36,6 +37,8 @@ __all__ = [
     "DataGraph",
     "Edge",
     "LabelIndex",
+    "CompactLabelIndex",
+    "SharedCompactIndex",
     "Node",
     "NodeId",
     "make_node",

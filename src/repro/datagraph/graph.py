@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..deltas.batch import MutationBatch
     from ..deltas.delta import GraphDelta, _NetChanges
     from ..deltas.journal import DeltaJournal
+    from .compact import CompactLabelIndex
     from .index import LabelIndex
 
 __all__ = ["Edge", "DataGraph"]
@@ -81,6 +82,7 @@ class DataGraph:
         "_edge_count",
         "_version",
         "_index",
+        "_compact",
         "_journal",
         "_batch",
         "_api_session",
@@ -98,6 +100,7 @@ class DataGraph:
         self._edge_count = 0
         self._version = 0
         self._index: Optional["LabelIndex"] = None
+        self._compact: Optional["CompactLabelIndex"] = None
         self._journal: Optional["DeltaJournal"] = None
         self._batch: Optional["MutationBatch"] = None
         self._api_session = None
@@ -258,6 +261,24 @@ class DataGraph:
             if self._batch is None:
                 self._index = index
         return index
+
+    def compact_index(self) -> "CompactLabelIndex":
+        """The CSR (int-id) adjacency snapshot for the current graph state.
+
+        Built lazily from :meth:`label_index` and cached beside it under
+        the same version discipline: any mutation invalidates, and while
+        a batch is open a throwaway snapshot over the pre-batch index is
+        served but not cached.  See
+        :class:`repro.datagraph.compact.CompactLabelIndex`.
+        """
+        compact = self._compact
+        if compact is None or compact.version != self._version:
+            from .compact import CompactLabelIndex
+
+            compact = CompactLabelIndex.from_label_index(self.label_index())
+            if self._batch is None and compact.version == self._version:
+                self._compact = compact
+        return compact
 
     # ------------------------------------------------------------------
     # Node management

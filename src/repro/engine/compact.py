@@ -1,0 +1,670 @@
+"""Int-id evaluation kernels over the compact CSR storage backend.
+
+These are the :mod:`repro.engine.product` phase kernels re-expressed on
+a :class:`~repro.datagraph.compact.CompactLabelIndex`: a product
+configuration is the single integer ``node_int * S + state`` instead of
+a hashed ``(NodeId, state)`` tuple, visited/useful sets are
+``bytearray``s indexed by that integer, frontiers are plain lists, and
+adjacency expansion walks ``array('q')`` CSR rows.  Source bitmasks keep
+the exact semantics of the dict kernels (bit ``i`` is the node at index
+``i`` of the shared dense ordering), so the two backends produce
+bit-identical answer sets; mask tables are flat lists indexed by
+configuration with a ``touched`` journal for sparse decoding.
+
+The per-state transition **plans** — ``plans[state]`` is a list of
+``(offsets, neighbors, next_states)`` triples, one per symbol the state
+can read that actually has edges — are the compact analogue of binding
+``space.successors`` to an adjacency: the inner loop is pure array
+indexing with no per-edge symbol lookup.
+
+The sharded entry points (:func:`nfa_shard_plans`,
+:func:`compact_shard_round`, :func:`decode_shard_masks`) mirror
+:func:`repro.engine.partition._shard_round`'s two-pass contract (local
+fixpoint, then cut-edge scan of the changed configurations) using the
+node→shard owner column instead of materialised shard views, so the
+server's forked workers can run rounds directly on the one shared CSR
+copy.
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datagraph.compact import CompactLabelIndex
+from ..datagraph.node import NodeId
+from ..datapaths.conditions import EMPTY_VALUATION
+from ..datapaths.register_automata import RegisterAutomaton
+from .compiled import CompiledAutomaton
+from .spaces import ClosureSpace, NfaProductSpace, ProductSpace, RegisterProductSpace
+
+__all__ = [
+    "COMPACT_AUTO_MIN_NODES",
+    "resolve_backend",
+    "nfa_relation",
+    "nfa_reachable_targets",
+    "closure_relation",
+    "register_relation",
+    "compact_space_relation",
+    "nfa_shard_plans",
+    "compact_shard_round",
+    "decode_shard_masks",
+]
+
+Pair = Tuple[NodeId, NodeId]
+
+#: Below this many nodes the dict kernels' lower constant wins and
+#: ``backend="auto"`` stays on them; at and above it the int-id kernels'
+#: per-step savings dominate.  Deliberately small — the crossover on the
+#: bench graphs sits far lower — so "auto" behaves compactly wherever
+#: the difference could matter.
+COMPACT_AUTO_MIN_NODES = 256
+
+
+def resolve_backend(backend: str, num_nodes: int) -> bool:
+    """Whether evaluation should use the compact kernels.
+
+    ``"compact"`` and ``"dict"`` force; ``"auto"`` switches on graph
+    size.  This is the one policy decision of the backend seam — every
+    entry point (engine methods, planner scans, GXPath axes, the shard
+    workers) resolves through here.
+    """
+    if backend == "compact":
+        return True
+    if backend == "dict":
+        return False
+    if backend == "auto":
+        return num_nodes >= COMPACT_AUTO_MIN_NODES
+    raise ValueError(f"unknown backend {backend!r}: expected 'auto', 'compact' or 'dict'")
+
+
+# ----------------------------------------------------------------------
+# Plan construction: automaton moves bound to CSR rows
+# ----------------------------------------------------------------------
+def _forward_plans(
+    compact: CompactLabelIndex, automaton: CompiledAutomaton
+) -> List[List[Tuple[Sequence[int], Sequence[int], Tuple[int, ...]]]]:
+    plans: List[List[Tuple[Sequence[int], Sequence[int], Tuple[int, ...]]]] = []
+    for by_symbol in automaton.moves:
+        entries = []
+        for symbol, next_states in by_symbol:
+            row = compact.csr(symbol)
+            if row is not None:
+                entries.append((row[0], row[1], next_states))
+        plans.append(entries)
+    return plans
+
+
+def _backward_plans(
+    compact: CompactLabelIndex, automaton: CompiledAutomaton
+) -> List[List[Tuple[Sequence[int], Sequence[int], Tuple[int, ...]]]]:
+    plans: List[List[Tuple[Sequence[int], Sequence[int], Tuple[int, ...]]]] = []
+    for by_symbol in automaton.backward_moves:
+        entries = []
+        for symbol, previous_states in by_symbol:
+            row = compact.csr_t(symbol)
+            if row is not None:
+                entries.append((row[0], row[1], previous_states))
+        plans.append(entries)
+    return plans
+
+
+def _mask_sources(
+    mask: int, nodes: Sequence[NodeId], cache: Dict[int, List[NodeId]]
+) -> List[NodeId]:
+    """The source nodes named by *mask*'s bits, memoised per mask value.
+
+    Configurations of one strongly-connected region all carry the same
+    mask, so decoding caches the bit expansion by mask value — on dense
+    relations this collapses hundreds of thousands of ``bit_length``
+    walks into one per distinct mask.
+    """
+    sources = cache.get(mask)
+    if sources is None:
+        sources = []
+        cursor = mask
+        while cursor:
+            low = cursor & -cursor
+            sources.append(nodes[low.bit_length() - 1])
+            cursor ^= low
+        cache[mask] = sources
+    return sources
+
+
+def _source_ints(
+    compact: CompactLabelIndex, sources: Optional[Sequence[NodeId]]
+) -> Sequence[int]:
+    if sources is None:
+        return range(compact.num_nodes)
+    position = compact.position
+    out = []
+    for node_id in sources:
+        u = position.get(node_id)
+        if u is not None:
+            out.append(u)
+    return out
+
+
+# ----------------------------------------------------------------------
+# The NFA product kernel (plain RPQs): full and seeded
+# ----------------------------------------------------------------------
+def nfa_relation(
+    compact: CompactLabelIndex,
+    automaton: CompiledAutomaton,
+    sources: Optional[Sequence[NodeId]] = None,
+    targets: Optional[Iterable[NodeId]] = None,
+) -> Set[Pair]:
+    """All ``(u, v)`` pairs accepted by *automaton*, on int-id arrays.
+
+    The same three phases as the dict kernel — forward reach, backward
+    prune (with a *targets* restriction folded into the useful set),
+    bitmask propagation — each over flat arrays.  Bit-identical to
+    ``seeded_product_relation(NfaProductSpace(index, automaton), ...)``.
+    """
+    n = compact.num_nodes
+    if n == 0:
+        return set()
+    src_ints = _source_ints(compact, sources)
+    if not src_ints:
+        return set()
+    target_flags: Optional[bytearray] = None
+    if targets is not None:
+        target_flags = bytearray(n)
+        position = compact.position
+        for node_id in targets:
+            u = position.get(node_id)
+            if u is not None:
+                target_flags[u] = 1
+        if not any(target_flags):
+            return set()
+    S = automaton.num_states
+    initial = automaton.initial
+    accepting = bytearray(S)
+    for state in automaton.accepting:
+        accepting[state] = 1
+    forward = _forward_plans(compact, automaton)
+
+    # Phase 1: forward reachability over the product, LIFO order (the
+    # set of reached configurations is order-independent).
+    visited = bytearray(n * S)
+    stack: List[int] = []
+    for u in src_ints:
+        for state in initial:
+            config = u * S + state
+            if not visited[config]:
+                visited[config] = 1
+                stack.append(config)
+    while stack:
+        config = stack.pop()
+        u, state = divmod(config, S)
+        for offsets, neighbors, next_states in forward[state]:
+            for v in neighbors[offsets[u] : offsets[u + 1]]:
+                base = v * S
+                for next_state in next_states:
+                    successor = base + next_state
+                    if not visited[successor]:
+                        visited[successor] = 1
+                        stack.append(successor)
+
+    # Phase 2: keep only configurations that can still reach acceptance
+    # (at a restricted target node, when given).
+    backward = _backward_plans(compact, automaton)
+    useful = bytearray(n * S)
+    stack = []
+    for config in range(n * S):
+        if visited[config] and accepting[config % S]:
+            if target_flags is None or target_flags[config // S]:
+                useful[config] = 1
+                stack.append(config)
+    if not stack:
+        return set()
+    while stack:
+        config = stack.pop()
+        u, state = divmod(config, S)
+        for offsets, neighbors, previous_states in backward[state]:
+            for v in neighbors[offsets[u] : offsets[u + 1]]:
+                base = v * S
+                for previous_state in previous_states:
+                    predecessor = base + previous_state
+                    if visited[predecessor] and not useful[predecessor]:
+                        useful[predecessor] = 1
+                        stack.append(predecessor)
+
+    # Phase 3: propagate source bitmasks to a fixpoint over the useful
+    # configurations.  FIFO order converges in near-level-order rounds
+    # (LIFO chases long chains with partial masks and revisits far more
+    # on dense closures), and each configuration's useful successors are
+    # memoised on first pop so revisits are pure big-int ORs.
+    masks: List[int] = [0] * (n * S)
+    touched: List[int] = []
+    in_queue = bytearray(n * S)
+    pending: List[int] = []
+    expansions: List[Optional[Tuple[int, ...]]] = [None] * (n * S)
+    for u in src_ints:
+        bit = 1 << u
+        for state in initial:
+            config = u * S + state
+            if useful[config]:
+                if not masks[config]:
+                    touched.append(config)
+                masks[config] |= bit
+                if not in_queue[config]:
+                    in_queue[config] = 1
+                    pending.append(config)
+    head = 0
+    while head < len(pending):
+        config = pending[head]
+        head += 1
+        in_queue[config] = 0
+        mask = masks[config]
+        expanded = expansions[config]
+        if expanded is None:
+            u, state = divmod(config, S)
+            out: List[int] = []
+            for offsets, neighbors, next_states in forward[state]:
+                for v in neighbors[offsets[u] : offsets[u + 1]]:
+                    base = v * S
+                    for next_state in next_states:
+                        successor = base + next_state
+                        if useful[successor]:
+                            out.append(successor)
+            expanded = expansions[config] = tuple(out)
+        for successor in expanded:
+            known = masks[successor]
+            merged = known | mask
+            if merged != known:
+                if not known:
+                    touched.append(successor)
+                masks[successor] = merged
+                if not in_queue[successor]:
+                    in_queue[successor] = 1
+                    pending.append(successor)
+
+    # Decode: accepting configurations' masks name the sources; the
+    # target restriction was already folded into the useful set.
+    nodes = compact.nodes
+    pairs: Set[Pair] = set()
+    decoded: Dict[int, List[NodeId]] = {}
+    for config in touched:
+        if not accepting[config % S]:
+            continue
+        target = nodes[config // S]
+        sources_of = _mask_sources(masks[config], nodes, decoded)
+        pairs.update(zip(sources_of, repeat(target)))
+    return pairs
+
+
+def nfa_reachable_targets(
+    compact: CompactLabelIndex,
+    automaton: CompiledAutomaton,
+    source: NodeId,
+    stop_at: Optional[NodeId] = None,
+) -> Set[NodeId]:
+    """Nodes ``v`` with ``(source, v)`` accepted (early exit on *stop_at*).
+
+    The point-query twin of :func:`repro.engine.product.reachable_targets`.
+    """
+    position = compact.position
+    start = position.get(source)
+    if start is None:
+        return set()
+    stop = position.get(stop_at) if stop_at is not None else None
+    n = compact.num_nodes
+    S = automaton.num_states
+    accepting = bytearray(S)
+    for state in automaton.accepting:
+        accepting[state] = 1
+    forward = _forward_plans(compact, automaton)
+    nodes = compact.nodes
+    visited = bytearray(n * S)
+    found = bytearray(n)
+    targets: Set[NodeId] = set()
+    queue: List[int] = []
+    for state in automaton.initial:
+        config = start * S + state
+        if not visited[config]:
+            visited[config] = 1
+            queue.append(config)
+        if accepting[state] and not found[start]:
+            found[start] = 1
+            targets.add(source)
+            if stop is not None and start == stop:
+                return targets
+    head = 0
+    while head < len(queue):
+        config = queue[head]
+        head += 1
+        u, state = divmod(config, S)
+        for offsets, neighbors, next_states in forward[state]:
+            for v in neighbors[offsets[u] : offsets[u + 1]]:
+                base = v * S
+                for next_state in next_states:
+                    successor = base + next_state
+                    if visited[successor]:
+                        continue
+                    visited[successor] = 1
+                    if accepting[next_state] and not found[v]:
+                        found[v] = 1
+                        targets.add(nodes[v])
+                        if stop is not None and v == stop:
+                            return targets
+                    queue.append(successor)
+    return targets
+
+
+# ----------------------------------------------------------------------
+# The closure kernel (GXPath a* / a-* axes)
+# ----------------------------------------------------------------------
+def closure_relation(
+    compact: CompactLabelIndex,
+    label: str,
+    inverse: bool = False,
+    sources: Optional[Sequence[NodeId]] = None,
+    targets: Optional[Iterable[NodeId]] = None,
+) -> Set[Pair]:
+    """The reflexive-transitive closure of one label's edge relation.
+
+    Configurations degenerate to bare int nodes (``S = 1``): masks are a
+    flat list over nodes and every configuration accepts, so ``(u, u)``
+    pairs are included — exactly ``product_relation(ClosureSpace(...))``.
+    """
+    n = compact.num_nodes
+    if n == 0:
+        return set()
+    src_ints = _source_ints(compact, sources)
+    if not src_ints:
+        return set()
+    target_flags: Optional[bytearray] = None
+    if targets is not None:
+        target_flags = bytearray(n)
+        position = compact.position
+        for node_id in targets:
+            u = position.get(node_id)
+            if u is not None:
+                target_flags[u] = 1
+    row = compact.csr_t(label) if inverse else compact.csr(label)
+    masks: List[int] = [0] * n
+    touched: List[int] = []
+    in_queue = bytearray(n)
+    pending: List[int] = []
+    for u in src_ints:
+        if not masks[u]:
+            touched.append(u)
+        masks[u] |= 1 << u
+        if row is not None and not in_queue[u]:
+            in_queue[u] = 1
+            pending.append(u)
+    if row is not None:
+        offsets, neighbors = row
+        head = 0
+        while head < len(pending):
+            u = pending[head]
+            head += 1
+            in_queue[u] = 0
+            mask = masks[u]
+            for v in neighbors[offsets[u] : offsets[u + 1]]:
+                known = masks[v]
+                merged = known | mask
+                if merged != known:
+                    if not known:
+                        touched.append(v)
+                    masks[v] = merged
+                    if not in_queue[v]:
+                        in_queue[v] = 1
+                        pending.append(v)
+    nodes = compact.nodes
+    pairs: Set[Pair] = set()
+    decoded: Dict[int, List[NodeId]] = {}
+    for u in touched:
+        if target_flags is not None and not target_flags[u]:
+            continue
+        sources_of = _mask_sources(masks[u], nodes, decoded)
+        pairs.update(zip(sources_of, repeat(nodes[u])))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# The register-automaton kernel (memory RPQs / translated REEs)
+# ----------------------------------------------------------------------
+def register_relation(
+    compact: CompactLabelIndex,
+    automaton: RegisterAutomaton,
+    null_semantics: bool = False,
+    sources: Optional[Sequence[NodeId]] = None,
+    targets: Optional[Iterable[NodeId]] = None,
+) -> Set[Pair]:
+    """The data-RPQ relation by mask propagation over int-id configurations.
+
+    Register valuations are unbounded values, so configurations stay
+    hashed tuples — but the node component is the int id, adjacency
+    expansion walks CSR rows grouped per state and symbol, and data
+    values come from the flat column instead of a dict keyed by node id.
+    Pruning is unavailable (valuations do not reverse), matching the
+    dict-backed :class:`~repro.engine.spaces.RegisterProductSpace`.
+    """
+    n = compact.num_nodes
+    if n == 0:
+        return set()
+    src_ints = _source_ints(compact, sources)
+    if not src_ints:
+        return set()
+    target_ints: Optional[Set[int]] = None
+    if targets is not None:
+        position = compact.position
+        target_ints = {
+            position[node_id] for node_id in targets if node_id in position
+        }
+    values = compact.values
+    accepting = automaton.accepting
+    silent_closure = automaton.silent_closure
+    # Letter transitions bound to CSR rows, grouped by source state.
+    letters: Dict[int, List[Tuple[Sequence[int], Sequence[int], int]]] = {}
+    for transition in automaton.transitions:
+        if transition.kind != "letter":
+            continue
+        row = compact.csr(transition.symbol)
+        if row is not None:
+            letters.setdefault(transition.source, []).append(
+                (row[0], row[1], transition.target)
+            )
+    masks: Dict[Tuple[int, int, object], int] = {}
+    pending: List[Tuple[int, int, object]] = []
+    in_queue: Set[Tuple[int, int, object]] = set()
+    for u in src_ints:
+        bit = 1 << u
+        closure = silent_closure(
+            {(automaton.initial, EMPTY_VALUATION)}, values[u], null_semantics
+        )
+        for state, valuation in closure:
+            config = (u, state, valuation)
+            known = masks.get(config, 0)
+            merged = known | bit
+            if merged != known:
+                masks[config] = merged
+                if config not in in_queue:
+                    in_queue.add(config)
+                    pending.append(config)
+    expansions: Dict[Tuple[int, int, object], Tuple] = {}
+    head = 0
+    while head < len(pending):
+        config = pending[head]
+        head += 1
+        in_queue.discard(config)
+        mask = masks[config]
+        expanded = expansions.get(config)
+        if expanded is None:
+            u, state, valuation = config
+            out = []
+            for offsets, neighbors, target_state in letters.get(state, ()):
+                for v in neighbors[offsets[u] : offsets[u + 1]]:
+                    stepped = silent_closure(
+                        {(target_state, valuation)}, values[v], null_semantics
+                    )
+                    for next_state, next_valuation in stepped:
+                        out.append((v, next_state, next_valuation))
+            expanded = expansions[config] = tuple(out)
+        for successor in expanded:
+            known = masks.get(successor, 0)
+            merged = known | mask
+            if merged != known:
+                masks[successor] = merged
+                if successor not in in_queue:
+                    in_queue.add(successor)
+                    pending.append(successor)
+    nodes = compact.nodes
+    pairs: Set[Pair] = set()
+    decoded: Dict[int, List[NodeId]] = {}
+    for (u, state, _valuation), mask in masks.items():
+        if state not in accepting:
+            continue
+        if target_ints is not None and u not in target_ints:
+            continue
+        sources_of = _mask_sources(mask, nodes, decoded)
+        pairs.update(zip(sources_of, repeat(nodes[u])))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# The space-level dispatch: one seam for every dialect
+# ----------------------------------------------------------------------
+def compact_space_relation(
+    space: ProductSpace,
+    compact: CompactLabelIndex,
+    sources: Optional[Sequence[NodeId]] = None,
+    targets: Optional[Iterable[NodeId]] = None,
+) -> Optional[Set[Pair]]:
+    """Evaluate a :class:`ProductSpace`'s (seeded) relation compactly.
+
+    The compact twin of
+    :func:`repro.engine.product.seeded_product_relation`: the space names
+    its control structure (via :attr:`ProductSpace.compact_kernel`), this
+    module supplies the array kernels.  Returns ``None`` for spaces
+    without a compact kernel so callers fall back to the dict path.
+    """
+    kernel = space.compact_kernel
+    if kernel == "nfa":
+        assert isinstance(space, NfaProductSpace)
+        return nfa_relation(compact, space.automaton, sources=sources, targets=targets)
+    if kernel == "closure":
+        assert isinstance(space, ClosureSpace)
+        return closure_relation(compact, space.label, sources=sources, targets=targets)
+    if kernel == "register":
+        assert isinstance(space, RegisterProductSpace)
+        return register_relation(
+            compact,
+            space.automaton,
+            space.null_semantics,
+            sources=sources,
+            targets=targets,
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Sharded rounds over the owner column (the zero-copy worker path)
+# ----------------------------------------------------------------------
+def nfa_shard_plans(
+    compact: CompactLabelIndex, automaton: CompiledAutomaton
+) -> Tuple[int, Tuple[int, ...], FrozenSet[int], List]:
+    """Per-query state a shard worker builds once: ``(S, initial, accepting, plans)``."""
+    return (
+        automaton.num_states,
+        automaton.initial,
+        automaton.accepting,
+        _forward_plans(compact, automaton),
+    )
+
+
+def compact_shard_round(
+    plans: List,
+    S: int,
+    owner: Sequence[int],
+    shard_id: int,
+    masks: Dict[int, int],
+    seeds: Dict[int, int],
+) -> Dict[int, Dict[int, int]]:
+    """One shard-local fixpoint round plus the cut-edge scan.
+
+    Mirrors the dict driver's ``_shard_round``: merge the inbox *seeds*
+    into this shard's mask table, run the fixpoint following only edges
+    whose target the shard owns, then scan the changed configurations'
+    remaining (cut) edges into per-owner outboxes.  Configurations cross
+    the wire as plain ints, so the parent's routing loop is identical
+    for both backends.
+    """
+    changed: List[int] = []
+    is_changed: Set[int] = set()
+    pending: List[int] = []
+    in_queue: Set[int] = set()
+    for config, mask in seeds.items():
+        known = masks.get(config, 0)
+        merged = known | mask
+        if merged != known:
+            masks[config] = merged
+            if config not in is_changed:
+                is_changed.add(config)
+                changed.append(config)
+            if config not in in_queue:
+                in_queue.add(config)
+                pending.append(config)
+    head = 0
+    while head < len(pending):
+        config = pending[head]
+        head += 1
+        in_queue.discard(config)
+        mask = masks[config]
+        u, state = divmod(config, S)
+        for cursor_plan in plans[state]:
+            offsets, neighbors, next_states = cursor_plan
+            for v in neighbors[offsets[u] : offsets[u + 1]]:
+                if owner[v] != shard_id:
+                    continue  # cut edge: handled by the post-scan below
+                base = v * S
+                for next_state in next_states:
+                    successor = base + next_state
+                    known = masks.get(successor, 0)
+                    merged = known | mask
+                    if merged != known:
+                        masks[successor] = merged
+                        if successor not in is_changed:
+                            is_changed.add(successor)
+                            changed.append(successor)
+                        if successor not in in_queue:
+                            in_queue.add(successor)
+                            pending.append(successor)
+    outboxes: Dict[int, Dict[int, int]] = {}
+    for config in changed:
+        mask = masks[config]
+        u, state = divmod(config, S)
+        for offsets, neighbors, next_states in plans[state]:
+            for v in neighbors[offsets[u] : offsets[u + 1]]:
+                shard = owner[v]
+                if shard == shard_id:
+                    continue
+                base = v * S
+                outbox = outboxes.setdefault(shard, {})
+                for next_state in next_states:
+                    successor = base + next_state
+                    outbox[successor] = outbox.get(successor, 0) | mask
+    return outboxes
+
+
+def decode_shard_masks(
+    compact: CompactLabelIndex,
+    S: int,
+    accepting: FrozenSet[int],
+    masks: Dict[int, int],
+) -> Set[Pair]:
+    """Decode one shard's mask table into public node-id pairs."""
+    nodes = compact.nodes
+    accept = bytearray(S)
+    for state in accepting:
+        accept[state] = 1
+    pairs: Set[Pair] = set()
+    decoded: Dict[int, List[NodeId]] = {}
+    for config, mask in masks.items():
+        if not accept[config % S]:
+            continue
+        sources_of = _mask_sources(mask, nodes, decoded)
+        pairs.update(zip(sources_of, repeat(nodes[config // S])))
+    return pairs

@@ -45,6 +45,7 @@ from ..datapaths import (
 )
 from ..exceptions import EvaluationError
 from ..regular import Regex, parse_regex, thompson
+from . import compact as compact_kernels
 from . import data as data_kernels
 from . import partition as partition_kernels
 from . import product
@@ -123,19 +124,37 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     # RPQ evaluation
     # ------------------------------------------------------------------
-    def evaluate_rpq(self, graph: DataGraph, query: RPQLike) -> FrozenSet[NodePair]:
+    def _index_for(self, graph: DataGraph, backend: str):
+        """The index the kernels walk: the CSR twin when *backend*
+        resolves compact for this graph, else the dict label index.
+
+        This is where every engine entry point applies the storage
+        backend seam — answers are bit-identical either way, so the
+        choice never leaks into results or caches.
+        """
+        if compact_kernels.resolve_backend(backend, graph.num_nodes):
+            return graph.compact_index()
+        return graph.label_index()
+
+    def evaluate_rpq(
+        self, graph: DataGraph, query: RPQLike, backend: str = "auto"
+    ) -> FrozenSet[NodePair]:
         """The full binary relation ``e(G)`` of an RPQ on a data graph."""
         compiled = self.compile_rpq(query)
-        index = graph.label_index()
+        index = self._index_for(graph, backend)
         node = graph.node
         return frozenset(
             (node(source), node(target))
             for source, target in product.full_relation(index, compiled)
         )
 
-    def evaluate_rpq_ids(self, graph: DataGraph, query: RPQLike) -> FrozenSet[Tuple[NodeId, NodeId]]:
+    def evaluate_rpq_ids(
+        self, graph: DataGraph, query: RPQLike, backend: str = "auto"
+    ) -> FrozenSet[Tuple[NodeId, NodeId]]:
         """``e(G)`` as raw id pairs (no Node materialisation)."""
-        return frozenset(product.full_relation(graph.label_index(), self.compile_rpq(query)))
+        return frozenset(
+            product.full_relation(self._index_for(graph, backend), self.compile_rpq(query))
+        )
 
     def evaluate_rpq_partitioned(
         self,
@@ -166,17 +185,28 @@ class EvaluationEngine:
         return frozenset((node(source), node(target)) for source, target in id_pairs)
 
     def evaluate_rpq_from(
-        self, graph: DataGraph, query: RPQLike, source: NodeId
+        self, graph: DataGraph, query: RPQLike, source: NodeId, backend: str = "auto"
     ) -> FrozenSet[Node]:
         """All nodes ``v`` with ``(source, v) ∈ e(G)``."""
         graph.node(source)  # raise UnknownNodeError early, mirroring the seed API
-        targets = product.reachable_targets(graph.label_index(), self.compile_rpq(query), source)
+        targets = product.reachable_targets(
+            self._index_for(graph, backend), self.compile_rpq(query), source
+        )
         return frozenset(graph.node(target) for target in targets)
 
-    def rpq_holds(self, graph: DataGraph, query: RPQLike, source: NodeId, target: NodeId) -> bool:
+    def rpq_holds(
+        self,
+        graph: DataGraph,
+        query: RPQLike,
+        source: NodeId,
+        target: NodeId,
+        backend: str = "auto",
+    ) -> bool:
         """Whether ``(source, target) ∈ e(G)``."""
         graph.node(source)
-        return product.pair_holds(graph.label_index(), self.compile_rpq(query), source, target)
+        return product.pair_holds(
+            self._index_for(graph, backend), self.compile_rpq(query), source, target
+        )
 
     def witness_path_labels(
         self, graph: DataGraph, query: RPQLike, source: NodeId, target: NodeId
@@ -189,14 +219,14 @@ class EvaluationEngine:
     # Batched entry points
     # ------------------------------------------------------------------
     def evaluate_many(
-        self, graph: DataGraph, queries: Sequence[RPQLike]
+        self, graph: DataGraph, queries: Sequence[RPQLike], backend: str = "auto"
     ) -> Tuple[FrozenSet[NodePair], ...]:
         """Evaluate several RPQs over one graph, sharing its label index.
 
         Returns one answer relation per query, in query order.  Duplicate
         queries are evaluated once.
         """
-        index = graph.label_index()
+        index = self._index_for(graph, backend)
         node = graph.node
         # Keyed on the compiled object itself (identity hash): this both
         # dedupes repeated queries and pins the automaton alive, so LRU
@@ -220,6 +250,7 @@ class EvaluationEngine:
         graph: DataGraph,
         query: RPQLike,
         pairs: Iterable[Tuple[NodeId, NodeId]],
+        backend: str = "auto",
     ) -> Dict[Tuple[NodeId, NodeId], bool]:
         """Decide membership of many pairs at once.
 
@@ -237,7 +268,7 @@ class EvaluationEngine:
         if not ordered:
             return {}
         compiled = self.compile_rpq(query)
-        index = graph.label_index()
+        index = self._index_for(graph, backend)
         if len(wanted) > max(4, len(index.nodes) // 4):
             relation = product.full_relation(index, compiled)
             return {pair: pair in relation for pair in ordered}
@@ -257,8 +288,14 @@ class EvaluationEngine:
         query: DataRPQ,
         null_semantics: bool = False,
         engine: str = "auto",
+        backend: str = "auto",
     ) -> FrozenSet[NodePair]:
-        """Evaluate a data RPQ, dispatching between the REE and REM engines."""
+        """Evaluate a data RPQ, dispatching between the REE and REM engines.
+
+        The register-automaton path honours the storage *backend* (its
+        mask pass has an int-id CSR twin); the algebraic REE engine is
+        relation algebra over the dict index and ignores it.
+        """
         expression = query.expression
         if engine not in {"auto", "algebraic", "automaton"}:
             raise EvaluationError(f"unknown data RPQ engine {engine!r}")
@@ -272,7 +309,14 @@ class EvaluationEngine:
             id_pairs = data_kernels.ree_relation(index, expression, null_semantics)
         else:
             automaton = self.compile_data_rpq(expression)
-            id_pairs = data_kernels.register_automaton_relation(index, automaton, null_semantics)
+            if compact_kernels.resolve_backend(backend, graph.num_nodes):
+                id_pairs = compact_kernels.register_relation(
+                    graph.compact_index(), automaton, null_semantics
+                )
+            else:
+                id_pairs = data_kernels.register_automaton_relation(
+                    index, automaton, null_semantics
+                )
         return frozenset((node(source), node(target)) for source, target in id_pairs)
 
     def evaluate_data_rpq_partitioned(
@@ -337,6 +381,7 @@ class EvaluationEngine:
         shards: Optional[int] = None,
         partition: Optional["partition_kernels.GraphPartition"] = None,
         processes: Optional[bool] = None,
+        backend: str = "auto",
     ) -> FrozenSet[Tuple[NodeId, NodeId]]:
         """One CRPQ atom's relation as raw id pairs, optionally seeded.
 
@@ -363,8 +408,15 @@ class EvaluationEngine:
         if targets is not None and not isinstance(targets, set):
             targets = set(targets)
         if mode == "off":
+            compact = (
+                graph.compact_index()
+                if compact_kernels.resolve_backend(backend, graph.num_nodes)
+                else None
+            )
             return frozenset(
-                product.seeded_product_relation(space, sources=sources, targets=targets)
+                product.seeded_product_relation(
+                    space, sources=sources, targets=targets, compact=compact
+                )
             )
         return frozenset(
             partition_kernels.partitioned_product_relation(

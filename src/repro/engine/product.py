@@ -58,10 +58,12 @@ non-pruning spaces, the accepting configurations phase 4 decodes).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from ..datagraph.compact import CompactLabelIndex
 from ..datagraph.index import LabelIndex
 from ..datagraph.node import NodeId
+from . import compact as compact_kernels
 from .compiled import CompiledAutomaton
 from .spaces import NfaProductSpace, ProductSpace
 
@@ -296,6 +298,7 @@ def seeded_product_relation(
     space: ProductSpace,
     sources: Optional[Sequence[NodeId]] = None,
     targets: Optional[Set[NodeId]] = None,
+    compact: Optional[CompactLabelIndex] = None,
 ) -> Set[Pair]:
     """The pairs of :func:`product_relation` restricted to bound endpoints.
 
@@ -306,7 +309,18 @@ def seeded_product_relation(
     restrict the phase-2 accepting set to those nodes and non-pruning
     spaces filter at decode time.  Equivalent to (but much cheaper than)
     ``{(u, v) ∈ product_relation(space) | u ∈ sources, v ∈ targets}``.
+
+    With *compact* given (the CSR twin of ``space.index``), the space's
+    int-id kernel in :mod:`repro.engine.compact` runs instead of the
+    dict phases — bit-identical answers, array-indexed inner loops; a
+    space without a compact kernel silently takes the dict path.
     """
+    if compact is not None:
+        relation = compact_kernels.compact_space_relation(
+            space, compact, sources=sources, targets=targets
+        )
+        if relation is not None:
+            return relation
     if not space.index.nodes:
         return set()
     if sources is not None and not sources:
@@ -324,22 +338,30 @@ def seeded_product_relation(
     return decode_pairs(space, masks, targets=targets)
 
 
-def full_relation(index: LabelIndex, automaton: CompiledAutomaton) -> Set[Pair]:
+def full_relation(
+    index: Union[LabelIndex, CompactLabelIndex], automaton: CompiledAutomaton
+) -> Set[Pair]:
     """All pairs ``(u, v)`` connected by a path accepted by *automaton*.
 
     The plain-RPQ entry point: :func:`product_relation` over the
-    :class:`~repro.engine.spaces.NfaProductSpace`.
+    :class:`~repro.engine.spaces.NfaProductSpace`, or — handed the CSR
+    :class:`~repro.datagraph.compact.CompactLabelIndex` twin — the
+    int-id kernel directly.
     """
+    if isinstance(index, CompactLabelIndex):
+        return compact_kernels.nfa_relation(index, automaton)
     return product_relation(NfaProductSpace(index, automaton))
 
 
 def reachable_targets(
-    index: LabelIndex,
+    index: Union[LabelIndex, CompactLabelIndex],
     automaton: CompiledAutomaton,
     source: NodeId,
     stop_at: Optional[NodeId] = None,
 ) -> Set[NodeId]:
     """Nodes ``v`` with ``(source, v)`` in the relation (early exit on *stop_at*)."""
+    if isinstance(index, CompactLabelIndex):
+        return compact_kernels.nfa_reachable_targets(index, automaton, source, stop_at)
     accepting = automaton.accepting
     moves = automaton.moves
     seen: Set[Config] = set()

@@ -89,6 +89,11 @@ class ProductSpace:
 
     #: Whether backward pruning is available (and worthwhile).
     prune: bool = False
+    #: Which int-id kernel in :mod:`repro.engine.compact` evaluates this
+    #: space over a CSR :class:`~repro.datagraph.compact.CompactLabelIndex`
+    #: ("nfa" | "closure" | "register"); ``None`` means the space has no
+    #: compact twin and the dict kernels are the only path.
+    compact_kernel: "str | None" = None
     index: LabelIndex
 
     def seed_configs(self, node: NodeId) -> Iterable:
@@ -125,6 +130,7 @@ class NfaProductSpace(ProductSpace):
     __slots__ = ("index", "automaton", "_moves", "_backward_moves", "_accepting")
 
     prune = True
+    compact_kernel = "nfa"
 
     def __init__(self, index: LabelIndex, automaton: CompiledAutomaton):
         self.index = index
@@ -187,6 +193,7 @@ class RegisterProductSpace(ProductSpace):
     __slots__ = ("index", "automaton", "null_semantics", "_values", "_letters", "_accepting")
 
     prune = False
+    compact_kernel = "register"
 
     def __init__(
         self, index: LabelIndex, automaton: RegisterAutomaton, null_semantics: bool = False
@@ -257,6 +264,7 @@ class ClosureSpace(ProductSpace):
     __slots__ = ("index", "label")
 
     prune = False
+    compact_kernel = "closure"
 
     def __init__(self, index: LabelIndex, label: str):
         self.index = index

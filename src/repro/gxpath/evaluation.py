@@ -71,6 +71,7 @@ class _Evaluator:
         num_shards: Optional[int] = None,
         partition: Optional[partition_kernels.GraphPartition] = None,
         processes: Optional[bool] = None,
+        backend: str = "auto",
     ):
         self.graph = graph
         self.index = graph.label_index()
@@ -80,8 +81,22 @@ class _Evaluator:
         self.num_shards = num_shards
         self.partition = partition
         self.processes = processes
+        self.backend = backend
+        self._compact_resolved = False
+        self._compact_index = None
         self._path_cache: Dict[int, FrozenSet[IdPair]] = {}
         self._node_cache: Dict[int, FrozenSet[NodeId]] = {}
+
+    def _compact(self):
+        """The graph's CSR index when the storage backend resolves
+        compact (resolved once per pass), else ``None``."""
+        if not self._compact_resolved:
+            from ..engine.compact import resolve_backend
+
+            if resolve_backend(self.backend, self.graph.num_nodes):
+                self._compact_index = self.graph.compact_index()
+            self._compact_resolved = True
+        return self._compact_index
 
     # ------------------------------------------------------------------
     def path(self, expression: PathExpression) -> FrozenSet[IdPair]:
@@ -137,7 +152,10 @@ class _Evaluator:
         """
         space = ClosureSpace(self.index, label)
         if self.closure_mode == "off":
-            pairs = product_kernels.product_relation(space)
+            # seeded_product_relation with no restriction is
+            # product_relation; the compact twin (when resolved) runs the
+            # int-id closure kernel instead of the dict mask pass.
+            pairs = product_kernels.seeded_product_relation(space, compact=self._compact())
         else:
             pairs = partition_kernels.partitioned_product_relation(
                 space,
@@ -194,15 +212,19 @@ def evaluate_path(
     num_shards: Optional[int] = None,
     partition: Optional[partition_kernels.GraphPartition] = None,
     processes: Optional[bool] = None,
+    backend: str = "auto",
 ) -> FrozenSet[Tuple[Node, Node]]:
     """The binary relation ``[[α]]_G`` as pairs of nodes.
 
     ``closure_mode`` (``"off"`` / ``"blocks"`` / ``"sharded"``) routes the
-    axis-star closures through the partitioned drivers; answers are
-    identical in every mode.
+    axis-star closures through the partitioned drivers; ``backend``
+    (``"auto"`` / ``"compact"`` / ``"dict"``) picks the storage
+    representation sequential closures walk.  Answers are identical in
+    every mode.
     """
     evaluator = _Evaluator(
-        graph, null_semantics, closure_mode, num_workers, num_shards, partition, processes
+        graph, null_semantics, closure_mode, num_workers, num_shards, partition, processes,
+        backend,
     )
     return frozenset(
         (graph.node(source), graph.node(target)) for source, target in evaluator.path(expression)
@@ -219,10 +241,12 @@ def evaluate_node(
     num_shards: Optional[int] = None,
     partition: Optional[partition_kernels.GraphPartition] = None,
     processes: Optional[bool] = None,
+    backend: str = "auto",
 ) -> FrozenSet[Node]:
-    """The node set ``[[φ]]_G`` (``closure_mode`` as in :func:`evaluate_path`)."""
+    """The node set ``[[φ]]_G`` (knobs as in :func:`evaluate_path`)."""
     evaluator = _Evaluator(
-        graph, null_semantics, closure_mode, num_workers, num_shards, partition, processes
+        graph, null_semantics, closure_mode, num_workers, num_shards, partition, processes,
+        backend,
     )
     return frozenset(graph.node(node_id) for node_id in evaluator.node(expression))
 

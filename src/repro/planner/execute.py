@@ -44,7 +44,7 @@ class _Context:
 
     __slots__ = (
         "graph", "engine", "null_semantics", "mode", "workers", "shards",
-        "partition", "processes",
+        "partition", "processes", "backend",
     )
 
     def __init__(
@@ -57,6 +57,7 @@ class _Context:
         shards: Optional[int],
         partition: Optional[GraphPartition],
         processes: Optional[bool],
+        backend: str = "auto",
     ):
         self.graph = graph
         self.engine = engine
@@ -66,6 +67,7 @@ class _Context:
         self.shards = shards
         self.partition = partition
         self.processes = processes
+        self.backend = backend
 
     def scan(
         self,
@@ -86,6 +88,7 @@ class _Context:
             shards=self.shards,
             partition=self.partition,
             processes=self.processes,
+            backend=self.backend,
         )
         return node.columns, pairs
 
@@ -189,18 +192,22 @@ def execute_plan(
     shards: Optional[int] = None,
     partition: Optional[GraphPartition] = None,
     processes: Optional[bool] = None,
+    backend: str = "auto",
 ) -> FrozenSet[Tuple[Node, ...]]:
     """Evaluate a planned CRPQ on *graph*, returning head-variable tuples.
 
     The answer shape matches the historical evaluators: a frozenset of
     node tuples, ``{()}`` / ``frozenset()`` for Boolean queries.  *mode*
     and the driver knobs are forwarded to every atom scan; ``"off"``
-    (the default) runs the sequential seeded kernels.
+    (the default) runs the sequential seeded kernels.  *backend* picks
+    the storage representation those sequential scans walk (``"auto"`` /
+    ``"compact"`` / ``"dict"``); the partitioned modes stay on the dict
+    index their shard views are built over.
     """
     if engine is None:
         engine = default_engine()
     context = _Context(
-        graph, engine, null_semantics, mode, workers, shards, partition, processes
+        graph, engine, null_semantics, mode, workers, shards, partition, processes, backend
     )
     _, rows = _evaluate(plan.root, context)
     node_of = graph.node

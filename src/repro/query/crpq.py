@@ -307,6 +307,7 @@ def evaluate_crpq_with_engine(
     query: ConjunctiveRPQ,
     null_semantics: bool = False,
     engine: Optional["EvaluationEngine"] = None,
+    backend: str = "auto",
 ) -> FrozenSet[Tuple[Node, ...]]:
     """Evaluate a conjunctive (data) RPQ through the query planner.
 
@@ -323,4 +324,6 @@ def evaluate_crpq_with_engine(
     from ..planner import execute_plan, plan_crpq
 
     plan = plan_crpq(query, graph.label_index())
-    return execute_plan(plan, graph, engine=engine, null_semantics=null_semantics)
+    return execute_plan(
+        plan, graph, engine=engine, null_semantics=null_semantics, backend=backend
+    )

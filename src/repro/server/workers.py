@@ -38,11 +38,35 @@ Per-query protocol (parent ↔ workers, over the fork-pool pipes):
     delta, no message can refresh the children's copy-on-write
     adjacency; the epoch broadcast exists to fail any in-flight query
     state deterministically before the stale processes are reaped.
+``("remap", (meta, name) | None)``
+    Swap the shared CSR segment: the worker releases its views of the
+    old segment and records the new one's name for attach-on-next-query.
+    Broadcast by the parent right after a ``("delta", ...)`` patch —
+    shared segments are immutable, so a mutation is served by
+    rebuild-and-remap, not in-place patching.
+``("memory", None)``
+    The worker's private (non-shared) resident memory in kB, read from
+    ``/proc/self/smaps_rollup`` — pages of the shared CSR segment are
+    *shared* mappings and do not count, which is exactly what the
+    zero-copy benchmark needs to demonstrate.
 ``("stats", None)``
     The worker's engine cache counters (JSON-compatible view).
 
 Only frontier messages, decoded id pairs and cache counters cross the
 pipes; mask tables and compiled automata never leave the workers.
+
+Zero-copy CSR sharing: when the pool is built with ``use_shared_csr``
+(the default), the parent freezes its graph into a
+:class:`~repro.datagraph.compact.CompactLabelIndex`, serialises the CSR
+arrays plus the partition's owner column into one
+:class:`~repro.datagraph.compact.SharedCompactIndex` segment, and hands
+workers just ``(meta, name)``.  Workers attach lazily and run plain-RPQ
+queries through the int-id shard kernels of :mod:`repro.engine.compact`
+against memoryview slices of the **single** shared copy — adjacency is
+never duplicated per worker.  Data-RPQ queries (whose register values
+are id-keyed) keep the dict-backed path.  The parent alone unlinks
+segments: on ``close()``, before every respawn, and when a remap
+replaces one.
 
 Concurrency: the pool is a single-admission resource guarded by a
 non-blocking lock.  :meth:`ShardWorkerPool.evaluate` returns ``None``
@@ -58,13 +82,16 @@ import os
 import threading
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
+from ..datagraph.compact import SharedCompactIndex, owner_column
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node
+from ..engine import compact as compact_kernels
 from ..engine import default_engine
 from ..engine import product
 from ..engine.forkpool import ForkPool, fork_available
 from ..engine.partition import GraphPartition, _merge_outboxes, _shard_round
 from ..exceptions import EvaluationError, ReproError
+from ..query.rpq import RPQ
 from .metrics import cache_stats_view
 
 __all__ = ["ShardWorkerPool", "QueryCancelled"]
@@ -77,28 +104,113 @@ class QueryCancelled(ReproError):
 # ----------------------------------------------------------------------
 # Worker side (runs in forked children; globals are per-process)
 # ----------------------------------------------------------------------
-#: Per-query worker state: ``{qid: {"space": ProductSpace, "masks": {sid: {...}}}}``.
+#: Per-query worker state.  Dict-backed queries hold
+#: ``{"space": ProductSpace, "masks": {sid: {config: mask}}}``; compact
+#: queries hold ``{"compact": (S, accepting, plans, index), "masks": ...}``
+#: with int configs in the mask tables.
 _QUERIES: Dict[int, Dict] = {}
 #: The graph version this worker believes it is serving.
 _EPOCH: Optional[int] = None
+#: The shared CSR segment's ``(meta, name)`` this worker should attach
+#: to — seeded from the fork payload on first use, replaced by a
+#: ``("remap", ...)`` message, cleared while a delta awaits its remap.
+_SHARED_INFO: Optional[Tuple[Dict, str]] = None
+_SHARED_INFO_SET = False
+#: The attached segment handle plus the views derived from it.
+_ATTACHED: Optional[SharedCompactIndex] = None
+_COMPACT = None
+_OWNER = None
+
+
+def _detach_shared() -> None:
+    """Release this worker's views and handle on the shared segment."""
+    global _ATTACHED, _COMPACT, _OWNER
+    if _ATTACHED is not None:
+        _ATTACHED.close()
+    _ATTACHED = None
+    _COMPACT = None
+    _OWNER = None
+
+
+def _worker_compact(graph: DataGraph):
+    """The worker's CSR view over the shared segment, attached on demand.
+
+    Returns ``None`` when the pool runs without shared CSR (or the
+    attach fails — the dict path is always a correct fallback).  The
+    node ordering and values come from the worker's own copy-on-write
+    graph snapshot, whose insertion order matches the parent's by
+    construction; only the adjacency lives in shared memory.
+    """
+    global _ATTACHED, _COMPACT, _OWNER, _SHARED_INFO
+    if _COMPACT is not None:
+        return _COMPACT
+    if _SHARED_INFO is None:
+        return None
+    meta, name = _SHARED_INFO
+    try:
+        handle = SharedCompactIndex.attach(meta, name)
+    except FileNotFoundError:  # pragma: no cover - parent unlinked early
+        _SHARED_INFO = None
+        return None
+    nodes = graph.node_ids
+    values = [graph.node(node_id).value for node_id in nodes]
+    compact, owner_view = handle.view(nodes, values)
+    _ATTACHED = handle
+    _COMPACT = compact
+    _OWNER = owner_view
+    return compact
+
+
+def _compact_seeds(compact, S: int, initial, shard_nodes) -> Dict[int, int]:
+    """Initial int-config seeds for one shard, bit = global node position."""
+    position = compact.position
+    seeds: Dict[int, int] = {}
+    for node in shard_nodes:
+        i = position[node]
+        bit = 1 << i
+        base = i * S
+        for state in initial:
+            config = base + state
+            seeds[config] = seeds.get(config, 0) | bit
+    return seeds
 
 
 def _shard_worker_main(payload, index: int, message):
     """Message loop body for one pooled shard worker."""
-    global _EPOCH
-    graph, partition, num_workers = payload
+    global _EPOCH, _SHARED_INFO, _SHARED_INFO_SET
+    graph, partition, num_workers, shared_info = payload
     shards = partition.shards
     owner_of = partition.assignment
     if _EPOCH is None:
         _EPOCH = graph.version
+    if not _SHARED_INFO_SET:
+        _SHARED_INFO = shared_info
+        _SHARED_INFO_SET = True
     kind, body = message
 
     if kind == "query":
         qid, query, null_semantics = body
+        compact = _worker_compact(graph) if isinstance(query.plan, RPQ) else None
+        if compact is not None:
+            S, initial, accepting, plans = compact_kernels.nfa_shard_plans(
+                compact, default_engine().compile_rpq(query.plan)
+            )
+            masks: Dict[int, Dict] = {}
+            _QUERIES[qid] = {"compact": (S, accepting, plans, compact), "masks": masks}
+            outboxes: Dict[int, Dict] = {}
+            for shard_id in range(index, len(shards), num_workers):
+                seeds = _compact_seeds(compact, S, initial, shards[shard_id].nodes)
+                if not seeds:
+                    continue
+                shard_outboxes = compact_kernels.compact_shard_round(
+                    plans, S, _OWNER, shard_id, masks.setdefault(shard_id, {}), seeds
+                )
+                _merge_outboxes(outboxes, shard_outboxes)
+            return outboxes
         space = default_engine().space_for_atom(graph, query.plan, null_semantics)
-        masks: Dict[int, Dict] = {}
+        masks = {}
         _QUERIES[qid] = {"space": space, "masks": masks}
-        outboxes: Dict[int, Dict] = {}
+        outboxes = {}
         for shard_id in range(index, len(shards), num_workers):
             shard = shards[shard_id]
             seeds = product.seed_masks(space, sources=shard.nodes)
@@ -118,8 +230,17 @@ def _shard_worker_main(payload, index: int, message):
                 f"shard worker {index} has no state for query {qid} "
                 "(epoch invalidation or a dropped query?)"
             )
-        space, masks = state["space"], state["masks"]
+        masks = state["masks"]
         outboxes = {}
+        if "compact" in state:
+            S, _accepting, plans, _compact = state["compact"]
+            for shard_id, inbox in inboxes.items():
+                shard_outboxes = compact_kernels.compact_shard_round(
+                    plans, S, _OWNER, shard_id, masks.setdefault(shard_id, {}), inbox
+                )
+                _merge_outboxes(outboxes, shard_outboxes)
+            return outboxes
+        space = state["space"]
         for shard_id, inbox in inboxes.items():
             shard_outboxes, _ = _shard_round(
                 space, shards[shard_id], owner_of, masks.setdefault(shard_id, {}), inbox
@@ -132,6 +253,11 @@ def _shard_worker_main(payload, index: int, message):
         if state is None:
             return set()
         pairs: Set[Tuple] = set()
+        if "compact" in state:
+            S, accepting, _plans, compact = state["compact"]
+            for shard_masks in state["masks"].values():
+                pairs |= compact_kernels.decode_shard_masks(compact, S, accepting, shard_masks)
+            return pairs
         for shard_masks in state["masks"].values():
             pairs |= product.decode_pairs(state["space"], shard_masks)
         return pairs
@@ -144,22 +270,58 @@ def _shard_worker_main(payload, index: int, message):
         _QUERIES.clear()
         graph.apply(body)
         partition.apply_delta(body)
+        # The shared segment snapshots the pre-delta adjacency; release
+        # it and wait for the parent's rebuild-and-remap broadcast.
+        _detach_shared()
+        _SHARED_INFO = None
         _EPOCH = graph.version
         return dropped
+
+    if kind == "remap":
+        _detach_shared()
+        _SHARED_INFO = body
+        _SHARED_INFO_SET = True
+        return True
 
     if kind == "epoch":
         dropped = len(_QUERIES)
         _QUERIES.clear()
+        _detach_shared()
+        _SHARED_INFO = None
         _EPOCH = body
         return dropped
 
     if kind == "stats":
         return cache_stats_view(default_engine().stats())
 
+    if kind == "memory":
+        return _private_kb()
+
     if kind == "state":
         return (_EPOCH, sorted(_QUERIES))
 
     raise EvaluationError(f"unknown shard-worker message kind {kind!r}")
+
+
+def _private_kb() -> int:
+    """This process's private resident memory in kB.
+
+    Shared mappings (the CSR segment) are excluded, so the difference
+    between pools with and without ``use_shared_csr`` is the adjacency
+    each worker would otherwise hold privately.  Falls back to
+    ``ru_maxrss`` where ``smaps_rollup`` is unavailable.
+    """
+    try:
+        with open("/proc/self/smaps_rollup") as rollup:
+            private = 0
+            for line in rollup:
+                if line.startswith(("Private_Clean:", "Private_Dirty:")):
+                    private += int(line.split()[1])
+            return private
+    except OSError:  # pragma: no cover - non-Linux fallback
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 # ----------------------------------------------------------------------
@@ -187,14 +349,18 @@ class ShardWorkerPool:
         graph: DataGraph,
         num_workers: Optional[int] = None,
         num_shards: Optional[int] = None,
+        use_shared_csr: bool = True,
     ):
         self.graph = graph
         self.num_workers = max(1, num_workers or min(os.cpu_count() or 1, 8))
         self.num_shards = max(self.num_workers, num_shards or self.num_workers)
+        self.use_shared_csr = use_shared_csr
         self.respawns = 0
         self.patched_epochs = 0
         self._pool: Optional[ForkPool] = None
         self._epoch: Optional[int] = None
+        self._shared: Optional[SharedCompactIndex] = None
+        self._partition: Optional[GraphPartition] = None
         self._lock = threading.Lock()
         self._qids = itertools.count(1)
         self._closed = False
@@ -223,6 +389,48 @@ class ShardWorkerPool:
             except Exception:  # pragma: no cover - already-dead workers
                 pass
             self._pool = None
+        # The parent owns the shared segment: unlink it with the pool it
+        # served, so neither close() nor a respawn leaks /dev/shm entries.
+        if self._shared is not None:
+            self._shared.close()
+            self._shared.unlink()
+            self._shared = None
+        self._partition = None
+
+    def _build_shared(self, partition: GraphPartition) -> Optional[SharedCompactIndex]:
+        """Freeze the current graph + owner column into a fresh segment."""
+        if not self.use_shared_csr:
+            return None
+        compact = self.graph.compact_index()
+        owner = owner_column(partition.assignment, compact.nodes)
+        return SharedCompactIndex.create(compact, owner)
+
+    def _broadcast_remap(self, pool: ForkPool) -> None:
+        """Rebuild the segment post-delta and swap the workers onto it.
+
+        Segments are immutable once built, so a graph mutation is served
+        by building a new segment against the patched graph/partition,
+        broadcasting its ``(meta, name)``, and unlinking the old one only
+        after every worker has let go.  On a failed broadcast the fresh
+        segment is unlinked immediately and the error propagates to the
+        respawn path.
+        """
+        if not self.use_shared_csr or self._partition is None:
+            return
+        old = self._shared
+        new = self._build_shared(self._partition)
+        info = (new.meta, new.name) if new is not None else None
+        try:
+            pool.broadcast(("remap", info))
+        except EvaluationError:
+            if new is not None:
+                new.close()
+                new.unlink()
+            raise
+        self._shared = new
+        if old is not None:
+            old.close()
+            old.unlink()
 
     def _sync(self) -> ForkPool:
         """Patch or respawn the pool when the graph moved past the workers' epoch.
@@ -242,6 +450,12 @@ class ShardWorkerPool:
             if patch is not None and not patch.removed_nodes:
                 try:
                     pool.broadcast(("delta", patch))
+                    if self._partition is not None:
+                        # Mirror the workers' deterministic partition
+                        # patch, so the rebuilt owner column matches the
+                        # shard assignment they route by.
+                        self._partition.apply_delta(patch)
+                    self._broadcast_remap(pool)
                 except EvaluationError:  # pragma: no cover - workers died
                     self._discard_pool()
                     pool = None
@@ -260,12 +474,22 @@ class ShardWorkerPool:
                 self.respawns += 1
         if pool is None:
             partition = GraphPartition.build(self.graph.label_index(), self.num_shards)
-            pool = ForkPool(
-                (self.graph, partition, self.num_workers),
-                _shard_worker_main,
-                self.num_workers,
-            )
+            shared = self._build_shared(partition)
+            shared_info = (shared.meta, shared.name) if shared is not None else None
+            try:
+                pool = ForkPool(
+                    (self.graph, partition, self.num_workers, shared_info),
+                    _shard_worker_main,
+                    self.num_workers,
+                )
+            except Exception:  # pragma: no cover - fork failed
+                if shared is not None:
+                    shared.close()
+                    shared.unlink()
+                raise
             self._pool = pool
+            self._partition = partition
+            self._shared = shared
             self._epoch = version
         return pool
 
@@ -350,6 +574,32 @@ class ShardWorkerPool:
             return {}
         finally:
             self._lock.release()
+
+    def worker_memory(self) -> Optional[Dict[int, int]]:
+        """Per-worker private resident memory in kB, or ``None`` when busy.
+
+        Shared CSR pages are excluded worker-side, so comparing pools
+        built with and without ``use_shared_csr`` isolates the per-worker
+        adjacency copy the shared segment eliminates.
+        """
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            pool = self._pool
+            if pool is None or pool.closed:
+                return {}
+            return dict(enumerate(pool.broadcast(("memory", None))))
+        except EvaluationError:  # pragma: no cover - workers died
+            self._discard_pool()
+            return {}
+        finally:
+            self._lock.release()
+
+    @property
+    def shared_segment(self) -> Optional[str]:
+        """Name of the live shared CSR segment (``None`` when not in use)."""
+        shared = self._shared
+        return shared.name if shared is not None else None
 
     def close(self) -> None:
         """Reap the workers; the pool rejects further evaluates."""

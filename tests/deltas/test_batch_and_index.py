@@ -188,3 +188,52 @@ class TestPatchedIndex:
             for source, label, target in edges:
                 batch.add_edge(pool[source % len(pool)], label, pool[target % len(pool)])
         assert_index_equivalent(graph.label_index(), LabelIndex(graph))
+
+
+class TestNewNodeWithEdgesInOneBatch:
+    """Regression: one batch that adds a node AND edges touching it must
+    leave position/values/adjacency identical to a fresh rebuild —
+    including edges between two nodes born in the same batch and edges
+    on a label the base index has never seen."""
+
+    def test_patched_matches_rebuild(self):
+        graph = chain_graph()
+        graph.label_index()  # cache so the commit takes the patch path
+        with graph.batch() as batch:
+            batch.add_node("fresh-1", 7)
+            batch.add_node("fresh-2", 8)
+            batch.add_edge("c0n0", "a", "fresh-1")      # old -> new
+            batch.add_edge("fresh-1", "b", "c1n3")      # new -> old
+            batch.add_edge("fresh-1", "c", "fresh-2")   # new -> new
+            batch.add_edge("fresh-2", "zz", "fresh-2")  # new label, self-loop
+        patched = graph.label_index()
+        rebuilt = LabelIndex(graph)
+        assert_index_equivalent(patched, rebuilt)
+        # The new nodes sit at the end of the dense ordering with their
+        # batch values, so every in-flight bitmask stays decodable.
+        assert patched.position["fresh-1"] == len(rebuilt.nodes) - 2
+        assert patched.position["fresh-2"] == len(rebuilt.nodes) - 1
+        assert patched.values["fresh-1"] == 7 and patched.values["fresh-2"] == 8
+
+    def test_compact_index_over_patched_base_matches_fresh(self):
+        from repro.datagraph.compact import CompactLabelIndex
+
+        graph = chain_graph()
+        graph.label_index()
+        with graph.batch() as batch:
+            batch.add_node("fresh-1", 7)
+            batch.add_edge("c0n0", "a", "fresh-1")
+            batch.add_edge("fresh-1", "b", "c0n0")
+        via_patched = graph.compact_index()
+        via_rebuild = CompactLabelIndex.from_label_index(LabelIndex(graph))
+        assert via_patched.nodes == via_rebuild.nodes
+        assert via_patched.values == via_rebuild.values
+        assert via_patched.edge_labels() == via_rebuild.edge_labels()
+        for label in via_patched.edge_labels():
+            for node_id in via_patched.nodes:
+                assert set(via_patched.targets(label, node_id)) == set(
+                    via_rebuild.targets(label, node_id)
+                ), (label, node_id)
+                assert set(via_patched.sources(label, node_id)) == set(
+                    via_rebuild.sources(label, node_id)
+                ), (label, node_id)

@@ -241,3 +241,63 @@ class TestPartitionPatching:
             batch.remove_node("k0n11")
         with pytest.raises(EvaluationError, match="node removals"):
             partition.apply_delta(batch.delta)
+
+
+class TestPlanRetention:
+    """Delta-aware CRPQ plan-cache invalidation: a delta only evicts the
+    plans of queries that scan one of its touched labels."""
+
+    QA = Query.parse("x, y :- (x, a.a, z), (z, a*, y)", dialect="crpq")
+    QB = Query.parse("x, y :- (x, b, z), (z, b*, y)", dialect="crpq")
+
+    def test_disjoint_delta_retains_plan(self):
+        graph = chain_graph()
+        session = GraphSession(graph)
+        plan_a = session._crpq_plan(self.QA)
+        plan_b = session._crpq_plan(self.QB)
+        anchor = next(iter(graph.node_ids))
+        with graph.batch() as batch:
+            batch.add_edge(anchor, "b", anchor)
+        # The b-delta retains QA's plan and replans QB.
+        assert session._crpq_plan(self.QA) is plan_a
+        assert session._crpq_plan(self.QB) is not plan_b
+        assert session.maintenance_stats()["plans_retained"] == 1
+
+    def test_node_only_delta_retains_every_plan(self):
+        graph = chain_graph()
+        session = GraphSession(graph)
+        plan_a = session._crpq_plan(self.QA)
+        with graph.batch() as batch:
+            batch.add_node("retention-node", 1)
+        assert session._crpq_plan(self.QA) is plan_a
+        assert session.maintenance_stats()["plans_retained"] == 1
+
+    def test_broken_journal_chain_replans(self):
+        graph = chain_graph()
+        session = GraphSession(graph)
+        plan_a = session._crpq_plan(self.QA)
+        graph.add_node("gap-node", 1)  # single-op mutation: no journal entry
+        assert session._crpq_plan(self.QA) is not plan_a
+        assert session.maintenance_stats()["plans_retained"] == 0
+
+    def test_retained_plan_answers_match_fresh(self):
+        graph = chain_graph()
+        session = GraphSession(graph)
+        before = session.run(self.QA).rows()
+        assert before == GraphSession(graph).run(self.QA).rows()
+        anchor = next(iter(graph.node_ids))
+        with graph.batch() as batch:
+            batch.add_edge(anchor, "b", anchor)
+        after = session.run(self.QA).rows()
+        assert session.maintenance_stats()["plans_retained"] >= 1
+        assert after == GraphSession(graph).run(self.QA).rows()
+
+    def test_clear_cache_forgets_retention_lineage(self):
+        graph = chain_graph()
+        session = GraphSession(graph)
+        session._crpq_plan(self.QA)
+        session.clear_cache()
+        with graph.batch() as batch:
+            batch.add_node("post-clear", 1)
+        session._crpq_plan(self.QA)
+        assert session.maintenance_stats()["plans_retained"] == 0

@@ -1,0 +1,287 @@
+"""Property suite: the compact CSR backend against the dict kernels.
+
+For random graphs and pools of queries in every dialect, evaluation over
+the :class:`~repro.datagraph.compact.CompactLabelIndex` must return
+byte-identical answers to the dict-backed kernels — and, where a naive
+executable specification exists, to that as well.  Seeded (semijoin)
+evaluation, the sharded int-id driver loop, empty graphs and
+one-node-per-shard partitions are covered explicitly: the compact
+backend is an *optimisation*, so any divergence anywhere is a bug.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ExecutionPolicy, GraphSession, Query
+from repro.datagraph import GraphBuilder, generators
+from repro.datagraph.compact import CompactLabelIndex, owner_column
+from repro.engine import compact as compact_kernels
+from repro.engine import default_engine
+from repro.engine.partition import GraphPartition, sharded_product_relation
+from repro.engine.spaces import NfaProductSpace
+from repro.query import evaluate_crpq_naive, evaluate_data_rpq_naive, evaluate_rpq_naive, rpq
+
+RPQ_POOL = [
+    "a",
+    "b.a",
+    "(a|b)*",
+    "a.(a|b)*.b",
+    "(a.b)+",
+    "a*|b*",
+]
+
+DATA_POOL = [  # (text, dialect)
+    ("((a|b))=", "ree"),
+    ("((a|b)+)=", "ree"),
+    ("!x.(a[x=])+", "rem"),
+    ("!x.((a|b)[x!=])+", "rem"),
+    ("!x. a[x!=] . b[x=]", "rem"),
+]
+
+CRPQ_POOL = [
+    "x, y :- (x, a, z), (z, b, y)",
+    "x, y :- (x, a.(a|b)*, z), (z, b, y)",
+    "x :- (x, (a|b)+, x)",
+]
+
+GXPATH_PATH_POOL = ["a.b", "a*", "a*.b", "(a*)=", "(a.b)!="]
+GXPATH_NODE_POOL = ["<a.b>", "<a*>", "<b*.a>"]
+
+
+def random_graph_from(seed: int, size: int):
+    return generators.random_graph(
+        num_nodes=size,
+        num_edges=size * 2,
+        labels=("a", "b"),
+        rng=seed,
+        domain_size=max(2, size // 3),
+    )
+
+
+def sessions(graph):
+    return (
+        GraphSession(graph, policy=ExecutionPolicy(backend="compact")),
+        GraphSession(graph, policy=ExecutionPolicy(backend="dict")),
+    )
+
+
+# ----------------------------------------------------------------------
+# All dialects: compact session == dict session (== naive spec)
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=1, max_value=40),
+    query_index=st.integers(min_value=0, max_value=len(RPQ_POOL) - 1),
+)
+def test_rpq_compact_matches_dict_and_naive(seed, size, query_index):
+    graph = random_graph_from(seed, size)
+    text = RPQ_POOL[query_index]
+    compact_session, dict_session = sessions(graph)
+    compact_pairs = compact_session.run(text).pairs()
+    assert compact_pairs == dict_session.run(text).pairs()
+    assert compact_pairs == evaluate_rpq_naive(graph, rpq(text))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=1, max_value=30),
+    query_index=st.integers(min_value=0, max_value=len(DATA_POOL) - 1),
+    null_semantics=st.booleans(),
+)
+def test_data_rpq_compact_matches_dict_and_naive(seed, size, query_index, null_semantics):
+    graph = random_graph_from(seed, size)
+    text, dialect = DATA_POOL[query_index]
+    query = Query.parse(text, dialect=dialect)
+    compact_session, dict_session = sessions(graph)
+    compact_pairs = compact_session.run(query, null_semantics=null_semantics).pairs()
+    assert compact_pairs == dict_session.run(query, null_semantics=null_semantics).pairs()
+    assert compact_pairs == evaluate_data_rpq_naive(graph, query.plan, null_semantics)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=1, max_value=20),
+    query_index=st.integers(min_value=0, max_value=len(CRPQ_POOL) - 1),
+)
+def test_crpq_compact_matches_dict_and_naive(seed, size, query_index):
+    graph = random_graph_from(seed, size)
+    query = Query.parse(CRPQ_POOL[query_index], dialect="crpq")
+    compact_session, dict_session = sessions(graph)
+    compact_rows = compact_session.run(query).rows()
+    assert compact_rows == dict_session.run(query).rows()
+    assert compact_rows == evaluate_crpq_naive(graph, query.plan)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=1, max_value=30),
+    path_index=st.integers(min_value=0, max_value=len(GXPATH_PATH_POOL) - 1),
+    node_index=st.integers(min_value=0, max_value=len(GXPATH_NODE_POOL) - 1),
+)
+def test_gxpath_compact_matches_dict(seed, size, path_index, node_index):
+    graph = random_graph_from(seed, size)
+    compact_session, dict_session = sessions(graph)
+    path_query = Query.parse(GXPATH_PATH_POOL[path_index], dialect="gxpath-path")
+    assert compact_session.run(path_query).pairs() == dict_session.run(path_query).pairs()
+    node_query = Query.parse(GXPATH_NODE_POOL[node_index], dialect="gxpath-node")
+    assert compact_session.run(node_query).nodes() == dict_session.run(node_query).nodes()
+
+
+# ----------------------------------------------------------------------
+# Seeded (semijoin) evaluation
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=2, max_value=40),
+    query_index=st.integers(min_value=0, max_value=len(RPQ_POOL) - 1),
+    data=st.data(),
+)
+def test_seeded_scans_agree(seed, size, query_index, data):
+    graph = random_graph_from(seed, size)
+    engine = default_engine()
+    query = rpq(RPQ_POOL[query_index])
+    ids = list(graph.node_ids)
+    sources = set(data.draw(st.lists(st.sampled_from(ids), max_size=5)))
+    targets = set(data.draw(st.lists(st.sampled_from(ids), max_size=5)))
+    for bound_sources in (None, sources):
+        for bound_targets in (None, targets):
+            compact_pairs = engine.evaluate_atom_ids(
+                graph, query, sources=bound_sources, targets=bound_targets, backend="compact"
+            )
+            dict_pairs = engine.evaluate_atom_ids(
+                graph, query, sources=bound_sources, targets=bound_targets, backend="dict"
+            )
+            assert compact_pairs == dict_pairs, (bound_sources, bound_targets)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=1, max_value=40),
+    query_index=st.integers(min_value=0, max_value=len(RPQ_POOL) - 1),
+)
+def test_point_reachability_agrees(seed, size, query_index):
+    graph = random_graph_from(seed, size)
+    engine = default_engine()
+    query = rpq(RPQ_POOL[query_index])
+    source = next(iter(graph.node_ids))
+    compact_targets = engine.evaluate_rpq_from(graph, query, source, backend="compact")
+    assert compact_targets == engine.evaluate_rpq_from(graph, query, source, backend="dict")
+
+
+# ----------------------------------------------------------------------
+# Sharded int-id driver loop (in-process twin of the worker-pool path)
+# ----------------------------------------------------------------------
+def compact_sharded_pairs(graph, text: str, partition: GraphPartition):
+    """Drive the compact shard kernels round-by-round, as the pool parent does."""
+    compact = graph.compact_index()
+    automaton = default_engine().compile_rpq(rpq(text))
+    owner = owner_column(partition.assignment, compact.nodes)
+    S, initial, accepting, plans = compact_kernels.nfa_shard_plans(compact, automaton)
+    position = compact.position
+    masks = {shard.shard_id: {} for shard in partition.shards}
+    pending = {}
+    for shard in partition.shards:
+        seeds = {}
+        for node in shard.nodes:
+            i = position[node]
+            bit = 1 << i
+            for state in initial:
+                config = i * S + state
+                seeds[config] = seeds.get(config, 0) | bit
+        if seeds:
+            pending[shard.shard_id] = seeds
+    while pending:
+        outboxes = {}
+        for shard_id, inbox in pending.items():
+            shard_outboxes = compact_kernels.compact_shard_round(
+                plans, S, owner, shard_id, masks[shard_id], inbox
+            )
+            for destination, messages in shard_outboxes.items():
+                box = outboxes.setdefault(destination, {})
+                for config, mask in messages.items():
+                    box[config] = box.get(config, 0) | mask
+        pending = {sid: box for sid, box in outboxes.items() if box}
+    pairs = set()
+    for shard_masks in masks.values():
+        pairs |= compact_kernels.decode_shard_masks(compact, S, accepting, shard_masks)
+    return pairs
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=1, max_value=30),
+    num_shards=st.integers(min_value=1, max_value=6),
+    query_index=st.integers(min_value=0, max_value=len(RPQ_POOL) - 1),
+)
+def test_compact_sharded_driver_matches_dict(seed, size, num_shards, query_index):
+    graph = random_graph_from(seed, size)
+    text = RPQ_POOL[query_index]
+    partition = GraphPartition.build(graph.label_index(), num_shards)
+    compact_pairs = compact_sharded_pairs(graph, text, partition)
+    space = NfaProductSpace(graph.label_index(), default_engine().compile_rpq(rpq(text)))
+    dict_pairs = sharded_product_relation(space, partition=partition, processes=False)
+    assert compact_pairs == dict_pairs
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=1, max_value=12),
+    query_index=st.integers(min_value=0, max_value=len(RPQ_POOL) - 1),
+)
+def test_single_node_shards(seed, size, query_index):
+    """One shard per node: every non-loop edge crosses the cut."""
+    graph = random_graph_from(seed, size)
+    text = RPQ_POOL[query_index]
+    partition = GraphPartition.build(graph.label_index(), graph.num_nodes)
+    compact_pairs = compact_sharded_pairs(graph, text, partition)
+    engine = default_engine()
+    assert compact_pairs == engine.evaluate_atom_ids(graph, rpq(text), backend="dict")
+
+
+# ----------------------------------------------------------------------
+# Degenerate graphs
+# ----------------------------------------------------------------------
+class TestEmptyGraph:
+    def test_every_dialect_on_the_empty_graph(self):
+        graph = GraphBuilder(name="empty").build()
+        compact_session, dict_session = sessions(graph)
+        for text, dialect in [
+            ("(a|b)*", "rpq"),
+            ("((a|b))=", "ree"),
+            ("!x.(a[x=])+", "rem"),
+            ("a.b", "gxpath-path"),
+            ("<a*>", "gxpath-node"),
+        ]:
+            query = Query.parse(text, dialect=dialect)
+            compact = compact_session.run(query)
+            expected = dict_session.run(query)
+            if dialect == "gxpath-node":
+                assert compact.nodes() == expected.nodes() == frozenset()
+            else:
+                assert compact.pairs() == expected.pairs() == frozenset()
+        crpq = Query.parse("x, y :- (x, a, y)", dialect="crpq")
+        assert compact_session.run(crpq).rows() == frozenset()
+
+    def test_empty_compact_index_shape(self):
+        graph = GraphBuilder(name="empty").build()
+        compact = CompactLabelIndex.from_label_index(graph.label_index())
+        assert compact.num_nodes == 0
+        assert compact.edge_labels() == frozenset()
+
+    def test_single_node_no_edges(self):
+        builder = GraphBuilder(name="lonely")
+        builder.node("only", 1)
+        graph = builder.build()
+        compact_session, dict_session = sessions(graph)
+        assert compact_session.run("a*").pairs() == dict_session.run("a*").pairs()
+        assert compact_session.run("a").pairs() == frozenset()

@@ -224,3 +224,89 @@ class TestAdmission:
         with pytest.raises(EvaluationError, match="closed"):
             pool.evaluate(QUERIES[0])
         assert pool.worker_pids() == ()
+
+
+class TestSharedCsr:
+    """The zero-copy shared-CSR worker path and its segment lifecycle."""
+
+    def _segments(self):
+        import glob
+
+        return set(glob.glob("/dev/shm/psm_*"))
+
+    @pytest.mark.parametrize("query", QUERIES, ids=[str(q.plan) for q in QUERIES])
+    def test_shared_and_plain_pools_agree(self, graph, query):
+        expected = GraphSession(graph).run(query).pairs()
+        with ShardWorkerPool(graph, num_workers=2, num_shards=4) as shared:
+            with ShardWorkerPool(
+                graph, num_workers=2, num_shards=4, use_shared_csr=False
+            ) as plain:
+                assert shared.evaluate(query) == expected
+                assert plain.evaluate(query) == expected
+
+    def test_segment_exists_while_forked_and_unlinks_on_close(self, graph):
+        before = self._segments()
+        pool = ShardWorkerPool(graph, num_workers=2, num_shards=4)
+        assert pool.shared_segment is None  # lazy: nothing before first evaluate
+        pool.evaluate(QUERIES[0])
+        name = pool.shared_segment
+        assert name is not None
+        assert f"/dev/shm/{name}" in self._segments()
+        pool.close()
+        assert pool.shared_segment is None
+        assert self._segments() - before == set()
+
+    def test_plain_pool_never_creates_a_segment(self, graph):
+        before = self._segments()
+        with ShardWorkerPool(
+            graph, num_workers=2, num_shards=4, use_shared_csr=False
+        ) as pool:
+            pool.evaluate(QUERIES[0])
+            assert pool.shared_segment is None
+            assert self._segments() == before
+
+    def test_insert_only_delta_remaps_pid_stable(self, graph):
+        query = QUERIES[0]
+        with ShardWorkerPool(graph, num_workers=2, num_shards=4) as pool:
+            pool.evaluate(query)
+            pids = pool.worker_pids()
+            old_segment = pool.shared_segment
+            anchor = next(iter(graph.node_ids))
+            with graph.batch() as batch:
+                batch.add_node("csr-remap-node", 7)
+                batch.add_edge(anchor, "a", "csr-remap-node")
+            try:
+                after = pool.evaluate(query)
+                assert after == GraphSession(graph).run(query).pairs()
+                assert pool.worker_pids() == pids  # patched, not respawned
+                assert pool.respawns == 0 and pool.patched_epochs == 1
+                new_segment = pool.shared_segment
+                assert new_segment is not None and new_segment != old_segment
+                # The replaced segment is gone from the system.
+                assert f"/dev/shm/{old_segment}" not in self._segments()
+            finally:
+                graph.remove_node("csr-remap-node")
+
+    def test_respawn_unlinks_previous_segment(self, graph):
+        query = QUERIES[0]
+        before = self._segments()
+        with ShardWorkerPool(graph, num_workers=2, num_shards=4) as pool:
+            pool.evaluate(query)
+            old_segment = pool.shared_segment
+            graph.add_node("csr-respawn-node", 1)  # single-op: journal gap
+            try:
+                pool.evaluate(query)
+                assert pool.respawns == 1
+                assert pool.shared_segment != old_segment
+                assert f"/dev/shm/{old_segment}" not in self._segments()
+            finally:
+                graph.remove_node("csr-respawn-node")
+        assert self._segments() - before == set()
+
+    def test_worker_memory_probe(self, graph):
+        with ShardWorkerPool(graph, num_workers=2, num_shards=4) as pool:
+            assert pool.worker_memory() == {}  # not forked yet
+            pool.evaluate(QUERIES[0])
+            memory = pool.worker_memory()
+            assert set(memory) == {0, 1}
+            assert all(kb > 0 for kb in memory.values())
