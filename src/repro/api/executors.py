@@ -189,9 +189,9 @@ class ParallelExecutor:
 #: Valid ``ExecutionPolicy.intra_query`` modes.
 INTRA_QUERY_MODES = ("off", "blocks", "sharded")
 
-#: Valid ``ExecutionPolicy.backend`` values (the label-index storage
+#: Valid ``ExecutionPolicy.backend`` values (the storage/execution
 #: representation queries evaluate over).
-STORAGE_BACKENDS = ("auto", "compact", "dict")
+STORAGE_BACKENDS = ("auto", "compact", "dict", "sql")
 
 #: Sentinel distinguishing "caller never passed this kwarg" from any
 #: real value, so only explicit use of the deprecated knobs warns.
@@ -247,10 +247,16 @@ class ExecutionPolicy:
         The storage backend queries evaluate over: ``"dict"`` keeps the
         hash-table :class:`~repro.datagraph.index.LabelIndex` kernels,
         ``"compact"`` forces the int-id CSR kernels over the graph's
-        :class:`~repro.datagraph.compact.CompactLabelIndex`, and
-        ``"auto"`` (the default) picks compact on graphs large enough
-        for the array kernels to pay.  Answers are bit-identical in
-        every mode; only the representation the kernels walk changes.
+        :class:`~repro.datagraph.compact.CompactLabelIndex`, ``"sql"``
+        forces the compiled relational backend of
+        :mod:`repro.sqlbackend` (recursive CTEs over the paper's
+        ``D_G`` encoding in an embedded sqlite/duckdb database), and
+        ``"auto"`` (the default) picks **cost-based** per query: compact
+        on graphs large enough for the array kernels to pay, and sql
+        when the planner's label statistics estimate a closure-heavy
+        relation (see :mod:`repro.sqlbackend.cost`).  Answers are
+        bit-identical in every mode; only the representation the
+        evaluation walks changes.
     max_workers:
         Worker-pool bound for the parallel executors and for the
         intra-query source-block fan-out.

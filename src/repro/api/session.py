@@ -59,7 +59,11 @@ __all__ = ["GraphSession", "session_for"]
 #: A server-provided hook evaluating one full-relation plan over a
 #: persistent shard-worker pool: ``(plan, null_semantics) -> answers``,
 #: or ``None`` to decline (pool busy / unsupported kind), in which case
-#: the session falls back to its own drivers.
+#: the session falls back to its own drivers.  Runners that additionally
+#: accept a ``sources`` keyword (a set of node ids restricting the BFS
+#: seeds) advertise it with a truthy ``supports_sources`` attribute —
+#: sessions then offer point queries (``.targets``) to the pool as
+#: seeded shard rounds instead of materialising the full relation.
 ShardRunner = Callable[[Query, bool], Optional[frozenset]]
 
 #: Shared default policy: sequential execution, 1024-entry result cache.
@@ -737,6 +741,22 @@ class GraphSession(SessionProtocol):
             # rather than running a fresh traversal.
             relation = self._results.get_or_build(full_key, lambda: frozenset())
             return frozenset(target for start, target in relation if start.id == source)
+        policy = self.policy
+        if (
+            policy.intra_query == "sharded"
+            and self.graph.num_nodes >= policy.intra_query_threshold
+            and self.shard_runner is not None
+            and getattr(self.shard_runner, "supports_sources", False)
+            and plan.kind in (QueryKind.RPQ, QueryKind.DATA_RPQ)
+        ):
+            # Offer the point query to the server's persistent worker
+            # pool as a seeded shard round: only the single-source
+            # frontier crosses the pipes, not the full relation.  A None
+            # return (pool busy, pool gone) falls through to the
+            # session's own single-source path.
+            answer = self.shard_runner(plan, null_semantics, sources={source})
+            if answer is not None:
+                return frozenset(target for start, target in answer if start.id == source)
         if plan.kind is QueryKind.RPQ:
             return self.engine.evaluate_rpq_from(
                 self.graph, plan.plan, source, backend=self.policy.backend

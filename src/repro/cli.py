@@ -82,6 +82,7 @@ def _execution_policy(arguments: argparse.Namespace) -> ExecutionPolicy:
     intra_query = getattr(arguments, "intra_query", None)
     num_shards = getattr(arguments, "num_shards", None)
     threshold = getattr(arguments, "intra_query_threshold", None)
+    backend = getattr(arguments, "backend", None) or "auto"
     if workers is not None and workers < 1:
         raise ReproError(f"--workers must be positive, got {workers}")
     if num_shards is not None and num_shards < 1:
@@ -98,13 +99,14 @@ def _execution_policy(arguments: argparse.Namespace) -> ExecutionPolicy:
             intra_query_threshold=threshold if threshold is not None else 0,
             max_workers=workers,
             num_shards=num_shards,
+            backend=backend,
         )
     if num_shards is not None or threshold is not None:
         raise ReproError(
             "--num-shards and --intra-query-threshold need --policy intra-query "
             "or an --intra-query mode"
         )
-    return ExecutionPolicy(executor=policy, max_workers=workers)
+    return ExecutionPolicy.preset("local", executor=policy, max_workers=workers, backend=backend)
 
 
 def _parse_address(text: str):
@@ -214,6 +216,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum graph size (nodes) before the intra-query drivers kick in "
         "(default 0: an explicit CLI request always runs them)",
     )
+    evaluate.add_argument(
+        "--backend",
+        default=None,
+        choices=["auto", "compact", "dict", "sql"],
+        help="storage/execution backend: 'dict' (hash-table kernels), 'compact' "
+        "(int-id CSR kernels), 'sql' (recursive CTEs over the D_G database, "
+        "e.g. repro evaluate graph.json --rpq 'knows*' --backend sql), or "
+        "'auto' (cost-based per query; default)",
+    )
     _add_query_arguments(evaluate)
 
     certain = commands.add_parser("certain", help="certain answers of a target query under a mapping")
@@ -279,6 +290,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-grace", type=float, default=5.0, metavar="SECONDS",
         help="graceful-shutdown drain window: in-flight queries get this long "
         "to finish before clients are told shutting_down (default: 5)",
+    )
+    serve.add_argument(
+        "--backend", default="auto", choices=["auto", "compact", "dict", "sql"],
+        help="storage/execution backend for every client session "
+        "(default: auto, cost-based per query)",
     )
 
     return parser
@@ -410,6 +426,7 @@ def _serve(arguments: argparse.Namespace) -> int:
         num_shards=arguments.num_shards,
         pool_min_nodes=arguments.pool_min_nodes,
         drain_grace=arguments.drain_grace,
+        backend=arguments.backend,
     )
     server = ReproServer(graph, config)
     # Install the graceful-drain handler before the listener accepts its

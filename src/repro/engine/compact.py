@@ -65,17 +65,23 @@ def resolve_backend(backend: str, num_nodes: int) -> bool:
     """Whether evaluation should use the compact kernels.
 
     ``"compact"`` and ``"dict"`` force; ``"auto"`` switches on graph
-    size.  This is the one policy decision of the backend seam — every
-    entry point (engine methods, planner scans, GXPath axes, the shard
-    workers) resolves through here.
+    size.  This is the compact half of the backend seam — every entry
+    point (engine methods, planner scans, GXPath axes, the shard
+    workers) resolves through here.  ``"sql"`` resolves ``False``: the
+    SQL backend is selected *upstream* (in the engine entry points and
+    ``execute_plan``, see :mod:`repro.sqlbackend`), so code paths
+    without a SQL twin degrade to the dict kernels with identical
+    answers.
     """
     if backend == "compact":
         return True
-    if backend == "dict":
+    if backend in ("dict", "sql"):
         return False
     if backend == "auto":
         return num_nodes >= COMPACT_AUTO_MIN_NODES
-    raise ValueError(f"unknown backend {backend!r}: expected 'auto', 'compact' or 'dict'")
+    raise ValueError(
+        f"unknown backend {backend!r}: expected 'auto', 'compact', 'dict' or 'sql'"
+    )
 
 
 # ----------------------------------------------------------------------

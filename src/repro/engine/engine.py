@@ -130,28 +130,49 @@ class EvaluationEngine:
 
         This is where every engine entry point applies the storage
         backend seam — answers are bit-identical either way, so the
-        choice never leaks into results or caches.
+        choice never leaks into results or caches.  (``"sql"`` resolves
+        ``False`` here: entry points with a SQL twin route to
+        :mod:`repro.sqlbackend` *before* touching an index; the rest
+        degrade to the dict kernels.)
         """
         if compact_kernels.resolve_backend(backend, graph.num_nodes):
             return graph.compact_index()
         return graph.label_index()
 
+    def _sql_selected(self, graph: DataGraph, query: RPQLike, backend: str) -> bool:
+        """Whether an RPQ entry point should run through the SQL backend.
+
+        ``"sql"`` forces it; ``"auto"`` asks the cost model of
+        :mod:`repro.sqlbackend.cost` (closure-heavy relations on large
+        graphs, estimated from the planner's label statistics).  Other
+        backends never select SQL.
+        """
+        if backend == "sql":
+            return True
+        if backend != "auto":
+            return False
+        from ..sqlbackend.cost import rpq_pays
+
+        return rpq_pays(self._expression_of(query), graph.label_index())
+
     def evaluate_rpq(
         self, graph: DataGraph, query: RPQLike, backend: str = "auto"
     ) -> FrozenSet[NodePair]:
         """The full binary relation ``e(G)`` of an RPQ on a data graph."""
-        compiled = self.compile_rpq(query)
-        index = self._index_for(graph, backend)
         node = graph.node
         return frozenset(
             (node(source), node(target))
-            for source, target in product.full_relation(index, compiled)
+            for source, target in self.evaluate_rpq_ids(graph, query, backend)
         )
 
     def evaluate_rpq_ids(
         self, graph: DataGraph, query: RPQLike, backend: str = "auto"
     ) -> FrozenSet[Tuple[NodeId, NodeId]]:
         """``e(G)`` as raw id pairs (no Node materialisation)."""
+        if self._sql_selected(graph, query, backend):
+            from ..sqlbackend import backend as sql_backend
+
+            return sql_backend.evaluate_rpq_pairs(graph, query, engine=self)
         return frozenset(
             product.full_relation(self._index_for(graph, backend), self.compile_rpq(query))
         )
@@ -187,8 +208,20 @@ class EvaluationEngine:
     def evaluate_rpq_from(
         self, graph: DataGraph, query: RPQLike, source: NodeId, backend: str = "auto"
     ) -> FrozenSet[Node]:
-        """All nodes ``v`` with ``(source, v) ∈ e(G)``."""
+        """All nodes ``v`` with ``(source, v) ∈ e(G)``.
+
+        Explicit ``backend="sql"`` runs a source-seeded CTE; ``"auto"``
+        stays on the Python BFS — a single-source frontier is exactly
+        the shape the dict/compact kernels win.
+        """
         graph.node(source)  # raise UnknownNodeError early, mirroring the seed API
+        if backend == "sql":
+            from ..sqlbackend import backend as sql_backend
+
+            pairs = sql_backend.evaluate_rpq_pairs(
+                graph, query, engine=self, sources=(source,)
+            )
+            return frozenset(graph.node(target) for _, target in pairs)
         targets = product.reachable_targets(
             self._index_for(graph, backend), self.compile_rpq(query), source
         )
@@ -204,6 +237,14 @@ class EvaluationEngine:
     ) -> bool:
         """Whether ``(source, target) ∈ e(G)``."""
         graph.node(source)
+        if backend == "sql":
+            from ..sqlbackend import backend as sql_backend
+
+            return bool(
+                sql_backend.evaluate_rpq_pairs(
+                    graph, query, engine=self, sources=(source,), targets=(target,)
+                )
+            )
         return product.pair_holds(
             self._index_for(graph, backend), self.compile_rpq(query), source, target
         )
@@ -237,9 +278,14 @@ class EvaluationEngine:
             compiled = self.compile_rpq(query)
             answer = memo.get(compiled)
             if answer is None:
+                if self._sql_selected(graph, query, backend):
+                    from ..sqlbackend import backend as sql_backend
+
+                    id_pairs = sql_backend.evaluate_rpq_pairs(graph, query, engine=self)
+                else:
+                    id_pairs = product.full_relation(index, compiled)
                 answer = frozenset(
-                    (node(source), node(target))
-                    for source, target in product.full_relation(index, compiled)
+                    (node(source), node(target)) for source, target in id_pairs
                 )
                 memo[compiled] = answer
             results.append(answer)
@@ -294,7 +340,9 @@ class EvaluationEngine:
 
         The register-automaton path honours the storage *backend* (its
         mask pass has an int-id CSR twin); the algebraic REE engine is
-        relation algebra over the dict index and ignores it.
+        relation algebra over the dict index and ignores it.  Register
+        valuations have no first-order SQL encoding, so ``"sql"``
+        degrades to the dict mask pass here — answers stay identical.
         """
         expression = query.expression
         if engine not in {"auto", "algebraic", "automaton"}:
@@ -395,6 +443,20 @@ class EvaluationEngine:
         :mod:`repro.engine.partition`, seeded the same way.  Answers are
         identical in every mode.
         """
+        expression = getattr(query, "expression", query)
+        if (
+            backend == "sql"
+            and mode == "off"
+            and not isinstance(expression, (RegexWithEquality, RegexWithMemory))
+        ):
+            # Plain-regex atoms have a seeded CTE twin; register atoms
+            # (and the partitioned modes, whose shard views are built
+            # over the dict index) stay on the Python kernels.
+            from ..sqlbackend import backend as sql_backend
+
+            return sql_backend.evaluate_rpq_pairs(
+                graph, query, engine=self, sources=sources, targets=targets
+            )
         space = self.space_for_atom(graph, query, null_semantics)
         index = space.index
         if sources is not None:

@@ -98,6 +98,18 @@ class _Evaluator:
             self._compact_resolved = True
         return self._compact_index
 
+    def _sql_selected(self, label: str) -> bool:
+        """Whether an axis-star closure should run through the SQL
+        backend: forced by ``backend="sql"``, cost-based under
+        ``"auto"``."""
+        if self.backend == "sql":
+            return True
+        if self.backend != "auto":
+            return False
+        from ..sqlbackend.cost import closure_pays
+
+        return closure_pays(label, self.index)
+
     # ------------------------------------------------------------------
     def path(self, expression: PathExpression) -> FrozenSet[IdPair]:
         key = id(expression)
@@ -148,8 +160,16 @@ class _Evaluator:
         Always computed in the forward direction over a
         :class:`ClosureSpace` (the inverse axis closure is its transpose),
         optionally through the partitioned drivers when the evaluator was
-        given a ``closure_mode``.
+        given a ``closure_mode``.  ``backend="sql"`` (or ``"auto"`` when
+        the cost model finds the label's closure heavy enough) runs the
+        degenerate one-state recursive CTE instead — which traverses the
+        transposed edge table directly for inverse axes, so its result
+        needs no flip.
         """
+        if self.closure_mode == "off" and self._sql_selected(label):
+            from ..sqlbackend import backend as sql_backend
+
+            return sql_backend.closure_pairs(self.graph, label, inverse)
         space = ClosureSpace(self.index, label)
         if self.closure_mode == "off":
             # seeded_product_relation with no restriction is

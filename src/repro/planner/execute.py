@@ -201,11 +201,32 @@ def execute_plan(
     and the driver knobs are forwarded to every atom scan; ``"off"``
     (the default) runs the sequential seeded kernels.  *backend* picks
     the storage representation those sequential scans walk (``"auto"`` /
-    ``"compact"`` / ``"dict"``); the partitioned modes stay on the dict
-    index their shard views are built over.
+    ``"compact"`` / ``"dict"`` / ``"sql"``); the partitioned modes stay
+    on the dict index their shard views are built over.
+
+    ``backend="sql"`` lowers the **whole plan** — scans, semijoin
+    pushdown, joins, filters and the projection — into one SQL statement
+    over the graph's ``D_G`` database (:mod:`repro.sqlbackend`), instead
+    of calling the engine per atom.  ``"auto"`` does the same when the
+    plan is closure-heavy by the cost model's label statistics
+    (:func:`repro.sqlbackend.cost.plan_pays`).
     """
     if engine is None:
         engine = default_engine()
+    if mode == "off":
+        use_sql = backend == "sql"
+        if backend == "auto":
+            from ..sqlbackend.cost import plan_pays
+
+            use_sql = plan_pays(plan.root, graph.label_index())
+        if use_sql:
+            from ..sqlbackend import backend as sql_backend
+
+            rows = sql_backend.evaluate_plan_rows(
+                plan.root, graph, engine, null_semantics
+            )
+            node_of = graph.node
+            return frozenset(tuple(node_of(value) for value in row) for row in rows)
     context = _Context(
         graph, engine, null_semantics, mode, workers, shards, partition, processes, backend
     )

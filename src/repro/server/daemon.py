@@ -126,8 +126,19 @@ class ServerConfig:
     pool_min_nodes: Optional[int] = None
     max_frame_bytes: int = MAX_FRAME_BYTES
     drain_grace: float = 5.0
+    #: Storage/execution backend client sessions evaluate over
+    #: (``"auto"`` / ``"compact"`` / ``"dict"`` / ``"sql"``); threaded
+    #: into every session policy this daemon builds.
+    backend: str = "auto"
 
     def __post_init__(self):
+        from ..api.executors import STORAGE_BACKENDS
+
+        if self.backend not in STORAGE_BACKENDS:
+            raise EvaluationError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {', '.join(STORAGE_BACKENDS)}"
+            )
         if self.max_inflight < 1:
             raise EvaluationError(f"max_inflight must be positive, got {self.max_inflight}")
         if self.queue_depth < 0:
@@ -363,12 +374,15 @@ class ReproServer:
                 # sharded_processes False keeps the busy-pool fallback
                 # in-process instead of forking a throwaway pool per query.
                 policy = ExecutionPolicy.preset(
-                    "server", intra_query_threshold=0, sharded_processes=False
+                    "server",
+                    intra_query_threshold=0,
+                    sharded_processes=False,
+                    backend=self.config.backend,
                 )
             else:
                 # No pool (small graph, or no fork): plain local execution
                 # beats the sharded drivers' bookkeeping.
-                policy = ExecutionPolicy.auto()
+                policy = ExecutionPolicy.auto(backend=self.config.backend)
             connection.session = GraphSession(
                 graph,
                 policy=policy,
@@ -390,16 +404,20 @@ class ReproServer:
         if pool is None or not pool.available:
             return None
 
-        def runner(plan: Query, null_semantics: bool):
+        def runner(plan: Query, null_semantics: bool, sources=None):
             cancel = getattr(self._cancel_local, "event", None)
             started = time.monotonic()
-            answer = pool.evaluate(plan, null_semantics, cancel=cancel)
+            answer = pool.evaluate(plan, null_semantics, cancel=cancel, sources=sources)
             if answer is None:
                 self.metrics.increment("pool_fallbacks")
             else:
                 self.metrics.record_pool_busy(time.monotonic() - started)
             return answer
 
+        # Advertise the seeded-round protocol: sessions check this flag
+        # before offering point queries (``.targets``) to the pool, so a
+        # plain 2-argument ShardRunner (tests, embedders) keeps working.
+        runner.supports_sources = True
         return runner
 
     # ------------------------------------------------------------------

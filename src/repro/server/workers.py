@@ -10,12 +10,15 @@ RPQ / data-RPQ without re-forking (pinned by the worker-PID tests).
 
 Per-query protocol (parent ↔ workers, over the fork-pool pipes):
 
-``("query", (qid, query, null_semantics))``
+``("query", (qid, query, null_semantics, sources))``
     Each worker compiles the query through its own process-wide engine
     (so automaton caches warm up worker-side and stay warm), seeds the
     shards it owns (``shard_id % num_workers == worker_index``) and runs
     the first local fixpoint round; the reply is the round's outboxes,
-    keyed by destination shard.
+    keyed by destination shard.  ``sources`` is ``None`` for the full
+    relation, or a frozenset of node ids restricting the seeds — a point
+    query then runs the same shard rounds from one node's frontier
+    instead of materialising the whole relation in the parent.
 ``("round", (qid, {shard_id: inbox}))``
     One frontier-exchange round for the given shards; same reply shape.
 ``("decode", qid)``
@@ -48,7 +51,8 @@ Per-query protocol (parent ↔ workers, over the fork-pool pipes):
     The worker's private (non-shared) resident memory in kB, read from
     ``/proc/self/smaps_rollup`` — pages of the shared CSR segment are
     *shared* mappings and do not count, which is exactly what the
-    zero-copy benchmark needs to demonstrate.
+    zero-copy benchmark needs to demonstrate.  Replies ``None`` when the
+    worker cannot measure itself (no ``/proc``, no :mod:`resource`).
 ``("stats", None)``
     The worker's engine cache counters (JSON-compatible view).
 
@@ -189,7 +193,7 @@ def _shard_worker_main(payload, index: int, message):
     kind, body = message
 
     if kind == "query":
-        qid, query, null_semantics = body
+        qid, query, null_semantics, sources = body
         compact = _worker_compact(graph) if isinstance(query.plan, RPQ) else None
         if compact is not None:
             S, initial, accepting, plans = compact_kernels.nfa_shard_plans(
@@ -199,7 +203,10 @@ def _shard_worker_main(payload, index: int, message):
             _QUERIES[qid] = {"compact": (S, accepting, plans, compact), "masks": masks}
             outboxes: Dict[int, Dict] = {}
             for shard_id in range(index, len(shards), num_workers):
-                seeds = _compact_seeds(compact, S, initial, shards[shard_id].nodes)
+                shard_nodes = shards[shard_id].nodes
+                if sources is not None:
+                    shard_nodes = [node for node in shard_nodes if node in sources]
+                seeds = _compact_seeds(compact, S, initial, shard_nodes)
                 if not seeds:
                     continue
                 shard_outboxes = compact_kernels.compact_shard_round(
@@ -213,7 +220,10 @@ def _shard_worker_main(payload, index: int, message):
         outboxes = {}
         for shard_id in range(index, len(shards), num_workers):
             shard = shards[shard_id]
-            seeds = product.seed_masks(space, sources=shard.nodes)
+            shard_nodes = shard.nodes
+            if sources is not None:
+                shard_nodes = [node for node in shard_nodes if node in sources]
+            seeds = product.seed_masks(space, sources=shard_nodes)
             if not seeds:
                 continue
             shard_outboxes, _ = _shard_round(
@@ -303,13 +313,18 @@ def _shard_worker_main(payload, index: int, message):
     raise EvaluationError(f"unknown shard-worker message kind {kind!r}")
 
 
-def _private_kb() -> int:
-    """This process's private resident memory in kB.
+def _private_kb() -> Optional[int]:
+    """This process's private resident memory in kB, or ``None`` when it
+    cannot be measured.
 
     Shared mappings (the CSR segment) are excluded, so the difference
     between pools with and without ``use_shared_csr`` is the adjacency
-    each worker would otherwise hold privately.  Falls back to
-    ``ru_maxrss`` where ``smaps_rollup`` is unavailable.
+    each worker would otherwise hold privately.  Where ``smaps_rollup``
+    is unavailable (non-Linux, hardened kernels hiding ``/proc``) the
+    ``ru_maxrss`` high-water mark stands in; where even that fails (no
+    :mod:`resource` module, restricted sandboxes) the reading degrades
+    to ``None`` instead of raising — memory introspection must never
+    take a worker down mid-query.
     """
     try:
         with open("/proc/self/smaps_rollup") as rollup:
@@ -318,10 +333,14 @@ def _private_kb() -> int:
                 if line.startswith(("Private_Clean:", "Private_Dirty:")):
                     private += int(line.split()[1])
             return private
-    except OSError:  # pragma: no cover - non-Linux fallback
+    except OSError:
+        pass
+    try:
         import resource
 
         return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - no resource module / denied
+        return None
 
 
 # ----------------------------------------------------------------------
@@ -499,13 +518,17 @@ class ShardWorkerPool:
         query,
         null_semantics: bool = False,
         cancel: Optional[threading.Event] = None,
+        sources=None,
     ) -> Optional[FrozenSet[Tuple[Node, Node]]]:
-        """One full-relation query through the persistent workers.
+        """One (optionally seeded) query through the persistent workers.
 
         Returns the answer as ``(source, target)`` node pairs, or
         ``None`` when the pool cannot take the query right now (busy, or
         no ``fork`` on this platform) — the caller then evaluates
-        in-process.  *cancel* is checked at every round boundary; a set
+        in-process.  *sources* restricts the seeds to those node ids, so
+        a point query (``session.targets``) runs seeded shard rounds and
+        ships only its own frontier over the pipes instead of the whole
+        relation.  *cancel* is checked at every round boundary; a set
         event drops the query's worker state and raises
         :class:`QueryCancelled`.
         """
@@ -516,9 +539,14 @@ class ShardWorkerPool:
         try:
             pool = self._sync()
             qid = next(self._qids)
+            if sources is not None:
+                sources = frozenset(sources)
             try:
                 replies = pool.run(
-                    {w: ("query", (qid, query, null_semantics)) for w in range(self.num_workers)}
+                    {
+                        w: ("query", (qid, query, null_semantics, sources))
+                        for w in range(self.num_workers)
+                    }
                 )
                 pending: Dict[int, Dict] = {}
                 for outboxes in replies.values():
@@ -580,7 +608,9 @@ class ShardWorkerPool:
 
         Shared CSR pages are excluded worker-side, so comparing pools
         built with and without ``use_shared_csr`` isolates the per-worker
-        adjacency copy the shared segment eliminates.
+        adjacency copy the shared segment eliminates.  Workers that
+        cannot measure themselves (no ``smaps_rollup``, no ``resource``
+        fallback) are omitted rather than failing the whole reading.
         """
         if not self._lock.acquire(blocking=False):
             return None
@@ -588,7 +618,11 @@ class ShardWorkerPool:
             pool = self._pool
             if pool is None or pool.closed:
                 return {}
-            return dict(enumerate(pool.broadcast(("memory", None))))
+            return {
+                worker: kb
+                for worker, kb in enumerate(pool.broadcast(("memory", None)))
+                if kb is not None
+            }
         except EvaluationError:  # pragma: no cover - workers died
             self._discard_pool()
             return {}

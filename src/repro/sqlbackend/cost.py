@@ -1,0 +1,133 @@
+"""Cost-based selection of the SQL backend under ``backend="auto"``.
+
+The decision reuses the planner's label statistics
+(:func:`repro.planner.cost.regex_estimate` over per-label edge counts)
+— no new statistics are gathered.  The SQL backend wins when a query is
+*closure heavy*: a Kleene iteration over enough edges that the Python
+worklist's per-configuration interpretation dominates, while the
+recursive CTE streams the same frontier through the embedded engine's C
+loop.  Everything else (small graphs, closure-free path shapes, seeded
+point lookups) stays on the dict/compact kernels, whose constants win.
+
+The thresholds are deliberately conservative: ``"auto"`` only re-routes
+queries where the CTE's advantage is robust, so existing workloads keep
+their measured kernels.  Answers are bit-identical either way — the
+selection is purely a performance policy, enforced as such by the
+equivalence suite in ``tests/sqlbackend``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..datagraph.index import LabelIndex
+from ..planner.cost import regex_estimate
+from ..planner.logical import AtomScan, Filter, HashJoin, PlanOp, Project, SeededScan
+from ..query.data_rpq import DataRPQ
+from ..regular import Concat, Plus, Regex, Star, Union
+from .compile import STEP, concat_parts
+
+__all__ = [
+    "SQL_AUTO_MIN_NODES",
+    "SQL_CLOSURE_FACTOR",
+    "SQL_PIVOT_SELECTIVITY",
+    "has_closure",
+    "rpq_pays",
+    "closure_pays",
+    "plan_pays",
+]
+
+#: Below this many nodes ``"auto"`` never selects SQL: the per-query
+#: seeding/decoding overhead and the kernels' low constants dominate.
+SQL_AUTO_MIN_NODES = 1024
+
+#: ``"auto"`` selects SQL only when the planner's estimate of the answer
+#: relation is at least this many times the node count — the regime
+#: where the closure frontier is traversed many times over.
+SQL_CLOSURE_FACTOR = 4.0
+
+#: A factorable concatenation pays off in SQL when its cheapest step
+#: factor has at most ``|V| / SQL_PIVOT_SELECTIVITY`` edges: the factored
+#: plan's closures are then seeded by a small pivot relation, while the
+#: Python kernels still flow source masks through the whole closure.
+SQL_PIVOT_SELECTIVITY = 4
+
+
+def has_closure(expression: Regex) -> bool:
+    """Whether a regex contains a Kleene iteration (``*`` or ``+``)."""
+    if isinstance(expression, (Star, Plus)):
+        return True
+    if isinstance(expression, (Concat, Union)):
+        return has_closure(expression.left) or has_closure(expression.right)
+    return False
+
+
+def rpq_pays(expression: Regex, index: Optional[LabelIndex]) -> bool:
+    """Whether ``"auto"`` should run this RPQ through the SQL backend."""
+    if index is None:
+        return False
+    num_nodes = len(index.nodes)
+    if num_nodes < SQL_AUTO_MIN_NODES or not has_closure(expression):
+        return False
+    if _selective_pivot(expression, index, num_nodes):
+        return True
+    return regex_estimate(expression, index) >= SQL_CLOSURE_FACTOR * num_nodes
+
+
+def _selective_pivot(
+    expression: Regex, index: LabelIndex, num_nodes: int
+) -> bool:
+    """Whether the factored plan of :mod:`repro.sqlbackend.compile`
+    applies with a pivot selective enough to bound the closure work."""
+    parts = concat_parts(expression)
+    if parts is None:
+        return False
+    step_counts = [
+        sum(index.edge_count(label) for label in labels)
+        for kind, labels in parts
+        if kind == STEP
+    ]
+    if not step_counts:
+        return False
+    return min(step_counts) * SQL_PIVOT_SELECTIVITY <= num_nodes
+
+
+def closure_pays(label: str, index: Optional[LabelIndex]) -> bool:
+    """Whether ``"auto"`` should run a GXPath axis star (``a*``) in SQL.
+
+    An axis star is the degenerate one-state closure: it pays off when
+    the label's edge relation is at least as large as the node set, so
+    the closure genuinely iterates instead of terminating immediately.
+    """
+    if index is None:
+        return False
+    num_nodes = len(index.nodes)
+    return num_nodes >= SQL_AUTO_MIN_NODES and index.edge_count(label) >= num_nodes
+
+
+def plan_pays(root: PlanOp, index: Optional[LabelIndex]) -> bool:
+    """Whether ``"auto"`` should lower a whole CRPQ plan to SQL.
+
+    Conservative: every atom must be a plain RPQ (data atoms would be
+    materialised Python-side anyway, erasing the win) and at least one
+    must be closure heavy by :func:`rpq_pays`.
+    """
+    if index is None:
+        return False
+    pays = False
+    for scan in _scans(root):
+        if isinstance(scan.atom.query, DataRPQ):
+            return False
+        if rpq_pays(scan.atom.query.expression, index):
+            pays = True
+    return pays
+
+
+def _scans(node: PlanOp):
+    if isinstance(node, (AtomScan, SeededScan)):
+        yield node
+    elif isinstance(node, (Project, Filter)):
+        yield from _scans(node.child)
+    elif isinstance(node, HashJoin):
+        yield from _scans(node.left)
+        yield from _scans(node.right)

@@ -1,0 +1,353 @@
+"""The per-graph ``D_G`` database behind the SQL execution backend.
+
+:class:`SqlStore` materialises the paper's relational encoding ``D_G``
+(Section 6, :mod:`repro.datagraph.relational_view`) inside an embedded
+SQL engine — the stdlib :mod:`sqlite3` always, DuckDB when importable —
+in the shape the compiled queries of :mod:`repro.sqlbackend.compile`
+execute over:
+
+* ``nodes(node, value)`` — the binary relation ``N``, with node ids
+  mapped onto dense integers (the same trick the compact CSR backend
+  plays: SQL joins on machine ints, public ``NodeId`` values only at the
+  decode boundary).  Values are stored as ``repr`` text with the
+  ``relational_view`` null token, purely for ``D_G`` completeness —
+  compiled queries never compare values in SQL (data tests stay on the
+  Python side).
+* ``edges(label, source, target)`` — the per-label relations ``E_a``
+  folded into one table with a label column (arbitrary label strings
+  never become SQL identifiers this way), covered by the two indexes a
+  product-reachability CTE walks: ``(label, source)`` for forward steps
+  and ``(label, target)`` for inverse axes.
+* ``_src_seeds(node)`` / ``_dst_seeds(node)`` — tiny seeding tables the
+  backend fills per point query, so compiled statements stay constant
+  (and therefore prepared-statement-cache friendly) regardless of how
+  many sources a seeded evaluation restricts to.
+
+A store is pinned to one ``(graph, version)``: :meth:`SqlStore.refresh`
+brings it to the graph's current version **incrementally** when the
+graph's delta journal holds an unbroken chain from the store's version
+(``INSERT``/``DELETE``/``UPDATE`` of exactly the changed facts), and
+falls back to a full re-ingest otherwise.  ``full_rebuilds`` /
+``incremental_refreshes`` count which path ran, so tests can pin the
+incremental claim.
+
+Stores are process- and thread-aware: the owning pid is recorded (an
+inherited sqlite connection must not be used across ``fork``; the
+registry in :mod:`repro.sqlbackend.backend` rebuilds post-fork), and all
+statement execution happens under the store's lock (sqlite connections
+are created with ``check_same_thread=False`` so thread-pool executors
+can share the session's store).
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..datagraph.graph import DataGraph
+from ..datagraph.node import NodeId
+from ..datagraph.values import NULL
+from ..exceptions import EvaluationError
+
+__all__ = ["SQL_DIALECTS", "SqlStore", "duckdb_available"]
+
+#: Embedded engines the store can run on.  ``"auto"`` prefers DuckDB
+#: when importable and falls back to the stdlib sqlite3.
+SQL_DIALECTS = ("auto", "sqlite", "duckdb")
+
+#: Value stored for the SQL null data value, matching the token
+#: ``relational_view`` uses in relational instances.
+_NULL_TOKEN = "__repro_null__"
+
+
+def duckdb_available() -> bool:
+    """Whether the optional DuckDB engine can be imported."""
+    try:  # pragma: no cover - exercised only on duckdb-enabled CI legs
+        import duckdb  # noqa: F401
+    except ImportError:
+        return False
+    return True  # pragma: no cover - duckdb-enabled CI legs
+
+
+def _encode_value(value) -> str:
+    if value is NULL or value == NULL:
+        return _NULL_TOKEN
+    return repr(value)
+
+
+class SqlStore:
+    """One graph's ``D_G`` database plus the dense int-id mapping.
+
+    Parameters
+    ----------
+    graph:
+        The data graph to ingest.  The store does **not** keep a
+        reference to it — :meth:`refresh` takes the graph again, so the
+        weak-keyed registry of :mod:`repro.sqlbackend.backend` never
+        pins a graph alive through its own store.
+    dialect:
+        ``"sqlite"``, ``"duckdb"`` or ``"auto"`` (DuckDB when
+        importable, else sqlite).
+    """
+
+    __slots__ = (
+        "dialect",
+        "connection",
+        "version",
+        "pid",
+        "lock",
+        "full_rebuilds",
+        "incremental_refreshes",
+        "_ids",
+        "_pos",
+        "_label_stats",
+    )
+
+    def __init__(self, graph: DataGraph, dialect: str = "auto"):
+        if dialect not in SQL_DIALECTS:
+            raise EvaluationError(
+                f"unknown SQL dialect {dialect!r}; expected one of {', '.join(SQL_DIALECTS)}"
+            )
+        if dialect == "auto":
+            dialect = "duckdb" if duckdb_available() else "sqlite"
+        if dialect == "duckdb":  # pragma: no cover - duckdb-enabled CI legs
+            import duckdb
+
+            self.connection = duckdb.connect(":memory:")
+        else:
+            self.connection = sqlite3.connect(":memory:", check_same_thread=False)
+            # Recursive CTEs spill their UNION-dedup b-trees to temp
+            # storage, which defaults to file-backed even for a
+            # ``:memory:`` database — keeping temp in memory roughly
+            # halves closure fixpoint time on large relations.
+            self.connection.execute("PRAGMA temp_store=MEMORY")
+            self.connection.execute("PRAGMA cache_size=-65536")
+        self.dialect = dialect
+        self.version: Optional[int] = None
+        self.pid = os.getpid()
+        self.lock = threading.RLock()
+        self.full_rebuilds = 0
+        self.incremental_refreshes = 0
+        #: Dense ordering: ``_ids[i]`` is the node id stored as int ``i``
+        #: (``None`` tombstones removed nodes — their ints never recycle,
+        #: so stale rows can never alias a live node).
+        self._ids: List[Optional[NodeId]] = []
+        self._pos: Dict[NodeId, int] = {}
+        self._label_stats: Optional[Tuple[Optional[int], Dict[str, int]]] = None
+        self._create_schema()
+        self.refresh(graph)
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    def _create_schema(self) -> None:
+        execute = self.connection.execute
+        execute("CREATE TABLE nodes (node INTEGER PRIMARY KEY, value TEXT)")
+        execute("CREATE TABLE edges (label TEXT, source INTEGER, target INTEGER)")
+        execute("CREATE INDEX edges_forward ON edges (label, source, target)")
+        execute("CREATE INDEX edges_backward ON edges (label, target, source)")
+        execute("CREATE TABLE _src_seeds (node INTEGER PRIMARY KEY)")
+        execute("CREATE TABLE _dst_seeds (node INTEGER PRIMARY KEY)")
+
+    # ------------------------------------------------------------------
+    # Int-id mapping
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Live node count (tombstones excluded); used by tests."""
+        return len(self._pos)
+
+    def node_int(self, node_id: NodeId) -> Optional[int]:
+        """The dense int of a node id, or ``None`` for unknown ids."""
+        return self._pos.get(node_id)
+
+    def node_id(self, node_int: int) -> NodeId:
+        """The public node id stored as *node_int*."""
+        return self._ids[node_int]
+
+    def ints_of(self, node_ids: Iterable[NodeId]) -> List[int]:
+        """Dense ints of *node_ids*, silently dropping unknown ids
+        (matching the seeded-kernel contract of the other backends)."""
+        position = self._pos
+        out = []
+        for node_id in node_ids:
+            i = position.get(node_id)
+            if i is not None:
+                out.append(i)
+        return out
+
+    def _assign(self, node_id: NodeId) -> int:
+        i = len(self._ids)
+        self._ids.append(node_id)
+        self._pos[node_id] = i
+        return i
+
+    # ------------------------------------------------------------------
+    # Ingest and refresh
+    # ------------------------------------------------------------------
+    def refresh(self, graph: DataGraph) -> bool:
+        """Bring the store to *graph*'s current version.
+
+        Returns ``True`` when anything changed.  The incremental path
+        applies the journal's composed :class:`~repro.deltas.delta.
+        GraphDelta` between the store's version and the graph's; a
+        broken chain (journal eviction, single-op mutations) falls back
+        to a full re-ingest.  Either way the store ends bit-identical to
+        ``encode_graph(graph)``.
+        """
+        with self.lock:
+            version = graph.version
+            if self.version == version:
+                return False
+            delta = (
+                graph.journal.composed(self.version, version)
+                if self.version is not None
+                else None
+            )
+            if delta is None:
+                self._ingest(graph)
+                self.full_rebuilds += 1
+            else:
+                self._apply_delta(delta)
+                self.incremental_refreshes += 1
+            self.version = version
+            return True
+
+    def _ingest(self, graph: DataGraph) -> None:
+        connection = self.connection
+        connection.execute("DELETE FROM edges")
+        connection.execute("DELETE FROM nodes")
+        self._ids = []
+        self._pos = {}
+        node_rows = [
+            (self._assign(node.id), _encode_value(node.value)) for node in graph.nodes
+        ]
+        connection.executemany("INSERT INTO nodes VALUES (?, ?)", node_rows)
+        position = self._pos
+        edge_rows = [
+            (label, position[source.id], position[target.id])
+            for source, label, target in graph.edges
+        ]
+        connection.executemany("INSERT INTO edges VALUES (?, ?, ?)", edge_rows)
+        self._commit()
+
+    def _apply_delta(self, delta) -> None:
+        connection = self.connection
+        position = self._pos
+        # Removals first (a net remove+add of one id arrives as both
+        # lists; the delta normalisation keeps them disjoint per fact).
+        removed_edges = [
+            (label, position[source], position[target])
+            for source, label, target in delta.removed_edges
+            if source in position and target in position
+        ]
+        if removed_edges:
+            connection.executemany(
+                "DELETE FROM edges WHERE label = ? AND source = ? AND target = ?",
+                removed_edges,
+            )
+        for node_id, _value in delta.removed_nodes:
+            i = position.pop(node_id, None)
+            if i is None:
+                continue
+            self._ids[i] = None  # tombstone: ints never recycle
+            connection.execute("DELETE FROM nodes WHERE node = ?", (i,))
+            connection.execute(
+                "DELETE FROM edges WHERE source = ? OR target = ?", (i, i)
+            )
+        added_nodes = [
+            (self._assign(node_id), _encode_value(value))
+            for node_id, value in delta.added_nodes
+            if node_id not in position
+        ]
+        if added_nodes:
+            connection.executemany("INSERT INTO nodes VALUES (?, ?)", added_nodes)
+        value_rows = [
+            (_encode_value(new), position[node_id])
+            for node_id, _old, new in delta.value_changes
+            if node_id in position
+        ]
+        if value_rows:
+            connection.executemany(
+                "UPDATE nodes SET value = ? WHERE node = ?", value_rows
+            )
+        added_edges = [
+            (label, position[source], position[target])
+            for source, label, target in delta.added_edges
+            if source in position and target in position
+        ]
+        if added_edges:
+            connection.executemany("INSERT INTO edges VALUES (?, ?, ?)", added_edges)
+        self._commit()
+
+    def _commit(self) -> None:
+        if self.dialect == "sqlite":
+            self.connection.commit()
+        else:  # pragma: no cover - duckdb-enabled CI legs
+            self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # Execution helpers (called by the backend under the store lock)
+    # ------------------------------------------------------------------
+    def seed(self, table: str, ints: Sequence[int]) -> None:
+        """Replace a seeding table's rows (caller holds the lock)."""
+        self.connection.execute(f"DELETE FROM {table}")
+        self.connection.executemany(
+            f"INSERT INTO {table} VALUES (?)", [(i,) for i in ints]
+        )
+
+    def label_counts(self) -> Dict[str, int]:
+        """Per-label edge counts at the store's current version.
+
+        The statistics behind :func:`~repro.sqlbackend.compile.
+        pick_pivot`'s cost-based factor selection; memoised per version
+        so repeated compilations of one workload pay one aggregation.
+        """
+        with self.lock:
+            if self._label_stats is None or self._label_stats[0] != self.version:
+                counts = dict(
+                    self.connection.execute(
+                        "SELECT label, COUNT(*) FROM edges GROUP BY label"
+                    ).fetchall()
+                )
+                self._label_stats = (self.version, counts)
+            return self._label_stats[1]
+
+    def rows(self, sql: str) -> List[Tuple]:
+        """Run one compiled statement and fetch all rows (caller holds
+        the lock).  sqlite reuses prepared statements from its
+        per-connection statement cache, so re-running a cached compiled
+        query skips the SQL parse entirely."""
+        cursor = self.connection.execute(sql)
+        return cursor.fetchall()
+
+    # ------------------------------------------------------------------
+    def facts(self) -> Tuple[Dict[NodeId, str], set]:
+        """The store's contents decoded to public ids, for tests:
+        ``({node_id: value_text}, {(source_id, label, target_id)})``."""
+        with self.lock:
+            nodes = {
+                self._ids[i]: value
+                for i, value in self.rows("SELECT node, value FROM nodes")
+            }
+            edges = {
+                (self._ids[s], label, self._ids[t])
+                for label, s, t in self.rows("SELECT label, source, target FROM edges")
+            }
+        return nodes, edges
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        try:
+            self.connection.close()
+        except Exception:  # pragma: no cover - already closed
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SqlStore {self.dialect} v{self.version}: "
+            f"{len(self._pos)} nodes, {self.full_rebuilds} rebuilds, "
+            f"{self.incremental_refreshes} incremental>"
+        )

@@ -111,6 +111,34 @@ class TestBasicOperations:
             assert session.holds("a", pair[0], pair[1])
 
 
+class TestBackendConfig:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(EvaluationError, match="backend"):
+            ServerConfig(backend="bogus")
+
+    def test_sql_backend_server_matches_local(self):
+        graph = make_graph()
+        server = ReproServer(graph, ServerConfig(num_workers=1, backend="sql"))
+        address = server.start()
+        try:
+            local = GraphSession(graph)
+            with connect(address) as session:
+                for text, dialect in QUERIES:
+                    query = Query.parse(text, dialect=dialect)
+                    assert session.run(query).rows() == local.run(query).rows(), text
+                source = next(iter(graph.node_ids))
+                assert session.targets("a+", source) == local.targets("a+", source)
+        finally:
+            server.shutdown()
+
+    def test_daemon_runner_advertises_seeded_rounds(self, served):
+        _, _, server = served
+        pool = server._pool
+        assert pool is not None
+        runner = server._make_shard_runner(pool)
+        assert getattr(runner, "supports_sources", False) is True
+
+
 class TestConcurrentClients:
     def test_eight_concurrent_clients_get_correct_results(self, served):
         graph, address, _ = served

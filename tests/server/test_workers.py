@@ -102,7 +102,7 @@ class TestEpochInvalidation:
             # Plant per-query state worker-side, then send the epoch
             # broadcast the parent uses before a respawn: every worker
             # must report the planted state dropped.
-            fork_pool.run({0: ("query", (999, QUERIES[0], False))})
+            fork_pool.run({0: ("query", (999, QUERIES[0], False, None))})
             epochs_before = fork_pool.broadcast(("state", None))
             assert 999 in epochs_before[0][1]
             dropped = fork_pool.broadcast(("epoch", graph.version + 1))
@@ -310,3 +310,117 @@ class TestSharedCsr:
             memory = pool.worker_memory()
             assert set(memory) == {0, 1}
             assert all(kb > 0 for kb in memory.values())
+
+
+class TestMemoryProbeDegradation:
+    """``_private_kb`` must degrade, never raise (satellite: hardened
+    kernels hide ``/proc/<pid>/smaps_rollup``)."""
+
+    def test_falls_back_to_ru_maxrss_without_smaps(self, monkeypatch):
+        import builtins
+
+        from repro.server import workers as workers_module
+
+        real_open = builtins.open
+
+        def hardened_open(path, *args, **kwargs):
+            if "smaps_rollup" in str(path):
+                raise OSError(13, "Permission denied", str(path))
+            return real_open(path, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", hardened_open)
+        kb = workers_module._private_kb()
+        assert isinstance(kb, int) and kb > 0  # ru_maxrss stands in
+
+    def test_returns_none_when_resource_also_fails(self, monkeypatch):
+        import builtins
+        import resource
+
+        from repro.server import workers as workers_module
+
+        real_open = builtins.open
+
+        def hardened_open(path, *args, **kwargs):
+            if "smaps_rollup" in str(path):
+                raise FileNotFoundError(str(path))
+            return real_open(path, *args, **kwargs)
+
+        def denied(_who):
+            raise OSError("rusage denied")
+
+        monkeypatch.setattr(builtins, "open", hardened_open)
+        monkeypatch.setattr(resource, "getrusage", denied)
+        assert workers_module._private_kb() is None
+
+    def test_worker_memory_omits_unmeasurable_workers(self, graph, monkeypatch):
+        # The patch rides into the children over fork, so every worker
+        # reports None — the reading must omit them all, not raise.
+        from repro.server import workers as workers_module
+
+        monkeypatch.setattr(workers_module, "_private_kb", lambda: None)
+        with ShardWorkerPool(graph, num_workers=2, num_shards=4) as pool:
+            pool.evaluate(QUERIES[0])
+            assert pool.worker_memory() == {}
+
+
+class TestSeededSources:
+    """Pool-side seeding: point queries run seeded shard rounds."""
+
+    @pytest.mark.parametrize("query", QUERIES, ids=[str(q.plan) for q in QUERIES])
+    def test_sources_restrict_the_relation(self, pool, graph, query):
+        full = GraphSession(graph).run(query).pairs()
+        node_ids = list(graph.node_ids)
+        for source in node_ids[:3]:
+            expected = frozenset(pair for pair in full if pair[0].id == source)
+            assert pool.evaluate(query, sources={source}) == expected
+        some = frozenset(node_ids[:4])
+        expected = frozenset(pair for pair in full if pair[0].id in some)
+        assert pool.evaluate(query, sources=some) == expected
+
+    def test_empty_sources_yield_empty_relation(self, pool):
+        assert pool.evaluate(QUERIES[0], sources=frozenset()) == frozenset()
+
+    def test_session_targets_ride_the_pool(self, pool, graph):
+        from repro.api import ExecutionPolicy
+
+        query = QUERIES[0]
+        calls = []
+
+        def runner(plan, null_semantics, sources=None):
+            calls.append(sources)
+            return pool.evaluate(plan, null_semantics, sources=sources)
+
+        runner.supports_sources = True
+        session = GraphSession(
+            graph,
+            policy=ExecutionPolicy.preset(
+                "server", intra_query_threshold=0, sharded_processes=False
+            ),
+            shard_runner=runner,
+        )
+        source = next(iter(graph.node_ids))
+        expected = GraphSession(graph).targets(query, source)
+        assert session.targets(query, source) == expected
+        assert calls and calls[-1] == {source}
+
+    def test_sessions_skip_runners_without_sources_support(self, graph):
+        from repro.api import ExecutionPolicy
+
+        query = QUERIES[0]
+        offered = []
+
+        def legacy_runner(plan, null_semantics):
+            offered.append(plan)
+            return None
+
+        session = GraphSession(
+            graph,
+            policy=ExecutionPolicy.preset(
+                "server", intra_query_threshold=0, sharded_processes=False
+            ),
+            shard_runner=legacy_runner,
+        )
+        source = next(iter(graph.node_ids))
+        expected = GraphSession(graph).targets(query, source)
+        assert session.targets(query, source) == expected  # 2-arg runner untouched
+        assert offered == []  # point path never offered a legacy runner

@@ -1,0 +1,281 @@
+"""Unit tests for the ``D_G`` store: ingest, refresh, tombstones, caches.
+
+The refresh contract is pinned directly: after any sequence of journaled
+mutations the store's decoded facts must equal the live graph's, with
+the ``incremental_refreshes`` / ``full_rebuilds`` counters proving which
+path ran.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagraph import GraphBuilder, generators
+from repro.engine.engine import default_engine
+from repro.exceptions import EvaluationError
+from repro.sqlbackend import (
+    SqlStore,
+    clear_sql_caches,
+    duckdb_available,
+    evaluate_rpq_pairs,
+    sql_cache_stats,
+    store_for,
+)
+from repro.sqlbackend.backend import _STORES
+from repro.sqlbackend.compile import (
+    PLUS,
+    STAR,
+    STEP,
+    concat_parts,
+    factored_rpq_sql,
+    pick_pivot,
+)
+
+
+def small_graph():
+    return (
+        GraphBuilder()
+        .node("u", 1).node("v", 2).node("w", 1)
+        .edge("u", "a", "v").edge("v", "a", "w").edge("w", "b", "u")
+        .build()
+    )
+
+
+def assert_matches_graph(store, graph):
+    from repro.sqlbackend.schema import _encode_value
+
+    nodes, edges = store.facts()
+    assert nodes == {node.id: _encode_value(node.value) for node in graph.nodes}
+    assert edges == {
+        (source.id, label, target.id) for source, label, target in graph.edges
+    }
+
+
+class TestIngest:
+    def test_facts_match_graph(self):
+        graph = small_graph()
+        store = SqlStore(graph)
+        assert store.full_rebuilds == 1
+        assert store.num_rows == 3
+        assert_matches_graph(store, graph)
+        store.close()
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(EvaluationError, match="dialect"):
+            SqlStore(small_graph(), dialect="postgres")
+
+    def test_auto_dialect_resolves(self):
+        store = SqlStore(small_graph(), dialect="auto")
+        expected = "duckdb" if duckdb_available() else "sqlite"
+        assert store.dialect == expected
+        store.close()
+
+    def test_refresh_same_version_is_a_no_op(self):
+        graph = small_graph()
+        store = SqlStore(graph)
+        assert store.refresh(graph) is False
+        assert store.full_rebuilds == 1
+        assert store.incremental_refreshes == 0
+        store.close()
+
+
+class TestRefresh:
+    def test_batched_mutations_refresh_incrementally(self):
+        graph = small_graph()
+        store = SqlStore(graph)
+        with graph.batch():
+            graph.add_node("x", 9)
+            graph.add_edge("w", "a", "x")
+            graph.set_value("u", 7)
+            graph.remove_edge("u", "a", "v")
+        assert store.refresh(graph) is True
+        assert store.incremental_refreshes == 1
+        assert store.full_rebuilds == 1
+        assert_matches_graph(store, graph)
+        store.close()
+
+    def test_node_removal_drops_incident_edges(self):
+        graph = small_graph()
+        store = SqlStore(graph)
+        with graph.batch():
+            graph.remove_node("v")
+        store.refresh(graph)
+        assert store.incremental_refreshes == 1
+        assert_matches_graph(store, graph)
+        assert store.node_int("v") is None
+        store.close()
+
+    def test_tombstoned_ints_never_recycle(self):
+        graph = small_graph()
+        store = SqlStore(graph)
+        old_int = store.node_int("v")
+        with graph.batch():
+            graph.remove_node("v")
+        store.refresh(graph)
+        with graph.batch():
+            graph.add_node("v", 5)
+        store.refresh(graph)
+        assert store.incremental_refreshes == 2
+        new_int = store.node_int("v")
+        assert new_int is not None and new_int != old_int
+        assert store.node_id(new_int) == "v"
+        assert_matches_graph(store, graph)
+        store.close()
+
+    def test_journal_gap_forces_full_rebuild(self):
+        graph = small_graph()
+        store = SqlStore(graph)
+        # Single-op mutations are not journaled as a contiguous delta
+        # chain, so the store must fall back to a re-ingest — and still
+        # end bit-identical to the graph.
+        graph.add_node("gap", 3)
+        graph.add_edge("u", "b", "gap")
+        store.refresh(graph)
+        assert store.full_rebuilds == 2
+        assert_matches_graph(store, graph)
+        store.close()
+
+    def test_ints_of_drops_unknown_ids(self):
+        graph = small_graph()
+        store = SqlStore(graph)
+        known = store.ints_of(["u", "nope", "w"])
+        assert len(known) == 2
+        assert all(isinstance(i, int) for i in known)
+        store.close()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        size=st.integers(min_value=2, max_value=25),
+    )
+    def test_random_delta_chains_stay_bit_identical(self, seed, size):
+        graph = generators.random_graph(
+            num_nodes=size, num_edges=size * 2, labels=("a", "b"),
+            rng=seed, domain_size=max(2, size // 3),
+        )
+        store = SqlStore(graph)
+        ids = graph.node_ids
+        with graph.batch():
+            node = graph.add_node(f"delta-{seed}", seed % 5)
+            graph.add_edge(ids[0], "a", node.id)
+            graph.set_value(ids[seed % len(ids)], "patched")
+            graph.remove_node(ids[(seed + 1) % len(ids)])
+        store.refresh(graph)
+        assert store.incremental_refreshes == 1
+        assert_matches_graph(store, graph)
+        store.close()
+
+
+class TestRegistryAndCaches:
+    def test_store_for_is_cached_per_graph(self):
+        graph = small_graph()
+        store = store_for(graph)
+        assert store_for(graph) is store
+        assert graph in _STORES
+
+    def test_registry_does_not_pin_graphs(self):
+        import gc
+
+        graph = small_graph()
+        store_for(graph)
+        before = len(_STORES)
+        del graph
+        gc.collect()
+        assert len(_STORES) < before or before == 0
+
+    def test_compiled_sql_cache_hits_on_repeat(self):
+        clear_sql_caches()
+        graph = small_graph()
+        engine = default_engine()
+        query = "a+.b"
+        first = evaluate_rpq_pairs(graph, query, engine=engine)
+        stats = sql_cache_stats()
+        misses = stats.misses
+        second = evaluate_rpq_pairs(graph, query, engine=engine)
+        assert first == second
+        stats = sql_cache_stats()
+        assert stats.hits >= 1
+        assert stats.misses == misses  # no re-compile
+
+    def test_seeding_tables_round_trip(self):
+        graph = small_graph()
+        store = SqlStore(graph)
+        with store.lock:
+            store.seed("_src_seeds", [0, 2])
+            assert store.rows("SELECT node FROM _src_seeds ORDER BY node") == [
+                (0,), (2,)
+            ]
+            store.seed("_src_seeds", [1])
+            assert store.rows("SELECT node FROM _src_seeds") == [(1,)]
+        store.close()
+
+
+class TestFactoredCompilation:
+    def parse(self, text):
+        return default_engine().parse(text)
+
+    def test_concat_parts_recognises_step_and_closure_factors(self):
+        assert concat_parts(self.parse("a*.b")) == ((STAR, ("a",)), (STEP, ("b",)))
+        assert concat_parts(self.parse("a.(a|b)+")) == (
+            (STEP, ("a",)),
+            (PLUS, ("a", "b")),
+        )
+        assert concat_parts(self.parse("(b|a)")) == ((STEP, ("a", "b")),)
+
+    def test_unfactorable_shapes_are_declined(self):
+        # Nested structure under an iteration, and unions of
+        # concatenations, must fall back to the product CTE.
+        assert concat_parts(self.parse("(a.b)*")) is None
+        assert concat_parts(self.parse("a.b|b.a")) is None
+        assert concat_parts(self.parse("(a.b)+.a")) is None
+
+    def test_pivot_picks_the_cheapest_step_factor(self):
+        parts = concat_parts(self.parse("a.b*.c"))
+        assert parts == ((STEP, ("a",)), (STAR, ("b",)), (STEP, ("c",)))
+        assert pick_pivot(parts, {"a": 500, "b": 100, "c": 3}) == 2
+        assert pick_pivot(parts, {"a": 3, "b": 100, "c": 500}) == 0
+        # No step factor: evaluation starts from the leftmost closure.
+        closures = concat_parts(self.parse("a*.b*"))
+        assert pick_pivot(closures, {"a": 9, "b": 1}) == 0
+
+    def test_factored_sql_has_no_product_state_column(self):
+        parts = concat_parts(self.parse("a*.b"))
+        sql = factored_rpq_sql(parts, pivot=1)
+        assert "_trans" not in sql and "state" not in sql
+        assert "WITH RECURSIVE" in sql
+
+    def test_factored_path_matches_product_path(self):
+        # The same query, seeded (product CTE) and unseeded (factored
+        # plan), must agree — the seeded union over all sources is the
+        # full relation.
+        graph = generators.random_graph(
+            num_nodes=20, num_edges=60, labels=("a", "b"), rng=11, domain_size=4
+        )
+        engine = default_engine()
+        for text in ("a*.b", "b+.a", "a.b*"):
+            full = evaluate_rpq_pairs(graph, text, engine=engine)
+            seeded = frozenset().union(
+                *(
+                    evaluate_rpq_pairs(graph, text, engine=engine, sources=(nid,))
+                    for nid in graph.node_ids
+                )
+            )
+            assert full == seeded, text
+
+
+@pytest.mark.skipif(not duckdb_available(), reason="duckdb not importable")
+class TestDuckdb:
+    def test_duckdb_store_matches_sqlite(self):
+        graph = small_graph()
+        sqlite_store = SqlStore(graph, dialect="sqlite")
+        duck_store = SqlStore(graph, dialect="duckdb")
+        assert duck_store.dialect == "duckdb"
+        assert sqlite_store.facts() == duck_store.facts()
+        query = "a*.b"
+        assert evaluate_rpq_pairs(graph, query, dialect="duckdb") == evaluate_rpq_pairs(
+            graph, query, dialect="sqlite"
+        )
+        sqlite_store.close()
+        duck_store.close()
