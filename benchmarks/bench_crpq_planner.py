@@ -21,7 +21,9 @@ from __future__ import annotations
 import pytest
 
 from repro.engine import default_engine
+from repro.engine.forkpool import fork_available
 from repro.planner import execute_plan, plan_crpq
+from repro.planner import execute as execute_module
 from repro.query.crpq import evaluate_crpq_naive
 from repro.workloads import multi_community_scenario, random_crpq
 
@@ -88,4 +90,43 @@ def bench_crpq_planner_hash_join(benchmark, community_graph, crpq_workload, expe
         )
 
     answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert answers == expected_answers
+
+
+def bench_crpq_planner_distributed_join(
+    benchmark, community_graph, crpq_workload, expected_answers
+):
+    """The same workload with joins scattered over the shard-worker pool.
+
+    A comparison leg, not a gated one: on few cores the scatter/gather
+    IPC can cost more than the local hash join saves — the production
+    seam only offers joins above DISTRIBUTED_JOIN_MIN_ROWS for exactly
+    that reason.  The threshold is dropped to 0 here so every join takes
+    the distributed path and the leg measures the seam itself.
+    """
+    if not fork_available():
+        pytest.skip("distributed joins need os.fork")
+    from repro.server.workers import ShardWorkerPool
+
+    engine = default_engine()
+    index = community_graph.label_index()
+    threshold = execute_module.DISTRIBUTED_JOIN_MIN_ROWS
+    with ShardWorkerPool(community_graph, num_workers=2, num_shards=4) as pool:
+        execute_module.DISTRIBUTED_JOIN_MIN_ROWS = 0
+        try:
+
+            def run():
+                return tuple(
+                    execute_plan(
+                        plan_crpq(query, index),
+                        community_graph,
+                        engine=engine,
+                        join_runner=pool.hash_join,
+                    )
+                    for query in crpq_workload
+                )
+
+            answers = benchmark.pedantic(run, rounds=1, iterations=1)
+        finally:
+            execute_module.DISTRIBUTED_JOIN_MIN_ROWS = threshold
     assert answers == expected_answers

@@ -193,6 +193,11 @@ INTRA_QUERY_MODES = ("off", "blocks", "sharded")
 #: representation queries evaluate over).
 STORAGE_BACKENDS = ("auto", "compact", "dict", "sql")
 
+#: Valid ``ExecutionPolicy.routing`` values: ``"auto"`` lets the cost
+#: router (:func:`repro.planner.route_query`) pick the execution
+#: strategy per query, ``"manual"`` restores the pure knob behaviour.
+ROUTING_MODES = ("auto", "manual")
+
 #: Sentinel distinguishing "caller never passed this kwarg" from any
 #: real value, so only explicit use of the deprecated knobs warns.
 _UNSET = object()
@@ -286,6 +291,14 @@ class ExecutionPolicy:
         pool: ``True`` forks whenever the platform supports it,
         ``False`` keeps the in-process loop, ``None`` (default) forks
         on graphs large enough to amortise the pool.
+    routing:
+        ``"auto"`` (the default) lets the session's cost router
+        (:func:`repro.planner.route_query`) pick sequential / blocks /
+        sharded / compact / SQL execution per query from the graph's
+        statistics; the partitioning knobs above then act as
+        *overrides* — an explicit ``intra_query`` mode or ``backend``
+        wins over the router.  ``"manual"`` disables the router
+        entirely and restores the historical knob-driven behaviour.
     point_cache_size:
         LRU bound on the session's single-source (point-workload) cache
         of :meth:`GraphSession.targets` answers.
@@ -306,6 +319,7 @@ class ExecutionPolicy:
     intra_query_threshold: int = 64
     num_shards: Optional[int] = None
     sharded_processes: Optional[bool] = None
+    routing: str = "auto"
     point_cache_size: int = 1024
     delta_repair: bool = True
 
@@ -322,6 +336,7 @@ class ExecutionPolicy:
         point_cache_size: int = 1024,
         delta_repair: bool = True,
         backend: str = "auto",
+        routing: str = "auto",
     ):
         passed = {
             "intra_query": intra_query,
@@ -344,6 +359,7 @@ class ExecutionPolicy:
         self._assign(
             executor=executor,
             backend=backend,
+            routing=routing,
             max_workers=max_workers,
             cache_results=cache_results,
             result_cache_size=result_cache_size,
@@ -371,6 +387,11 @@ class ExecutionPolicy:
             raise EvaluationError(
                 f"unknown storage backend {self.backend!r}; "
                 f"expected one of {', '.join(STORAGE_BACKENDS)}"
+            )
+        if self.routing not in ROUTING_MODES:
+            raise EvaluationError(
+                f"unknown routing mode {self.routing!r}; "
+                f"expected one of {', '.join(ROUTING_MODES)}"
             )
 
     @classmethod

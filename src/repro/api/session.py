@@ -156,6 +156,10 @@ class GraphSession(SessionProtocol):
         # a delta can look up its previous-version plan and keep it when
         # the delta touched none of the plan's labels.
         self._crpq_plan_history: Dict[str, int] = {}
+        # Last adaptive-execution trace per (plan key, null semantics):
+        # estimate-vs-observed join cardinalities, re-plan and
+        # distributed-join counters, surfaced by `explain`.
+        self._plan_traces: Dict[Tuple, object] = {}
         self._maintenance = {"repairs": 0, "recomputes": 0, "plans_retained": 0}
         self._lineage: deque = deque(maxlen=32)
 
@@ -251,6 +255,25 @@ class GraphSession(SessionProtocol):
                     or self.graph.get_node(target_node.id) != target_node
                 ):
                     return False
+                if (
+                    self.policy.intra_query == "sharded"
+                    and self.graph.num_nodes >= self.policy.intra_query_threshold
+                    and self.shard_runner is not None
+                    and getattr(self.shard_runner, "supports_targets", False)
+                ):
+                    # Point lookup through the persistent worker pool:
+                    # the workers decode under a single-target mask, so
+                    # only the (at most one) matching pair crosses the
+                    # pipes instead of the full relation.  None (pool
+                    # busy) falls through to the local point path.
+                    answer = self.shard_runner(
+                        plan,
+                        null_semantics,
+                        sources={source_node.id},
+                        targets={target_node.id},
+                    )
+                    if answer is not None:
+                        return (source_node, target_node) in answer
                 return target_node in self.targets(
                     plan, source_node.id, null_semantics=null_semantics
                 )
@@ -595,7 +618,10 @@ class GraphSession(SessionProtocol):
                 self._crpq_plan_history[plan.key] = version
                 return self._crpq_plans.get_or_build(key, lambda: retained)
         planned = self._crpq_plans.get_or_build(
-            key, lambda: plan_crpq(plan.plan, self.graph.label_index())
+            key,
+            lambda: plan_crpq(
+                plan.plan, self.graph.label_index(), self._statistics()
+            ),
         )
         self._crpq_plan_history[plan.key] = version
         return planned
@@ -617,18 +643,51 @@ class GraphSession(SessionProtocol):
         self._maintenance["plans_retained"] += 1
         return cached
 
+    def _statistics(self):
+        """The graph's planner-v2 statistics catalogue (cached on the
+        graph, invalidated per touched label from the delta journal)."""
+        from ..planner import graph_statistics
+
+        return graph_statistics(self.graph)
+
+    def _route(self, plan: Query):
+        """The cost router's decision for *plan* under this session's
+        policy (knobs act as overrides, see
+        :func:`repro.planner.route_query`)."""
+        from ..planner import route_query
+
+        planned = self._crpq_plan(plan) if plan.kind is QueryKind.CRPQ else None
+        return route_query(
+            plan,
+            self.graph,
+            policy=self.policy,
+            stats=self._statistics(),
+            pooled=self.shard_runner is not None,
+            planned=planned,
+        )
+
     def explain(self, query: QueryLike) -> str:
         """The execution plan of *query* on this session's graph.
 
-        For CRPQs this is the planner's cost-ordered join plan — the
-        exact (cached) plan object :meth:`run` executes at the current
-        graph version; other kinds describe their fixed strategy.  See
-        :meth:`repro.api.query.Query.explain`.
+        The first line is the cost router's chosen route (strategy,
+        estimate, reason).  For CRPQs the body is the planner's
+        cost-ordered join plan — the exact (cached) plan object
+        :meth:`run` executes at the current graph version — followed,
+        once the query has run, by the adaptive executor's
+        estimate-vs-observed trace; other kinds describe their fixed
+        strategy.  See :meth:`repro.api.query.Query.explain`.
         """
         plan = Query.of(query)
+        header = self._route(plan).describe()
         if plan.kind is QueryKind.CRPQ:
-            return self._crpq_plan(plan).explain()
-        return plan.explain(self.graph)
+            body = self._crpq_plan(plan).explain()
+            trace = self._plan_traces.get((plan.key, False))
+            if trace is None:
+                trace = self._plan_traces.get((plan.key, True))
+            if trace is not None:
+                body += "\n" + trace.describe()
+            return header + "\n" + body
+        return header + "\n" + plan.explain(self.graph)
 
     def _evaluate_plan(self, plan: Query, null_semantics: bool) -> frozenset:
         """Evaluate one plan, honouring the policy's intra-query mode.
@@ -647,13 +706,15 @@ class GraphSession(SessionProtocol):
         callers.
         """
         policy = self.policy
-        mode = policy.intra_query
-        intra_query = mode != "off" and self.graph.num_nodes >= policy.intra_query_threshold
+        route = self._route(plan)
+        mode = route.mode
+        intra_query = mode != "off"
         if plan.kind is QueryKind.CRPQ:
-            from ..planner import execute_plan
+            from ..planner import PlanTrace, execute_plan
 
-            atom_mode = mode if intra_query else "off"
-            return execute_plan(
+            atom_mode = mode
+            trace = PlanTrace()
+            answer = execute_plan(
                 self._crpq_plan(plan),
                 self.graph,
                 engine=self.engine,
@@ -664,7 +725,14 @@ class GraphSession(SessionProtocol):
                 partition=self._shard_partition() if atom_mode == "sharded" else None,
                 processes=policy.sharded_processes,
                 backend=policy.backend,
+                relation_cache=self._cached_relation_lookup(null_semantics),
+                join_runner=getattr(self.shard_runner, "hash_join", None),
+                trace=trace,
             )
+            if len(self._plan_traces) >= 128:  # bounded like the LRU caches
+                self._plan_traces.clear()
+            self._plan_traces[(plan.key, null_semantics)] = trace
+            return answer
         if intra_query:
             if (
                 mode == "sharded"
@@ -724,6 +792,25 @@ class GraphSession(SessionProtocol):
             )
         return plan._evaluate(self.engine, self.graph, null_semantics)
 
+    def _cached_relation_lookup(self, null_semantics: bool):
+        """A relation-cache hook for the adaptive executor: map a CRPQ
+        atom to its previously materialised full relation (the versioned
+        result cache) as raw id pairs, or ``None`` on a miss — scans
+        then reuse the cached relation instead of re-walking the graph."""
+        if not self.policy.cache_results:
+            return None
+        version = self.graph.version
+
+        def lookup(atom):
+            query = Query.of(atom.query)
+            null = null_semantics if query.kind is QueryKind.DATA_RPQ else False
+            cached = self._results.peek((version, query.key, null))
+            if cached is None:
+                return None
+            return {(source.id, target.id) for source, target in cached}
+
+        return lookup
+
     def _shard_partition(self) -> GraphPartition:
         """The session's edge-cut plan, rebuilt only when the graph moves on."""
         index = self.graph.label_index()
@@ -782,6 +869,7 @@ class GraphSession(SessionProtocol):
         self._point_snapshot_version = None
         self._result_history.clear()
         self._crpq_plan_history.clear()
+        self._plan_traces.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         snapshot = self._results.stats()

@@ -83,6 +83,7 @@ def _execution_policy(arguments: argparse.Namespace) -> ExecutionPolicy:
     num_shards = getattr(arguments, "num_shards", None)
     threshold = getattr(arguments, "intra_query_threshold", None)
     backend = getattr(arguments, "backend", None) or "auto"
+    routing = getattr(arguments, "routing", None) or "auto"
     if workers is not None and workers < 1:
         raise ReproError(f"--workers must be positive, got {workers}")
     if num_shards is not None and num_shards < 1:
@@ -100,13 +101,16 @@ def _execution_policy(arguments: argparse.Namespace) -> ExecutionPolicy:
             max_workers=workers,
             num_shards=num_shards,
             backend=backend,
+            routing=routing,
         )
     if num_shards is not None or threshold is not None:
         raise ReproError(
             "--num-shards and --intra-query-threshold need --policy intra-query "
             "or an --intra-query mode"
         )
-    return ExecutionPolicy.preset("local", executor=policy, max_workers=workers, backend=backend)
+    return ExecutionPolicy.preset(
+        "local", executor=policy, max_workers=workers, backend=backend, routing=routing
+    )
 
 
 def _parse_address(text: str):
@@ -224,6 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(int-id CSR kernels), 'sql' (recursive CTEs over the D_G database, "
         "e.g. repro evaluate graph.json --rpq 'knows*' --backend sql), or "
         "'auto' (cost-based per query; default)",
+    )
+    evaluate.add_argument(
+        "--routing",
+        default=None,
+        choices=["auto", "manual"],
+        help="query routing: 'auto' (default) lets the planner's cost step pick "
+        "sequential/blocks/sharded/compact/sql per query, with the policy flags "
+        "above as overrides; 'manual' restores pure knob-driven execution",
     )
     _add_query_arguments(evaluate)
 

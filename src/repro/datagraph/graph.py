@@ -83,6 +83,7 @@ class DataGraph:
         "_version",
         "_index",
         "_compact",
+        "_stats",
         "_journal",
         "_batch",
         "_api_session",
@@ -101,6 +102,10 @@ class DataGraph:
         self._version = 0
         self._index: Optional["LabelIndex"] = None
         self._compact: Optional["CompactLabelIndex"] = None
+        # Planner statistics catalogue (repro.planner.stats.GraphStatistics),
+        # cached here by graph_statistics() under the label_index() version
+        # discipline so the planner layer owns the type, not the datagraph.
+        self._stats = None
         self._journal: Optional["DeltaJournal"] = None
         self._batch: Optional["MutationBatch"] = None
         self._api_session = None

@@ -151,9 +151,15 @@ class EvaluationEngine:
             return True
         if backend != "auto":
             return False
+        from ..planner.stats import graph_statistics
         from ..sqlbackend.cost import rpq_pays
 
-        return rpq_pays(self._expression_of(query), graph.label_index())
+        # Statistics only ever widen the measured closure growth above
+        # the textbook floor, so threading them here can make auto pick
+        # SQL for more closure-heavy queries — never fewer.
+        return rpq_pays(
+            self._expression_of(query), graph.label_index(), graph_statistics(graph)
+        )
 
     def evaluate_rpq(
         self, graph: DataGraph, query: RPQLike, backend: str = "auto"

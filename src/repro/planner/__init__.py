@@ -1,4 +1,5 @@
-"""Query planning for conjunctive (data) RPQs.
+"""Query planning for conjunctive (data) RPQs — and, since v2, routing
+and adaptive execution for every dialect.
 
 The planner sits between the unified :class:`repro.api.Query` IR and
 the engine kernels, turning a CRPQ's atom conjunction into an explicit
@@ -10,19 +11,31 @@ specification).
 * :mod:`repro.planner.logical` — the plan IR (``AtomScan``,
   ``SeededScan``, ``HashJoin``, ``Filter``, ``Project``) and the
   ``render_plan`` explain text;
+* :mod:`repro.planner.stats` — per-label degree summaries and the value
+  histogram (:class:`GraphStatistics`), cached on the graph and
+  invalidated per touched label from the delta journal;
 * :mod:`repro.planner.cost` — cardinality estimates from label-index
-  edge counts;
+  edge counts, sharpened by the statistics catalogue when present;
 * :mod:`repro.planner.planner` — :func:`plan_crpq`, the greedy
   cost-ordered join-order search producing a cacheable
   :class:`CrpqPlan`;
-* :mod:`repro.planner.execute` — :func:`execute_plan`, hash-join
-  execution with semijoin pushdown into the seeded engine kernels
-  (:func:`repro.engine.product.seeded_product_relation`) and the
-  intra-query drivers.
+* :mod:`repro.planner.execute` — :func:`execute_plan`, adaptive
+  hash-join execution with semijoin pushdown into the seeded engine
+  kernels (:func:`repro.engine.product.seeded_product_relation`),
+  mid-join re-planning on misestimates, cached-relation reuse and the
+  distributed partitioned hash join;
+* :mod:`repro.planner.router` — :func:`route_query`, the cost step that
+  picks sequential / blocks / sharded / compact / SQL execution for all
+  five dialects, demoting the policy knobs to overrides.
 """
 
 from .cost import atom_estimate, regex_estimate
-from .execute import execute_plan
+from .execute import (
+    ADAPTIVE_REPLAN_RATIO,
+    DISTRIBUTED_JOIN_MIN_ROWS,
+    PlanTrace,
+    execute_plan,
+)
 from .logical import (
     AtomScan,
     Filter,
@@ -32,7 +45,9 @@ from .logical import (
     SeededScan,
     render_plan,
 )
-from .planner import CrpqPlan, plan_crpq
+from .planner import CrpqPlan, plan_crpq, reorder_remaining
+from .router import Route, route_query
+from .stats import GraphStatistics, LabelStats, graph_statistics
 
 __all__ = [
     "AtomScan",
@@ -46,5 +61,14 @@ __all__ = [
     "regex_estimate",
     "CrpqPlan",
     "plan_crpq",
+    "reorder_remaining",
     "execute_plan",
+    "PlanTrace",
+    "ADAPTIVE_REPLAN_RATIO",
+    "DISTRIBUTED_JOIN_MIN_ROWS",
+    "Route",
+    "route_query",
+    "GraphStatistics",
+    "LabelStats",
+    "graph_statistics",
 ]

@@ -19,10 +19,21 @@ classical textbook rules:
 
 Data-RPQ atoms (REE/REM) have their own ASTs; rather than duplicate the
 recursion per language the estimate is the sum of their labels' edge
-counts scaled by ``|V|`` when the expression can iterate — coarse, but
-the planner only needs a *ranking*, and data tests both shrink
-(selectivity) and grow (iteration) the relation in ways edge counts
-cannot see anyway.
+counts scaled by ``CLOSURE_GROWTH`` when the expression can iterate.
+
+Both estimators optionally sharpen their numbers with a
+:class:`repro.planner.stats.GraphStatistics` catalogue (the v2 planner):
+
+* closures grow by the densest inner label's measured ``fanout²``
+  (never below the textbook ``CLOSURE_GROWTH`` floor) instead of a
+  one-size-fits-all constant;
+* data atoms multiply their path-relation estimate by the measured
+  value-equality selectivity — the statistic that prices a ``(a.b)=``
+  test over nearly-distinct values as the tiny relation it is, where
+  bare edge counts price it as one of the largest atoms in the query.
+
+Without *stats* (the default) the numbers are bit-identical to v1, so
+existing callers and thresholds are unaffected.
 
 Estimates are floats ≥ 0 and deterministic; ties are broken by atom
 position in the query, so plans are reproducible.
@@ -30,26 +41,51 @@ position in the query, so plans are reproducible.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..datagraph.index import LabelIndex
+from ..datapaths import equality_subexpressions
+from ..datapaths.ree import RegexWithEquality
 from ..query.crpq import Atom
 from ..query.data_rpq import DataRPQ
 from ..regular import Concat, Epsilon, Letter, Plus, Regex, Star, Union
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .stats import GraphStatistics
+
 __all__ = ["regex_estimate", "atom_estimate", "CLOSURE_GROWTH"]
 
 #: How much one Kleene iteration is assumed to grow a relation before the
-#: ``|V|²`` cap: ``est(e+) = min(|V|², est(e) · CLOSURE_GROWTH)``.
+#: ``|V|²`` cap: ``est(e+) = min(|V|², est(e) · CLOSURE_GROWTH)``.  With
+#: statistics this is the *floor* of the measured per-label growth.
 CLOSURE_GROWTH = 4.0
 
 
-def regex_estimate(expression: Regex, index: Optional[LabelIndex]) -> float:
+def _letters(node: Regex):
+    if isinstance(node, Letter):
+        yield node.symbol
+    elif isinstance(node, (Concat, Union)):
+        yield from _letters(node.left)
+        yield from _letters(node.right)
+    elif isinstance(node, (Plus, Star)):
+        yield from _letters(node.inner)
+
+
+def regex_estimate(
+    expression: Regex,
+    index: Optional[LabelIndex],
+    stats: Optional["GraphStatistics"] = None,
+) -> float:
     """Estimated pair count of a plain regular expression's relation."""
     if index is None:
         return 1.0
     num_nodes = float(max(1, len(index.nodes)))
     complete = num_nodes * num_nodes
+
+    def growth(node: Regex) -> float:
+        if stats is None:
+            return CLOSURE_GROWTH
+        return stats.closure_growth(_letters(node), CLOSURE_GROWTH)
 
     def walk(node: Regex) -> float:
         if isinstance(node, Epsilon):
@@ -61,16 +97,43 @@ def regex_estimate(expression: Regex, index: Optional[LabelIndex]) -> float:
         if isinstance(node, Concat):
             return walk(node.left) * walk(node.right) / num_nodes
         if isinstance(node, Plus):
-            return min(complete, walk(node.inner) * CLOSURE_GROWTH)
+            return min(complete, walk(node.inner) * growth(node.inner))
         if isinstance(node, Star):
-            return min(complete, num_nodes + walk(node.inner) * CLOSURE_GROWTH)
+            return min(complete, num_nodes + walk(node.inner) * growth(node.inner))
         # Unknown node kinds (future extensions) rank as "no information".
         return complete
 
     return walk(expression)
 
 
-def atom_estimate(atom: Atom, index: Optional[LabelIndex]) -> float:
+def _has_value_test(expression) -> bool:
+    """Whether a data-path expression applies any value test.
+
+    REE nodes count their ``e=`` / ``e≠`` subscripts directly; REM test
+    nodes are recognised by their ``condition`` attribute (register
+    *bindings* alone constrain nothing).  The walk is duck-typed over
+    the shared ``inner`` / ``left`` / ``right`` child slots so both ASTs
+    are covered without per-language dispatch.
+    """
+    if isinstance(expression, RegexWithEquality):
+        return (
+            equality_subexpressions(expression) > 0
+            or expression.inequality_count() > 0
+        )
+    if getattr(expression, "condition", None) is not None:
+        return True
+    for name in ("inner", "left", "right"):
+        child = getattr(expression, name, None)
+        if child is not None and _has_value_test(child):
+            return True
+    return False
+
+
+def atom_estimate(
+    atom: Atom,
+    index: Optional[LabelIndex],
+    stats: Optional["GraphStatistics"] = None,
+) -> float:
     """Estimated pair count of one CRPQ atom's relation.
 
     With no *index* (planning without a graph) every atom estimates to
@@ -80,9 +143,24 @@ def atom_estimate(atom: Atom, index: Optional[LabelIndex]) -> float:
         return 1.0
     if isinstance(atom.query, DataRPQ):
         expression = atom.query.expression
-        base = float(sum(index.edge_count(label) for label in expression.labels()))
-        if atom.query.fixed_length() is not None:  # bounded data path query
-            return base
-        num_nodes = float(max(1, len(index.nodes)))
-        return min(num_nodes * num_nodes, base * CLOSURE_GROWTH)
-    return regex_estimate(atom.query.expression, index)
+        labels = expression.labels()
+        base = float(sum(index.edge_count(label) for label in labels))
+        if atom.query.fixed_length() is None:  # unbounded data path query
+            num_nodes = float(max(1, len(index.nodes)))
+            growth = (
+                stats.closure_growth(labels, CLOSURE_GROWTH)
+                if stats is not None
+                else CLOSURE_GROWTH
+            )
+            base = min(num_nodes * num_nodes, base * growth)
+        if (
+            stats is not None
+            and not expression.uses_inequality()
+            and _has_value_test(expression)
+        ):
+            # Equality-only tests shrink the path relation by the measured
+            # value-match selectivity.  Inequality tests keep most pairs
+            # under skew, so the unscaled estimate already ranks them well.
+            base = max(1.0, base * stats.eq_selectivity(labels))
+        return base
+    return regex_estimate(atom.query.expression, index, stats)

@@ -16,27 +16,124 @@ seed variables from the join's left side, so each engine call explores
 only the part of the product that can still contribute (semijoin
 reduction).  An empty intermediate relation short-circuits the rest of
 the plan.
+
+Execution is **adaptive** by default (the v2 planner): the left-deep
+plan is unrolled into its join sequence, the actual cardinality of every
+intermediate relation is compared against the planner's estimate, and
+when an estimate is off by :data:`ADAPTIVE_REPLAN_RATIO` or more the
+remaining joins are re-ordered around the observed sizes
+(:func:`repro.planner.planner.reorder_remaining`).  The re-plan only
+ever changes join *order* — scans, semijoin seeding, self-loop filters
+and the projection are rebuilt with the planner's own operator
+constructor — so answers stay bit-identical to the static plan.  A
+:class:`PlanTrace` passed via ``trace=`` records estimate-vs-observed
+per join for ``--explain``.
+
+Two further v2 hooks ride on the executor:
+
+* ``relation_cache`` — a callable mapping an atom to a previously
+  materialised full relation (the session's versioned result cache);
+  scans reuse it — filtered by the live seed bindings — instead of
+  re-walking the graph.
+* ``join_runner`` — a partitioned distributed hash join (the
+  :meth:`repro.server.workers.ShardWorkerPool.hash_join` seam).  Joins
+  whose combined input reaches :data:`DISTRIBUTED_JOIN_MIN_ROWS` rows
+  scatter build and probe sides by join-key hash across the persistent
+  shard workers and union the per-worker outputs; the runner returning
+  ``None`` (pool busy, fork unavailable) falls back to the local join.
 """
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..datagraph.graph import DataGraph
 from ..datagraph.node import Node, NodeId
 from ..engine.engine import EvaluationEngine, default_engine
 from ..engine.partition import GraphPartition
 from ..exceptions import EvaluationError
+from ..query.crpq import Atom
 from ..query.data_rpq import DataRPQ
+from .cost import atom_estimate
 from .logical import AtomScan, Filter, HashJoin, PlanOp, Project, SeededScan
-from .planner import CrpqPlan
+from .planner import CrpqPlan, _scan, reorder_remaining
 
-__all__ = ["execute_plan"]
+__all__ = [
+    "execute_plan",
+    "PlanTrace",
+    "ADAPTIVE_REPLAN_RATIO",
+    "DISTRIBUTED_JOIN_MIN_ROWS",
+]
 
 #: An intermediate relation: ordered column names and id-tuple rows.
 #: Rows are never mutated in place — operators build fresh sets — so
 #: scans can hand the engine's frozenset through without copying.
 Relation = Tuple[Tuple[str, ...], AbstractSet[Tuple[NodeId, ...]]]
+
+#: A cached-relation lookup: atom -> full id-pair relation, or ``None``
+#: when the cache has nothing for it.
+RelationCache = Callable[[Atom], Optional[AbstractSet[Tuple[NodeId, NodeId]]]]
+
+#: A distributed hash-join runner:
+#: ``(left_rows, right_rows, left_key, right_key, right_only) -> rows``
+#: or ``None`` to decline (busy pool, no fork support).
+JoinRunner = Callable[..., Optional[Set[Tuple[NodeId, ...]]]]
+
+#: Re-plan the remaining joins when an intermediate cardinality differs
+#: from its estimate by at least this factor (in either direction).
+ADAPTIVE_REPLAN_RATIO = 8.0
+
+#: Minimum combined build+probe row count before a join is offered to
+#: the distributed ``join_runner``; below this the scatter/gather IPC
+#: costs more than the join.
+DISTRIBUTED_JOIN_MIN_ROWS = 4096
+
+
+class PlanTrace:
+    """Estimate-vs-observed record of one plan execution (``--explain``).
+
+    Filled in by :func:`execute_plan` when passed via ``trace=``; one
+    entry per executed scan/join plus counters for the adaptive
+    machinery.  ``atom_order`` is the order actually executed, which
+    differs from the plan's whenever a mid-join re-plan fired.
+    """
+
+    __slots__ = ("steps", "replans", "cache_hits", "distributed_joins", "atom_order")
+
+    def __init__(self) -> None:
+        #: ``(atom index, estimated rows, observed rows, replanned after)``
+        self.steps: List[Tuple[int, float, int, bool]] = []
+        self.replans = 0
+        self.cache_hits = 0
+        self.distributed_joins = 0
+        self.atom_order: Tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        """Human-readable estimate-vs-observed lines for ``--explain``."""
+        lines = []
+        for position, (index, estimate, observed, replanned) in enumerate(self.steps):
+            kind = "scan" if position == 0 else "join"
+            note = "  → re-planned remaining joins" if replanned else ""
+            lines.append(
+                f"{kind} atom #{index}: estimated ≈{estimate:.0f} rows, "
+                f"observed {observed}{note}"
+            )
+        summary = (
+            f"adaptive: {self.replans} re-plan(s), {self.cache_hits} cached "
+            f"relation(s) reused, {self.distributed_joins} distributed join(s)"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
 
 
 class _Context:
@@ -44,7 +141,8 @@ class _Context:
 
     __slots__ = (
         "graph", "engine", "null_semantics", "mode", "workers", "shards",
-        "partition", "processes", "backend",
+        "partition", "processes", "backend", "relation_cache", "join_runner",
+        "trace",
     )
 
     def __init__(
@@ -58,6 +156,9 @@ class _Context:
         partition: Optional[GraphPartition],
         processes: Optional[bool],
         backend: str = "auto",
+        relation_cache: Optional[RelationCache] = None,
+        join_runner: Optional[JoinRunner] = None,
+        trace: Optional[PlanTrace] = None,
     ):
         self.graph = graph
         self.engine = engine
@@ -68,6 +169,9 @@ class _Context:
         self.partition = partition
         self.processes = processes
         self.backend = backend
+        self.relation_cache = relation_cache
+        self.join_runner = join_runner
+        self.trace = trace
 
     def scan(
         self,
@@ -76,6 +180,18 @@ class _Context:
         targets: Optional[Set[NodeId]],
     ) -> Relation:
         atom = node.atom
+        lookup = self.relation_cache
+        if lookup is not None:
+            cached = lookup(atom)
+            if cached is not None:
+                if self.trace is not None:
+                    self.trace.cache_hits += 1
+                pairs: AbstractSet[Tuple[NodeId, ...]] = cached
+                if sources is not None:
+                    pairs = {pair for pair in pairs if pair[0] in sources}
+                if targets is not None:
+                    pairs = {pair for pair in pairs if pair[1] in targets}
+                return node.columns, pairs
         null_semantics = self.null_semantics if isinstance(atom.query, DataRPQ) else False
         pairs = self.engine.evaluate_atom_ids(
             self.graph,
@@ -122,37 +238,51 @@ def _evaluate(
         return _hash_join(node, context)
     if isinstance(node, Project):
         columns, rows = _evaluate(node.child, context)
-        if not node.head:
-            return (), ({()} if rows else set())
-        positions = tuple(columns.index(variable) for variable in node.head)
-        return node.head, {tuple(row[i] for i in positions) for row in rows}
+        return _project(node.head, (columns, rows))
     raise EvaluationError(f"unknown plan operator {node!r}")  # pragma: no cover - defensive
 
 
-def _hash_join(node: HashJoin, context: _Context) -> Relation:
-    left_columns, left_rows = _evaluate(node.left, context)
-    out_columns = node.columns
-    if not left_rows:
-        return out_columns, set()
+def _project(head: Tuple[str, ...], relation: Relation) -> Relation:
+    columns, rows = relation
+    if not head:
+        return (), ({()} if rows else set())
+    positions = tuple(columns.index(variable) for variable in head)
+    return head, {tuple(row[i] for i in positions) for row in rows}
 
-    # Semijoin pushdown: hand the surviving bindings of the seed
-    # variables to the right-hand scan (possibly under a Filter).
-    scan = node.right.child if isinstance(node.right, Filter) else node.right
+
+def _seed_bindings(
+    right: PlanOp, left_relation: Relation
+) -> Dict[str, Set[NodeId]]:
+    """Semijoin pushdown: the surviving bindings of the right-hand
+    scan's seed variables (possibly under a Filter)."""
+    scan = right.child if isinstance(right, Filter) else right
     bindings: Dict[str, Set[NodeId]] = {}
     if isinstance(scan, SeededScan):
-        left_relation = (left_columns, left_rows)
         for variable in {scan.seed_sources, scan.seed_targets} - {None}:
             bindings[variable] = _column_values(left_relation, variable)
-    right_columns, right_rows = _evaluate(node.right, context, bindings)
-    if not right_rows:
-        return out_columns, set()
+    return bindings
 
+
+def _join_rows(
+    left_relation: Relation,
+    right_relation: Relation,
+    keys: Tuple[str, ...],
+    context: _Context,
+) -> Relation:
+    """Join two materialised relations on *keys* (cartesian when empty)."""
+    left_columns, left_rows = left_relation
+    right_columns, right_rows = right_relation
+    out_columns = left_columns + tuple(
+        column for column in right_columns if column not in left_columns
+    )
+    if not left_rows or not right_rows:
+        return out_columns, set()
     right_only = tuple(
         columns_index
         for columns_index, column in enumerate(right_columns)
         if column not in left_columns
     )
-    if not node.keys:  # cartesian component
+    if not keys:  # cartesian component
         rows = {
             left + tuple(right[i] for i in right_only)
             for left in left_rows
@@ -160,8 +290,19 @@ def _hash_join(node: HashJoin, context: _Context) -> Relation:
         }
         return out_columns, rows
 
-    left_key = tuple(left_columns.index(k) for k in node.keys)
-    right_key = tuple(right_columns.index(k) for k in node.keys)
+    left_key = tuple(left_columns.index(k) for k in keys)
+    right_key = tuple(right_columns.index(k) for k in keys)
+
+    runner = context.join_runner
+    if (
+        runner is not None
+        and len(left_rows) + len(right_rows) >= DISTRIBUTED_JOIN_MIN_ROWS
+    ):
+        joined = runner(left_rows, right_rows, left_key, right_key, right_only)
+        if joined is not None:
+            if context.trace is not None:
+                context.trace.distributed_joins += 1
+            return out_columns, joined
 
     # Build on the smaller side, probe with the larger one.
     rows: Set[Tuple[NodeId, ...]] = set()
@@ -182,6 +323,119 @@ def _hash_join(node: HashJoin, context: _Context) -> Relation:
     return out_columns, rows
 
 
+def _hash_join(node: HashJoin, context: _Context) -> Relation:
+    left_relation = _evaluate(node.left, context)
+    if not left_relation[1]:
+        return node.columns, set()
+    bindings = _seed_bindings(node.right, left_relation)
+    right_relation = _evaluate(node.right, context, bindings)
+    return _join_rows(left_relation, right_relation, node.keys, context)
+
+
+# ----------------------------------------------------------------------
+# Adaptive execution
+# ----------------------------------------------------------------------
+
+def _misestimate(expected: float, observed: int) -> float:
+    """How far off an estimate was, as a ratio ≥ 1 in either direction."""
+    expected = max(expected, 1.0)
+    actual = max(float(observed), 1.0)
+    return max(expected / actual, actual / expected)
+
+
+def _execute_adaptive(
+    plan: CrpqPlan,
+    context: _Context,
+    estimates: Sequence[float],
+) -> Relation:
+    """Run the plan's join sequence, observing and re-planning.
+
+    The left-deep tree is unrolled into its ``atom_order``; after every
+    scan/join the observed cardinality replaces the running estimate
+    (feedback), and a misestimate of :data:`ADAPTIVE_REPLAN_RATIO` or
+    more re-orders the not-yet-executed atoms around the observation.
+    Operators are rebuilt with the planner's :func:`_scan` constructor,
+    so seeding, self-loop filters and join keys are exactly what
+    :func:`plan_crpq` would have emitted for the adapted order.
+    """
+    atoms = plan.query.atoms
+    trace = context.trace
+    num_nodes = max(1, context.graph.num_nodes)
+
+    order = list(plan.atom_order)
+    first, remaining = order[0], order[1:]
+    bound: Set[str] = set()
+    anchor = _scan(atoms[first], first, estimates[first], bound)
+    relation = _evaluate(anchor, context)
+    bound.update({atoms[first].source, atoms[first].target})
+    running = float(len(relation[1]))
+    executed = [first]
+
+    if trace is not None:
+        trace.steps.append((first, estimates[first], len(relation[1]), False))
+    if (
+        remaining
+        and len(remaining) >= 2
+        and _misestimate(estimates[first], len(relation[1])) >= ADAPTIVE_REPLAN_RATIO
+    ):
+        remaining = reorder_remaining(
+            atoms, estimates, remaining, bound, running, num_nodes
+        )
+        if trace is not None:
+            trace.replans += 1
+            trace.steps[-1] = trace.steps[-1][:3] + (True,)
+
+    while remaining:
+        if not relation[1]:
+            # Empty intermediate: the conjunction is empty; account for the
+            # untouched columns so the projection below stays total.
+            executed.extend(remaining)
+            columns = relation[0]
+            for index in remaining:
+                atom = atoms[index]
+                columns += tuple(
+                    v for v in (atom.source, atom.target) if v not in columns
+                )
+            relation = (columns, set())
+            break
+        index = remaining.pop(0)
+        atom = atoms[index]
+        scan = _scan(atom, index, estimates[index], bound)
+        keys = tuple(
+            variable
+            for variable in dict.fromkeys((atom.source, atom.target))
+            if variable in bound
+        )
+        bindings = _seed_bindings(scan, relation)
+        right_relation = _evaluate(scan, context, bindings)
+        expected = running * estimates[index]
+        for _ in keys:
+            expected /= num_nodes
+        relation = _join_rows(relation, right_relation, keys, context)
+        observed = len(relation[1])
+        bound.update({atom.source, atom.target})
+        executed.append(index)
+        running = float(observed)
+
+        replanned = False
+        if (
+            len(remaining) >= 2
+            and _misestimate(expected, observed) >= ADAPTIVE_REPLAN_RATIO
+        ):
+            remaining = reorder_remaining(
+                atoms, estimates, remaining, bound, running, num_nodes
+            )
+            replanned = True
+            if trace is not None:
+                trace.replans += 1
+        if trace is not None:
+            trace.steps.append((index, expected, observed, replanned))
+
+    if trace is not None:
+        trace.atom_order = tuple(executed)
+    return _project(tuple(plan.query.head), relation)
+
+
 def execute_plan(
     plan: CrpqPlan,
     graph: DataGraph,
@@ -193,6 +447,11 @@ def execute_plan(
     partition: Optional[GraphPartition] = None,
     processes: Optional[bool] = None,
     backend: str = "auto",
+    *,
+    adaptive: Optional[bool] = None,
+    relation_cache: Optional[RelationCache] = None,
+    join_runner: Optional[JoinRunner] = None,
+    trace: Optional[PlanTrace] = None,
 ) -> FrozenSet[Tuple[Node, ...]]:
     """Evaluate a planned CRPQ on *graph*, returning head-variable tuples.
 
@@ -210,6 +469,13 @@ def execute_plan(
     of calling the engine per atom.  ``"auto"`` does the same when the
     plan is closure-heavy by the cost model's label statistics
     (:func:`repro.sqlbackend.cost.plan_pays`).
+
+    Keyword-only v2 hooks: *adaptive* (default on for multi-atom plans)
+    observes intermediate cardinalities and re-plans on misestimates;
+    *relation_cache* reuses previously materialised full relations as
+    scan inputs; *join_runner* offers large joins to the distributed
+    partitioned hash join; *trace* collects the estimate-vs-observed
+    record for ``--explain``.
     """
     if engine is None:
         engine = default_engine()
@@ -228,8 +494,22 @@ def execute_plan(
             node_of = graph.node
             return frozenset(tuple(node_of(value) for value in row) for row in rows)
     context = _Context(
-        graph, engine, null_semantics, mode, workers, shards, partition, processes, backend
+        graph, engine, null_semantics, mode, workers, shards, partition, processes,
+        backend, relation_cache, join_runner, trace,
     )
-    _, rows = _evaluate(plan.root, context)
+    if adaptive is None:
+        adaptive = len(plan.query.atoms) >= 2
+    if adaptive and len(plan.query.atoms) >= 2:
+        estimates = plan.estimates
+        if len(estimates) != len(plan.query.atoms):
+            index = graph.label_index()
+            estimates = tuple(
+                atom_estimate(atom, index) for atom in plan.query.atoms
+            )
+        _, rows = _execute_adaptive(plan, context, estimates)
+    else:
+        _, rows = _evaluate(plan.root, context)
+        if trace is not None:
+            trace.atom_order = plan.atom_order
     node_of = graph.node
     return frozenset(tuple(node_of(value) for value in row) for row in rows)

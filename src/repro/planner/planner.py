@@ -29,11 +29,14 @@ the statistics) moves on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..datagraph.index import LabelIndex
 from ..query.crpq import Atom, ConjunctiveRPQ
 from .cost import atom_estimate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .stats import GraphStatistics
 from .logical import (
     AtomScan,
     Filter,
@@ -45,7 +48,7 @@ from .logical import (
     render_plan,
 )
 
-__all__ = ["CrpqPlan", "plan_crpq"]
+__all__ = ["CrpqPlan", "plan_crpq", "reorder_remaining"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +65,10 @@ class CrpqPlan:
     root: PlanOp
     atom_order: Tuple[int, ...]
     stats_version: Optional[int]
+    #: Per-atom cardinality estimates, aligned with ``query.atoms`` (not
+    #: ``atom_order``).  Empty when planned by an older caller; the
+    #: adaptive executor then re-derives them from the graph.
+    estimates: Tuple[float, ...] = ()
 
     def explain(self) -> str:
         """The human-readable plan tree (``Query.explain()`` / ``--explain``)."""
@@ -97,16 +104,24 @@ def _scan(
     return scan
 
 
-def plan_crpq(query: ConjunctiveRPQ, index: Optional[LabelIndex] = None) -> CrpqPlan:
+def plan_crpq(
+    query: ConjunctiveRPQ,
+    index: Optional[LabelIndex] = None,
+    stats: Optional["GraphStatistics"] = None,
+) -> CrpqPlan:
     """Plan *query* against the statistics of *index*.
 
     Without an index (no graph at hand — e.g. ``Query.explain()`` before
     execution) all estimates collapse to 1.0 and the plan follows the
     query's written atom order; the operator structure (seeded scans,
-    hash joins, filters, projection) is the same either way.
+    hash joins, filters, projection) is the same either way.  With a
+    :class:`~repro.planner.stats.GraphStatistics` catalogue the
+    estimates additionally price value-test selectivity and measured
+    closure growth (the v2 cost model) — sessions pass the graph's
+    cached catalogue, direct callers may omit it.
     """
     atoms = query.atoms
-    estimates = [atom_estimate(atom, index) for atom in atoms]
+    estimates = [atom_estimate(atom, index, stats) for atom in atoms]
     remaining = list(range(len(atoms)))
 
     # 1. The cheapest atom opens the plan.
@@ -142,4 +157,49 @@ def plan_crpq(query: ConjunctiveRPQ, index: Optional[LabelIndex] = None) -> Crpq
         root=root,
         atom_order=tuple(order),
         stats_version=index.version if index is not None else None,
+        estimates=tuple(estimates),
     )
+
+
+def reorder_remaining(
+    atoms: Sequence[Atom],
+    estimates: Sequence[float],
+    remaining: Iterable[int],
+    bound: Iterable[str],
+    observed: float,
+    num_nodes: int,
+) -> List[int]:
+    """Re-derive the greedy join order for the *remaining* atoms.
+
+    Used by the adaptive executor after a misestimate: the same
+    connected-and-cheapest policy as :func:`plan_crpq`, but atoms
+    touching an already-bound variable are priced as *seeded* scans —
+    their estimate scaled by the observed binding count over ``|V|`` —
+    so a join that just came out far smaller (or larger) than planned
+    re-ranks everything still to run.  Deterministic: ties break by atom
+    position, like the planner.
+    """
+    nodes = float(max(1, num_nodes))
+    pending = list(remaining)
+    bound_now: Set[str] = set(bound)
+    size = max(1.0, observed)
+    order: List[int] = []
+    while pending:
+        connected = [
+            i
+            for i in pending
+            if atoms[i].source in bound_now or atoms[i].target in bound_now
+        ]
+        pool = connected if connected else pending
+
+        def seeded_cost(i: int) -> Tuple[float, int]:
+            estimate = estimates[i]
+            if atoms[i].source in bound_now or atoms[i].target in bound_now:
+                estimate *= min(1.0, size / nodes)
+            return (estimate, i)
+
+        chosen = min(pool, key=seeded_cost)
+        pending.remove(chosen)
+        order.append(chosen)
+        bound_now.update({atoms[chosen].source, atoms[chosen].target})
+    return order

@@ -1,0 +1,232 @@
+"""Cost-based routing of queries to an execution strategy (planner v2).
+
+Historically every dialect except CRPQs picked its execution strategy —
+sequential kernels, intra-query ``blocks`` / ``sharded`` drivers,
+compact CSR kernels, the SQL backend — from user-set
+:class:`~repro.api.executors.ExecutionPolicy` knobs.  :func:`route_query`
+makes that a *cost* decision for all five dialects (RPQ, data RPQ,
+CRPQ, GXPath node and path expressions): the label statistics and the
+:class:`~repro.planner.stats.GraphStatistics` catalogue estimate how
+much work a query's relation takes to materialise, and the route picks
+
+* the **SQL** backend when the query is closure heavy by the
+  :mod:`repro.sqlbackend.cost` model (the existing ``"auto"`` seams);
+* an **intra-query driver** (``blocks``, upgraded to ``sharded`` when a
+  persistent worker pool is attached) when the graph is large, ``fork``
+  is available and the estimated relation is a multiple of the node
+  count — the regime where partitioned evaluation amortises its setup;
+* the **compact** CSR kernels when the graph clears their size
+  threshold (:func:`repro.engine.compact.resolve_backend`);
+* the plain **sequential** dict kernels otherwise.
+
+The old knobs are demoted to overrides: a policy with
+``intra_query != "off"`` or an explicit ``backend`` forces its choice
+(reason ``"policy override"``), and ``routing="manual"`` restores the
+pure knob behaviour.  Routing never changes answers — every strategy is
+bit-identical by the equivalence suites — so the route is a pure
+performance decision, surfaced to users via ``--explain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..engine.compact import COMPACT_AUTO_MIN_NODES, resolve_backend
+from ..engine.forkpool import fork_available
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.executors import ExecutionPolicy
+    from ..api.query import Query
+    from ..datagraph.graph import DataGraph
+    from .stats import GraphStatistics
+
+__all__ = [
+    "Route",
+    "route_query",
+    "ROUTE_PARALLEL_MIN_NODES",
+    "ROUTE_PARALLEL_WORK_FACTOR",
+]
+
+#: Below this many nodes auto-routing never picks an intra-query driver:
+#: forking a pool costs more than the whole query.  Deliberately higher
+#: than the drivers' own ``PROCESS_SHARDS_MIN_NODES`` floor — an
+#: *automatic* route must only fire where the win is robust.
+ROUTE_PARALLEL_MIN_NODES = 2048
+
+#: Auto-routing picks a parallel driver only when the estimated relation
+#: is at least this many times the node count — the closure-heavy regime
+#: where frontier work dwarfs the per-query pool setup.
+ROUTE_PARALLEL_WORK_FACTOR = 8.0
+
+
+@dataclass(frozen=True)
+class Route:
+    """One routing decision: how a query should execute, and why.
+
+    ``strategy`` is the headline choice (``sequential`` / ``blocks`` /
+    ``sharded`` / ``compact`` / ``sql``) shown by ``--explain``;
+    ``mode`` is the intra-query driver mode the session forwards to the
+    engine (``"off"`` for the non-partitioned strategies); ``backend``
+    is the storage-backend knob forwarded to the kernels (``"auto"``
+    unless the policy forces one — the compact and SQL seams resolve it
+    per call with the same cost model this route reports).
+    """
+
+    strategy: str
+    mode: str
+    backend: str
+    reason: str
+    estimate: float
+
+    def describe(self) -> str:
+        """The one-line route header of ``--explain``."""
+        return (
+            f"route: {self.strategy} (est ≈{self.estimate:.0f} pairs) — {self.reason}"
+        )
+
+
+def _parallel(
+    num_nodes: int, estimate: float, pooled: bool
+) -> Optional[Route]:
+    """The parallel route when the size/estimate gates clear, else None."""
+    if num_nodes < ROUTE_PARALLEL_MIN_NODES or not fork_available():
+        return None
+    if estimate < ROUTE_PARALLEL_WORK_FACTOR * num_nodes:
+        return None
+    strategy = "sharded" if pooled else "blocks"
+    return Route(
+        strategy=strategy,
+        mode=strategy,
+        backend="auto",
+        reason=(
+            f"estimated relation ≥ {ROUTE_PARALLEL_WORK_FACTOR:.0f}×|V| on a "
+            f"{num_nodes}-node graph; partitioned drivers amortise the closure"
+            + (" across the persistent worker pool" if pooled else "")
+        ),
+        estimate=estimate,
+    )
+
+
+def _local(num_nodes: int, estimate: float, reason: str) -> Route:
+    if resolve_backend("auto", num_nodes):
+        return Route(
+            strategy="compact",
+            mode="off",
+            backend="auto",
+            reason=f"{reason}; ≥{COMPACT_AUTO_MIN_NODES} nodes favours the CSR kernels",
+            estimate=estimate,
+        )
+    return Route(
+        strategy="sequential",
+        mode="off",
+        backend="auto",
+        reason=f"{reason}; small graph favours the dict kernels' constants",
+        estimate=estimate,
+    )
+
+
+def route_query(
+    query: "Query",
+    graph: "DataGraph",
+    policy: Optional["ExecutionPolicy"] = None,
+    stats: Optional["GraphStatistics"] = None,
+    pooled: bool = False,
+    planned=None,
+) -> Route:
+    """Choose the execution strategy for *query* on *graph*.
+
+    *policy* knobs act as overrides (see module docstring); *stats*
+    sharpens the underlying estimates; *pooled* marks a session with a
+    persistent shard-worker pool attached, upgrading the parallel route
+    from per-query ``blocks`` forks to the resident ``sharded`` workers.
+    Sessions pass their cached :class:`~repro.planner.planner.CrpqPlan`
+    via *planned* so routing a CRPQ never re-plans it.
+    """
+    from ..api.query import Query, QueryKind
+    from ..sqlbackend.cost import plan_pays, rpq_pays
+    from .cost import CLOSURE_GROWTH, atom_estimate, regex_estimate
+    from .planner import plan_crpq
+
+    query = Query.of(query)
+    index = graph.label_index()
+    num_nodes = graph.num_nodes
+    kind = query.kind
+
+    # ------------------------------------------------------------------
+    # Estimate the query's answer relation.
+    if kind is QueryKind.RPQ:
+        estimate = regex_estimate(query.plan, index, stats)
+    elif kind is QueryKind.CRPQ:
+        if planned is None:
+            planned = plan_crpq(query.plan, index, stats)
+        estimate = max(planned.estimates) if planned.estimates else 0.0
+    else:
+        # Data RPQs and GXPath expressions: label mass scaled by closure
+        # growth — the same coarse ranking the atom estimator uses.
+        labels = query.labels()
+        mass = float(sum(index.edge_count(label) for label in labels))
+        growth = (
+            stats.closure_growth(labels, CLOSURE_GROWTH)
+            if stats is not None
+            else CLOSURE_GROWTH
+        )
+        estimate = min(float(num_nodes) ** 2, mass * growth)
+        if kind is QueryKind.DATA_RPQ:
+            from ..query.crpq import Atom
+
+            estimate = atom_estimate(Atom("x", query.plan, "y"), index, stats)
+
+    # ------------------------------------------------------------------
+    # Policy overrides demote routing to the configured knobs.
+    if policy is not None:
+        manual = policy.routing == "manual"
+        forced_mode = policy.intra_query != "off"
+        if manual or forced_mode:
+            mode = policy.intra_query
+            if mode != "off" and num_nodes < policy.intra_query_threshold:
+                mode = "off"
+            strategy = mode if mode != "off" else (
+                policy.backend if policy.backend != "auto" else "sequential"
+            )
+            return Route(
+                strategy=strategy,
+                mode=mode,
+                backend=policy.backend,
+                reason="manual routing policy" if manual else "policy override",
+                estimate=estimate,
+            )
+        if policy.backend != "auto":
+            return Route(
+                strategy=policy.backend,
+                mode="off",
+                backend=policy.backend,
+                reason="policy override",
+                estimate=estimate,
+            )
+
+    # ------------------------------------------------------------------
+    # Cost decisions per dialect.
+    if kind is QueryKind.RPQ and rpq_pays(query.plan, index, stats):
+        return Route(
+            strategy="sql",
+            mode="off",
+            backend="auto",
+            reason="closure heavy by the SQL cost model; the recursive CTE "
+            "streams the frontier through the embedded engine",
+            estimate=estimate,
+        )
+    if kind is QueryKind.CRPQ:
+        if plan_pays(planned.root, index, stats):
+            return Route(
+                strategy="sql",
+                mode="off",
+                backend="auto",
+                reason="every atom lowers to SQL and at least one is closure "
+                "heavy; the whole plan runs as one statement over D_G",
+                estimate=estimate,
+            )
+    parallel = _parallel(num_nodes, estimate, pooled)
+    if parallel is not None:
+        return parallel
+    return _local(num_nodes, estimate, f"{kind.value} within sequential reach")

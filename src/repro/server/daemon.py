@@ -404,20 +404,27 @@ class ReproServer:
         if pool is None or not pool.available:
             return None
 
-        def runner(plan: Query, null_semantics: bool, sources=None):
+        def runner(plan: Query, null_semantics: bool, sources=None, targets=None):
             cancel = getattr(self._cancel_local, "event", None)
             started = time.monotonic()
-            answer = pool.evaluate(plan, null_semantics, cancel=cancel, sources=sources)
+            answer = pool.evaluate(
+                plan, null_semantics, cancel=cancel, sources=sources, targets=targets
+            )
             if answer is None:
                 self.metrics.increment("pool_fallbacks")
             else:
                 self.metrics.record_pool_busy(time.monotonic() - started)
             return answer
 
-        # Advertise the seeded-round protocol: sessions check this flag
-        # before offering point queries (``.targets``) to the pool, so a
-        # plain 2-argument ShardRunner (tests, embedders) keeps working.
+        # Advertise the seeded-round and target-mask protocols: sessions
+        # check these flags before offering point queries (``.targets``,
+        # ``.holds``) to the pool, so a plain 2-argument ShardRunner
+        # (tests, embedders) keeps working.  ``hash_join`` is the planner
+        # seam: the adaptive executor scatters big hash joins across the
+        # resident workers through it.
         runner.supports_sources = True
+        runner.supports_targets = True
+        runner.hash_join = pool.hash_join
         return runner
 
     # ------------------------------------------------------------------

@@ -21,9 +21,14 @@ Per-query protocol (parent ↔ workers, over the fork-pool pipes):
     instead of materialising the whole relation in the parent.
 ``("round", (qid, {shard_id: inbox}))``
     One frontier-exchange round for the given shards; same reply shape.
-``("decode", qid)``
+``("decode", (qid, targets))``
     The worker decodes its accepting masks to id pairs and **drops** the
-    query's state; the parent unions the partial answers.
+    query's state; the parent unions the partial answers.  ``targets``
+    is ``None`` for the full relation, or a frozenset of node ids the
+    worker builds a target mask from — decoded pairs are filtered
+    worker-side, so a point lookup ships at most its own pair over the
+    pipes instead of the full relation.  (A bare ``qid`` body is the
+    legacy spelling of ``targets=None``.)
 ``("drop", qid)``
     Discard the query's state without decoding (cancellation path).
 ``("delta", graph_delta)``
@@ -53,6 +58,11 @@ Per-query protocol (parent ↔ workers, over the fork-pool pipes):
     *shared* mappings and do not count, which is exactly what the
     zero-copy benchmark needs to demonstrate.  Replies ``None`` when the
     worker cannot measure itself (no ``/proc``, no :mod:`resource`).
+``("join", (left_rows, right_rows, left_key, right_key, right_only))``
+    One partition of a distributed hash join: the parent scatters build
+    and probe rows by join-key hash, each worker joins its bucket pair
+    (build on the smaller side) and replies with its joined rows; the
+    parent unions.  Stateless — no ``_QUERIES`` entry, any epoch.
 ``("stats", None)``
     The worker's engine cache counters (JSON-compatible view).
 
@@ -259,17 +269,24 @@ def _shard_worker_main(payload, index: int, message):
         return outboxes
 
     if kind == "decode":
-        state = _QUERIES.pop(body, None)
+        if isinstance(body, tuple):
+            qid, targets = body
+        else:  # legacy bare-qid spelling
+            qid, targets = body, None
+        state = _QUERIES.pop(qid, None)
         if state is None:
             return set()
+        mask = frozenset(targets) if targets is not None else None
         pairs: Set[Tuple] = set()
         if "compact" in state:
             S, accepting, _plans, compact = state["compact"]
             for shard_masks in state["masks"].values():
                 pairs |= compact_kernels.decode_shard_masks(compact, S, accepting, shard_masks)
-            return pairs
-        for shard_masks in state["masks"].values():
-            pairs |= product.decode_pairs(state["space"], shard_masks)
+        else:
+            for shard_masks in state["masks"].values():
+                pairs |= product.decode_pairs(state["space"], shard_masks)
+        if mask is not None:
+            pairs = {pair for pair in pairs if pair[1] in mask}
         return pairs
 
     if kind == "drop":
@@ -300,6 +317,25 @@ def _shard_worker_main(payload, index: int, message):
         _SHARED_INFO = None
         _EPOCH = body
         return dropped
+
+    if kind == "join":
+        left_rows, right_rows, left_key, right_key, right_only = body
+        joined: Set[Tuple] = set()
+        if len(left_rows) <= len(right_rows):
+            table: Dict[Tuple, list] = {}
+            for row in left_rows:
+                table.setdefault(tuple(row[i] for i in left_key), []).append(row)
+            for right in right_rows:
+                for left in table.get(tuple(right[i] for i in right_key), ()):
+                    joined.add(tuple(left) + tuple(right[i] for i in right_only))
+        else:
+            table = {}
+            for row in right_rows:
+                table.setdefault(tuple(row[i] for i in right_key), []).append(row)
+            for left in left_rows:
+                for right in table.get(tuple(left[i] for i in left_key), ()):
+                    joined.add(tuple(left) + tuple(right[i] for i in right_only))
+        return joined
 
     if kind == "stats":
         return cache_stats_view(default_engine().stats())
@@ -519,6 +555,7 @@ class ShardWorkerPool:
         null_semantics: bool = False,
         cancel: Optional[threading.Event] = None,
         sources=None,
+        targets=None,
     ) -> Optional[FrozenSet[Tuple[Node, Node]]]:
         """One (optionally seeded) query through the persistent workers.
 
@@ -528,7 +565,10 @@ class ShardWorkerPool:
         in-process.  *sources* restricts the seeds to those node ids, so
         a point query (``session.targets``) runs seeded shard rounds and
         ships only its own frontier over the pipes instead of the whole
-        relation.  *cancel* is checked at every round boundary; a set
+        relation.  *targets* restricts the decoded answer to pairs whose
+        target id is in the set; the mask is applied worker-side, so a
+        point membership check ships at most one pair back to the
+        parent.  *cancel* is checked at every round boundary; a set
         event drops the query's worker state and raises
         :class:`QueryCancelled`.
         """
@@ -541,6 +581,8 @@ class ShardWorkerPool:
             qid = next(self._qids)
             if sources is not None:
                 sources = frozenset(sources)
+            if targets is not None:
+                targets = frozenset(targets)
             try:
                 replies = pool.run(
                     {
@@ -569,7 +611,7 @@ class ShardWorkerPool:
                 if cancel is not None and cancel.is_set():
                     pool.broadcast(("drop", qid))
                     raise QueryCancelled("query cancelled before decode")
-                partials = pool.broadcast(("decode", qid))
+                partials = pool.broadcast(("decode", (qid, targets)))
             except QueryCancelled:
                 raise
             except EvaluationError:
@@ -582,6 +624,57 @@ class ShardWorkerPool:
                 (node(source), node(target))
                 for source, target in set().union(set(), *partials)
             )
+        finally:
+            self._lock.release()
+
+    # ------------------------------------------------------------------
+    def hash_join(
+        self,
+        left_rows,
+        right_rows,
+        left_key: Tuple[int, ...],
+        right_key: Tuple[int, ...],
+        right_only: Tuple[int, ...],
+    ) -> Optional[Set[Tuple]]:
+        """One partitioned hash join across the resident workers.
+
+        Both sides are scattered by join-key hash so matching rows land
+        on the same worker (co-location); each worker joins its bucket
+        pair locally — building on whichever side of the bucket is
+        smaller — and the parent unions the replies.  Output rows are
+        ``left + right[right_only]``, matching the planner's local
+        ``_join_rows``.  Returns ``None`` when the pool cannot take the
+        join right now (busy, no ``fork``, or the workers died) — the
+        caller then joins locally.
+        """
+        if not fork_available():
+            return None
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            pool = self._sync()
+            workers = self.num_workers
+            left_parts: Dict[int, list] = {}
+            for row in left_rows:
+                key = tuple(row[i] for i in left_key)
+                left_parts.setdefault(hash(key) % workers, []).append(row)
+            right_parts: Dict[int, list] = {}
+            for row in right_rows:
+                key = tuple(row[i] for i in right_key)
+                right_parts.setdefault(hash(key) % workers, []).append(row)
+            tasks = {
+                w: ("join", (left_parts[w], right_parts[w], left_key, right_key, right_only))
+                for w in left_parts
+                if w in right_parts
+            }
+            if not tasks:
+                return set()
+            try:
+                replies = pool.run(tasks)
+            except EvaluationError:
+                self._discard_pool()
+                return None
+            return set().union(set(), *replies.values())
         finally:
             self._lock.release()
 

@@ -18,7 +18,7 @@ equivalence suite in ``tests/sqlbackend``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..datagraph.index import LabelIndex
 from ..planner.cost import regex_estimate
@@ -26,6 +26,9 @@ from ..planner.logical import AtomScan, Filter, HashJoin, PlanOp, Project, Seede
 from ..query.data_rpq import DataRPQ
 from ..regular import Concat, Plus, Regex, Star, Union
 from .compile import STEP, concat_parts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planner.stats import GraphStatistics
 
 __all__ = [
     "SQL_AUTO_MIN_NODES",
@@ -62,8 +65,18 @@ def has_closure(expression: Regex) -> bool:
     return False
 
 
-def rpq_pays(expression: Regex, index: Optional[LabelIndex]) -> bool:
-    """Whether ``"auto"`` should run this RPQ through the SQL backend."""
+def rpq_pays(
+    expression: Regex,
+    index: Optional[LabelIndex],
+    stats: Optional["GraphStatistics"] = None,
+) -> bool:
+    """Whether ``"auto"`` should run this RPQ through the SQL backend.
+
+    *stats* (the planner v2 catalogue) sharpens the closure estimate
+    with measured per-label fanout; the measured growth never drops
+    below the textbook constant, so statistics can only widen — never
+    narrow — the set of queries re-routed to SQL.
+    """
     if index is None:
         return False
     num_nodes = len(index.nodes)
@@ -71,7 +84,7 @@ def rpq_pays(expression: Regex, index: Optional[LabelIndex]) -> bool:
         return False
     if _selective_pivot(expression, index, num_nodes):
         return True
-    return regex_estimate(expression, index) >= SQL_CLOSURE_FACTOR * num_nodes
+    return regex_estimate(expression, index, stats) >= SQL_CLOSURE_FACTOR * num_nodes
 
 
 def _selective_pivot(
@@ -105,7 +118,11 @@ def closure_pays(label: str, index: Optional[LabelIndex]) -> bool:
     return num_nodes >= SQL_AUTO_MIN_NODES and index.edge_count(label) >= num_nodes
 
 
-def plan_pays(root: PlanOp, index: Optional[LabelIndex]) -> bool:
+def plan_pays(
+    root: PlanOp,
+    index: Optional[LabelIndex],
+    stats: Optional["GraphStatistics"] = None,
+) -> bool:
     """Whether ``"auto"`` should lower a whole CRPQ plan to SQL.
 
     Conservative: every atom must be a plain RPQ (data atoms would be
@@ -118,7 +135,7 @@ def plan_pays(root: PlanOp, index: Optional[LabelIndex]) -> bool:
     for scan in _scans(root):
         if isinstance(scan.atom.query, DataRPQ):
             return False
-        if rpq_pays(scan.atom.query.expression, index):
+        if rpq_pays(scan.atom.query.expression, index, stats):
             pays = True
     return pays
 

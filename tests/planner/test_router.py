@@ -1,0 +1,167 @@
+"""Cost-based routing: choices, overrides, and answer equivalence.
+
+Two invariants: (1) the route picked for a query is the one the policy
+and cost model say it should be — overrides beat cost, cost decisions
+match the SQL/compact/parallel seams they delegate to; (2) whatever
+route fires, answers are bit-identical to the sequential dict-backend
+baseline across all five dialects.  The parallel gates are monkeypatched
+down so the routes that normally need thousand-node graphs fire on test
+graphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExecutionPolicy, GraphSession, Query
+from repro.datagraph import generators
+from repro.exceptions import EvaluationError
+from repro.planner import Route, graph_statistics, route_query
+from repro.planner import router as router_module
+
+LABELS = ("a", "b")
+
+#: One representative query per dialect.
+DIALECTS = {
+    "rpq": Query.parse("a.(a|b)+"),
+    "data_rpq": Query.parse("((a|b))=", dialect="ree"),
+    "crpq": Query.parse("z(x, y) :- (x, a+, z), (z, (a|b), y)", dialect="crpq"),
+    "gxpath_node": Query.parse("<a.b>", dialect="gxpath-node"),
+    "gxpath_path": Query.parse("a.a-", dialect="gxpath-path"),
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.community_graph(
+        3, 12, intra_edges_per_node=2, bridges_per_community=2,
+        labels=("a",), bridge_label="b", rng=7, domain_size=4,
+    )
+
+
+class TestRouteChoices:
+    @pytest.mark.parametrize("name", sorted(DIALECTS))
+    def test_default_routes_are_local(self, graph, name):
+        route = route_query(DIALECTS[name], graph, ExecutionPolicy.auto())
+        assert isinstance(route, Route)
+        assert route.mode == "off"
+        assert route.strategy in {"sequential", "compact", "sql"}
+        assert route.estimate >= 0.0
+        assert route.describe().startswith("route: ")
+
+    def test_small_graph_routes_sequential(self, graph):
+        route = route_query(Query.parse("a"), graph, ExecutionPolicy.auto())
+        assert route.strategy == "sequential"
+
+    def test_large_graph_closure_routes_parallel(self, graph, monkeypatch):
+        monkeypatch.setattr(router_module, "ROUTE_PARALLEL_MIN_NODES", 1)
+        monkeypatch.setattr(router_module, "ROUTE_PARALLEL_WORK_FACTOR", 0.0)
+        route = route_query(DIALECTS["rpq"], graph, ExecutionPolicy.auto())
+        assert route.strategy == "blocks"
+        assert route.mode == "blocks"
+
+    def test_pool_upgrades_parallel_to_sharded(self, graph, monkeypatch):
+        monkeypatch.setattr(router_module, "ROUTE_PARALLEL_MIN_NODES", 1)
+        monkeypatch.setattr(router_module, "ROUTE_PARALLEL_WORK_FACTOR", 0.0)
+        route = route_query(
+            DIALECTS["rpq"], graph, ExecutionPolicy.auto(), pooled=True
+        )
+        assert route.strategy == "sharded"
+
+    def test_intra_query_policy_overrides_routing(self, graph):
+        policy = ExecutionPolicy.preset(
+            "local", intra_query="blocks", intra_query_threshold=0
+        )
+        route = route_query(DIALECTS["crpq"], graph, policy)
+        assert route.mode == "blocks"
+        assert "override" in route.reason
+
+    def test_intra_query_threshold_still_gates_the_override(self, graph):
+        policy = ExecutionPolicy.preset(
+            "local", intra_query="blocks", intra_query_threshold=10**6
+        )
+        route = route_query(DIALECTS["crpq"], graph, policy)
+        assert route.mode == "off"
+
+    def test_forced_backend_overrides_routing(self, graph):
+        policy = ExecutionPolicy.auto(backend="dict")
+        route = route_query(DIALECTS["rpq"], graph, policy)
+        assert route.strategy == "dict"
+        assert route.backend == "dict"
+        assert route.mode == "off"
+
+    def test_manual_routing_restores_knob_behaviour(self, graph, monkeypatch):
+        monkeypatch.setattr(router_module, "ROUTE_PARALLEL_MIN_NODES", 1)
+        monkeypatch.setattr(router_module, "ROUTE_PARALLEL_WORK_FACTOR", 0.0)
+        policy = ExecutionPolicy.preset("local", routing="manual")
+        route = route_query(DIALECTS["rpq"], graph, policy)
+        assert route.mode == "off"
+        assert route.reason == "manual routing policy"
+
+    def test_stats_sharpen_the_estimate(self, graph):
+        with_stats = route_query(
+            DIALECTS["crpq"], graph, ExecutionPolicy.auto(),
+            stats=graph_statistics(graph),
+        )
+        without = route_query(DIALECTS["crpq"], graph, ExecutionPolicy.auto())
+        # Stats only ever sharpen (shrink data-atom / widen closure
+        # numbers); both must be valid local routes on this small graph.
+        assert with_stats.mode == without.mode == "off"
+
+    def test_unknown_routing_mode_rejected(self):
+        with pytest.raises(EvaluationError, match="routing"):
+            ExecutionPolicy.preset("local", routing="psychic")
+
+
+class TestRoutedAnswersMatchDictBackend:
+    """Every route the auto-router can pick returns the baseline answer."""
+
+    @pytest.mark.parametrize("name", sorted(DIALECTS))
+    def test_auto_matches_manual(self, graph, name):
+        query = DIALECTS[name]
+        baseline = GraphSession(
+            graph, policy=ExecutionPolicy.preset("local", backend="dict", routing="manual")
+        ).run(query).rows()
+        auto = GraphSession(graph, policy=ExecutionPolicy.auto()).run(query).rows()
+        assert auto == baseline
+
+    @pytest.mark.parametrize("name", sorted(DIALECTS))
+    def test_forced_parallel_route_matches(self, graph, name, monkeypatch):
+        monkeypatch.setattr(router_module, "ROUTE_PARALLEL_MIN_NODES", 1)
+        monkeypatch.setattr(router_module, "ROUTE_PARALLEL_WORK_FACTOR", 0.0)
+        query = DIALECTS[name]
+        baseline = GraphSession(
+            graph, policy=ExecutionPolicy.preset("local", backend="dict", routing="manual")
+        ).run(query).rows()
+        assert GraphSession(graph, policy=ExecutionPolicy.auto()).run(query).rows() == baseline
+
+    @pytest.mark.parametrize("backend", ["compact", "sql"])
+    @pytest.mark.parametrize("name", sorted(DIALECTS))
+    def test_forced_backends_match(self, graph, name, backend):
+        query = DIALECTS[name]
+        if backend == "sql":
+            pytest.importorskip("duckdb")
+        baseline = GraphSession(
+            graph, policy=ExecutionPolicy.preset("local", backend="dict", routing="manual")
+        ).run(query).rows()
+        forced = GraphSession(
+            graph, policy=ExecutionPolicy.auto(backend=backend)
+        ).run(query).rows()
+        assert forced == baseline
+
+
+class TestExplainShowsTheRoute:
+    def test_route_header_and_trace(self, graph):
+        session = GraphSession(graph, policy=ExecutionPolicy.auto())
+        query = DIALECTS["crpq"]
+        before = session.explain(query)
+        assert before.startswith("route: ")
+        session.run(query).rows()  # results are lazy; force the evaluation
+        after = session.explain(query)
+        assert "adaptive:" in after  # the recorded PlanTrace rides along
+        assert "estimated" in after and "observed" in after
+
+    def test_rpq_explain_keeps_nfa_section(self, graph):
+        session = GraphSession(graph)
+        text = session.explain(DIALECTS["rpq"])
+        assert text.startswith("route: ")
